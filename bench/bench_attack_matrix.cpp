@@ -1,0 +1,86 @@
+// The security evaluation: attack x defense outcome matrix — the executable
+// form of Figures 1-2 and the §2.3/§3.2 detection arguments — plus the §6
+// output-voting comparison.
+#include <cstdio>
+
+#include "attack/attack.h"
+#include "baseline/output_voting.h"
+#include "util/table.h"
+
+int main() {
+  using namespace nv;  // NOLINT
+  using attack::AttackKind;
+  using attack::DefenseKind;
+  using attack::Outcome;
+
+  std::printf("=== Attack x Defense matrix (every cell executed live) ===\n\n");
+
+  constexpr AttackKind kAttacks[] = {
+      AttackKind::kUidFullWord,      AttackKind::kUidLowByte,
+      AttackKind::kUidHighBitFlip,   AttackKind::kAddressInjection,
+      AttackKind::kPointerLowBytes,  AttackKind::kCodeInjection,
+      AttackKind::kLinearOverrun,
+  };
+  constexpr DefenseKind kDefenses[] = {
+      DefenseKind::kSingleProcess,        DefenseKind::kDualIdentical,
+      DefenseKind::kAddressPartitioning,  DefenseKind::kExtendedPartitioning,
+      DefenseKind::kInstructionTagging,   DefenseKind::kUidVariation,
+      DefenseKind::kUidPlusAddress,       DefenseKind::kStackReversal,
+  };
+
+  util::TextTable table;
+  {
+    std::vector<std::string> header = {"attack \\ defense"};
+    for (const auto defense : kDefenses) header.emplace_back(attack::to_string(defense));
+    table.set_header(std::move(header));
+  }
+
+  int cells = 0;
+  int agreements = 0;
+  for (const auto atk : kAttacks) {
+    std::vector<std::string> row = {std::string(attack::to_string(atk))};
+    for (const auto defense : kDefenses) {
+      const Outcome outcome = attack::run_attack(atk, defense);
+      const Outcome predicted = attack::expected_outcome(atk, defense);
+      ++cells;
+      if (outcome == predicted) ++agreements;
+      std::string cell{attack::to_string(outcome)};
+      if (outcome != predicted) cell += " (!)";
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("agreement with the paper's predicted outcomes: %d/%d cells\n\n", agreements,
+              cells);
+
+  std::printf("key observations (paper sections in parentheses):\n"
+              "  - redundancy without diversity stops nothing (2-variant-identical column)\n"
+              "  - each variation covers exactly its attack class (Table 1 rows)\n"
+              "  - uid-high-bit-flip escapes detection: the 0x7FFFFFFF mask leaves bit 31\n"
+              "    unflipped (§3.2) — but yields no usable identity either\n"
+              "  - pointer-low-bytes beats plain partitioning, extended closes it (§2.3)\n"
+              "  - variations compose: uid+address covers both classes (§4)\n"
+              "  - stack reversal (Franz [20], extension) catches linear overruns but\n"
+              "    not targeted writes — diversity must match the attack class\n\n");
+
+  // §6: output-voting comparators miss the UID exploit entirely.
+  std::printf("=== Output-voting baselines vs the UID exploit (§6) ===\n\n");
+  using baseline::OutputVotingMonitor;
+  using baseline::ServedOutput;
+  using baseline::VotingMode;
+  const ServedOutput page_from_compromised{200, "<html><body>It works!</body></html>"};
+  const ServedOutput page_from_healthy{200, "<html><body>It works!</body></html>"};
+  util::TextTable voting;
+  voting.set_header({"Monitor", "UID exploit (pages unperturbed)", "N-variant monitor"});
+  for (const VotingMode mode : {VotingMode::kStatusCodes, VotingMode::kFullResponse}) {
+    const OutputVotingMonitor monitor(mode);
+    voting.add_row({std::string(to_string(mode)),
+                    monitor.detects(page_from_compromised, page_from_healthy)
+                        ? "detected"
+                        : "MISSED",
+                    "detected (uid_value divergence)"});
+  }
+  std::printf("%s", voting.render().c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// §4 case-study reproduction: run the automated UID transformation over the
+// mini-Apache source model and regenerate the 73-changes accounting.
+#include <cstdio>
+
+#include "transform/analysis.h"
+#include "transform/mini_apache.h"
+#include "transform/parser.h"
+#include "transform/printer.h"
+#include "transform/transform_pass.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace nv;            // NOLINT
+  using namespace nv::transform; // NOLINT
+
+  std::printf("=== Apache Case Study: transformation change accounting (§4) ===\n\n");
+
+  Program program = parse(mini_apache_source());
+  const AnalysisResult analysis = analyze(program);
+  if (!analysis.ok()) {
+    std::printf("analysis FAILED: %s\n", analysis.errors.front().c_str());
+    return 1;
+  }
+
+  std::printf("functions analyzed: %zu\n", program.functions.size());
+  std::printf("UID-typed variables inferred from dataflow (Splint-style, §4):\n");
+  for (const auto& var : analysis.inferred_uid_vars) {
+    std::printf("  %s (declared int, used as uid_t)\n", var.c_str());
+  }
+  std::printf("\n");
+
+  TransformStats stats;
+  TransformOptions options;  // mask 0x7FFFFFFF, detection syscalls
+  const Program variant1 = transform_uid(program, options, &stats);
+
+  util::TextTable table;
+  table.set_header({"Change category", "ours", "paper (Apache)"});
+  table.align_right(1);
+  table.align_right(2);
+  table.add_row({"Reexpression of constant UID values", std::to_string(stats.constants_reexpressed),
+                 std::to_string(CaseStudyCounts::kConstants)});
+  table.add_row({"uid_value insertions (single UID uses)",
+                 std::to_string(stats.uid_value_insertions),
+                 std::to_string(CaseStudyCounts::kUidValue)});
+  table.add_row({"cc_* comparison rewrites", std::to_string(stats.cc_rewrites),
+                 std::to_string(CaseStudyCounts::kComparisons)});
+  table.add_row({"cond_chk conditional checks", std::to_string(stats.cond_chk_insertions),
+                 std::to_string(CaseStudyCounts::kCondChk)});
+  table.add_row({"TOTAL", std::to_string(stats.total()),
+                 std::to_string(CaseStudyCounts::kTotal)});
+  std::printf("%s\n", table.render().c_str());
+
+  // The user-space alternative (§3.3/§3.5): reversed inequalities instead of
+  // cc_* syscalls.
+  TransformStats user_stats;
+  TransformOptions user_options;
+  user_options.detection = DetectionMode::kUserSpaceReversed;
+  (void)transform_uid(program, user_options, &user_stats);
+  std::printf("user-space alternative: %d inequality operators logically reversed "
+              "(variant instruction streams diverge — the drawback §3.5 notes)\n\n",
+              user_stats.inequalities_reversed);
+
+  // A taste of the output: the privilege-drop function, before and after.
+  const Function* before = program.find("escalate");
+  const Function* after = variant1.find("escalate");
+  if (before != nullptr && after != nullptr) {
+    Program single_before;
+    single_before.functions.push_back(before->clone());
+    Program single_after;
+    single_after.functions.push_back(after->clone());
+    std::printf("--- original ---\n%s", print(single_before).c_str());
+    std::printf("--- transformed for variant 1 ---\n%s", print(single_after).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// §2.1's secrets argument quantified: probing attacks against secret-based
+// randomization (ASR per Shacham et al. [37], ISR per Sovarel et al. [38])
+// versus the N-variant framework's secretless disjointedness.
+#include <cstdio>
+
+#include "baseline/secret_defense.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace nv;  // NOLINT
+  using baseline::SecretRandomization;
+
+  std::printf("=== Secret-based randomization vs probing attacks ===\n");
+  std::printf("(average probes to full key recovery over 50 random keys per row)\n\n");
+
+  util::TextTable table;
+  table.set_header({"Entropy", "brute force (avg)", "theory 2^(k-1)", "incremental 8-bit (avg)",
+                    "theory (k/8)*128", "N-variant evasion prob."});
+  for (std::size_t c = 1; c <= 5; ++c) table.align_right(c);
+
+  for (const unsigned bits : {8u, 12u, 16u, 20u, 24u}) {
+    util::RunningStats brute;
+    util::RunningStats incremental;
+    for (std::uint64_t trial = 0; trial < 50; ++trial) {
+      const SecretRandomization defense(bits, 1000 + trial);
+      const auto b = defense.brute_force(1ULL << bits);
+      const auto i = defense.incremental(8, 1ULL << bits);
+      if (b.recovered) brute.add(static_cast<double>(b.probes));
+      if (i.recovered) incremental.add(static_cast<double>(i.probes));
+    }
+    table.add_row({util::format("%u bits", bits),
+                   util::format("%.0f", brute.mean()),
+                   util::format("%.0f", baseline::expected_brute_force_probes(bits)),
+                   util::format("%.0f", incremental.mean()),
+                   util::format("%.0f", baseline::expected_incremental_probes(bits, 8)),
+                   util::format("%.1f", baseline::nvariant_evasion_probability(1ULL << bits))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("reading the table:\n"
+              "  - incremental probing collapses exponential key spaces to linear cost —\n"
+              "    how real ASR (16-28 bits on 32-bit Linux) and ISR keys fall [37][38];\n"
+              "  - the N-variant column is structurally zero: there is NO key; any\n"
+              "    injected value satisfies at most one variant's interpretation\n"
+              "    (disjointedness), so detection is deterministic, not probabilistic.\n"
+              "  - this is the paper's core claim: high-assurance arguments from\n"
+              "    low-entropy, PUBLIC transformations (§1, §2.1).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Micro-costs of the framework mechanisms (google-benchmark): plain syscall
+// dispatch, MVEE rendezvous round, monitor comparison, reexpression, and the
+// unshared-files open path. These are the constants behind Table 3's
+// per-syscall overhead terms.
+#include <benchmark/benchmark.h>
+
+#include "core/nvariant_system.h"
+#include "core/reexpression.h"
+#include "guest/runners.h"
+#include "variants/uid_variation.h"
+#include "vkernel/kernel.h"
+
+namespace {
+
+using namespace nv;  // NOLINT
+
+void BM_PlainSyscallDispatch(benchmark::State& state) {
+  vfs::FileSystem fs;
+  vkernel::SocketHub hub;
+  vkernel::KernelContext ctx(fs, hub);
+  vkernel::PlainKernel kernel(ctx, "bench");
+  vkernel::SyscallArgs args;
+  args.no = vkernel::Sys::kGetpid;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.syscall(args));
+  }
+}
+BENCHMARK(BM_PlainSyscallDispatch);
+
+void BM_ReexpressionRoundTrip(benchmark::State& state) {
+  const core::XorMask coder(0x7FFFFFFF);
+  os::uid_t uid = 1000;
+  for (auto _ : state) {
+    uid = coder.invert(coder.reexpress(uid));
+    benchmark::DoNotOptimize(uid);
+  }
+}
+BENCHMARK(BM_ReexpressionRoundTrip);
+
+void BM_MonitorArgComparison(benchmark::State& state) {
+  vkernel::SyscallArgs a;
+  a.no = vkernel::Sys::kWrite;
+  a.ints = {3};
+  a.strs = {"GET /index.html HTTP/1.0\r\n\r\n"};
+  vkernel::SyscallArgs b = a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a == b);
+  }
+}
+BENCHMARK(BM_MonitorArgComparison);
+
+/// Full 2-variant rendezvous round trip: two threads, one getpid each.
+void BM_MveeSyscallRound(benchmark::State& state) {
+  core::NVariantOptions options;
+  options.rendezvous_timeout = std::chrono::milliseconds(10000);
+  core::NVariantSystem system(options);
+
+  // Guests spin issuing getpid until told to stop via a shared atomic.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rounds{0};
+  system.launch([&](unsigned variant, vkernel::SyscallPort& port, vkernel::Process&,
+                    const core::VariantConfig&) {
+    vkernel::SyscallArgs args;
+    args.no = vkernel::Sys::kGetpid;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)port.syscall(args);
+      if (variant == 0) rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+    vkernel::SyscallArgs exit_call;
+    exit_call.no = vkernel::Sys::kExit;
+    exit_call.ints = {0};
+    (void)port.syscall(exit_call);
+  });
+
+  const std::uint64_t start = rounds.load();
+  for (auto _ : state) {
+    const std::uint64_t target = rounds.load(std::memory_order_relaxed) + 1;
+    while (rounds.load(std::memory_order_relaxed) < target) {
+    }
+  }
+  const std::uint64_t done = rounds.load() - start;
+  stop.store(true);
+  (void)system.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(done));
+}
+BENCHMARK(BM_MveeSyscallRound)->Unit(benchmark::kMicrosecond);
+
+void BM_UnsharedOpenReadClose(benchmark::State& state) {
+  core::NVariantOptions options;
+  options.rendezvous_timeout = std::chrono::milliseconds(10000);
+  core::NVariantSystem system(options);
+  const auto root = os::Credentials::root();
+  (void)system.fs().mkdir_p("/etc", root);
+  (void)system.fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n", root);
+  (void)system.fs().write_file("/etc/group", "root:x:0:\n", root);
+  system.add_variation(std::make_shared<variants::UidVariation>());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rounds{0};
+  system.launch([&](unsigned variant, vkernel::SyscallPort& port, vkernel::Process& proc,
+                    const core::VariantConfig& config) {
+    guest::GuestContext ctx(port, proc, config);
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto content = ctx.read_file("/etc/passwd");  // unshared: per-variant copy
+      benchmark::DoNotOptimize(content);
+      if (variant == 0) rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+    try {
+      ctx.exit(0);
+    } catch (const guest::GuestExit&) {
+    }
+  });
+
+  for (auto _ : state) {
+    const std::uint64_t target = rounds.load(std::memory_order_relaxed) + 1;
+    while (rounds.load(std::memory_order_relaxed) < target) {
+    }
+  }
+  stop.store(true);
+  (void)system.stop();
+}
+BENCHMARK(BM_UnsharedOpenReadClose)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

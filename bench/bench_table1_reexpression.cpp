@@ -1,0 +1,108 @@
+// Table 1 reproduction: the four variations' reexpression functions, with
+// machine-checked inverse and disjointedness properties plus micro-costs.
+#include <chrono>
+#include <cstdio>
+
+#include "core/reexpression.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "variants/address_partitioning.h"
+#include "variants/instruction_tagging.h"
+#include "variants/uid_variation.h"
+
+namespace {
+
+using namespace nv;  // NOLINT
+
+/// Nanoseconds per reexpress+invert round trip (coarse micro-benchmark).
+template <typename Fn>
+double nanos_per_op(Fn&& fn, int iterations = 2'000'000) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) fn(static_cast<std::uint32_t>(i));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::nano>(elapsed).count() / iterations;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: Reexpression Functions ===\n");
+  std::printf("(paper: Cox et al. [16] rows 1,3; Bruschi et al. [9] row 2; this paper row 4)\n\n");
+
+  const auto uid_samples = core::uid_property_samples(200000);
+  const auto addr_samples = core::address_property_samples(200000);
+
+  util::TextTable table;
+  table.set_header({"Variation", "Target Type", "R0", "R1", "inverse", "disjoint",
+                    "ns/op"});
+
+  // Row 1: address space partitioning.
+  {
+    const core::AddressOffset r0(0);
+    const core::AddressOffset r1(0x80000000ULL);
+    const bool inverse = core::verify_inverse<std::uint64_t>(r0, addr_samples) &&
+                         core::verify_inverse<std::uint64_t>(r1, addr_samples);
+    const bool disjoint =
+        core::disjointedness_violations<std::uint64_t>(r0, r1, addr_samples).empty();
+    const double ns = nanos_per_op([&](std::uint32_t x) { return r1.invert(r1.reexpress(x)); });
+    table.add_row({"Address Space Partitioning [16]", "Address", "R0(a)=a",
+                   "R1(a)=a+0x80000000", inverse ? "OK" : "FAIL", disjoint ? "OK" : "FAIL",
+                   util::format("%.2f", ns)});
+  }
+
+  // Row 2: extended partitioning (per-variant offset).
+  {
+    const variants::ExtendedAddressPartitioning ext(0x80000000ULL, 1ULL << 20, 42);
+    const auto r1 = ext.reexpression(1);
+    const core::AddressOffset r0(0);
+    const bool inverse = core::verify_inverse<std::uint64_t>(r1, addr_samples);
+    const bool disjoint =
+        core::disjointedness_violations<std::uint64_t>(r0, r1, addr_samples).empty();
+    const double ns = nanos_per_op([&](std::uint32_t x) { return r1.invert(r1.reexpress(x)); });
+    table.add_row({"Extended Address Partitioning [9]", "Address", "R0(a)=a",
+                   "R1(a)=a+0x80000000+offset", inverse ? "OK" : "FAIL",
+                   disjoint ? "OK" : "FAIL", util::format("%.2f", ns)});
+  }
+
+  // Row 3: instruction set tagging.
+  {
+    const core::InstructionTag r0(0xA0);
+    const core::InstructionTag r1(0xA1);
+    bool inverse = true;
+    bool disjoint = true;
+    for (std::uint8_t op = 0; op < 16; ++op) {
+      const std::vector<std::uint8_t> inst = {op, 0x01, 0x02};
+      inverse = inverse && r0.invert(r0.reexpress(inst)) == inst;
+      // Disjointedness: a unit valid for one variant traps in the other.
+      const auto tagged = r0.reexpress(inst);
+      try {
+        (void)r1.invert(tagged);
+        disjoint = false;
+      } catch (const std::exception&) {
+      }
+    }
+    table.add_row({"Instruction Set Tagging [16]", "Instruction", "R0(i)=0xa0||i",
+                   "R1(i)=0xa1||i", inverse ? "OK" : "FAIL", disjoint ? "OK" : "FAIL", "-"});
+  }
+
+  // Row 4: UID variation (this paper).
+  {
+    const core::Identity<os::uid_t> r0;
+    const core::XorMask r1(0x7FFFFFFF);
+    const bool inverse = core::verify_inverse<os::uid_t>(r0, uid_samples) &&
+                         core::verify_inverse<os::uid_t>(r1, uid_samples);
+    const bool disjoint =
+        core::disjointedness_violations<os::uid_t>(r0, r1, uid_samples).empty();
+    const double ns = nanos_per_op([&](std::uint32_t x) { return r1.invert(r1.reexpress(x)); });
+    table.add_row({"UID Variation (this paper)", "UID", "R0(u)=u", "R1(u)=u XOR 0x7FFFFFFF",
+                   inverse ? "OK" : "FAIL", disjoint ? "OK" : "FAIL",
+                   util::format("%.2f", ns)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Properties checked on %zu structured+random UID samples and %zu address samples.\n",
+              uid_samples.size(), addr_samples.size());
+  std::printf("Closed form cross-check: XOR masks are disjoint iff they differ -> %s\n",
+              core::xor_masks_disjoint(0, 0x7FFFFFFF) ? "holds" : "VIOLATED");
+  return 0;
+}

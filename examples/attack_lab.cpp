@@ -1,0 +1,78 @@
+// attack_lab: run any attack from the corpus against any defense and watch
+// the outcome, with the three Table 1 variations beyond the UID variation
+// (address partitioning via Figure 1, instruction tagging, composition).
+//
+//   $ ./examples/attack_lab                       # run the full tour
+//   $ ./examples/attack_lab uid-full-word uid-variation
+#include <cstdio>
+#include <string>
+
+#include "attack/attack.h"
+
+using namespace nv::attack;  // NOLINT
+
+namespace {
+
+constexpr AttackKind kAttacks[] = {
+    AttackKind::kUidFullWord,      AttackKind::kUidLowByte,     AttackKind::kUidHighBitFlip,
+    AttackKind::kAddressInjection, AttackKind::kPointerLowBytes, AttackKind::kCodeInjection,
+};
+constexpr DefenseKind kDefenses[] = {
+    DefenseKind::kSingleProcess,        DefenseKind::kDualIdentical,
+    DefenseKind::kAddressPartitioning,  DefenseKind::kExtendedPartitioning,
+    DefenseKind::kInstructionTagging,   DefenseKind::kUidVariation,
+    DefenseKind::kUidPlusAddress,
+};
+
+void run_cell(AttackKind attack, DefenseKind defense) {
+  const Outcome outcome = run_attack(attack, defense);
+  const Outcome predicted = expected_outcome(attack, defense);
+  std::printf("%-28s vs %-24s -> %-10s (paper predicts: %s)%s\n",
+              std::string(to_string(attack)).c_str(), std::string(to_string(defense)).c_str(),
+              std::string(to_string(outcome)).c_str(), std::string(to_string(predicted)).c_str(),
+              outcome == predicted ? "" : "  <-- MISMATCH");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3) {
+    for (const auto attack : kAttacks) {
+      for (const auto defense : kDefenses) {
+        if (std::string(argv[1]) == to_string(attack) &&
+            std::string(argv[2]) == to_string(defense)) {
+          run_cell(attack, defense);
+          return 0;
+        }
+      }
+    }
+    std::fprintf(stderr, "unknown attack/defense pair\n");
+    return 1;
+  }
+
+  std::printf("=== attack lab: guided tour ===\n\n");
+  std::printf("1. The motivating attack: UID corruption (Chen et al.)\n");
+  run_cell(AttackKind::kUidFullWord, DefenseKind::kSingleProcess);
+  run_cell(AttackKind::kUidFullWord, DefenseKind::kDualIdentical);
+  run_cell(AttackKind::kUidFullWord, DefenseKind::kUidVariation);
+
+  std::printf("\n2. Figure 1: address partitioning vs absolute-address injection\n");
+  run_cell(AttackKind::kAddressInjection, DefenseKind::kSingleProcess);
+  run_cell(AttackKind::kAddressInjection, DefenseKind::kAddressPartitioning);
+
+  std::printf("\n3. Partial overwrites: §2.3's caveat and Bruschi's fix\n");
+  run_cell(AttackKind::kPointerLowBytes, DefenseKind::kAddressPartitioning);
+  run_cell(AttackKind::kPointerLowBytes, DefenseKind::kExtendedPartitioning);
+
+  std::printf("\n4. The §3.2 gap: high-bit flips escape the 0x7FFFFFFF mask\n");
+  run_cell(AttackKind::kUidHighBitFlip, DefenseKind::kUidVariation);
+
+  std::printf("\n5. Instruction tagging vs injected code\n");
+  run_cell(AttackKind::kCodeInjection, DefenseKind::kSingleProcess);
+  run_cell(AttackKind::kCodeInjection, DefenseKind::kInstructionTagging);
+
+  std::printf("\n6. Composition: UID + address variations together (§4)\n");
+  run_cell(AttackKind::kUidFullWord, DefenseKind::kUidPlusAddress);
+  run_cell(AttackKind::kAddressInjection, DefenseKind::kUidPlusAddress);
+  return 0;
+}

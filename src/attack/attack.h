@@ -1,0 +1,58 @@
+// Attack corpus and defense configurations for the security-evaluation
+// matrix (the executable version of Figures 1-2 and the §2.3/§3.2 detection
+// arguments).
+//
+// Every attack is expressed as bytes delivered over the shared input channel
+// (a spec file replicated to all variants / the single victim), exactly the
+// attacker's position in the paper's threat model: one concrete input, the
+// same for every variant.
+#ifndef NV_ATTACK_ATTACK_H
+#define NV_ATTACK_ATTACK_H
+
+#include <string>
+#include <string_view>
+
+namespace nv::attack {
+
+enum class AttackKind {
+  kUidFullWord,       // overwrite the stored UID with 0x00000000 (root)
+  kUidLowByte,        // overwrite only the low byte of the stored UID
+  kUidHighBitFlip,    // flip only bit 31 of the stored UID (§3.2 weakness)
+  kAddressInjection,  // inject an absolute pointer and dereference it
+  kPointerLowBytes,   // overwrite the 3 low-order bytes of a stored pointer
+  kCodeInjection,     // inject machine code and redirect execution into it
+  kLinearOverrun,     // sequential buffer overrun into an adjacent UID
+};
+
+enum class DefenseKind {
+  kSingleProcess,         // configuration-1 baseline: no redundancy
+  kDualIdentical,         // 2 variants, NO variation (redundancy alone)
+  kAddressPartitioning,   // Table 1 row 1
+  kExtendedPartitioning,  // Table 1 row 2 (Bruschi offset)
+  kInstructionTagging,    // Table 1 row 3
+  kUidVariation,          // Table 1 row 4 (this paper)
+  kUidPlusAddress,        // composition of rows 1 and 4 (§4's "combining variations")
+  kStackReversal,         // Franz [20], the §1 "other variations" extension
+};
+
+enum class Outcome {
+  kSucceeded,  // attacker goal reached, no alarm
+  kDetected,   // monitor raised an alarm before the goal mattered
+  kCrashed,    // victim faulted with no monitor (single process): DoS, not compromise
+  kNoEffect,   // attack ran, goal not reached, no alarm
+};
+
+[[nodiscard]] std::string_view to_string(AttackKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(DefenseKind kind) noexcept;
+[[nodiscard]] std::string_view to_string(Outcome outcome) noexcept;
+
+/// Execute one attack against one defense configuration; deterministic.
+[[nodiscard]] Outcome run_attack(AttackKind attack, DefenseKind defense);
+
+/// What the paper's arguments predict for each cell (used by tests to pin the
+/// whole matrix, and by the bench to annotate agreement).
+[[nodiscard]] Outcome expected_outcome(AttackKind attack, DefenseKind defense);
+
+}  // namespace nv::attack
+
+#endif  // NV_ATTACK_ATTACK_H

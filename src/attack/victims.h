@@ -1,0 +1,68 @@
+// Victim guest programs for the attack matrix. Each carries one of the
+// vulnerability patterns the paper's variations target, parameterized by an
+// attack-spec file that reaches every variant through the shared input
+// channel (so the attacker's bytes are identical across variants, per the
+// threat model).
+#ifndef NV_ATTACK_VICTIMS_H
+#define NV_ATTACK_VICTIMS_H
+
+#include "guest/guest_program.h"
+
+namespace nv::attack {
+
+constexpr int kCompromisedExit = 42;
+constexpr char kSpecPath[] = "/attack.spec";
+
+/// Drops privileges, lets the spec corrupt the stored worker UID in simulated
+/// memory, then restores privileges from the (possibly corrupted) value.
+/// Exits kCompromisedExit when the process ends up with effective root.
+/// Spec lines: "uid-word <hex>", "uid-byte <hex>", "uid-bitflip <hex>", or
+/// "none".
+class UidVictim final : public guest::GuestProgram {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "uid-victim"; }
+  void run(guest::GuestContext& ctx) override;
+};
+
+/// Holds a pointer to a secret in simulated memory; the spec can replace the
+/// pointer ("ptr-abs <hex>") or its three low bytes ("ptr-low <hex>"), after
+/// which the victim dereferences it. Exits kCompromisedExit when the
+/// dereference leaks a secret value.
+class AddressVictim final : public guest::GuestProgram {
+ public:
+  static constexpr std::uint32_t kSecretA = 0xC0FFEE01;
+  static constexpr std::uint32_t kSecretB = 0x5EC2E7B2;
+  static constexpr std::uint64_t kSecretAOffset = 0x100;
+  static constexpr std::uint64_t kSecretBOffset = 0x200;
+
+  [[nodiscard]] std::string_view name() const override { return "address-victim"; }
+  void run(guest::GuestContext& ctx) override;
+};
+
+/// Loads trusted (tagged) code, drops privileges, then executes bytes from
+/// the spec ("code <hex bytes>") — modelling a hijacked control transfer
+/// into injected code. Exits kCompromisedExit if the injected code regains
+/// root.
+class CodeVictim final : public guest::GuestProgram {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "code-victim"; }
+  void run(guest::GuestContext& ctx) override;
+};
+
+/// Keeps a fixed-size buffer and the worker UID on a simulated stack whose
+/// growth direction follows VariantConfig::reverse_stack (Franz [20]). The
+/// spec ("overrun <len>") writes `len` zero bytes sequentially from the
+/// buffer start — a classic linear overflow. In the reversed variant the UID
+/// sits on the other side of the buffer, so the same overrun corrupts
+/// different state across variants.
+class StackVictim final : public guest::GuestProgram {
+ public:
+  static constexpr std::uint32_t kBufferSize = 64;
+
+  [[nodiscard]] std::string_view name() const override { return "stack-victim"; }
+  void run(guest::GuestContext& ctx) override;
+};
+
+}  // namespace nv::attack
+
+#endif  // NV_ATTACK_VICTIMS_H

@@ -1,0 +1,23 @@
+#include "baseline/output_voting.h"
+
+namespace nv::baseline {
+
+bool OutputVotingMonitor::detects(const ServedOutput& a, const ServedOutput& b) const {
+  switch (mode_) {
+    case VotingMode::kStatusCodes:
+      return a.status != b.status;
+    case VotingMode::kFullResponse:
+      return a.status != b.status || a.body != b.body;
+  }
+  return false;
+}
+
+std::string_view to_string(VotingMode mode) noexcept {
+  switch (mode) {
+    case VotingMode::kStatusCodes: return "status-code voting (HACQIT)";
+    case VotingMode::kFullResponse: return "full-response voting (Totel)";
+  }
+  return "?";
+}
+
+}  // namespace nv::baseline

@@ -1,0 +1,41 @@
+// Output-voting intrusion detectors from related work (§6): HACQIT [27][35]
+// compares HTTP status codes across two diverse servers; Totel et al. [39]
+// compare full response bodies. The paper's claim — which the attack bench
+// demonstrates — is that neither detects a UID exploit that leaves page
+// output unperturbed, whereas the N-variant monitor catches it regardless.
+#ifndef NV_BASELINE_OUTPUT_VOTING_H
+#define NV_BASELINE_OUTPUT_VOTING_H
+
+#include <string>
+#include <string_view>
+
+namespace nv::baseline {
+
+struct ServedOutput {
+  int status = 200;
+  std::string body;
+};
+
+enum class VotingMode {
+  kStatusCodes,   // HACQIT
+  kFullResponse,  // Totel/Majorczyk/Mé
+};
+
+class OutputVotingMonitor {
+ public:
+  explicit OutputVotingMonitor(VotingMode mode) : mode_(mode) {}
+
+  [[nodiscard]] VotingMode mode() const noexcept { return mode_; }
+
+  /// True when the two servers' outputs disagree (an alarm).
+  [[nodiscard]] bool detects(const ServedOutput& a, const ServedOutput& b) const;
+
+ private:
+  VotingMode mode_;
+};
+
+[[nodiscard]] std::string_view to_string(VotingMode mode) noexcept;
+
+}  // namespace nv::baseline
+
+#endif  // NV_BASELINE_OUTPUT_VOTING_H

@@ -1,0 +1,71 @@
+#include "baseline/secret_defense.h"
+
+namespace nv::baseline {
+
+SecretRandomization::SecretRandomization(unsigned entropy_bits, std::uint64_t seed)
+    : entropy_bits_(entropy_bits) {
+  util::Rng rng{seed};
+  const std::uint64_t mask =
+      entropy_bits >= 64 ? ~0ULL : ((1ULL << entropy_bits) - 1);
+  key_ = rng.next_u64() & mask;
+}
+
+bool SecretRandomization::try_chunk(unsigned chunk_index, unsigned chunk_bits,
+                                    std::uint64_t guess) const noexcept {
+  const std::uint64_t mask = (1ULL << chunk_bits) - 1;
+  const std::uint64_t actual = (key_ >> (chunk_index * chunk_bits)) & mask;
+  return guess == actual;
+}
+
+SecretRandomization::ProbeStats SecretRandomization::brute_force(
+    std::uint64_t max_probes) const noexcept {
+  ProbeStats stats;
+  const std::uint64_t space = entropy_bits_ >= 64 ? ~0ULL : (1ULL << entropy_bits_);
+  for (std::uint64_t guess = 0; guess < space; ++guess) {
+    if (stats.probes >= max_probes) return stats;
+    ++stats.probes;
+    if (try_guess(guess)) {
+      stats.recovered = true;
+      return stats;
+    }
+  }
+  return stats;
+}
+
+SecretRandomization::ProbeStats SecretRandomization::incremental(
+    unsigned chunk_bits, std::uint64_t max_probes) const noexcept {
+  ProbeStats stats;
+  const unsigned chunks = (entropy_bits_ + chunk_bits - 1) / chunk_bits;
+  for (unsigned chunk = 0; chunk < chunks; ++chunk) {
+    bool found = false;
+    for (std::uint64_t guess = 0; guess < (1ULL << chunk_bits); ++guess) {
+      if (stats.probes >= max_probes) return stats;
+      ++stats.probes;
+      if (try_chunk(chunk, chunk_bits, guess)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return stats;
+  }
+  stats.recovered = true;
+  return stats;
+}
+
+double nvariant_evasion_probability(std::uint64_t /*probes*/) noexcept {
+  // Disjointedness is deterministic: R0^-1(x) != R1^-1(x) for every injected
+  // x, so no number of probes produces an undetected corruption. There is no
+  // key to learn.
+  return 0.0;
+}
+
+double expected_brute_force_probes(unsigned entropy_bits) noexcept {
+  return static_cast<double>(1ULL << (entropy_bits - 1));
+}
+
+double expected_incremental_probes(unsigned entropy_bits, unsigned chunk_bits) noexcept {
+  const double chunks = static_cast<double>(entropy_bits) / chunk_bits;
+  return chunks * static_cast<double>(1ULL << (chunk_bits - 1));
+}
+
+}  // namespace nv::baseline

@@ -1,0 +1,64 @@
+// Secret-based randomization defenses (ASR [8][42], ISR [6][25][28]) and the
+// probing attacks that defeat them (Shacham et al. [37], Sovarel et al.
+// [38]). §2.1's argument: single-variant data diversity with a secret key can
+// be strong IF the key stays secret — but bounded entropy plus a probing
+// oracle (crash-and-restart) lets attackers recover keys quickly, which is
+// exactly what the N-variant framework's secretless design avoids.
+#ifndef NV_BASELINE_SECRET_DEFENSE_H
+#define NV_BASELINE_SECRET_DEFENSE_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace nv::baseline {
+
+/// A defense whose security is a k-bit secret key. try_guess() models one
+/// probe against a crash oracle: the service reveals (by crashing or not)
+/// whether the guess was right — the derandomization primitive.
+class SecretRandomization {
+ public:
+  SecretRandomization(unsigned entropy_bits, std::uint64_t seed);
+
+  [[nodiscard]] unsigned entropy_bits() const noexcept { return entropy_bits_; }
+  [[nodiscard]] bool try_guess(std::uint64_t guess) const noexcept { return guess == key_; }
+
+  /// One probe against a `chunk_bits`-wide slice of the key (the ISR-style
+  /// incremental oracle: short injected sequences reveal key bytes
+  /// independently).
+  [[nodiscard]] bool try_chunk(unsigned chunk_index, unsigned chunk_bits,
+                               std::uint64_t guess) const noexcept;
+
+  struct ProbeStats {
+    std::uint64_t probes = 0;
+    bool recovered = false;
+  };
+
+  /// Shacham-style brute force over the whole key space.
+  [[nodiscard]] ProbeStats brute_force(std::uint64_t max_probes) const noexcept;
+
+  /// Sovarel-style incremental attack: recover the key chunk by chunk;
+  /// expected cost is linear in key length instead of exponential.
+  [[nodiscard]] ProbeStats incremental(unsigned chunk_bits, std::uint64_t max_probes) const noexcept;
+
+ private:
+  unsigned entropy_bits_;
+  std::uint64_t key_;
+};
+
+/// The N-variant comparison point: with disjoint reexpression there is no
+/// key to guess — an injected value diverges deterministically, independent
+/// of the number of probes. Returns the probability that `probes` attack
+/// attempts ever evade detection (always 0; provided for the bench's table).
+[[nodiscard]] double nvariant_evasion_probability(std::uint64_t probes) noexcept;
+
+/// Expected probes to recover a k-bit key with each strategy (closed form,
+/// used to cross-check the simulated numbers).
+[[nodiscard]] double expected_brute_force_probes(unsigned entropy_bits) noexcept;
+[[nodiscard]] double expected_incremental_probes(unsigned entropy_bits,
+                                                 unsigned chunk_bits) noexcept;
+
+}  // namespace nv::baseline
+
+#endif  // NV_BASELINE_SECRET_DEFENSE_H

@@ -1,0 +1,34 @@
+#include "core/alarm.h"
+
+namespace nv::core {
+
+std::string_view to_string(AlarmKind kind) noexcept {
+  switch (kind) {
+    case AlarmKind::kSyscallMismatch: return "syscall-mismatch";
+    case AlarmKind::kArgumentMismatch: return "argument-mismatch";
+    case AlarmKind::kUidCheckFailed: return "uid-check-failed";
+    case AlarmKind::kConditionMismatch: return "condition-mismatch";
+    case AlarmKind::kMemoryFault: return "memory-fault";
+    case AlarmKind::kTagFault: return "tag-fault";
+    case AlarmKind::kExitDivergence: return "exit-divergence";
+    case AlarmKind::kRendezvousTimeout: return "rendezvous-timeout";
+    case AlarmKind::kGuestError: return "guest-error";
+  }
+  return "alarm?";
+}
+
+std::string Alarm::describe() const {
+  std::string out{to_string(kind)};
+  if (variant != kAllVariants) {
+    out += " (variant ";
+    out += std::to_string(variant);
+    out += ")";
+  }
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  return out;
+}
+
+}  // namespace nv::core

@@ -1,0 +1,39 @@
+// Divergence alarms raised by the monitor (§2's detection property made
+// concrete).
+#ifndef NV_CORE_ALARM_H
+#define NV_CORE_ALARM_H
+
+#include <string>
+#include <string_view>
+
+namespace nv::core {
+
+enum class AlarmKind {
+  kSyscallMismatch,    // variants issued different syscalls
+  kArgumentMismatch,   // same syscall, different canonicalized arguments
+  kUidCheckFailed,     // uid_value / cc_* detected inconsistent UID meanings
+  kConditionMismatch,  // cond_chk saw variants on different control paths
+  kMemoryFault,        // simulated SIGSEGV in one variant
+  kTagFault,           // instruction tag violation in one variant
+  kExitDivergence,     // one variant exited while others continued
+  kRendezvousTimeout,  // a variant stopped arriving at syscall rendezvous
+  kGuestError,         // unexpected guest exception
+};
+
+[[nodiscard]] std::string_view to_string(AlarmKind kind) noexcept;
+
+struct Alarm {
+  AlarmKind kind = AlarmKind::kGuestError;
+  /// Variant that triggered the alarm, or kAllVariants for cross-variant
+  /// comparisons where no single variant is "the" trigger.
+  unsigned variant = kAllVariants;
+  std::string detail;
+
+  static constexpr unsigned kAllVariants = ~0U;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace nv::core
+
+#endif  // NV_CORE_ALARM_H

@@ -1,0 +1,30 @@
+#include "core/interpreter_model.h"
+
+#include "util/strings.h"
+
+namespace nv::core {
+
+FlowOutcome<os::uid_t> partial_overwrite(const Reexpression<os::uid_t>& r0,
+                                         const Reexpression<os::uid_t>& r1, os::uid_t original,
+                                         os::uid_t value, os::uid_t mask) {
+  const os::uid_t stored0 = r0.reexpress(original);
+  const os::uid_t stored1 = r1.reexpress(original);
+  const os::uid_t corrupted0 = (stored0 & ~mask) | (value & mask);
+  const os::uid_t corrupted1 = (stored1 & ~mask) | (value & mask);
+  return FlowOutcome<os::uid_t>{r0.invert(corrupted0), r1.invert(corrupted1)};
+}
+
+std::string explain_injection(const Reexpression<os::uid_t>& r0,
+                              const Reexpression<os::uid_t>& r1, os::uid_t injected) {
+  const os::uid_t c0 = r0.invert(injected);
+  const os::uid_t c1 = r1.invert(injected);
+  std::string out;
+  out += "attacker injects " + util::hex32(injected) + " into both variants\n";
+  out += "  variant 0 target interpreter sees R0^-1 = " + util::hex32(c0) + "\n";
+  out += "  variant 1 target interpreter sees R1^-1 = " + util::hex32(c1) + "\n";
+  out += c0 != c1 ? "  => divergence: ATTACK DETECTED\n"
+                  : "  => identical canonical values: attack NOT detected\n";
+  return out;
+}
+
+}  // namespace nv::core

@@ -1,0 +1,78 @@
+// Executable version of the paper's interpreters model (§2, Figure 2).
+//
+// An application is a stack of interpreters; a data-diversity variation
+// inserts R_i between the application interpreter and the target interpreter,
+// and R⁻¹_i immediately before the target interpreter. This class models the
+// two data paths the security argument distinguishes:
+//
+//   trusted path:   datum d is reexpressed at build/load time, so variant i
+//                   stores R_i(d) and the target interpreter sees
+//                   R⁻¹_i(R_i(d)) = d in both variants → no divergence.
+//   injected path:  the attacker's value x enters both variants VERBATIM
+//                   (both variants receive the same input bytes), so the
+//                   target interpreters see R⁻¹_0(x) vs R⁻¹_1(x), which the
+//                   disjointedness property forces to differ → detected.
+//
+// partial_overwrite models byte/bit-granular corruption (§2.3, §3.2): the
+// attacker replaces only the masked bits of the *stored representation* in
+// both variants with the same bits.
+#ifndef NV_CORE_INTERPRETER_MODEL_H
+#define NV_CORE_INTERPRETER_MODEL_H
+
+#include <string>
+#include <vector>
+
+#include "core/reexpression.h"
+
+namespace nv::core {
+
+template <typename T>
+struct FlowOutcome {
+  T canonical0{};
+  T canonical1{};
+  [[nodiscard]] bool diverged() const { return !(canonical0 == canonical1); }
+};
+
+/// Two-variant data flow through one reexpression boundary.
+template <typename T>
+class TwoVariantDataFlow {
+ public:
+  TwoVariantDataFlow(ReexpressionPtr<T> r0, ReexpressionPtr<T> r1)
+      : r0_(std::move(r0)), r1_(std::move(r1)) {}
+
+  /// Normal-equivalence path: trusted datum, reexpressed per variant.
+  [[nodiscard]] FlowOutcome<T> trusted_flow(const T& datum) const {
+    return FlowOutcome<T>{r0_->invert(r0_->reexpress(datum)), r1_->invert(r1_->reexpress(datum))};
+  }
+
+  /// Detection path: identical injected value reaches both target
+  /// interpreters. diverged() == true means the monitor catches it.
+  [[nodiscard]] FlowOutcome<T> injected_flow(const T& injected) const {
+    return FlowOutcome<T>{r0_->invert(injected), r1_->invert(injected)};
+  }
+
+  [[nodiscard]] const Reexpression<T>& r0() const { return *r0_; }
+  [[nodiscard]] const Reexpression<T>& r1() const { return *r1_; }
+
+ private:
+  ReexpressionPtr<T> r0_;
+  ReexpressionPtr<T> r1_;
+};
+
+/// Integer-domain partial overwrite: the attacker replaces the bits selected
+/// by `mask` in each variant's *stored* representation of `original` with the
+/// corresponding bits of `value` (same value in both variants — the shared
+/// input channel). Returns the canonical values each target interpreter then
+/// sees. Detection requires canonical0 != canonical1.
+[[nodiscard]] FlowOutcome<os::uid_t> partial_overwrite(const Reexpression<os::uid_t>& r0,
+                                                       const Reexpression<os::uid_t>& r1,
+                                                       os::uid_t original, os::uid_t value,
+                                                       os::uid_t mask);
+
+/// Human-readable trace of an injected-flow check, used by examples.
+[[nodiscard]] std::string explain_injection(const Reexpression<os::uid_t>& r0,
+                                            const Reexpression<os::uid_t>& r1, os::uid_t injected);
+
+}  // namespace nv::core
+
+#endif  // NV_CORE_INTERPRETER_MODEL_H

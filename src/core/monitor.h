@@ -1,0 +1,54 @@
+// The execution monitor: receives divergence alarms and records comparison
+// statistics. Any alarm is treated as an attack (the paper replaces data
+// diversity's majority vote with "any divergence is a security violation").
+#ifndef NV_CORE_MONITOR_H
+#define NV_CORE_MONITOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/alarm.h"
+
+namespace nv::core {
+
+class Monitor {
+ public:
+  using AlarmCallback = std::function<void(const Alarm&)>;
+
+  /// Record an alarm; the first one wins as the attack verdict. Thread-safe.
+  void raise(Alarm alarm);
+
+  [[nodiscard]] bool triggered() const;
+  [[nodiscard]] std::optional<Alarm> first_alarm() const;
+  [[nodiscard]] std::vector<Alarm> alarms() const;
+
+  /// Called (outside the lock) for every alarm raised.
+  void set_alarm_callback(AlarmCallback callback);
+
+  // Statistics for the overhead experiments.
+  void note_syscall_checked() noexcept { syscalls_checked_.fetch_add(1, std::memory_order_relaxed); }
+  void note_detection_check() noexcept { detection_checks_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t syscalls_checked() const noexcept {
+    return syscalls_checked_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t detection_checks() const noexcept {
+    return detection_checks_.load(std::memory_order_relaxed);
+  }
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Alarm> alarms_;
+  AlarmCallback callback_;
+  std::atomic<std::uint64_t> syscalls_checked_{0};
+  std::atomic<std::uint64_t> detection_checks_{0};
+};
+
+}  // namespace nv::core
+
+#endif  // NV_CORE_MONITOR_H

@@ -1,0 +1,425 @@
+#include "core/nvariant_system.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+#include "vfs/path.h"
+#include "vkernel/vm.h"
+
+namespace nv::core {
+
+using vkernel::Sys;
+using vkernel::SysClass;
+using vkernel::SyscallArgs;
+using vkernel::SyscallResult;
+
+namespace {
+
+SyscallResult errno_result(os::Errno e) {
+  SyscallResult r;
+  r.err = e;
+  r.value = static_cast<std::uint64_t>(-1);
+  return r;
+}
+
+}  // namespace
+
+/// Guest-facing port bound to one variant: forwards into the rendezvous.
+class NVariantSystem::VariantPort final : public vkernel::SyscallPort {
+ public:
+  VariantPort(NVariantSystem& system, unsigned variant) : system_(system), variant_(variant) {}
+
+  SyscallResult syscall(const SyscallArgs& args) override {
+    return system_.variant_syscall(variant_, args);
+  }
+
+ private:
+  NVariantSystem& system_;
+  unsigned variant_;
+};
+
+NVariantSystem::NVariantSystem(NVariantOptions options)
+    : options_(options), ctx_(fs_, hub_) {
+  if (options_.n_variants == 0) throw std::invalid_argument("need at least one variant");
+}
+
+NVariantSystem::~NVariantSystem() {
+  if (!threads_.empty()) {
+    hub_.shutdown();
+    if (rendezvous_) {
+      rendezvous_->abort(Alarm{AlarmKind::kGuestError, Alarm::kAllVariants, "system destroyed"});
+    }
+    threads_.clear();  // jthread joins
+  }
+}
+
+void NVariantSystem::add_variation(VariationPtr variation) {
+  for (const auto& path : variation->unshared_paths()) {
+    unshared_.insert(vfs::normalize_path(path));
+  }
+  variations_.push_back(std::move(variation));
+}
+
+void NVariantSystem::mark_unshared(std::string path) {
+  unshared_.insert(vfs::normalize_path(path));
+}
+
+void NVariantSystem::prepare() {
+  configs_.clear();
+  for (unsigned v = 0; v < options_.n_variants; ++v) {
+    VariantConfig config;
+    config.index = v;
+    config.memory_base = options_.default_memory_base;
+    config.memory_size = options_.default_memory_size;
+    for (const auto& variation : variations_) variation->configure_variant(config);
+    configs_.push_back(std::move(config));
+  }
+  for (const auto& variation : variations_) {
+    variation->prepare_filesystem(fs_, options_.n_variants);
+  }
+  prepared_ = true;
+}
+
+RunReport NVariantSystem::run(const VariantBody& body) {
+  launch(body);
+  // Wait for every variant thread to finish on its own (normal completion,
+  // joint exit, or divergence unwind), then harvest without interrupting.
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  return collect_report();
+}
+
+void NVariantSystem::launch(const VariantBody& body) {
+  if (!threads_.empty()) throw std::logic_error("system already running");
+  prepare();
+  monitor_.reset();
+  hub_.reset();  // re-arm the network after a previous run's shutdown
+  procs_.clear();
+  shared_fds_.clear();
+  rendezvous_ = std::make_unique<SyscallRendezvous>(options_.n_variants,
+                                                    options_.rendezvous_timeout);
+  rendezvous_->set_leader([this](const std::vector<SyscallArgs>& raw) { return lead(raw); });
+
+  for (unsigned v = 0; v < options_.n_variants; ++v) {
+    auto proc = std::make_unique<vkernel::Process>(1, "variant-" + std::to_string(v),
+                                                   os::Credentials::root());
+    proc->memory().map(configs_[v].memory_base, configs_[v].memory_size);
+    proc->memory().set_alloc_base(configs_[v].memory_base);
+    procs_.push_back(std::move(proc));
+  }
+
+  for (unsigned v = 0; v < options_.n_variants; ++v) {
+    threads_.emplace_back([this, v, body] {
+      VariantPort port(*this, v);
+      try {
+        body(v, port, *procs_[v], configs_[v]);
+        // Guests end with an exit syscall; if the body returned without one,
+        // issue exit(0) so variants that finish together rendezvous cleanly.
+        if (!procs_[v]->exited()) {
+          SyscallArgs exit_call;
+          exit_call.no = Sys::kExit;
+          exit_call.ints = {0};
+          (void)port.syscall(exit_call);
+        }
+      } catch (const DivergenceAbort& abort) {
+        // The alarm may have been recorded by the leader already (comparison
+        // failures) or not at all yet (rendezvous timeout raised on a waiter).
+        if (!monitor_.triggered()) monitor_.raise(abort.alarm);
+        hub_.shutdown();
+      } catch (const vkernel::MemoryFault& fault) {
+        Alarm alarm{AlarmKind::kMemoryFault, v, fault.what};
+        monitor_.raise(alarm);
+        rendezvous_->abort(alarm);
+        hub_.shutdown();
+      } catch (const vkernel::TagFault& fault) {
+        Alarm alarm{AlarmKind::kTagFault, v,
+                    util::format("tag 0x%02x expected 0x%02x at 0x%llx", fault.found,
+                                 fault.expected, static_cast<unsigned long long>(fault.address))};
+        monitor_.raise(alarm);
+        rendezvous_->abort(alarm);
+        hub_.shutdown();
+      } catch (const std::exception& e) {
+        Alarm alarm{AlarmKind::kGuestError, v, e.what()};
+        monitor_.raise(alarm);
+        rendezvous_->abort(alarm);
+        hub_.shutdown();
+      }
+    });
+  }
+}
+
+RunReport NVariantSystem::stop() {
+  hub_.shutdown();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  return collect_report();
+}
+
+RunReport NVariantSystem::collect_report() {
+  RunReport report;
+  report.attack_detected = monitor_.triggered();
+  report.alarm = monitor_.first_alarm();
+  report.syscall_rounds = rendezvous_ ? rendezvous_->rounds_completed() : 0;
+  report.completed = true;
+  for (const auto& proc : procs_) {
+    report.completed = report.completed && proc->exited();
+    report.exit_codes.push_back(proc->exited() ? proc->exit_code() : -1);
+  }
+  if (report.attack_detected) report.completed = false;
+  return report;
+}
+
+vkernel::SyscallResult NVariantSystem::variant_syscall(unsigned variant, SyscallArgs args) {
+  return rendezvous_->exchange(variant, std::move(args));
+}
+
+bool NVariantSystem::fd_is_shared(os::fd_t fd) const {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= shared_fds_.size()) return true;
+  return shared_fds_[static_cast<std::size_t>(fd)];
+}
+
+bool NVariantSystem::compare_canonical(const std::vector<SyscallArgs>& canonical) {
+  monitor_.note_syscall_checked();
+  for (unsigned v = 1; v < canonical.size(); ++v) {
+    if (canonical[v].no != canonical[0].no) {
+      Alarm alarm{AlarmKind::kSyscallMismatch, Alarm::kAllVariants,
+                  util::format("variant 0 called %s but variant %u called %s",
+                               std::string(sys_name(canonical[0].no)).c_str(), v,
+                               std::string(sys_name(canonical[v].no)).c_str())};
+      monitor_.raise(alarm);
+      rendezvous_->abort(alarm);
+      return false;
+    }
+    if (canonical[v] != canonical[0]) {
+      AlarmKind kind = AlarmKind::kArgumentMismatch;
+      if (canonical[0].no == Sys::kUidValue || canonical[0].no == Sys::kCcCmp) {
+        kind = AlarmKind::kUidCheckFailed;
+      } else if (canonical[0].no == Sys::kCondChk) {
+        kind = AlarmKind::kConditionMismatch;
+      }
+      Alarm alarm{kind, Alarm::kAllVariants,
+                  util::format("%s: canonical arguments diverge between variant 0 and %u (%s vs %s)",
+                               std::string(sys_name(canonical[0].no)).c_str(), v,
+                               canonical[0].describe().c_str(), canonical[v].describe().c_str())};
+      monitor_.raise(alarm);
+      rendezvous_->abort(alarm);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<SyscallResult> NVariantSystem::lead(const std::vector<SyscallArgs>& raw) {
+  const unsigned n = options_.n_variants;
+
+  // Step 1: canonicalize per variant (apply R⁻¹_i to UID-carrying args).
+  std::vector<SyscallArgs> canonical = raw;
+  for (unsigned v = 0; v < n; ++v) {
+    for (const auto& variation : variations_) variation->canonicalize_args(v, canonical[v]);
+  }
+
+  // Step 2: compare canonicalized invocations (normal equivalence check).
+  if (!compare_canonical(canonical)) return {};
+
+  // Step 3: execute according to syscall class.
+  std::vector<SyscallResult> results(n);
+  const SyscallArgs& call = canonical[0];
+  switch (sys_class(call.no)) {
+    case SysClass::kOpen:
+      results = lead_open(canonical);
+      break;
+
+    case SysClass::kDetection:
+      results = lead_detection(canonical, raw);
+      break;
+
+    case SysClass::kExit: {
+      for (unsigned v = 0; v < n; ++v) {
+        results[v] = vkernel::execute_syscall(ctx_, *procs_[v], canonical[v]);
+      }
+      break;
+    }
+
+    case SysClass::kInput: {
+      // stat on an unshared path must resolve per variant.
+      if (call.no == Sys::kStat && !call.strs.empty() &&
+          unshared_.contains(vfs::normalize_path(call.strs[0]))) {
+        for (unsigned v = 0; v < n; ++v) {
+          SyscallArgs redirected = canonical[v];
+          redirected.strs[0] = vfs::variant_path(redirected.strs[0], v);
+          results[v] = vkernel::execute_syscall(ctx_, *procs_[v], redirected);
+        }
+        break;
+      }
+      // read on an unshared fd executes per variant (each has its own file).
+      if (call.no == Sys::kRead && !call.ints.empty() &&
+          !fd_is_shared(static_cast<os::fd_t>(call.ints[0]))) {
+        for (unsigned v = 0; v < n; ++v) {
+          results[v] = vkernel::execute_syscall(ctx_, *procs_[v], canonical[v]);
+        }
+        break;
+      }
+      // Shared input: perform once, replicate the result (§3.1: "the actual
+      // input operation is only performed once and the same data is sent to
+      // all variants").
+      SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
+      if (call.no == Sys::kAccept && once.ok()) {
+        // The new connection fd must appear in every variant's table at the
+        // same slot, all referring to the same underlying stream.
+        const auto fd = static_cast<os::fd_t>(once.value);
+        auto* entry = procs_[0]->fd(fd);
+        for (unsigned v = 1; v < n; ++v) procs_[v]->install_fd_at(fd, *entry);
+        if (static_cast<std::size_t>(fd) >= shared_fds_.size()) {
+          shared_fds_.resize(static_cast<std::size_t>(fd) + 1, true);
+        }
+        shared_fds_[static_cast<std::size_t>(fd)] = true;
+      }
+      std::fill(results.begin(), results.end(), once);
+      break;
+    }
+
+    case SysClass::kOutput: {
+      // write on an unshared fd executes per variant; shared output executes
+      // once (argument equality was already established in step 2).
+      if (!call.ints.empty() && !fd_is_shared(static_cast<os::fd_t>(call.ints[0]))) {
+        for (unsigned v = 0; v < n; ++v) {
+          results[v] = vkernel::execute_syscall(ctx_, *procs_[v], canonical[v]);
+        }
+      } else {
+        const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
+        std::fill(results.begin(), results.end(), once);
+      }
+      break;
+    }
+
+    case SysClass::kPerVariant: {
+      // Credential changes, close, seek, socket setup: these mutate
+      // per-process state. Socket objects must stay identical across
+      // variants, so socket/bind/listen execute once and the fd objects are
+      // mirrored; everything else executes in each variant with the same
+      // canonical arguments.
+      if (call.no == Sys::kSocket) {
+        const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
+        if (once.ok()) {
+          const auto fd = static_cast<os::fd_t>(once.value);
+          auto* entry = procs_[0]->fd(fd);
+          for (unsigned v = 1; v < n; ++v) procs_[v]->install_fd_at(fd, *entry);
+          if (static_cast<std::size_t>(fd) >= shared_fds_.size()) {
+            shared_fds_.resize(static_cast<std::size_t>(fd) + 1, true);
+          }
+          shared_fds_[static_cast<std::size_t>(fd)] = true;
+        }
+        std::fill(results.begin(), results.end(), once);
+        break;
+      }
+      if (call.no == Sys::kBind || call.no == Sys::kListen) {
+        const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
+        std::fill(results.begin(), results.end(), once);
+        break;
+      }
+      if (call.no == Sys::kUnlink || call.no == Sys::kMkdir) {
+        // Shared filesystem namespace: execute once.
+        const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
+        std::fill(results.begin(), results.end(), once);
+        break;
+      }
+      if (call.no == Sys::kSeek && !call.ints.empty() &&
+          fd_is_shared(static_cast<os::fd_t>(call.ints[0]))) {
+        const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
+        std::fill(results.begin(), results.end(), once);
+        break;
+      }
+      for (unsigned v = 0; v < n; ++v) {
+        results[v] = vkernel::execute_syscall(ctx_, *procs_[v], canonical[v]);
+      }
+      break;
+    }
+  }
+
+  // Step 4: reexpress trusted UID results per variant (R_i on getuid etc.).
+  for (unsigned v = 0; v < n; ++v) {
+    for (const auto& variation : variations_) {
+      variation->reexpress_result(v, canonical[v], results[v]);
+    }
+  }
+  return results;
+}
+
+std::vector<SyscallResult> NVariantSystem::lead_open(const std::vector<SyscallArgs>& canonical) {
+  const unsigned n = options_.n_variants;
+  std::vector<SyscallResult> results(n);
+  const std::string path = vfs::normalize_path(canonical[0].strs.at(0));
+  const auto flags = static_cast<os::OpenFlags>(canonical[0].ints.at(0));
+  const auto mode = static_cast<os::mode_t>(canonical[0].ints.size() > 1 ? canonical[0].ints[1]
+                                                                         : 0644);
+
+  // Keep fd tables slot-synchronized: all variants receive the same fd.
+  const os::fd_t slot = procs_[0]->lowest_free_fd();
+  const bool unshared = unshared_.contains(path);
+
+  if (unshared) {
+    // Each variant opens its own diversified copy (§3.4: "P0 will actually
+    // open /etc/passwd-0 and P1 will open /etc/passwd-1").
+    for (unsigned v = 0; v < n; ++v) {
+      results[v] =
+          vkernel::do_open(ctx_, *procs_[v], vfs::variant_path(path, v), flags, mode, slot);
+    }
+  } else {
+    // Shared file: one open-file object, mirrored into every table slot.
+    results[0] = vkernel::do_open(ctx_, *procs_[0], path, flags, mode, slot);
+    if (results[0].ok()) {
+      auto* entry = procs_[0]->fd(slot);
+      for (unsigned v = 1; v < n; ++v) procs_[v]->install_fd_at(slot, *entry);
+    }
+    std::fill(results.begin() + 1, results.end(), results[0]);
+  }
+
+  const bool ok = std::all_of(results.begin(), results.end(),
+                              [](const SyscallResult& r) { return r.ok(); });
+  if (ok) {
+    if (static_cast<std::size_t>(slot) >= shared_fds_.size()) {
+      shared_fds_.resize(static_cast<std::size_t>(slot) + 1, true);
+    }
+    shared_fds_[static_cast<std::size_t>(slot)] = !unshared;
+  }
+  return results;
+}
+
+std::vector<SyscallResult> NVariantSystem::lead_detection(
+    const std::vector<SyscallArgs>& canonical, const std::vector<SyscallArgs>& raw) {
+  const unsigned n = options_.n_variants;
+  monitor_.note_detection_check();
+  std::vector<SyscallResult> results(n);
+  ctx_.count_syscall();
+  switch (canonical[0].no) {
+    case Sys::kUidValue:
+      // Equality of canonical values was established by compare_canonical();
+      // each variant gets back the value it passed in (its own encoding).
+      for (unsigned v = 0; v < n; ++v) {
+        results[v].value = raw[v].ints.at(0);
+      }
+      break;
+    case Sys::kCondChk:
+      for (unsigned v = 0; v < n; ++v) results[v].value = canonical[v].ints.at(0) != 0 ? 1 : 0;
+      break;
+    case Sys::kCcCmp: {
+      // Evaluate on canonical values with the *original* operator — variant
+      // instruction streams stay identical (§3.5 advantage 2).
+      const bool truth = vkernel::cc_eval(static_cast<vkernel::CcOp>(canonical[0].ints.at(0)),
+                                          static_cast<os::uid_t>(canonical[0].ints.at(1)),
+                                          static_cast<os::uid_t>(canonical[0].ints.at(2)));
+      for (unsigned v = 0; v < n; ++v) results[v].value = truth ? 1 : 0;
+      break;
+    }
+    default:
+      std::fill(results.begin(), results.end(), errno_result(os::Errno::kENOSYS));
+      break;
+  }
+  return results;
+}
+
+}  // namespace nv::core

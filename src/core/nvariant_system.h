@@ -1,0 +1,128 @@
+// The N-variant MVEE: runs N variant processes in syscall lockstep over one
+// simulated kernel, with input replication, output-once execution,
+// unshared-file redirection, detection syscalls, and divergence monitoring.
+//
+// This corresponds to the modified Linux kernel of §3.1, with the same
+// execution rules:
+//   - system calls are synchronization points (rendezvous);
+//   - wrappers canonicalize arguments (inverse reexpression) and compare;
+//   - input syscalls execute once, results replicated to all variants;
+//   - output syscalls are checked for equivalence and executed once;
+//   - unshared files open per-variant diversified copies (§3.4);
+//   - uid_value/cond_chk/cc_* compare UID meanings across variants (§3.5).
+#ifndef NV_CORE_NVARIANT_SYSTEM_H
+#define NV_CORE_NVARIANT_SYSTEM_H
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.h"
+#include "core/rendezvous.h"
+#include "core/variation.h"
+#include "vfs/filesystem.h"
+#include "vkernel/kernel.h"
+#include "vkernel/process.h"
+#include "vkernel/sockets.h"
+
+namespace nv::core {
+
+struct NVariantOptions {
+  unsigned n_variants = 2;
+  std::chrono::milliseconds rendezvous_timeout{2000};
+  /// Default base for variant data segments when no variation overrides it.
+  std::uint64_t default_memory_base = 0x10000000;
+  std::uint64_t default_memory_size = 1 << 20;
+};
+
+/// Outcome of a complete N-variant run.
+struct RunReport {
+  bool completed = false;        // all variants exited normally
+  bool attack_detected = false;  // the monitor raised at least one alarm
+  std::optional<Alarm> alarm;
+  std::vector<int> exit_codes;
+  std::uint64_t syscall_rounds = 0;
+};
+
+/// Per-variant guest entry point: the function each variant thread runs.
+/// Receives the variant's syscall port (already wrapped by the MVEE), its
+/// process (for simulated memory access), and its construction parameters.
+using VariantBody =
+    std::function<void(unsigned variant, vkernel::SyscallPort& port, vkernel::Process& process,
+                       const VariantConfig& config)>;
+
+class NVariantSystem {
+ public:
+  explicit NVariantSystem(NVariantOptions options = {});
+  ~NVariantSystem();
+
+  NVariantSystem(const NVariantSystem&) = delete;
+  NVariantSystem& operator=(const NVariantSystem&) = delete;
+
+  /// Install a variation. Must be called before launch()/run().
+  void add_variation(VariationPtr variation);
+
+  /// Mark a path unshared even without a variation requesting it.
+  void mark_unshared(std::string path);
+
+  [[nodiscard]] vfs::FileSystem& fs() noexcept { return fs_; }
+  [[nodiscard]] vkernel::SocketHub& hub() noexcept { return hub_; }
+  [[nodiscard]] Monitor& monitor() noexcept { return monitor_; }
+  [[nodiscard]] vkernel::KernelContext& kernel() noexcept { return ctx_; }
+  [[nodiscard]] const VariantConfig& variant_config(unsigned variant) const {
+    return configs_.at(variant);
+  }
+  [[nodiscard]] unsigned n_variants() const noexcept { return options_.n_variants; }
+
+  /// Run `body` in every variant to completion (blocking). Each call builds
+  /// fresh processes; the filesystem persists across runs.
+  [[nodiscard]] RunReport run(const VariantBody& body);
+
+  /// Start variants asynchronously (server mode); stop() interrupts blocking
+  /// network syscalls via SocketHub::shutdown() and joins.
+  void launch(const VariantBody& body);
+  [[nodiscard]] RunReport stop();
+  [[nodiscard]] bool running() const noexcept { return !threads_.empty(); }
+
+ private:
+  void prepare();
+  [[nodiscard]] vkernel::SyscallResult variant_syscall(unsigned variant,
+                                                       vkernel::SyscallArgs args);
+  [[nodiscard]] std::vector<vkernel::SyscallResult> lead(
+      const std::vector<vkernel::SyscallArgs>& raw);
+  [[nodiscard]] RunReport collect_report();
+
+  // Leader-side execution helpers (run with rendezvous lock released).
+  [[nodiscard]] std::vector<vkernel::SyscallResult> lead_open(
+      const std::vector<vkernel::SyscallArgs>& canonical);
+  [[nodiscard]] std::vector<vkernel::SyscallResult> lead_detection(
+      const std::vector<vkernel::SyscallArgs>& canonical,
+      const std::vector<vkernel::SyscallArgs>& raw);
+  [[nodiscard]] bool compare_canonical(const std::vector<vkernel::SyscallArgs>& canonical);
+  [[nodiscard]] bool fd_is_shared(os::fd_t fd) const;
+
+  class VariantPort;
+
+  NVariantOptions options_;
+  vfs::FileSystem fs_;
+  vkernel::SocketHub hub_;
+  vkernel::KernelContext ctx_;
+  Monitor monitor_;
+  std::set<std::string> unshared_;
+  std::vector<VariationPtr> variations_;
+  std::vector<VariantConfig> configs_;
+  std::vector<std::unique_ptr<vkernel::Process>> procs_;
+  std::vector<bool> shared_fds_;  // slot -> shared? (kept slot-synchronized)
+  std::unique_ptr<SyscallRendezvous> rendezvous_;
+  std::vector<std::jthread> threads_;
+  bool prepared_ = false;
+};
+
+}  // namespace nv::core
+
+#endif  // NV_CORE_NVARIANT_SYSTEM_H

@@ -1,0 +1,65 @@
+#include "core/reexpression.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace nv::core {
+
+std::string XorMask::describe() const {
+  return "R(u) = u XOR " + util::hex32(mask_);
+}
+
+std::string AddressOffset::describe() const {
+  return util::format("R(a) = a + 0x%llx", static_cast<unsigned long long>(offset_));
+}
+
+std::vector<std::uint8_t> InstructionTag::reexpress(std::vector<std::uint8_t> value) const {
+  value.insert(value.begin(), tag_);
+  return value;
+}
+
+std::vector<std::uint8_t> InstructionTag::invert(std::vector<std::uint8_t> value) const {
+  if (value.empty() || value.front() != tag_) {
+    throw std::runtime_error("instruction tag violation");
+  }
+  value.erase(value.begin());
+  return value;
+}
+
+std::string InstructionTag::describe() const {
+  return util::format("R(inst) = 0x%02x || inst", tag_);
+}
+
+std::vector<os::uid_t> uid_property_samples(std::size_t random_count, std::uint64_t seed) {
+  std::vector<os::uid_t> samples = {
+      0,           // root: the value attacks care about most
+      1,           2,          99,        100,       500,
+      1000,        1001,       32767,     32768,     65534,  // nobody
+      65535,       0x7FFFFFFE, 0x7FFFFFFF, 0x80000000,
+      0xFFFFFFFE,  os::kInvalidUid,
+  };
+  util::Rng rng{seed};
+  for (std::size_t i = 0; i < random_count; ++i) samples.push_back(rng.next_u32());
+  return samples;
+}
+
+std::vector<std::uint64_t> address_property_samples(std::size_t random_count,
+                                                    std::uint64_t seed) {
+  std::vector<std::uint64_t> samples = {
+      0,          0x1000,     0x08048000,  // classic ELF text base
+      0x7FFFFFFF, 0x80000000, 0xBFFFF000,  // stack-ish
+      0xC0000000, 0xFFFFFFFF,
+  };
+  util::Rng rng{seed};
+  for (std::size_t i = 0; i < random_count; ++i) samples.push_back(rng.next_u64() & 0xFFFFFFFF);
+  return samples;
+}
+
+bool xor_masks_disjoint(os::uid_t mask0, os::uid_t mask1) noexcept {
+  // R⁻¹_i(x) = x ^ mask_i, so R⁻¹_0(x) == R⁻¹_1(x) iff mask0 == mask1 —
+  // disjointedness holds exactly when the masks differ.
+  return mask0 != mask1;
+}
+
+}  // namespace nv::core

@@ -1,0 +1,136 @@
+// Data reexpression functions (§2 of the paper).
+//
+// A variation assigns each variant i a reexpression function R_i over some
+// target type T. Security rests on two checkable properties:
+//
+//   inverse:        ∀x. R⁻¹ᵢ(Rᵢ(x)) = x                      (§2.2 property 3)
+//   disjointedness: ∀x. R⁻¹₀(x) ≠ R⁻¹₁(x)                    (§2.3)
+//
+// This header provides the interface, the concrete families used by Table 1,
+// and property verifiers (exhaustive for small domains, corner-plus-random
+// sampling otherwise).
+#ifndef NV_CORE_REEXPRESSION_H
+#define NV_CORE_REEXPRESSION_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "vkernel/types.h"
+
+namespace nv::core {
+
+template <typename T>
+class Reexpression {
+ public:
+  virtual ~Reexpression() = default;
+  /// R_i: canonical -> variant representation.
+  [[nodiscard]] virtual T reexpress(T value) const = 0;
+  /// R⁻¹_i: variant representation -> canonical.
+  [[nodiscard]] virtual T invert(T value) const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+template <typename T>
+using ReexpressionPtr = std::shared_ptr<const Reexpression<T>>;
+
+/// R(x) = x. Variant 0 in every variation of Table 1.
+template <typename T>
+class Identity final : public Reexpression<T> {
+ public:
+  [[nodiscard]] T reexpress(T value) const override { return value; }
+  [[nodiscard]] T invert(T value) const override { return value; }
+  [[nodiscard]] std::string describe() const override { return "R(x) = x"; }
+};
+
+/// R(u) = u XOR mask. The paper's UID variation uses mask 0x7FFFFFFF for
+/// variant 1 (§3.2): self-inverse, and disjoint from identity whenever
+/// mask != 0.
+class XorMask final : public Reexpression<os::uid_t> {
+ public:
+  explicit XorMask(os::uid_t mask) : mask_(mask) {}
+  [[nodiscard]] os::uid_t reexpress(os::uid_t value) const override { return value ^ mask_; }
+  [[nodiscard]] os::uid_t invert(os::uid_t value) const override { return value ^ mask_; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] os::uid_t mask() const noexcept { return mask_; }
+
+ private:
+  os::uid_t mask_;
+};
+
+/// R(a) = a + offset (mod 2^64). Address-space partitioning uses
+/// offset 0x80000000 (Table 1 row 1); the extended variant adds a per-variant
+/// extra offset (row 2).
+class AddressOffset final : public Reexpression<std::uint64_t> {
+ public:
+  explicit AddressOffset(std::uint64_t offset) : offset_(offset) {}
+  [[nodiscard]] std::uint64_t reexpress(std::uint64_t value) const override {
+    return value + offset_;
+  }
+  [[nodiscard]] std::uint64_t invert(std::uint64_t value) const override {
+    return value - offset_;
+  }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  std::uint64_t offset_;
+};
+
+/// R(inst) = tag || inst over encoded instruction units (Table 1 row 3).
+/// invert() checks and strips the tag; a wrong tag throws — which is exactly
+/// the target interpreter's trap behaviour.
+class InstructionTag final : public Reexpression<std::vector<std::uint8_t>> {
+ public:
+  explicit InstructionTag(std::uint8_t tag) : tag_(tag) {}
+  [[nodiscard]] std::vector<std::uint8_t> reexpress(std::vector<std::uint8_t> value) const override;
+  [[nodiscard]] std::vector<std::uint8_t> invert(std::vector<std::uint8_t> value) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::uint8_t tag() const noexcept { return tag_; }
+
+ private:
+  std::uint8_t tag_;
+};
+
+// ---------------------------------------------------------------------------
+// Property verification
+
+/// Structured corner values plus `random_count` seeded random samples.
+[[nodiscard]] std::vector<os::uid_t> uid_property_samples(std::size_t random_count,
+                                                          std::uint64_t seed = 42);
+[[nodiscard]] std::vector<std::uint64_t> address_property_samples(std::size_t random_count,
+                                                                  std::uint64_t seed = 42);
+
+/// ∀ sample x: R⁻¹(R(x)) == x.
+template <typename T>
+[[nodiscard]] bool verify_inverse(const Reexpression<T>& r, const std::vector<T>& samples) {
+  for (const T& x : samples) {
+    if (r.invert(r.reexpress(x)) != x) return false;
+  }
+  return true;
+}
+
+/// Samples x where R⁻¹₀(x) == R⁻¹₁(x), i.e. disjointedness violations. Empty
+/// means the property held on every sample.
+template <typename T>
+[[nodiscard]] std::vector<T> disjointedness_violations(const Reexpression<T>& r0,
+                                                       const Reexpression<T>& r1,
+                                                       const std::vector<T>& samples) {
+  std::vector<T> violations;
+  for (const T& x : samples) {
+    if (r0.invert(x) == r1.invert(x)) violations.push_back(x);
+  }
+  return violations;
+}
+
+/// Exhaustive disjointedness check for XOR-mask pairs over the full 32-bit
+/// domain is unnecessary: R⁻¹₀(x) == R⁻¹₁(x) iff the masks are equal. This
+/// helper states the closed-form result (used by tests to cross-check the
+/// sampling verifier).
+[[nodiscard]] bool xor_masks_disjoint(os::uid_t mask0, os::uid_t mask1) noexcept;
+
+}  // namespace nv::core
+
+#endif  // NV_CORE_REEXPRESSION_H

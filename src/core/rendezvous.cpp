@@ -1,0 +1,94 @@
+#include "core/rendezvous.h"
+
+#include <stdexcept>
+
+namespace nv::core {
+
+SyscallRendezvous::SyscallRendezvous(unsigned n_variants,
+                                     std::chrono::milliseconds arrival_timeout)
+    : n_(n_variants), arrival_timeout_(arrival_timeout), slots_(n_variants), results_(n_variants) {
+  if (n_variants == 0) throw std::invalid_argument("rendezvous requires at least one variant");
+}
+
+vkernel::SyscallResult SyscallRendezvous::exchange(unsigned variant, vkernel::SyscallArgs args) {
+  std::unique_lock lock(mutex_);
+  if (aborted_) throw DivergenceAbort{abort_alarm_};
+  if (variant >= n_) throw std::invalid_argument("bad variant index");
+  if (slots_[variant].has_value()) throw std::logic_error("variant re-entered rendezvous");
+
+  slots_[variant] = std::move(args);
+  ++arrived_;
+  const std::uint64_t my_generation = generation_;
+
+  if (arrived_ == n_) {
+    // Leader path: snapshot arguments, run the real work unlocked.
+    std::vector<vkernel::SyscallArgs> snapshot;
+    snapshot.reserve(n_);
+    for (auto& slot : slots_) {
+      snapshot.push_back(std::move(*slot));
+      slot.reset();
+    }
+    executing_ = true;
+    lock.unlock();
+    std::vector<vkernel::SyscallResult> results;
+    if (leader_) results = leader_(snapshot);
+    results.resize(n_);
+    lock.lock();
+    executing_ = false;
+    if (aborted_) {
+      cv_.notify_all();
+      throw DivergenceAbort{abort_alarm_};
+    }
+    results_ = std::move(results);
+    arrived_ = 0;
+    ++generation_;
+    ++rounds_;
+    vkernel::SyscallResult mine = results_[variant];
+    cv_.notify_all();
+    return mine;
+  }
+
+  // Follower path: wait for the leader to publish this generation's results.
+  // While the leader is executing (possibly blocked in a legitimate blocking
+  // syscall like accept), wait indefinitely; the arrival timeout only applies
+  // while we are waiting for peers to *arrive*, which bounds divergence where
+  // a compromised variant stops making syscalls.
+  const auto deadline = std::chrono::steady_clock::now() + arrival_timeout_;
+  while (generation_ == my_generation && !aborted_) {
+    if (executing_ || arrived_ == 0) {
+      cv_.wait(lock);
+      continue;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout && generation_ == my_generation &&
+        !aborted_ && !executing_ && arrived_ != 0) {
+      // Peers never arrived: unilateral divergence.
+      aborted_ = true;
+      abort_alarm_ = Alarm{AlarmKind::kRendezvousTimeout, variant,
+                           "peer variant stopped making system calls"};
+      cv_.notify_all();
+      throw DivergenceAbort{abort_alarm_};
+    }
+  }
+  if (aborted_) throw DivergenceAbort{abort_alarm_};
+  return results_[variant];
+}
+
+void SyscallRendezvous::abort(Alarm alarm) {
+  const std::scoped_lock lock(mutex_);
+  if (aborted_) return;
+  aborted_ = true;
+  abort_alarm_ = std::move(alarm);
+  cv_.notify_all();
+}
+
+bool SyscallRendezvous::aborted() const {
+  const std::scoped_lock lock(mutex_);
+  return aborted_;
+}
+
+std::uint64_t SyscallRendezvous::rounds_completed() const noexcept {
+  const std::scoped_lock lock(mutex_);
+  return rounds_;
+}
+
+}  // namespace nv::core

@@ -1,0 +1,72 @@
+// Lockstep syscall rendezvous (§3.1: "once one variant makes a system call,
+// it will not proceed until all other variants make the same system call").
+//
+// Each variant thread calls exchange() with its pending syscall. The last
+// arriver becomes the leader, runs the MVEE's leader function (compare,
+// execute, build per-variant results) WITHOUT holding the lock (the real
+// syscall may legitimately block, e.g. accept), then publishes results.
+// abort() wakes everyone with a DivergenceAbort.
+#ifndef NV_CORE_RENDEZVOUS_H
+#define NV_CORE_RENDEZVOUS_H
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/alarm.h"
+#include "vkernel/syscalls.h"
+
+namespace nv::core {
+
+/// Thrown out of exchange() when the system is aborted by an alarm. Variant
+/// runner threads catch it and unwind.
+struct DivergenceAbort {
+  Alarm alarm;
+};
+
+class SyscallRendezvous {
+ public:
+  /// Receives one SyscallArgs per variant; returns one result per variant.
+  /// Runs on the leader's thread with the rendezvous lock released. If it
+  /// detects divergence it must call abort() and may return garbage results.
+  using LeaderFn =
+      std::function<std::vector<vkernel::SyscallResult>(const std::vector<vkernel::SyscallArgs>&)>;
+
+  SyscallRendezvous(unsigned n_variants, std::chrono::milliseconds arrival_timeout);
+
+  void set_leader(LeaderFn leader) { leader_ = std::move(leader); }
+
+  /// Block until all variants arrive; leader executes; everyone gets their
+  /// per-variant result. Throws DivergenceAbort if the system aborted.
+  [[nodiscard]] vkernel::SyscallResult exchange(unsigned variant, vkernel::SyscallArgs args);
+
+  /// Wake all waiters; all current and future exchanges throw DivergenceAbort.
+  void abort(Alarm alarm);
+  [[nodiscard]] bool aborted() const;
+
+  [[nodiscard]] unsigned variants() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t rounds_completed() const noexcept;
+
+ private:
+  const unsigned n_;
+  const std::chrono::milliseconds arrival_timeout_;
+  LeaderFn leader_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::optional<vkernel::SyscallArgs>> slots_;
+  std::vector<vkernel::SyscallResult> results_;
+  unsigned arrived_ = 0;
+  bool executing_ = false;        // leader is running the real syscall
+  std::uint64_t generation_ = 0;  // bumped when results are published
+  std::uint64_t rounds_ = 0;
+  bool aborted_ = false;
+  Alarm abort_alarm_;
+};
+
+}  // namespace nv::core
+
+#endif  // NV_CORE_RENDEZVOUS_H

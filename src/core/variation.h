@@ -1,0 +1,83 @@
+// The Variation interface: one implementation per Table 1 row.
+//
+// A variation plugs into the N-variant system at three points:
+//   1. variant construction  — configure_variant() assigns per-variant
+//      parameters (memory base, instruction tag, UID coder); this models the
+//      program transformation that builds P_i from P.
+//   2. trusted external data — prepare_filesystem() generates per-variant
+//      copies of trusted files (unshared files, §3.4).
+//   3. syscall boundary      — canonicalize_args() applies R⁻¹_i to syscall
+//      arguments before the monitor compares them and before the real kernel
+//      executes; reexpress_result() applies R_i to trusted kernel outputs
+//      (§3.5).
+#ifndef NV_CORE_VARIATION_H
+#define NV_CORE_VARIATION_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/reexpression.h"
+#include "vfs/filesystem.h"
+#include "vkernel/syscalls.h"
+
+namespace nv::core {
+
+/// Per-variant parameters produced by the variations at system construction.
+/// This is the moral equivalent of "compile P with transformation R_i".
+struct VariantConfig {
+  unsigned index = 0;
+  /// Where this variant's data segment lives (address partitioning moves it).
+  std::uint64_t memory_base = 0x10000000;
+  std::uint64_t memory_size = 1 << 20;
+  /// Expected instruction tag for the VM (instruction tagging sets it).
+  std::uint8_t code_tag = 0;
+  /// Reverse-stack extension (Franz [20]): guests that maintain a simulated
+  /// stack grow it downward when false, upward when true.
+  bool reverse_stack = false;
+  /// UID reexpression for "program constants" in guest code (identity unless
+  /// the UID variation is installed). Never null.
+  ReexpressionPtr<os::uid_t> uid_coder = std::make_shared<Identity<os::uid_t>>();
+};
+
+class Variation {
+ public:
+  virtual ~Variation() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Adjust the variant's construction parameters (index is pre-filled).
+  virtual void configure_variant(VariantConfig& config) const { (void)config; }
+
+  /// Create per-variant copies of trusted files. Called once before launch.
+  virtual void prepare_filesystem(vfs::FileSystem& fs, unsigned n_variants) const {
+    (void)fs;
+    (void)n_variants;
+  }
+
+  /// Paths the kernel must treat as unshared (open redirects to path-<i>).
+  [[nodiscard]] virtual std::vector<std::string> unshared_paths() const { return {}; }
+
+  /// Apply R⁻¹_i to the UID-carrying arguments of `args` (in place).
+  virtual void canonicalize_args(unsigned variant, vkernel::SyscallArgs& args) const {
+    (void)variant;
+    (void)args;
+  }
+
+  /// Apply R_i to UID-carrying results (in place). `canonical` is the
+  /// already-canonicalized invocation, for syscall identification.
+  virtual void reexpress_result(unsigned variant, const vkernel::SyscallArgs& canonical,
+                                vkernel::SyscallResult& result) const {
+    (void)variant;
+    (void)canonical;
+    (void)result;
+  }
+};
+
+using VariationPtr = std::shared_ptr<const Variation>;
+
+}  // namespace nv::core
+
+#endif  // NV_CORE_VARIATION_H

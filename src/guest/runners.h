@@ -1,0 +1,40 @@
+// Adapters that run GuestPrograms on the two execution substrates:
+//   - run_plain():  single process, no redundancy (configurations 1-2)
+//   - run/launch_nvariant(): the MVEE (configurations 3-4)
+#ifndef NV_GUEST_RUNNERS_H
+#define NV_GUEST_RUNNERS_H
+
+#include <string>
+
+#include "core/nvariant_system.h"
+#include "guest/guest_program.h"
+#include "vkernel/kernel.h"
+
+namespace nv::guest {
+
+struct PlainRunResult {
+  bool completed = false;
+  int exit_code = 0;
+  bool faulted = false;
+  std::string fault_detail;
+};
+
+/// Run `program` as a single unmonitored process (the baseline the attacker
+/// faces without N-variant protection). `config` defaults to an identity
+/// build (variant 0 semantics).
+[[nodiscard]] PlainRunResult run_plain(vkernel::KernelContext& ctx, GuestProgram& program,
+                                       os::Credentials creds = os::Credentials::root(),
+                                       core::VariantConfig config = {});
+
+/// Wrap a GuestProgram as the per-variant body for NVariantSystem.
+[[nodiscard]] core::VariantBody as_variant_body(GuestProgram& program);
+
+/// Run to completion under the MVEE.
+[[nodiscard]] core::RunReport run_nvariant(core::NVariantSystem& system, GuestProgram& program);
+
+/// Start asynchronously (server mode); stop via system.stop().
+void launch_nvariant(core::NVariantSystem& system, GuestProgram& program);
+
+}  // namespace nv::guest
+
+#endif  // NV_GUEST_RUNNERS_H

@@ -1,0 +1,69 @@
+#include "guest/uid_ops.h"
+
+namespace nv::guest {
+
+using vkernel::CcOp;
+
+std::string_view to_string(UidOpsMode mode) noexcept {
+  switch (mode) {
+    case UidOpsMode::kPlain: return "plain";
+    case UidOpsMode::kSyscallChecked: return "syscall-checked";
+    case UidOpsMode::kUserSpaceReversed: return "userspace-reversed";
+  }
+  return "?";
+}
+
+UidOps::UidOps(GuestContext& ctx, UidOpsMode mode) : ctx_(ctx), mode_(mode) {}
+
+bool UidOps::order_reversed() const {
+  // The XOR-mask coder flips the low bits, which reverses the order of any
+  // two values sharing the same high bit (the common case for real UIDs).
+  // Identity coders leave order intact.
+  return ctx_.uid_const(0) != 0;
+}
+
+bool UidOps::compare(CcOp op, os::uid_t a, os::uid_t b) {
+  switch (mode_) {
+    case UidOpsMode::kSyscallChecked:
+      // One syscall checks both values and evaluates the ORIGINAL operator on
+      // canonical values — variant instruction streams stay identical (§3.5).
+      return ctx_.cc(op, a, b);
+    case UidOpsMode::kUserSpaceReversed: {
+      CcOp effective = op;
+      if (order_reversed()) {
+        switch (op) {
+          case CcOp::kLt: effective = CcOp::kGt; break;
+          case CcOp::kLeq: effective = CcOp::kGeq; break;
+          case CcOp::kGt: effective = CcOp::kLt; break;
+          case CcOp::kGeq: effective = CcOp::kLeq; break;
+          default: break;  // equality is representation-independent
+        }
+      }
+      return ctx_.cond_chk(vkernel::cc_eval(effective, a, b));
+    }
+    case UidOpsMode::kPlain:
+      return vkernel::cc_eval(op, a, b);
+  }
+  return false;
+}
+
+bool UidOps::eq(os::uid_t a, os::uid_t b) { return compare(CcOp::kEq, a, b); }
+bool UidOps::neq(os::uid_t a, os::uid_t b) { return compare(CcOp::kNeq, a, b); }
+bool UidOps::lt(os::uid_t a, os::uid_t b) { return compare(CcOp::kLt, a, b); }
+bool UidOps::leq(os::uid_t a, os::uid_t b) { return compare(CcOp::kLeq, a, b); }
+bool UidOps::gt(os::uid_t a, os::uid_t b) { return compare(CcOp::kGt, a, b); }
+bool UidOps::geq(os::uid_t a, os::uid_t b) { return compare(CcOp::kGeq, a, b); }
+
+bool UidOps::is_root(os::uid_t uid) { return eq(uid, ctx_.uid_const(os::kRootUid)); }
+
+os::uid_t UidOps::check_value(os::uid_t uid) {
+  if (mode_ == UidOpsMode::kPlain) return uid;
+  return ctx_.uid_value(uid);
+}
+
+bool UidOps::check_cond(bool condition) {
+  if (mode_ == UidOpsMode::kPlain) return condition;
+  return ctx_.cond_chk(condition);
+}
+
+}  // namespace nv::guest

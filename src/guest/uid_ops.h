@@ -1,0 +1,71 @@
+// UidOps: the §3.3 program transformation, reified.
+//
+// A transformed program must (a) use reexpressed UID constants and (b) have
+// every instruction that operates on UID values rewritten to preserve
+// semantics. UidOps is that rewrite as a library: guests route ALL UID
+// comparisons and checks through it. Three modes capture the design space the
+// paper discusses:
+//
+//   kPlain            — untransformed operations, no detection calls. This is
+//                       what an unprotected program does; under the UID
+//                       variation it still works on normal inputs (equality
+//                       compares are representation-independent) but exposes
+//                       the §5 trade-off: corruption is only caught later, at
+//                       the next UID-carrying syscall.
+//   kSyscallChecked   — comparisons become cc_* detection syscalls and single
+//                       UID uses become uid_value() (the paper's deployed
+//                       design: identical instruction streams, immediate
+//                       detection).
+//   kUserSpaceReversed— comparisons stay in user space; on reexpressed
+//                       variants inequality operators are logically reversed
+//                       (§3.3), and outcomes are exposed via cond_chk. This
+//                       is the alternative §3.5 mentions, with divergent
+//                       instruction streams as its drawback.
+#ifndef NV_GUEST_UID_OPS_H
+#define NV_GUEST_UID_OPS_H
+
+#include "guest/guest_program.h"
+
+namespace nv::guest {
+
+enum class UidOpsMode { kPlain, kSyscallChecked, kUserSpaceReversed };
+
+[[nodiscard]] std::string_view to_string(UidOpsMode mode) noexcept;
+
+class UidOps {
+ public:
+  UidOps(GuestContext& ctx, UidOpsMode mode);
+
+  [[nodiscard]] UidOpsMode mode() const noexcept { return mode_; }
+
+  // All operands are in the variant's representation.
+  [[nodiscard]] bool eq(os::uid_t a, os::uid_t b);
+  [[nodiscard]] bool neq(os::uid_t a, os::uid_t b);
+  [[nodiscard]] bool lt(os::uid_t a, os::uid_t b);
+  [[nodiscard]] bool leq(os::uid_t a, os::uid_t b);
+  [[nodiscard]] bool gt(os::uid_t a, os::uid_t b);
+  [[nodiscard]] bool geq(os::uid_t a, os::uid_t b);
+
+  /// if (!getuid()) — the implicit-constant pattern §3.3 rewrites into an
+  /// explicit comparison with the (transformed) constant 0.
+  [[nodiscard]] bool is_root(os::uid_t uid);
+
+  /// Expose a single UID use to the monitor (uid_value in checked modes).
+  [[nodiscard]] os::uid_t check_value(os::uid_t uid);
+
+  /// Expose a UID-influenced branch outcome to the monitor (cond_chk).
+  [[nodiscard]] bool check_cond(bool condition);
+
+ private:
+  [[nodiscard]] bool compare(vkernel::CcOp op, os::uid_t a, os::uid_t b);
+  /// Whether this variant's representation reverses the UID order (true when
+  /// the coder is a non-trivial mask over the low bits).
+  [[nodiscard]] bool order_reversed() const;
+
+  GuestContext& ctx_;
+  UidOpsMode mode_;
+};
+
+}  // namespace nv::guest
+
+#endif  // NV_GUEST_UID_OPS_H

@@ -1,0 +1,24 @@
+#include "httpd/client.h"
+
+namespace nv::httpd {
+
+HttpResponse http_get(vkernel::SocketHub& hub, std::uint16_t port, const std::string& path,
+                      const std::map<std::string, std::string>& headers) {
+  auto conn = hub.connect(port);
+  if (!conn) return HttpResponse{};
+  auto sent = conn->send(format_request("GET", path, headers));
+  if (!sent) {
+    conn->close();
+    return HttpResponse{};
+  }
+  std::string raw;
+  while (true) {
+    auto chunk = conn->recv(4096);
+    if (!chunk || chunk->empty()) break;
+    raw += *chunk;
+  }
+  conn->close();
+  return parse_response(raw);
+}
+
+}  // namespace nv::httpd

@@ -1,0 +1,22 @@
+// Host-side HTTP client over the simulated network: drives the server from
+// tests, benches, and attack campaigns (it plays the WebBench/attacker role).
+#ifndef NV_HTTPD_CLIENT_H
+#define NV_HTTPD_CLIENT_H
+
+#include <map>
+#include <string>
+
+#include "httpd/http.h"
+#include "vkernel/sockets.h"
+
+namespace nv::httpd {
+
+/// Blocking GET against the simulated hub; returns the parsed response
+/// (status -1 on connection failure).
+[[nodiscard]] HttpResponse http_get(vkernel::SocketHub& hub, std::uint16_t port,
+                                    const std::string& path,
+                                    const std::map<std::string, std::string>& headers = {});
+
+}  // namespace nv::httpd
+
+#endif  // NV_HTTPD_CLIENT_H

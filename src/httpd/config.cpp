@@ -1,0 +1,63 @@
+#include "httpd/config.h"
+
+#include "util/strings.h"
+
+namespace nv::httpd {
+
+ServerConfig ServerConfig::parse(std::string_view text) {
+  ServerConfig config;
+  for (const auto& raw_line : util::split(text, '\n')) {
+    const std::string_view line = util::trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const auto tokens = util::split_ws(line);
+    if (tokens.size() < 2) continue;
+    const std::string key = util::to_lower(tokens[0]);
+    const std::string& value = tokens[1];
+    if (key == "listen") {
+      if (auto port = util::parse_u64(value)) config.listen_port = static_cast<std::uint16_t>(*port);
+    } else if (key == "user") {
+      config.user = value;
+    } else if (key == "group") {
+      config.group = value;
+    } else if (key == "documentroot") {
+      config.document_root = value;
+    } else if (key == "errorlog") {
+      config.error_log = value;
+    } else if (key == "protected") {
+      config.protected_prefix = value;
+    } else if (key == "loguidinerrors") {
+      config.log_uid_in_errors = util::to_lower(value) == "on";
+    } else if (key == "uidopsmode") {
+      const std::string mode = util::to_lower(value);
+      if (mode == "plain") config.uid_ops_mode = guest::UidOpsMode::kPlain;
+      else if (mode == "userspace") config.uid_ops_mode = guest::UidOpsMode::kUserSpaceReversed;
+      else config.uid_ops_mode = guest::UidOpsMode::kSyscallChecked;
+    } else if (key == "maxrequests") {
+      if (auto n = util::parse_u64(value)) config.max_requests = static_cast<std::uint32_t>(*n);
+    } else if (key == "headerbuffersize") {
+      if (auto n = util::parse_u64(value)) config.header_buffer_size = static_cast<std::uint32_t>(*n);
+    }
+  }
+  return config;
+}
+
+std::string ServerConfig::serialize() const {
+  std::string out;
+  out += util::format("Listen %u\n", listen_port);
+  out += "User " + user + "\n";
+  out += "Group " + group + "\n";
+  out += "DocumentRoot " + document_root + "\n";
+  out += "ErrorLog " + error_log + "\n";
+  out += "Protected " + protected_prefix + "\n";
+  out += util::format("LogUidInErrors %s\n", log_uid_in_errors ? "on" : "off");
+  switch (uid_ops_mode) {
+    case guest::UidOpsMode::kPlain: out += "UidOpsMode plain\n"; break;
+    case guest::UidOpsMode::kSyscallChecked: out += "UidOpsMode syscall\n"; break;
+    case guest::UidOpsMode::kUserSpaceReversed: out += "UidOpsMode userspace\n"; break;
+  }
+  out += util::format("MaxRequests %u\n", max_requests);
+  out += util::format("HeaderBufferSize %u\n", header_buffer_size);
+  return out;
+}
+
+}  // namespace nv::httpd

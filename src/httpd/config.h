@@ -1,0 +1,41 @@
+// httpd.conf parsing for the mini web server (Apache-style directives).
+#ifndef NV_HTTPD_CONFIG_H
+#define NV_HTTPD_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "guest/uid_ops.h"
+
+namespace nv::httpd {
+
+struct ServerConfig {
+  std::uint16_t listen_port = 8080;
+  std::string user = "www";
+  std::string group = "www";
+  std::string document_root = "/var/www";
+  std::string error_log = "/var/log/httpd-error.log";
+  /// Path prefix that requires privilege escalation to serve (the root-owned
+  /// resource motivating the setuid dance).
+  std::string protected_prefix = "/secret";
+  /// Reproduces the §4 complication: when true, error-log lines include the
+  /// numeric UID, which diverges across variants and triggers a benign alarm.
+  /// The paper's workaround ("removing the user id value from the log
+  /// output") is the default.
+  bool log_uid_in_errors = false;
+  /// Which §3.3 transformation mode the server was "built" with.
+  guest::UidOpsMode uid_ops_mode = guest::UidOpsMode::kSyscallChecked;
+  /// Serve at most this many requests, then exit (0 = run until interrupted).
+  std::uint32_t max_requests = 0;
+  /// Size of the (deliberately unchecked) header copy buffer in simulated
+  /// memory — the Chen-style non-control-data vulnerability.
+  std::uint32_t header_buffer_size = 256;
+
+  [[nodiscard]] static ServerConfig parse(std::string_view text);
+  [[nodiscard]] std::string serialize() const;
+};
+
+}  // namespace nv::httpd
+
+#endif  // NV_HTTPD_CONFIG_H

@@ -1,0 +1,67 @@
+// mini-ftpd: a second case-study server, modelled on the wu-ftpd pattern
+// Chen et al. [12] actually attacked. Sessions authenticate against
+// /etc/passwd (+ a shared secrets file), then the daemon switches its
+// effective UID to the logged-in user for file access — keeping saved-root
+// so the next session can switch again.
+//
+// The deliberate vulnerability mirrors wu-ftpd's SITE EXEC bug: the SITE
+// argument is copied into a fixed simulated-memory buffer with no bounds
+// check, directly below the stored session UID. REIN ("reinitialize")
+// escalates to root and re-installs that (possibly corrupted) UID — the
+// non-control-data attack path.
+//
+// Protocol (one command per line, deliberately tiny):
+//   USER <name>        -> "331 need password" | "530 unknown user"
+//   PASS <secret>      -> "230 logged in"     | "530 denied"
+//   RETR <path>        -> "150 <contents>"    | "550 denied"
+//   SITE <arg>         -> "200 site ok"         (vulnerable copy)
+//   REIN               -> "220 reinitialized"   (escalate + restore UID)
+//   WHOAMI             -> "211 root" | "211 user"   (comparisons only)
+//   QUIT               -> "221 bye"
+#ifndef NV_HTTPD_MINI_FTPD_H
+#define NV_HTTPD_MINI_FTPD_H
+
+#include "guest/guest_program.h"
+#include "guest/uid_ops.h"
+
+namespace nv::httpd {
+
+struct FtpdConfig {
+  std::uint16_t listen_port = 2121;
+  std::string secrets_path = "/etc/ftpd.secrets";  // "name:password" lines
+  std::uint32_t command_buffer_size = 128;
+  std::uint32_t max_sessions = 0;  // 0 = until interrupted
+  guest::UidOpsMode uid_ops_mode = guest::UidOpsMode::kSyscallChecked;
+};
+
+class MiniFtpd final : public guest::GuestProgram {
+ public:
+  explicit MiniFtpd(FtpdConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const override { return "mini-ftpd"; }
+  void run(guest::GuestContext& ctx) override;
+
+ private:
+  struct Session {
+    std::uint64_t buffer_addr = 0;  // SITE argument buffer
+    std::uint64_t uid_addr = 0;     // stored session UID (right after buffer)
+    bool authenticated = false;
+    std::string pending_user;
+  };
+
+  void serve_session(guest::GuestContext& ctx, guest::UidOps& ops, os::fd_t conn,
+                     Session& session);
+  /// Handle one command line; returns false when the session should end.
+  bool handle_command(guest::GuestContext& ctx, guest::UidOps& ops, os::fd_t conn,
+                      Session& session, const std::string& line);
+
+  FtpdConfig config_;
+};
+
+/// Seed a filesystem for mini-ftpd: users, secrets, home files, and a
+/// root-only file for compromise probes.
+void install_ftpd_site(vfs::FileSystem& fs, const FtpdConfig& config = {});
+
+}  // namespace nv::httpd
+
+#endif  // NV_HTTPD_MINI_FTPD_H

@@ -1,0 +1,67 @@
+// mini-Apache: the §4 case-study server as a guest program.
+//
+// Reproduces the UID usage patterns of the Apache case study:
+//   - reads /etc/httpd.conf, opens an error log, binds its port as root;
+//   - resolves User/Group via /etc/passwd + /etc/group (unshared files under
+//     the UID variation, so each variant reads its own diversified copy);
+//   - drops privileges for request handling (seteuid to the worker UID,
+//     keeping saved-UID root so it can escalate for protected resources);
+//   - escalates to root around protected-resource serving and then RESTORES
+//     the worker UID from a value stored in simulated memory.
+//
+// The server carries a deliberate Chen-et-al-style non-control-data
+// vulnerability: the User-Agent header is copied into a fixed-size buffer in
+// simulated memory with no bounds check, and the stored worker UID lives
+// directly after that buffer. An overlong header therefore corrupts the UID
+// that the privilege-restore path will install — the exact attack class §3
+// is designed to thwart.
+#ifndef NV_HTTPD_MINI_HTTPD_H
+#define NV_HTTPD_MINI_HTTPD_H
+
+#include "guest/guest_program.h"
+#include "guest/uid_ops.h"
+#include "httpd/config.h"
+#include "httpd/http.h"
+
+namespace nv::httpd {
+
+class MiniHttpd final : public guest::GuestProgram {
+ public:
+  explicit MiniHttpd(std::string config_path = "/etc/httpd.conf")
+      : config_path_(std::move(config_path)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "mini-httpd"; }
+
+  void run(guest::GuestContext& ctx) override;
+
+ private:
+  struct ServerState {
+    ServerConfig config;
+    os::fd_t log_fd = -1;
+    os::fd_t listen_fd = -1;
+    std::uint64_t buffer_addr = 0;  // header copy buffer (simulated memory)
+    std::uint64_t uid_addr = 0;     // stored worker UID (right after buffer)
+    os::uid_t worker_uid = 0;       // variant representation
+    os::gid_t worker_gid = 0;
+    std::uint32_t requests_served = 0;
+  };
+
+  void handle_connection(guest::GuestContext& ctx, guest::UidOps& ops, ServerState& state,
+                         os::fd_t conn);
+  void serve_request(guest::GuestContext& ctx, guest::UidOps& ops, ServerState& state,
+                     os::fd_t conn, const HttpRequest& request);
+  void serve_protected(guest::GuestContext& ctx, guest::UidOps& ops, ServerState& state,
+                       os::fd_t conn, const HttpRequest& request);
+  void log_error(guest::GuestContext& ctx, ServerState& state, std::string_view message);
+
+  std::string config_path_;
+};
+
+/// Seed a filesystem with everything mini-httpd needs: /etc/passwd,
+/// /etc/group, httpd.conf, a document root with sample pages, and a
+/// root-owned protected file. Returns the parsed config for convenience.
+ServerConfig install_default_site(vfs::FileSystem& fs, const ServerConfig& config = {});
+
+}  // namespace nv::httpd
+
+#endif  // NV_HTTPD_MINI_HTTPD_H

@@ -1,0 +1,46 @@
+// WebBench-style closed-loop load generator over the DES (§4's experimental
+// setup: 1 client engine for the unsaturated runs; 3 machines x 5 engines =
+// 15 for the saturated runs).
+#ifndef NV_PERF_WEBBENCH_H
+#define NV_PERF_WEBBENCH_H
+
+#include "perf/cost_model.h"
+#include "sim/simulation.h"
+#include "util/stats.h"
+
+namespace nv::perf {
+
+struct WorkloadConfig {
+  unsigned clients = 1;
+  sim::SimTime warmup = 2 * sim::kSecond;
+  sim::SimTime duration = 30 * sim::kSecond;
+  std::uint64_t seed = 7;
+};
+
+struct PerfResult {
+  double throughput_kbps = 0;  // KB/s over the measurement window
+  double latency_ms = 0;       // mean request latency
+  std::uint64_t requests = 0;
+  double cpu_utilization = 0;
+};
+
+/// Simulate one (configuration, load) cell of Table 3.
+[[nodiscard]] PerfResult run_webbench(ServerSetup setup, const CostModel& model,
+                                      const WorkloadConfig& workload);
+
+/// Generalized closed loop for ablations: explicit total CPU demand and
+/// latency-visible demand per request (cpus = parallel server cores).
+[[nodiscard]] PerfResult run_closed_loop(double demand_ms, double visible_ms, unsigned cpus,
+                                         const CostModel& model, const WorkloadConfig& workload);
+
+/// Paper-reported Table 3 values, for side-by-side comparison in benches and
+/// regression bounds in tests.
+struct PaperCell {
+  double throughput_kbps;
+  double latency_ms;
+};
+[[nodiscard]] PaperCell paper_table3(ServerSetup setup, bool saturated) noexcept;
+
+}  // namespace nv::perf
+
+#endif  // NV_PERF_WEBBENCH_H

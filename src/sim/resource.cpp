@@ -1,0 +1,49 @@
+#include "sim/resource.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nv::sim {
+
+FifoStation::FifoStation(Simulation& sim, unsigned servers, std::string name)
+    : sim_(sim), servers_(servers), name_(std::move(name)) {
+  if (servers == 0) throw std::invalid_argument("FifoStation requires at least one server");
+}
+
+void FifoStation::submit(SimTime service, std::function<void()> on_done) {
+  queue_.push_back(Job{service, sim_.now(), std::move(on_done)});
+  try_dispatch();
+}
+
+void FifoStation::try_dispatch() {
+  while (busy_ < servers_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+    wait_.add(to_ms(sim_.now() - job.enqueued_at));
+    service_.add(to_ms(job.service));
+    busy_time_ += job.service;
+    sim_.schedule_in(job.service,
+                     [this, service = job.service, done = std::move(job.on_done)]() mutable {
+                       finish(service, std::move(done));
+                     });
+  }
+}
+
+void FifoStation::finish(SimTime /*service*/, std::function<void()> on_done) {
+  --busy_;
+  ++completed_;
+  // Dispatch the next waiting job before running the completion so queue
+  // statistics reflect back-to-back service.
+  try_dispatch();
+  if (on_done) on_done();
+}
+
+double FifoStation::utilization() const noexcept {
+  const SimTime elapsed = sim_.now();
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(busy_time_) /
+         (static_cast<double>(elapsed) * static_cast<double>(servers_));
+}
+
+}  // namespace nv::sim

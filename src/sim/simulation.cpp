@@ -1,0 +1,35 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+
+namespace nv::sim {
+
+void Simulation::schedule_at(SimTime when, Action action) {
+  if (when < now_) throw std::logic_error("cannot schedule an event in the past");
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the action must be moved out via const_cast
+  // or copied. Copying a std::function is cheap enough here and keeps the
+  // container's invariants intact.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.when;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulation::run_to_completion() {
+  while (step()) {
+  }
+}
+
+}  // namespace nv::sim

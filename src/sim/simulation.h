@@ -1,0 +1,78 @@
+// Discrete-event simulation core used by the performance model (Table 3).
+//
+// Time is in integer nanoseconds. Events scheduled for the same instant fire
+// in scheduling order (a monotonically increasing sequence number breaks
+// ties), which keeps runs deterministic.
+#ifndef NV_SIM_SIMULATION_H
+#define NV_SIM_SIMULATION_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace nv::sim {
+
+using SimTime = std::uint64_t;  // nanoseconds
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+[[nodiscard]] constexpr double to_ms(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+[[nodiscard]] constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+[[nodiscard]] constexpr SimTime from_ms(double ms) noexcept {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+[[nodiscard]] constexpr SimTime from_us(double us) noexcept {
+  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+}
+
+/// Event-driven scheduler. Not thread-safe; a simulation runs on one thread.
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+  void schedule_at(SimTime when, Action action);
+  void schedule_in(SimTime delay, Action action) { schedule_at(now_ + delay, std::move(action)); }
+
+  /// Execute the next event; returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or the clock passes `deadline`.
+  void run_until(SimTime deadline);
+
+  /// Run until the queue drains completely.
+  void run_to_completion();
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace nv::sim
+
+#endif  // NV_SIM_SIMULATION_H

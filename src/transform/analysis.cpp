@@ -1,0 +1,232 @@
+#include "transform/analysis.h"
+
+namespace nv::transform {
+
+namespace {
+
+/// Per-program analysis state shared across fixpoint iterations.
+class Analyzer {
+ public:
+  explicit Analyzer(Program& program) : program_(program) {
+    for (auto& fn : program.functions) {
+      signatures_[fn.name] = Signature{fn.ret, {}};
+      for (const auto& param : fn.params) signatures_[fn.name].params.push_back(param.type);
+    }
+  }
+
+  AnalysisResult run() {
+    // Seed variable tables from declarations.
+    for (auto& fn : program_.functions) {
+      auto& vars = result_.var_types[fn.name];
+      for (const auto& param : fn.params) vars[param.name] = param.type;
+      seed_declarations(fn.name, fn.body);
+    }
+    // Fixpoint: each pass may promote more int variables to UID types or
+    // taint more variables; stop when stable.
+    bool changed = true;
+    int iterations = 0;
+    while (changed && iterations++ < 32) {
+      changed = false;
+      for (auto& fn : program_.functions) {
+        current_fn_ = fn.name;
+        for (auto& stmt : fn.body) changed |= visit_stmt(*stmt);
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void seed_declarations(const std::string& fn, const std::vector<StmtPtr>& body) {
+    for (const auto& stmt : body) {
+      if (stmt->kind == Stmt::Kind::kVarDecl) result_.var_types[fn][stmt->name] = stmt->decl_type;
+      seed_declarations(fn, stmt->body);
+      seed_declarations(fn, stmt->else_body);
+    }
+  }
+
+  const Signature* signature(const std::string& name) {
+    const auto it = signatures_.find(name);
+    if (it != signatures_.end()) return &it->second;
+    if (const Builtin* builtin = find_builtin(name)) {
+      // Cache builtin as a Signature for uniform access.
+      signatures_[name] = Signature{builtin->ret, builtin->params};
+      return &signatures_[name];
+    }
+    return nullptr;
+  }
+
+  /// Promote an int-declared variable to a UID type discovered by dataflow.
+  bool promote(const std::string& var, Type to) {
+    auto& vars = result_.var_types[current_fn_];
+    const auto it = vars.find(var);
+    if (it == vars.end()) return false;
+    if (it->second == Type::kInt && is_uid_type(to)) {
+      it->second = to;
+      result_.inferred_uid_vars.push_back(current_fn_ + "::" + var);
+      return true;
+    }
+    return false;
+  }
+
+  bool taint(const std::string& var) {
+    return tainted_[current_fn_].insert(var).second;
+  }
+  bool is_tainted(const std::string& var) {
+    return tainted_[current_fn_].contains(var);
+  }
+
+  bool visit_stmt(Stmt& stmt) {
+    bool changed = false;
+    switch (stmt.kind) {
+      case Stmt::Kind::kVarDecl:
+        if (stmt.expr) {
+          changed |= visit_expr(*stmt.expr);
+          changed |= promote(stmt.name, stmt.expr->type);
+          if (stmt.expr->uid_tainted) changed |= taint(stmt.name);
+        }
+        break;
+      case Stmt::Kind::kExpr:
+      case Stmt::Kind::kReturn:
+        if (stmt.expr) changed |= visit_expr(*stmt.expr);
+        break;
+      case Stmt::Kind::kIf:
+      case Stmt::Kind::kWhile:
+        if (stmt.expr) changed |= visit_expr(*stmt.expr);
+        for (auto& child : stmt.body) changed |= visit_stmt(*child);
+        for (auto& child : stmt.else_body) changed |= visit_stmt(*child);
+        break;
+      case Stmt::Kind::kBlock:
+        for (auto& child : stmt.body) changed |= visit_stmt(*child);
+        break;
+    }
+    return changed;
+  }
+
+  bool visit_expr(Expr& expr) {
+    bool changed = false;
+    const Type old_type = expr.type;
+    const bool old_taint = expr.uid_tainted;
+    switch (expr.kind) {
+      case Expr::Kind::kIntLit:
+        expr.type = Type::kInt;
+        break;
+      case Expr::Kind::kStrLit:
+        expr.type = Type::kString;
+        break;
+      case Expr::Kind::kBoolLit:
+        expr.type = Type::kBool;
+        break;
+      case Expr::Kind::kVar: {
+        const auto& vars = result_.var_types[current_fn_];
+        const auto it = vars.find(expr.name);
+        if (it == vars.end()) {
+          error(expr.line, "unknown variable '" + expr.name + "'");
+        } else {
+          expr.type = it->second;
+        }
+        expr.uid_tainted = is_uid_type(expr.type) || is_tainted(expr.name);
+        break;
+      }
+      case Expr::Kind::kCall: {
+        const Signature* sig = signature(expr.callee);
+        if (sig == nullptr) {
+          error(expr.line, "unknown function '" + expr.callee + "'");
+          break;
+        }
+        if (sig->params.size() != expr.args.size()) {
+          error(expr.line, "wrong argument count for '" + expr.callee + "'");
+          break;
+        }
+        for (std::size_t i = 0; i < expr.args.size(); ++i) {
+          changed |= visit_expr(*expr.args[i]);
+          // Inference seed: passing an int variable where a UID is expected
+          // promotes the variable.
+          if (is_uid_type(sig->params[i]) && expr.args[i]->kind == Expr::Kind::kVar) {
+            changed |= promote(expr.args[i]->name, sig->params[i]);
+          }
+          expr.uid_tainted = expr.uid_tainted || expr.args[i]->uid_tainted;
+        }
+        expr.type = sig->ret;
+        if (is_uid_type(sig->ret)) expr.uid_tainted = true;
+        break;
+      }
+      case Expr::Kind::kBinary: {
+        changed |= visit_expr(*expr.lhs);
+        changed |= visit_expr(*expr.rhs);
+        expr.uid_tainted = expr.lhs->uid_tainted || expr.rhs->uid_tainted;
+        if (is_comparison(expr.op) || expr.op == BinOp::kAnd || expr.op == BinOp::kOr) {
+          expr.type = Type::kBool;
+        } else {
+          expr.type = is_uid_type(expr.lhs->type) ? expr.lhs->type
+                      : is_uid_type(expr.rhs->type) ? expr.rhs->type
+                                                    : expr.lhs->type;
+        }
+        // Comparing an int variable to a uid expression promotes it.
+        if (is_comparison(expr.op)) {
+          if (is_uid_type(expr.lhs->type) && expr.rhs->kind == Expr::Kind::kVar) {
+            changed |= promote(expr.rhs->name, expr.lhs->type);
+          }
+          if (is_uid_type(expr.rhs->type) && expr.lhs->kind == Expr::Kind::kVar) {
+            changed |= promote(expr.lhs->name, expr.rhs->type);
+          }
+        }
+        break;
+      }
+      case Expr::Kind::kUnary:
+        changed |= visit_expr(*expr.lhs);
+        expr.type = expr.un_op == UnOp::kNot ? Type::kBool : expr.lhs->type;
+        expr.uid_tainted = expr.lhs->uid_tainted;
+        break;
+      case Expr::Kind::kAssign: {
+        changed |= visit_expr(*expr.lhs);
+        const auto& vars = result_.var_types[current_fn_];
+        const auto it = vars.find(expr.name);
+        if (it == vars.end()) {
+          error(expr.line, "assignment to unknown variable '" + expr.name + "'");
+        } else {
+          expr.type = it->second;
+        }
+        changed |= promote(expr.name, expr.lhs->type);
+        if (expr.lhs->uid_tainted) changed |= taint(expr.name);
+        expr.uid_tainted = expr.lhs->uid_tainted;
+        break;
+      }
+    }
+    return changed || expr.type != old_type || expr.uid_tainted != old_taint;
+  }
+
+  void error(int line, const std::string& message) {
+    const std::string text = "line " + std::to_string(line) + ": " + message;
+    for (const auto& existing : result_.errors) {
+      if (existing == text) return;  // fixpoint reruns; dedupe
+    }
+    result_.errors.push_back(text);
+  }
+
+  Program& program_;
+  AnalysisResult result_;
+  std::map<std::string, Signature> signatures_;
+  std::map<std::string, std::set<std::string>> tainted_;
+  std::string current_fn_;
+};
+
+}  // namespace
+
+AnalysisResult analyze(Program& program) { return Analyzer(program).run(); }
+
+const Signature* find_signature(const Program& program, std::string_view name) {
+  static thread_local std::map<std::string, Signature> cache;
+  if (const Function* fn = program.find(name)) {
+    Signature sig{fn->ret, {}};
+    for (const auto& param : fn->params) sig.params.push_back(param.type);
+    cache[std::string(name)] = sig;
+    return &cache[std::string(name)];
+  }
+  if (const Builtin* builtin = find_builtin(name)) {
+    cache[std::string(name)] = Signature{builtin->ret, builtin->params};
+    return &cache[std::string(name)];
+  }
+  return nullptr;
+}
+
+}  // namespace nv::transform

@@ -1,0 +1,48 @@
+// Static analysis for the UID transformation:
+//   1. type checking with builtin + user signatures;
+//   2. Splint-style UID-type inference (§4: "If the programmer did not use
+//      uid_t ... they could be inferred using dataflow analysis by seeing
+//      which variables stored the result of functions returning a known uid
+//      value or were passed as a parameter to a function expecting a user
+//      id");
+//   3. UID taint (which boolean/conditional values are UID-influenced) —
+//      drives the transformer's cond_chk insertion.
+//
+// analyze() annotates Expr::type and Expr::uid_tainted in place.
+#ifndef NV_TRANSFORM_ANALYSIS_H
+#define NV_TRANSFORM_ANALYSIS_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "transform/ast.h"
+
+namespace nv::transform {
+
+struct AnalysisResult {
+  std::vector<std::string> errors;
+  /// Final per-function variable types ("fn" -> var -> type), after
+  /// promotion of int-declared variables that hold UIDs.
+  std::map<std::string, std::map<std::string, Type>> var_types;
+  /// Variables promoted from int to uid_t/gid_t by inference ("fn::var").
+  std::vector<std::string> inferred_uid_vars;
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+[[nodiscard]] AnalysisResult analyze(Program& program);
+
+/// Signature of a callable (builtin or user function).
+struct Signature {
+  Type ret = Type::kVoid;
+  std::vector<Type> params;
+};
+
+/// Resolve `name` against user functions first, then builtins.
+[[nodiscard]] const Signature* find_signature(const Program& program, std::string_view name);
+
+}  // namespace nv::transform
+
+#endif  // NV_TRANSFORM_ANALYSIS_H

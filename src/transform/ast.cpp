@@ -1,0 +1,196 @@
+#include "transform/ast.h"
+
+#include <map>
+
+namespace nv::transform {
+
+std::string_view type_name(Type type) noexcept {
+  switch (type) {
+    case Type::kVoid: return "void";
+    case Type::kInt: return "int";
+    case Type::kBool: return "bool";
+    case Type::kString: return "string";
+    case Type::kUid: return "uid_t";
+    case Type::kGid: return "gid_t";
+  }
+  return "?";
+}
+
+std::string_view binop_token(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kEq: return "==";
+    case BinOp::kNeq: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLeq: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGeq: return ">=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+bool is_comparison(BinOp op) noexcept {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNeq:
+    case BinOp::kLt:
+    case BinOp::kLeq:
+    case BinOp::kGt:
+    case BinOp::kGeq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprPtr Expr::clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->int_value = int_value;
+  copy->str_value = str_value;
+  copy->name = name;
+  copy->callee = callee;
+  for (const auto& arg : args) copy->args.push_back(arg->clone());
+  copy->op = op;
+  copy->un_op = un_op;
+  if (lhs) copy->lhs = lhs->clone();
+  if (rhs) copy->rhs = rhs->clone();
+  copy->type = type;
+  copy->uid_tainted = uid_tainted;
+  copy->line = line;
+  return copy;
+}
+
+ExprPtr Expr::int_lit(long long value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kIntLit;
+  e->int_value = value;
+  return e;
+}
+ExprPtr Expr::str_lit(std::string value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kStrLit;
+  e->str_value = std::move(value);
+  e->type = Type::kString;
+  return e;
+}
+ExprPtr Expr::bool_lit(bool value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBoolLit;
+  e->int_value = value ? 1 : 0;
+  e->type = Type::kBool;
+  return e;
+}
+ExprPtr Expr::var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVar;
+  e->name = std::move(name);
+  return e;
+}
+ExprPtr Expr::call(std::string callee, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCall;
+  e->callee = std::move(callee);
+  e->args = std::move(args);
+  return e;
+}
+ExprPtr Expr::binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+ExprPtr Expr::unary(UnOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->un_op = op;
+  e->lhs = std::move(operand);
+  return e;
+}
+ExprPtr Expr::assign(std::string name, ExprPtr value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAssign;
+  e->name = std::move(name);
+  e->lhs = std::move(value);
+  return e;
+}
+
+StmtPtr Stmt::clone() const {
+  auto copy = std::make_unique<Stmt>();
+  copy->kind = kind;
+  if (expr) copy->expr = expr->clone();
+  copy->decl_type = decl_type;
+  copy->name = name;
+  for (const auto& s : body) copy->body.push_back(s->clone());
+  for (const auto& s : else_body) copy->else_body.push_back(s->clone());
+  copy->line = line;
+  return copy;
+}
+
+Function Function::clone() const {
+  Function copy;
+  copy.ret = ret;
+  copy.name = name;
+  copy.params = params;
+  for (const auto& s : body) copy.body.push_back(s->clone());
+  return copy;
+}
+
+Program Program::clone() const {
+  Program copy;
+  for (const auto& f : functions) copy.functions.push_back(f.clone());
+  return copy;
+}
+
+const Function* Program::find(std::string_view name) const {
+  for (const auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const Builtin* find_builtin(std::string_view name) {
+  static const std::map<std::string, Builtin, std::less<>> builtins = {
+      // POSIX credential API — the inference seeds.
+      {"getuid", {Type::kUid, {}}},
+      {"geteuid", {Type::kUid, {}}},
+      {"getgid", {Type::kGid, {}}},
+      {"getegid", {Type::kGid, {}}},
+      {"setuid", {Type::kInt, {Type::kUid}}},
+      {"seteuid", {Type::kInt, {Type::kUid}}},
+      {"setreuid", {Type::kInt, {Type::kUid, Type::kUid}}},
+      {"setgid", {Type::kInt, {Type::kGid}}},
+      {"setegid", {Type::kInt, {Type::kGid}}},
+      // passwd/group lookups.
+      {"getpwnam_uid", {Type::kUid, {Type::kString}}},
+      {"getpwnam_gid", {Type::kGid, {Type::kString}}},
+      {"getgrnam_gid", {Type::kGid, {Type::kString}}},
+      {"getpwuid_ok", {Type::kBool, {Type::kUid}}},
+      // Application actions.
+      {"log_msg", {Type::kVoid, {Type::kString}}},
+      {"log_uid", {Type::kVoid, {Type::kString, Type::kUid}}},
+      {"respond", {Type::kVoid, {Type::kInt}}},
+      {"abort_request", {Type::kVoid, {}}},
+      {"exit", {Type::kVoid, {Type::kInt}}},
+      // Detection syscalls inserted by the transformer (Table 2).
+      {"uid_value", {Type::kUid, {Type::kUid}}},
+      {"cond_chk", {Type::kBool, {Type::kBool}}},
+      {"cc_eq", {Type::kBool, {Type::kUid, Type::kUid}}},
+      {"cc_neq", {Type::kBool, {Type::kUid, Type::kUid}}},
+      {"cc_lt", {Type::kBool, {Type::kUid, Type::kUid}}},
+      {"cc_leq", {Type::kBool, {Type::kUid, Type::kUid}}},
+      {"cc_gt", {Type::kBool, {Type::kUid, Type::kUid}}},
+      {"cc_geq", {Type::kBool, {Type::kUid, Type::kUid}}},
+  };
+  const auto it = builtins.find(name);
+  return it == builtins.end() ? nullptr : &it->second;
+}
+
+}  // namespace nv::transform

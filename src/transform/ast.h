@@ -1,0 +1,137 @@
+// Mini-C ("nvc"): the source language for the automated UID-transformation
+// study. §5 of the paper argues the manual Apache transformation "could be
+// readily automated" given (a) uid_t type information or Splint-style
+// inference and (b) a mechanical rewrite of constants, comparisons, and
+// conditionals. This module is that automation, end to end: parse → infer →
+// transform → print/execute.
+#ifndef NV_TRANSFORM_AST_H
+#define NV_TRANSFORM_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nv::transform {
+
+enum class Type : std::uint8_t { kVoid, kInt, kBool, kString, kUid, kGid };
+
+[[nodiscard]] std::string_view type_name(Type type) noexcept;
+[[nodiscard]] constexpr bool is_uid_type(Type type) noexcept {
+  return type == Type::kUid || type == Type::kGid;
+}
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNeq, kLt, kLeq, kGt, kGeq,
+  kAnd, kOr,
+};
+enum class UnOp : std::uint8_t { kNot, kNeg };
+
+[[nodiscard]] std::string_view binop_token(BinOp op) noexcept;
+[[nodiscard]] bool is_comparison(BinOp op) noexcept;
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One node kind for all expressions; the active fields depend on `kind`.
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kIntLit,    // int_value
+    kStrLit,    // str_value
+    kBoolLit,   // int_value (0/1)
+    kVar,       // name
+    kCall,      // callee, args
+    kBinary,    // op, lhs, rhs
+    kUnary,     // un_op, lhs
+    kAssign,    // name, lhs (value)
+  };
+
+  Kind kind = Kind::kIntLit;
+  long long int_value = 0;
+  std::string str_value;
+  std::string name;
+  std::string callee;
+  std::vector<ExprPtr> args;
+  BinOp op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNot;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // Filled by analysis: static type and whether the value is UID-derived
+  // (taint used by the transformer's cond_chk insertion).
+  Type type = Type::kInt;
+  bool uid_tainted = false;
+  int line = 0;
+
+  [[nodiscard]] ExprPtr clone() const;
+
+  static ExprPtr int_lit(long long value);
+  static ExprPtr str_lit(std::string value);
+  static ExprPtr bool_lit(bool value);
+  static ExprPtr var(std::string name);
+  static ExprPtr call(std::string callee, std::vector<ExprPtr> args);
+  static ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr unary(UnOp op, ExprPtr operand);
+  static ExprPtr assign(std::string name, ExprPtr value);
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kExpr,     // expr
+    kVarDecl,  // decl_type, name, expr (optional init)
+    kIf,       // expr, body, else_body
+    kWhile,    // expr, body
+    kReturn,   // expr (optional)
+    kBlock,    // body
+  };
+
+  Kind kind = Kind::kExpr;
+  ExprPtr expr;
+  Type decl_type = Type::kInt;
+  std::string name;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+  int line = 0;
+
+  [[nodiscard]] StmtPtr clone() const;
+};
+
+struct Param {
+  Type type = Type::kInt;
+  std::string name;
+};
+
+struct Function {
+  Type ret = Type::kVoid;
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+
+  [[nodiscard]] Function clone() const;
+};
+
+struct Program {
+  std::vector<Function> functions;
+
+  [[nodiscard]] Program clone() const;
+  [[nodiscard]] const Function* find(std::string_view name) const;
+};
+
+/// Builtin signatures: the APIs whose UID semantics seed the inference
+/// (getuid returns a UID; setuid consumes one — exactly the Splint seeds §4
+/// describes).
+struct Builtin {
+  Type ret = Type::kVoid;
+  std::vector<Type> params;
+};
+
+[[nodiscard]] const Builtin* find_builtin(std::string_view name);
+
+}  // namespace nv::transform
+
+#endif  // NV_TRANSFORM_AST_H

@@ -1,0 +1,43 @@
+// Tree-walking interpreter: executes mini-C programs as guests against a
+// GuestContext, so transformed programs run inside the MVEE for real. UID
+// builtins become syscalls; detection builtins become Table 2 syscalls.
+#ifndef NV_TRANSFORM_INTERP_H
+#define NV_TRANSFORM_INTERP_H
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "guest/guest_program.h"
+#include "transform/ast.h"
+
+namespace nv::transform {
+
+/// Runtime value: integers carry int/bool/uid/gid; strings are separate.
+using Value = std::variant<long long, std::string>;
+
+struct InterpResult {
+  Value ret = 0LL;
+  /// Lines produced by log_msg/log_uid, in order (also written to the log fd
+  /// when one is configured).
+  std::vector<std::string> log;
+  std::vector<long long> responses;  // respond(n) codes, in order
+  std::uint64_t steps = 0;
+};
+
+struct InterpOptions {
+  std::string entry = "main";
+  std::uint64_t max_steps = 1 << 20;  // guard against runaway guests
+  /// When >= 0, log lines are also written to this fd via ctx.write — making
+  /// log output visible to the MVEE monitor (the §4 error-log hazard).
+  os::fd_t log_fd = -1;
+};
+
+/// Execute `program` with `ctx` providing syscalls. Throws std::runtime_error
+/// on dynamic errors (unknown function, step overflow, division by zero).
+[[nodiscard]] InterpResult interpret(const Program& program, guest::GuestContext& ctx,
+                                     const InterpOptions& options = {});
+
+}  // namespace nv::transform
+
+#endif  // NV_TRANSFORM_INTERP_H

@@ -1,0 +1,119 @@
+#include "transform/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace nv::transform {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("lex error at line " + std::to_string(line) + ": " + message);
+}
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  const auto peek = [&](std::size_t offset = 0) -> char {
+    return i + offset < source.size() ? source[i + offset] : '\0';
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < source.size() && !(source[i] == '*' && peek(1) == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i >= source.size()) fail(line, "unterminated block comment");
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) != 0 || source[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back({TokenKind::kIdent, std::string(source.substr(start, i - start)), 0, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t start = i;
+      long long value = 0;
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        i += 2;
+        while (i < source.size() && std::isxdigit(static_cast<unsigned char>(source[i])) != 0) ++i;
+        value = std::stoll(std::string(source.substr(start, i - start)), nullptr, 16);
+      } else {
+        while (i < source.size() && std::isdigit(static_cast<unsigned char>(source[i])) != 0) ++i;
+        value = std::stoll(std::string(source.substr(start, i - start)));
+      }
+      tokens.push_back({TokenKind::kNumber, std::string(source.substr(start, i - start)), value,
+                        line});
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          ++i;
+          switch (source[i]) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            default: text += source[i]; break;
+          }
+        } else {
+          if (source[i] == '\n') fail(line, "newline in string literal");
+          text += source[i];
+        }
+        ++i;
+      }
+      if (i >= source.size()) fail(line, "unterminated string literal");
+      ++i;
+      tokens.push_back({TokenKind::kString, std::move(text), 0, line});
+      continue;
+    }
+    // Two-character operators first.
+    static constexpr std::string_view kTwoChar[] = {"==", "!=", "<=", ">=", "&&", "||"};
+    bool matched = false;
+    for (std::string_view op : kTwoChar) {
+      if (source.substr(i, 2) == op) {
+        tokens.push_back({TokenKind::kPunct, std::string(op), 0, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static constexpr std::string_view kOneChar = "+-*/<>=!(){},;";
+    if (kOneChar.find(c) != std::string_view::npos) {
+      tokens.push_back({TokenKind::kPunct, std::string(1, c), 0, line});
+      ++i;
+      continue;
+    }
+    fail(line, std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({TokenKind::kEof, "", 0, line});
+  return tokens;
+}
+
+}  // namespace nv::transform

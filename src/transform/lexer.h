@@ -1,0 +1,32 @@
+// Tokenizer for mini-C.
+#ifndef NV_TRANSFORM_LEXER_H
+#define NV_TRANSFORM_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nv::transform {
+
+enum class TokenKind : std::uint8_t {
+  kIdent,
+  kNumber,
+  kString,
+  kPunct,  // operators and punctuation, text in `text`
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  long long number = 0;
+  int line = 1;
+};
+
+/// Tokenize; throws std::runtime_error with line info on bad input.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace nv::transform
+
+#endif  // NV_TRANSFORM_LEXER_H

@@ -1,0 +1,234 @@
+#include "transform/mini_apache.h"
+
+namespace nv::transform {
+
+namespace {
+// UID usage patterns modelled on httpd 1.3: http_main.c (setuid dance),
+// suexec.c (target-user vetting), util.c (identity checks), mod_cgi-ish
+// per-request handling. Variable `cgi_uid` in run_cgi is deliberately
+// declared `int` to exercise the Splint-style inference path (§4).
+constexpr std::string_view kSource = R"NVC(
+// ---- identity helpers (util.c-ish) ----------------------------------------
+
+uid_t lookup_user(string name) {
+  uid_t uid = getpwnam_uid(name);
+  if (uid == 0xFFFFFFFF) {
+    log_msg("lookup_user: unknown user");
+    return 0xFFFFFFFF;
+  }
+  return uid;
+}
+
+gid_t lookup_group(string name) {
+  gid_t gid = getgrnam_gid(name);
+  if (gid == 0xFFFFFFFF) {
+    log_msg("lookup_group: unknown group");
+  }
+  return gid;
+}
+
+bool is_root_uid(uid_t uid) {
+  return uid == 0;
+}
+
+bool same_user(uid_t a, uid_t b) {
+  return a == b;
+}
+
+// ---- suexec.c-style target vetting ----------------------------------------
+
+bool uid_in_allowed_range(uid_t uid) {
+  bool too_low = uid < 100;
+  bool too_high = uid > 60000;
+  if (too_low || too_high) {
+    return false;
+  }
+  bool reserved = uid >= 500 && uid <= 999;
+  if (reserved) {
+    return false;
+  }
+  return true;
+}
+
+bool vet_cgi_target(uid_t target, uid_t worker) {
+  if (is_root_uid(target)) {
+    log_msg("suexec: refusing to run as root");
+    return false;
+  }
+  if (target == worker) {
+    log_msg("suexec: target equals worker");
+    return false;
+  }
+  if (target <= worker) {
+    log_msg("suexec: target not above worker");
+  }
+  if (!uid_in_allowed_range(target)) {
+    log_msg("suexec: target outside allowed range");
+    return false;
+  }
+  if (!getpwuid_ok(target)) {
+    log_msg("suexec: target has no passwd entry");
+    return false;
+  }
+  return true;
+}
+
+// ---- http_main.c-style privilege management --------------------------------
+
+int drop_privileges(uid_t worker, gid_t worker_gid) {
+  if (setegid(worker_gid) != 0) {
+    log_msg("drop: setegid failed");
+    return 1;
+  }
+  if (seteuid(worker) != 0) {
+    log_msg("drop: seteuid failed");
+    return 1;
+  }
+  uid_t now = geteuid();
+  if (now != worker) {
+    log_uid("drop: verification failed", now);
+    return 1;
+  }
+  uid_t real = getuid();
+  if (real != 0 && real != worker) {
+    log_msg("drop: unexpected real uid");
+  }
+  return 0;
+}
+
+int escalate() {
+  if (seteuid(0) != 0) {
+    log_msg("escalate: seteuid(0) failed");
+    return 1;
+  }
+  if (!is_root_uid(geteuid())) {
+    log_msg("escalate: still not root");
+    return 1;
+  }
+  return 0;
+}
+
+int restore(uid_t worker) {
+  if (seteuid(worker) != 0) {
+    log_uid("restore: seteuid failed", worker);
+    return 1;
+  }
+  uid_t now = geteuid();
+  if (now != worker) {
+    log_msg("restore: verification failed");
+    return 1;
+  }
+  return 0;
+}
+
+// ---- request handling (mod_cgi-ish) ----------------------------------------
+
+int run_cgi(string script_owner_name, uid_t worker) {
+  int cgi_uid = getpwnam_uid(script_owner_name);
+  if (cgi_uid == 0xFFFFFFFF) {
+    respond(404);
+    return 1;
+  }
+  if (!vet_cgi_target(cgi_uid, worker)) {
+    respond(403);
+    return 1;
+  }
+  if (same_user(cgi_uid, worker)) {
+    respond(200);
+    return 0;
+  }
+  if (escalate() != 0) {
+    respond(500);
+    return 1;
+  }
+  if (setuid(cgi_uid) != 0) {
+    log_uid("run_cgi: setuid failed", cgi_uid);
+    respond(500);
+    return 1;
+  }
+  uid_t effective = geteuid();
+  if (effective != cgi_uid) {
+    respond(500);
+    return 1;
+  }
+  respond(200);
+  return 0;
+}
+
+int serve_protected(uid_t worker) {
+  if (escalate() != 0) {
+    respond(500);
+    return 1;
+  }
+  respond(200);
+  if (restore(worker) != 0) {
+    respond(500);
+    return 1;
+  }
+  uid_t check = geteuid();
+  if (check == 0) {
+    log_msg("serve_protected: still root after restore");
+    return 1;
+  }
+  return 0;
+}
+
+int serve_static(uid_t worker) {
+  uid_t now = geteuid();
+  if (now != worker) {
+    log_uid("serve_static: unexpected identity", now);
+    respond(500);
+    return 1;
+  }
+  respond(200);
+  return 0;
+}
+
+// ---- main (startup + request loop) -----------------------------------------
+
+int main() {
+  uid_t boot_uid = getuid();
+  if (boot_uid != 0) {
+    log_msg("main: must start as root");
+    return 2;
+  }
+  uid_t worker = lookup_user("www");
+  gid_t worker_gid = lookup_group("www");
+  if (worker == 0xFFFFFFFF) {
+    return 2;
+  }
+  if (is_root_uid(worker)) {
+    log_msg("main: refusing User root");
+    return 2;
+  }
+  if (worker < 100) {
+    log_msg("main: User uid suspiciously low");
+  }
+  if (drop_privileges(worker, worker_gid) != 0) {
+    return 2;
+  }
+  uid_t sanity = geteuid();
+  if (sanity != worker) {
+    return 2;
+  }
+  int failures = 0;
+  if (serve_static(worker) != 0) {
+    failures = failures + 1;
+  }
+  if (serve_protected(worker) != 0) {
+    failures = failures + 1;
+  }
+  if (run_cgi("alice", worker) != 0) {
+    failures = failures + 1;
+  }
+  if (run_cgi("nosuchuser", worker) != 0) {
+    failures = failures + 1;
+  }
+  return 0;
+}
+)NVC";
+}  // namespace
+
+std::string_view mini_apache_source() { return kSource; }
+
+}  // namespace nv::transform

@@ -1,0 +1,26 @@
+// The mini-Apache source model: a mini-C program mirroring the UID usage
+// patterns of the Apache 1.3-era code base the paper transformed by hand —
+// privilege drop at startup, suexec-style target-user vetting, escalation
+// around protected work, and UID-bearing error logging. Running the
+// automated pass over this source regenerates the §4 change accounting.
+#ifndef NV_TRANSFORM_MINI_APACHE_H
+#define NV_TRANSFORM_MINI_APACHE_H
+
+#include <string_view>
+
+namespace nv::transform {
+
+/// Paper-reported manual change counts for Apache (§4).
+struct CaseStudyCounts {
+  static constexpr int kConstants = 15;
+  static constexpr int kUidValue = 16;
+  static constexpr int kComparisons = 22;
+  static constexpr int kCondChk = 20;
+  static constexpr int kTotal = 73;
+};
+
+[[nodiscard]] std::string_view mini_apache_source();
+
+}  // namespace nv::transform
+
+#endif  // NV_TRANSFORM_MINI_APACHE_H

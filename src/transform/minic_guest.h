@@ -1,0 +1,53 @@
+// Runs a mini-C program as an MVEE guest: each variant transforms the source
+// with ITS OWN reexpression mask at startup (the per-variant "build step"),
+// then interprets the transformed AST. This closes the loop the paper's §5
+// sketches: automated transformation producing variants that actually execute
+// under the monitor.
+#ifndef NV_TRANSFORM_MINIC_GUEST_H
+#define NV_TRANSFORM_MINIC_GUEST_H
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "guest/guest_program.h"
+#include "transform/interp.h"
+#include "transform/transform_pass.h"
+
+namespace nv::transform {
+
+class MiniCGuest final : public guest::GuestProgram {
+ public:
+  struct Options {
+    DetectionMode detection = DetectionMode::kSyscalls;
+    /// When non-empty the guest opens this (shared) log file and the
+    /// interpreter writes log_msg/log_uid lines through it, exposing log
+    /// output to the monitor.
+    std::string log_path = "/var/log/minic.log";
+    std::string entry = "main";
+    /// When false, run the ORIGINAL program in every variant (demonstrates
+    /// why normal equivalence requires the transformation).
+    bool apply_transformation = true;
+  };
+
+  explicit MiniCGuest(std::string source) : MiniCGuest(std::move(source), Options{}) {}
+  MiniCGuest(std::string source, Options options);
+
+  [[nodiscard]] std::string_view name() const override { return "minic-guest"; }
+  void run(guest::GuestContext& ctx) override;
+
+  /// Interpreter result per variant (valid after a run; guarded internally).
+  [[nodiscard]] InterpResult result_for(unsigned variant) const;
+  [[nodiscard]] TransformStats stats_for(unsigned variant) const;
+
+ private:
+  std::string source_;
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<unsigned, InterpResult> results_;
+  std::map<unsigned, TransformStats> stats_;
+};
+
+}  // namespace nv::transform
+
+#endif  // NV_TRANSFORM_MINIC_GUEST_H

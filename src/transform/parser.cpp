@@ -1,0 +1,315 @@
+#include "transform/parser.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "transform/lexer.h"
+
+namespace nv::transform {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse_program() {
+    Program program;
+    while (!at_eof()) program.functions.push_back(parse_function());
+    return program;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("parse error at line " + std::to_string(current().line) + ": " +
+                             message + " (near '" + current().text + "')");
+  }
+
+  const Token& current() const { return tokens_[pos_]; }
+  bool at_eof() const { return current().kind == TokenKind::kEof; }
+
+  bool is_punct(std::string_view text) const {
+    return current().kind == TokenKind::kPunct && current().text == text;
+  }
+  bool is_ident(std::string_view text) const {
+    return current().kind == TokenKind::kIdent && current().text == text;
+  }
+
+  Token take() { return tokens_[pos_++]; }
+
+  void expect_punct(std::string_view text) {
+    if (!is_punct(text)) fail("expected '" + std::string(text) + "'");
+    ++pos_;
+  }
+
+  std::string expect_ident() {
+    if (current().kind != TokenKind::kIdent) fail("expected identifier");
+    return take().text;
+  }
+
+  std::optional<Type> peek_type() const {
+    if (current().kind != TokenKind::kIdent) return std::nullopt;
+    const std::string& t = current().text;
+    if (t == "void") return Type::kVoid;
+    if (t == "int") return Type::kInt;
+    if (t == "bool") return Type::kBool;
+    if (t == "string") return Type::kString;
+    if (t == "uid_t") return Type::kUid;
+    if (t == "gid_t") return Type::kGid;
+    return std::nullopt;
+  }
+
+  Type expect_type() {
+    const auto type = peek_type();
+    if (!type) fail("expected type name");
+    ++pos_;
+    return *type;
+  }
+
+  Function parse_function() {
+    Function fn;
+    fn.ret = expect_type();
+    fn.name = expect_ident();
+    expect_punct("(");
+    if (!is_punct(")")) {
+      while (true) {
+        Param param;
+        param.type = expect_type();
+        param.name = expect_ident();
+        fn.params.push_back(std::move(param));
+        if (is_punct(")")) break;
+        expect_punct(",");
+      }
+    }
+    expect_punct(")");
+    fn.body = parse_block();
+    return fn;
+  }
+
+  std::vector<StmtPtr> parse_block() {
+    expect_punct("{");
+    std::vector<StmtPtr> statements;
+    while (!is_punct("}")) {
+      if (at_eof()) fail("unterminated block");
+      statements.push_back(parse_statement());
+    }
+    expect_punct("}");
+    return statements;
+  }
+
+  StmtPtr parse_statement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = current().line;
+
+    if (const auto type = peek_type(); type && *type != Type::kVoid) {
+      // Variable declaration: `type name [= expr];`
+      stmt->kind = Stmt::Kind::kVarDecl;
+      stmt->decl_type = expect_type();
+      stmt->name = expect_ident();
+      if (is_punct("=")) {
+        ++pos_;
+        stmt->expr = parse_expr();
+      }
+      expect_punct(";");
+      return stmt;
+    }
+    if (is_ident("if")) {
+      ++pos_;
+      stmt->kind = Stmt::Kind::kIf;
+      expect_punct("(");
+      stmt->expr = parse_expr();
+      expect_punct(")");
+      stmt->body = parse_block();
+      if (is_ident("else")) {
+        ++pos_;
+        if (is_ident("if")) {
+          stmt->else_body.push_back(parse_statement());
+        } else {
+          stmt->else_body = parse_block();
+        }
+      }
+      return stmt;
+    }
+    if (is_ident("while")) {
+      ++pos_;
+      stmt->kind = Stmt::Kind::kWhile;
+      expect_punct("(");
+      stmt->expr = parse_expr();
+      expect_punct(")");
+      stmt->body = parse_block();
+      return stmt;
+    }
+    if (is_ident("return")) {
+      ++pos_;
+      stmt->kind = Stmt::Kind::kReturn;
+      if (!is_punct(";")) stmt->expr = parse_expr();
+      expect_punct(";");
+      return stmt;
+    }
+    if (is_punct("{")) {
+      stmt->kind = Stmt::Kind::kBlock;
+      stmt->body = parse_block();
+      return stmt;
+    }
+    stmt->kind = Stmt::Kind::kExpr;
+    stmt->expr = parse_expr();
+    expect_punct(";");
+    return stmt;
+  }
+
+  // Precedence climbing: assignment < or < and < comparison < additive <
+  // multiplicative < unary < primary.
+  ExprPtr parse_expr() { return parse_assign(); }
+
+  ExprPtr parse_assign() {
+    ExprPtr lhs = parse_or();
+    if (is_punct("=")) {
+      if (lhs->kind != Expr::Kind::kVar) fail("assignment target must be a variable");
+      const int line = current().line;
+      ++pos_;
+      auto e = Expr::assign(lhs->name, parse_assign());
+      e->line = line;
+      return e;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (is_punct("||")) {
+      const int line = take().line;
+      auto e = Expr::binary(BinOp::kOr, std::move(lhs), parse_and());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_comparison();
+    while (is_punct("&&")) {
+      const int line = take().line;
+      auto e = Expr::binary(BinOp::kAnd, std::move(lhs), parse_comparison());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr lhs = parse_additive();
+    while (true) {
+      BinOp op;
+      if (is_punct("==")) op = BinOp::kEq;
+      else if (is_punct("!=")) op = BinOp::kNeq;
+      else if (is_punct("<")) op = BinOp::kLt;
+      else if (is_punct("<=")) op = BinOp::kLeq;
+      else if (is_punct(">")) op = BinOp::kGt;
+      else if (is_punct(">=")) op = BinOp::kGeq;
+      else return lhs;
+      const int line = take().line;
+      auto e = Expr::binary(op, std::move(lhs), parse_additive());
+      e->line = line;
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (is_punct("+") || is_punct("-")) {
+      const BinOp op = is_punct("+") ? BinOp::kAdd : BinOp::kSub;
+      const int line = take().line;
+      auto e = Expr::binary(op, std::move(lhs), parse_multiplicative());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_unary();
+    while (is_punct("*") || is_punct("/")) {
+      const BinOp op = is_punct("*") ? BinOp::kMul : BinOp::kDiv;
+      const int line = take().line;
+      auto e = Expr::binary(op, std::move(lhs), parse_unary());
+      e->line = line;
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (is_punct("!")) {
+      const int line = take().line;
+      auto e = Expr::unary(UnOp::kNot, parse_unary());
+      e->line = line;
+      return e;
+    }
+    if (is_punct("-")) {
+      const int line = take().line;
+      auto e = Expr::unary(UnOp::kNeg, parse_unary());
+      e->line = line;
+      return e;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const int line = current().line;
+    if (is_punct("(")) {
+      ++pos_;
+      ExprPtr inner = parse_expr();
+      expect_punct(")");
+      return inner;
+    }
+    if (current().kind == TokenKind::kNumber) {
+      auto e = Expr::int_lit(take().number);
+      e->line = line;
+      return e;
+    }
+    if (current().kind == TokenKind::kString) {
+      auto e = Expr::str_lit(take().text);
+      e->line = line;
+      return e;
+    }
+    if (current().kind == TokenKind::kIdent) {
+      if (current().text == "true" || current().text == "false") {
+        auto e = Expr::bool_lit(take().text == "true");
+        e->line = line;
+        return e;
+      }
+      std::string name = take().text;
+      if (is_punct("(")) {
+        ++pos_;
+        std::vector<ExprPtr> args;
+        if (!is_punct(")")) {
+          while (true) {
+            args.push_back(parse_expr());
+            if (is_punct(")")) break;
+            expect_punct(",");
+          }
+        }
+        expect_punct(")");
+        auto e = Expr::call(std::move(name), std::move(args));
+        e->line = line;
+        return e;
+      }
+      auto e = Expr::var(std::move(name));
+      e->line = line;
+      return e;
+    }
+    fail("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  Parser parser(lex(source));
+  return parser.parse_program();
+}
+
+}  // namespace nv::transform

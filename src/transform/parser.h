@@ -1,0 +1,17 @@
+// Recursive-descent parser for mini-C.
+#ifndef NV_TRANSFORM_PARSER_H
+#define NV_TRANSFORM_PARSER_H
+
+#include <string_view>
+
+#include "transform/ast.h"
+
+namespace nv::transform {
+
+/// Parse a translation unit; throws std::runtime_error with a line number on
+/// syntax errors.
+[[nodiscard]] Program parse(std::string_view source);
+
+}  // namespace nv::transform
+
+#endif  // NV_TRANSFORM_PARSER_H

@@ -1,0 +1,150 @@
+#include "transform/printer.h"
+
+#include "util/strings.h"
+
+namespace nv::transform {
+
+namespace {
+
+void print_expr(const Expr& expr, std::string& out) {
+  switch (expr.kind) {
+    case Expr::Kind::kIntLit:
+      if (expr.int_value > 0xFFFF) {
+        out += util::format("0x%llx", static_cast<unsigned long long>(expr.int_value));
+      } else {
+        out += std::to_string(expr.int_value);
+      }
+      return;
+    case Expr::Kind::kStrLit:
+      out += '"';
+      out += util::replace_all(util::replace_all(expr.str_value, "\\", "\\\\"), "\"", "\\\"");
+      out += '"';
+      return;
+    case Expr::Kind::kBoolLit:
+      out += expr.int_value != 0 ? "true" : "false";
+      return;
+    case Expr::Kind::kVar:
+      out += expr.name;
+      return;
+    case Expr::Kind::kCall:
+      out += expr.callee;
+      out += '(';
+      for (std::size_t i = 0; i < expr.args.size(); ++i) {
+        if (i != 0) out += ", ";
+        print_expr(*expr.args[i], out);
+      }
+      out += ')';
+      return;
+    case Expr::Kind::kBinary:
+      out += '(';
+      print_expr(*expr.lhs, out);
+      out += ' ';
+      out += binop_token(expr.op);
+      out += ' ';
+      print_expr(*expr.rhs, out);
+      out += ')';
+      return;
+    case Expr::Kind::kUnary:
+      out += expr.un_op == UnOp::kNot ? "!" : "-";
+      print_expr(*expr.lhs, out);
+      return;
+    case Expr::Kind::kAssign:
+      out += expr.name;
+      out += " = ";
+      print_expr(*expr.lhs, out);
+      return;
+  }
+}
+
+void print_stmt(const Stmt& stmt, std::string& out, int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  switch (stmt.kind) {
+    case Stmt::Kind::kVarDecl:
+      out += indent;
+      out += type_name(stmt.decl_type);
+      out += ' ';
+      out += stmt.name;
+      if (stmt.expr) {
+        out += " = ";
+        print_expr(*stmt.expr, out);
+      }
+      out += ";\n";
+      return;
+    case Stmt::Kind::kExpr:
+      out += indent;
+      print_expr(*stmt.expr, out);
+      out += ";\n";
+      return;
+    case Stmt::Kind::kReturn:
+      out += indent;
+      out += "return";
+      if (stmt.expr) {
+        out += ' ';
+        print_expr(*stmt.expr, out);
+      }
+      out += ";\n";
+      return;
+    case Stmt::Kind::kIf:
+      out += indent;
+      out += "if (";
+      print_expr(*stmt.expr, out);
+      out += ") {\n";
+      for (const auto& child : stmt.body) print_stmt(*child, out, depth + 1);
+      out += indent;
+      out += "}";
+      if (!stmt.else_body.empty()) {
+        out += " else {\n";
+        for (const auto& child : stmt.else_body) print_stmt(*child, out, depth + 1);
+        out += indent;
+        out += "}";
+      }
+      out += "\n";
+      return;
+    case Stmt::Kind::kWhile:
+      out += indent;
+      out += "while (";
+      print_expr(*stmt.expr, out);
+      out += ") {\n";
+      for (const auto& child : stmt.body) print_stmt(*child, out, depth + 1);
+      out += indent;
+      out += "}\n";
+      return;
+    case Stmt::Kind::kBlock:
+      out += indent;
+      out += "{\n";
+      for (const auto& child : stmt.body) print_stmt(*child, out, depth + 1);
+      out += indent;
+      out += "}\n";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string print(const Expr& expr) {
+  std::string out;
+  print_expr(expr, out);
+  return out;
+}
+
+std::string print(const Program& program) {
+  std::string out;
+  for (const auto& fn : program.functions) {
+    out += type_name(fn.ret);
+    out += ' ';
+    out += fn.name;
+    out += '(';
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += type_name(fn.params[i].type);
+      out += ' ';
+      out += fn.params[i].name;
+    }
+    out += ") {\n";
+    for (const auto& stmt : fn.body) print_stmt(*stmt, out, 1);
+    out += "}\n\n";
+  }
+  return out;
+}
+
+}  // namespace nv::transform

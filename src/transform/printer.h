@@ -1,0 +1,17 @@
+// Pretty-printer: AST -> mini-C source (used by the transform_tool example
+// and round-trip tests).
+#ifndef NV_TRANSFORM_PRINTER_H
+#define NV_TRANSFORM_PRINTER_H
+
+#include <string>
+
+#include "transform/ast.h"
+
+namespace nv::transform {
+
+[[nodiscard]] std::string print(const Program& program);
+[[nodiscard]] std::string print(const Expr& expr);
+
+}  // namespace nv::transform
+
+#endif  // NV_TRANSFORM_PRINTER_H

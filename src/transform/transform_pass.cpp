@@ -1,0 +1,239 @@
+#include "transform/transform_pass.h"
+
+namespace nv::transform {
+
+namespace {
+
+const char* cc_name(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return "cc_eq";
+    case BinOp::kNeq: return "cc_neq";
+    case BinOp::kLt: return "cc_lt";
+    case BinOp::kLeq: return "cc_leq";
+    case BinOp::kGt: return "cc_gt";
+    case BinOp::kGeq: return "cc_geq";
+    default: return nullptr;
+  }
+}
+
+BinOp reversed(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: return BinOp::kGt;
+    case BinOp::kLeq: return BinOp::kGeq;
+    case BinOp::kGt: return BinOp::kLt;
+    case BinOp::kGeq: return BinOp::kLeq;
+    default: return op;
+  }
+}
+
+class Transformer {
+ public:
+  Transformer(const Program& program, const TransformOptions& options, TransformStats& stats)
+      : program_(program), options_(options), stats_(stats) {}
+
+  Program run() {
+    Program out = program_.clone();
+    for (auto& fn : out.functions) {
+      current_ret_ = fn.ret;
+      for (auto& stmt : fn.body) rewrite_stmt(*stmt);
+    }
+    return out;
+  }
+
+ private:
+  // ---- constants -----------------------------------------------------------
+
+  /// Reexpress an integer literal that sits in a UID context.
+  void reexpress_literal(Expr& lit) {
+    ++stats_.constants_reexpressed;
+    const auto canonical = static_cast<os::uid_t>(lit.int_value);
+    lit.int_value = static_cast<long long>(canonical ^ options_.mask);
+    lit.type = Type::kUid;
+  }
+
+  // ---- expressions ---------------------------------------------------------
+
+  /// Rewrite `expr` in place. `uid_context` is the type the surrounding
+  /// context expects (used to catch literals in UID positions).
+  void rewrite_expr(ExprPtr& expr, Type uid_context = Type::kInt) {
+    switch (expr->kind) {
+      case Expr::Kind::kIntLit:
+        if (is_uid_type(uid_context)) reexpress_literal(*expr);
+        return;
+      case Expr::Kind::kStrLit:
+      case Expr::Kind::kBoolLit:
+      case Expr::Kind::kVar:
+        return;
+      case Expr::Kind::kCall:
+        rewrite_call(*expr);
+        return;
+      case Expr::Kind::kBinary:
+        rewrite_binary(expr);
+        return;
+      case Expr::Kind::kUnary:
+        if (expr->un_op == UnOp::kNot && is_uid_type(expr->lhs->type)) {
+          // §3.3's example: if(!getuid()) has an implied comparison with 0.
+          // Make it explicit so the constant can be reexpressed.
+          ++stats_.implicit_made_explicit;
+          ExprPtr operand = std::move(expr->lhs);
+          const Type operand_type = operand->type;
+          auto zero = Expr::int_lit(0);
+          zero->type = operand_type;
+          auto cmp = Expr::binary(BinOp::kEq, std::move(operand), std::move(zero));
+          cmp->type = Type::kBool;
+          cmp->uid_tainted = true;
+          cmp->lhs->uid_tainted = true;
+          expr = std::move(cmp);
+          rewrite_binary(expr);
+          return;
+        }
+        rewrite_expr(expr->lhs);
+        return;
+      case Expr::Kind::kAssign:
+        rewrite_expr(expr->lhs, expr->type);
+        return;
+    }
+  }
+
+  void rewrite_call(Expr& call) {
+    const Signature* sig = find_signature(program_, call.callee);
+    for (std::size_t i = 0; i < call.args.size(); ++i) {
+      const Type param = sig && i < sig->params.size() ? sig->params[i] : Type::kInt;
+      rewrite_expr(call.args[i], param);
+      if (options_.detection == DetectionMode::kSyscalls && is_uid_type(param) &&
+          expose_uid_arg(call.callee)) {
+        // §3.5: pw = getpwname(uid) becomes pw = getpwname(uid_value(uid)).
+        ++stats_.uid_value_insertions;
+        std::vector<ExprPtr> wrapped;
+        wrapped.push_back(std::move(call.args[i]));
+        auto check = Expr::call("uid_value", std::move(wrapped));
+        check->type = param;
+        check->uid_tainted = true;
+        call.args[i] = std::move(check);
+      }
+    }
+  }
+
+  /// The kernel wrapper already inverse-transforms and cross-checks the
+  /// set*id family, and the detection calls check themselves; log output is
+  /// handled by the §4 workaround (removal), not by exposure. Everything
+  /// else consuming a UID gets a uid_value exposure.
+  static bool expose_uid_arg(const std::string& callee) {
+    static const char* kExempt[] = {"setuid",  "seteuid", "setreuid", "setgid",
+                                    "setegid", "log_uid", "uid_value",
+                                    "cc_eq",   "cc_neq",  "cc_lt",    "cc_leq",
+                                    "cc_gt",   "cc_geq"};
+    for (const char* name : kExempt) {
+      if (callee == name) return false;
+    }
+    return true;
+  }
+
+  void rewrite_binary(ExprPtr& expr) {
+    if (is_comparison(expr->op)) {
+      const bool uid_compare = is_uid_type(expr->lhs->type) || is_uid_type(expr->rhs->type);
+      // Children first; a literal facing a UID-typed sibling is a UID
+      // constant and is reexpressed via the context parameter.
+      rewrite_expr(expr->lhs, uid_compare ? expr->rhs->type : Type::kInt);
+      rewrite_expr(expr->rhs, uid_compare ? expr->lhs->type : Type::kInt);
+      if (uid_compare && options_.detection == DetectionMode::kSyscalls) {
+        // (uid == VARIANT_ROOT) → cc_eq(uid, VARIANT_ROOT): one syscall
+        // checks both values and keeps variant instruction streams identical.
+        ++stats_.cc_rewrites;
+        std::vector<ExprPtr> args;
+        args.push_back(std::move(expr->lhs));
+        args.push_back(std::move(expr->rhs));
+        auto call = Expr::call(cc_name(expr->op), std::move(args));
+        call->type = Type::kBool;
+        call->uid_tainted = true;
+        call->line = expr->line;
+        expr = std::move(call);
+        return;
+      }
+      if (uid_compare && options_.detection == DetectionMode::kUserSpaceReversed &&
+          options_.mask != 0 && expr->op != BinOp::kEq && expr->op != BinOp::kNeq) {
+        // §3.3: inequality comparisons must be logically reversed on the
+        // reexpressed variant to preserve semantics in user space.
+        ++stats_.inequalities_reversed;
+        expr->op = reversed(expr->op);
+      }
+      return;
+    }
+    rewrite_expr(expr->lhs);
+    rewrite_expr(expr->rhs);
+  }
+
+  // ---- statements ----------------------------------------------------------
+
+  /// Wrap a UID-influenced condition in cond_chk (unless it is already a
+  /// self-checking cc_* call).
+  void check_condition(ExprPtr& cond) {
+    if (options_.detection == DetectionMode::kNone) return;
+    if (!cond->uid_tainted) return;
+    if (cond->kind == Expr::Kind::kCall && cond->callee.starts_with("cc_")) return;
+    ++stats_.cond_chk_insertions;
+    std::vector<ExprPtr> args;
+    args.push_back(std::move(cond));
+    auto call = Expr::call("cond_chk", std::move(args));
+    call->type = Type::kBool;
+    call->uid_tainted = true;
+    cond = std::move(call);
+  }
+
+  /// Conditions get truthiness normalization first: a bare UID expression in
+  /// boolean position carries an implied `!= 0`.
+  void rewrite_condition(ExprPtr& cond) {
+    if (is_uid_type(cond->type)) {
+      ++stats_.implicit_made_explicit;
+      const Type t = cond->type;
+      auto zero = Expr::int_lit(0);
+      zero->type = t;
+      auto cmp = Expr::binary(BinOp::kNeq, std::move(cond), std::move(zero));
+      cmp->type = Type::kBool;
+      cmp->uid_tainted = true;
+      cmp->lhs->uid_tainted = true;
+      cond = std::move(cmp);
+    }
+    rewrite_expr(cond);
+    check_condition(cond);
+  }
+
+  void rewrite_stmt(Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kVarDecl:
+        if (stmt.expr) rewrite_expr(stmt.expr, stmt.decl_type);
+        return;
+      case Stmt::Kind::kExpr:
+        if (stmt.expr) rewrite_expr(stmt.expr);
+        return;
+      case Stmt::Kind::kReturn:
+        if (stmt.expr) rewrite_expr(stmt.expr, current_ret_);
+        return;
+      case Stmt::Kind::kIf:
+      case Stmt::Kind::kWhile:
+        rewrite_condition(stmt.expr);
+        for (auto& child : stmt.body) rewrite_stmt(*child);
+        for (auto& child : stmt.else_body) rewrite_stmt(*child);
+        return;
+      case Stmt::Kind::kBlock:
+        for (auto& child : stmt.body) rewrite_stmt(*child);
+        return;
+    }
+  }
+
+  const Program& program_;
+  const TransformOptions& options_;
+  TransformStats& stats_;
+  Type current_ret_ = Type::kVoid;
+};
+
+}  // namespace
+
+Program transform_uid(const Program& program, const TransformOptions& options,
+                      TransformStats* stats) {
+  TransformStats local;
+  Transformer transformer(program, options, stats ? *stats : local);
+  return transformer.run();
+}
+
+}  // namespace nv::transform

@@ -1,0 +1,56 @@
+// The automated UID transformation pass (§3.3 + §3.5 mechanised).
+//
+// Given an analyzed program, produce the variant-i program:
+//   1. make implicit UID comparisons explicit (`!getuid()` → `getuid() == 0`);
+//   2. reexpress UID constants (`0` → `R_i(0)`);
+//   3. rewrite UID comparisons into cc_* detection syscalls (or logically
+//      reverse inequality operators for the user-space alternative);
+//   4. wrap UID-influenced conditionals in cond_chk;
+//   5. expose single-UID uses with uid_value at call sites.
+//
+// TransformStats mirrors the §4 case-study accounting (15 constants,
+// 16 uid_value, 22 cc_*, 20 cond_chk = 73 changes for Apache).
+#ifndef NV_TRANSFORM_TRANSFORM_PASS_H
+#define NV_TRANSFORM_TRANSFORM_PASS_H
+
+#include <string>
+
+#include "transform/analysis.h"
+#include "transform/ast.h"
+#include "vkernel/types.h"
+
+namespace nv::transform {
+
+enum class DetectionMode {
+  kSyscalls,          // cc_* + cond_chk + uid_value (the paper's deployment)
+  kUserSpaceReversed, // reverse inequalities in user space, cond_chk outcomes
+  kNone,              // data reexpression only (no detection exposure)
+};
+
+struct TransformOptions {
+  /// R_i as an XOR mask; 0 for variant 0 (identity — constants untouched).
+  os::uid_t mask = 0x7FFFFFFF;
+  DetectionMode detection = DetectionMode::kSyscalls;
+};
+
+struct TransformStats {
+  int constants_reexpressed = 0;
+  int implicit_made_explicit = 0;
+  int uid_value_insertions = 0;
+  int cc_rewrites = 0;
+  int cond_chk_insertions = 0;
+  int inequalities_reversed = 0;  // user-space mode only
+
+  [[nodiscard]] int total() const noexcept {
+    return constants_reexpressed + uid_value_insertions + cc_rewrites + cond_chk_insertions;
+  }
+};
+
+/// `program` must already be annotated by analyze(). Returns the transformed
+/// clone; `stats` (optional) receives the per-category change counts.
+[[nodiscard]] Program transform_uid(const Program& program, const TransformOptions& options,
+                                    TransformStats* stats = nullptr);
+
+}  // namespace nv::transform
+
+#endif  // NV_TRANSFORM_TRANSFORM_PASS_H

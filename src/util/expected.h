@@ -1,0 +1,68 @@
+// Minimal Expected<T, E> (std::expected is C++23; this toolchain is C++20).
+// Used for expected failure paths (parse errors, syscall errno results);
+// programming errors throw.
+#ifndef NV_UTIL_EXPECTED_H
+#define NV_UTIL_EXPECTED_H
+
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+namespace nv::util {
+
+/// Wrapper distinguishing the error alternative when T and E are the same type.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Unexpected<E> err) : data_(std::in_place_index<1>, std::move(err.error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool has_value() const noexcept { return data_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    require_value();
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    require_value();
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_value();
+    return std::get<0>(std::move(data_));
+  }
+
+  [[nodiscard]] const E& error() const& {
+    if (has_value()) throw std::logic_error("Expected holds a value, not an error");
+    return std::get<1>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  void require_value() const {
+    if (!has_value()) throw std::logic_error("Expected holds an error, not a value");
+  }
+
+  std::variant<T, E> data_;
+};
+
+}  // namespace nv::util
+
+#endif  // NV_UTIL_EXPECTED_H

@@ -1,0 +1,58 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace nv::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Logger Logger::stderr_logger(LogLevel threshold) {
+  return Logger{[](LogLevel level, std::string_view message) {
+                  std::fprintf(stderr, "%.*s %.*s\n",
+                               static_cast<int>(to_string(level).size()), to_string(level).data(),
+                               static_cast<int>(message.size()), message.data());
+                },
+                threshold};
+}
+
+Logger& Logger::null_logger() {
+  static Logger instance;  // no sink: log() is a no-op
+  return instance;
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (!sink_ || level < threshold_) return;
+  const std::scoped_lock lock(mutex_);
+  sink_(level, message);
+}
+
+Logger::Sink CaptureSink::sink() {
+  return [this](LogLevel level, std::string_view message) {
+    const std::scoped_lock lock(mutex_);
+    lines_.emplace_back(std::string(to_string(level)) + " " + std::string(message));
+  };
+}
+
+std::vector<std::string> CaptureSink::lines() const {
+  const std::scoped_lock lock(mutex_);
+  return lines_;
+}
+
+bool CaptureSink::contains(std::string_view needle) const {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& line : lines_) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace nv::util

@@ -1,0 +1,63 @@
+// Leveled logger with pluggable sink. No global mutable state: components
+// receive a Logger (or default to a shared no-op instance).
+#ifndef NV_UTIL_LOG_H
+#define NV_UTIL_LOG_H
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nv::util {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Thread-safe leveled logger. The sink receives fully formatted lines.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  Logger() = default;
+  explicit Logger(Sink sink, LogLevel threshold = LogLevel::kInfo)
+      : sink_(std::move(sink)), threshold_(threshold) {}
+
+  /// Logger that writes "LEVEL message" lines to stderr.
+  [[nodiscard]] static Logger stderr_logger(LogLevel threshold = LogLevel::kInfo);
+
+  /// Shared silent logger for components that were not given one.
+  [[nodiscard]] static Logger& null_logger();
+
+  void set_threshold(LogLevel threshold) noexcept { threshold_ = threshold; }
+  [[nodiscard]] LogLevel threshold() const noexcept { return threshold_; }
+
+  void log(LogLevel level, std::string_view message);
+  void trace(std::string_view m) { log(LogLevel::kTrace, m); }
+  void debug(std::string_view m) { log(LogLevel::kDebug, m); }
+  void info(std::string_view m) { log(LogLevel::kInfo, m); }
+  void warn(std::string_view m) { log(LogLevel::kWarn, m); }
+  void error(std::string_view m) { log(LogLevel::kError, m); }
+
+ private:
+  Sink sink_;
+  LogLevel threshold_ = LogLevel::kInfo;
+  std::mutex mutex_;
+};
+
+/// Sink that captures lines into a vector (used by tests).
+class CaptureSink {
+ public:
+  [[nodiscard]] Logger::Sink sink();
+  [[nodiscard]] std::vector<std::string> lines() const;
+  [[nodiscard]] bool contains(std::string_view needle) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace nv::util
+
+#endif  // NV_UTIL_LOG_H

@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// All randomness in nvsys flows through explicitly seeded Rng instances so
+// that every experiment is reproducible bit-for-bit. The generator is
+// xoshiro256** seeded via splitmix64, which is fast, well distributed, and
+// has no global state.
+#ifndef NV_UTIL_RNG_H
+#define NV_UTIL_RNG_H
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace nv::util {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic xoshiro256** generator. Copyable; copies evolve independently.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() noexcept { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean (for DES inter-arrivals).
+  double exponential(double mean) noexcept;
+
+  /// Normally distributed value (Box-Muller; consumes two draws).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  /// Pick a uniformly random element; requires a non-empty container.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) noexcept {
+    return items[below(items.size())];
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  [[nodiscard]] Rng split() noexcept { return Rng{next_u64()}; }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace nv::util
+
+#endif  // NV_UTIL_RNG_H

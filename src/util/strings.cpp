@@ -1,0 +1,128 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nv::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_ws(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+    std::size_t start = i;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) == 0) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept {
+  const std::string_view t = trim(text);
+  if (t.empty()) return std::nullopt;
+  int base = 10;
+  std::size_t i = 0;
+  if (t.size() > 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+    base = 16;
+    i = 2;
+  }
+  std::uint64_t value = 0;
+  for (; i < t.size(); ++i) {
+    const char c = t[i];
+    int digit = -1;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (base == 16 && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (base == 16 && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    if (digit < 0) return std::nullopt;
+    value = value * static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(digit);
+  }
+  return value;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view text) noexcept {
+  std::string_view t = trim(text);
+  bool negative = false;
+  if (!t.empty() && (t[0] == '-' || t[0] == '+')) {
+    negative = t[0] == '-';
+    t.remove_prefix(1);
+  }
+  const auto magnitude = parse_u64(t);
+  if (!magnitude) return std::nullopt;
+  const auto value = static_cast<std::int64_t>(*magnitude);
+  return negative ? -value : value;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+std::string hex32(std::uint32_t value) { return format("0x%08x", value); }
+
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      return out;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+}  // namespace nv::util

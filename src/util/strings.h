@@ -1,0 +1,42 @@
+// Small string helpers shared across modules (no locale dependence).
+#ifndef NV_UTIL_STRINGS_H
+#define NV_UTIL_STRINGS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nv::util {
+
+/// Split on a single character; empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split on any whitespace run; empty fields are dropped.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view text);
+
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Parse a decimal (or 0x-prefixed hex) unsigned integer.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text) noexcept;
+[[nodiscard]] std::optional<std::int64_t> parse_i64(std::string_view text) noexcept;
+
+/// printf-style formatting into a std::string (std::format is unavailable on
+/// this toolchain).
+[[nodiscard]] std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Hex rendering of a 32-bit value, zero padded: "0x7fffffff".
+[[nodiscard]] std::string hex32(std::uint32_t value);
+
+/// Replace all occurrences of `from` with `to`.
+[[nodiscard]] std::string replace_all(std::string_view text, std::string_view from,
+                                      std::string_view to);
+
+}  // namespace nv::util
+
+#endif  // NV_UTIL_STRINGS_H

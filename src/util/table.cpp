@@ -1,0 +1,52 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace nv::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+  right_aligned_.assign(header_.size(), false);
+}
+
+void TextTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void TextTable::align_right(std::size_t column) {
+  if (column >= right_aligned_.size()) right_aligned_.resize(column + 1, false);
+  right_aligned_[column] = true;
+}
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      const bool right = i < right_aligned_.size() && right_aligned_[i];
+      const std::size_t pad = widths[i] - cell.size();
+      out << "| ";
+      if (right) out << std::string(pad, ' ') << cell;
+      else out << cell << std::string(pad, ' ');
+      out << ' ';
+    }
+    out << "|\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    for (std::size_t i = 0; i < columns; ++i) out << "|" << std::string(widths[i] + 2, '-');
+    out << "|\n";
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace nv::util

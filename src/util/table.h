@@ -1,0 +1,31 @@
+// ASCII table renderer used by benches to print paper-style result tables.
+#ifndef NV_UTIL_TABLE_H
+#define NV_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace nv::util {
+
+/// Column-aligned text table with an optional header row, rendered with a
+/// separator line under the header (the style the benches print).
+class TextTable {
+ public:
+  /// Sets the header row; resets alignment hints to left.
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Mark a column as right-aligned (numbers).
+  void align_right(std::size_t column);
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> right_aligned_;
+};
+
+}  // namespace nv::util
+
+#endif  // NV_UTIL_TABLE_H

@@ -1,0 +1,4 @@
+#include "variants/address_partitioning.h"
+
+// Header-only logic; this translation unit anchors the vtable.
+namespace nv::variants {}

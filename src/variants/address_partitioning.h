@@ -1,0 +1,69 @@
+// Address-space partitioning (Table 1 rows 1-2; Cox et al. [16], Bruschi et
+// al. [9]).
+//
+// Variant i's data segment is placed at disjoint bases: an attacker-injected
+// absolute address can be mapped in at most one variant, so the other takes a
+// memory fault the monitor observes (Figure 1). The extended variant adds a
+// per-variant extra offset so that even partial (low-byte) pointer overwrites
+// land at different relative targets across variants.
+#ifndef NV_VARIANTS_ADDRESS_PARTITIONING_H
+#define NV_VARIANTS_ADDRESS_PARTITIONING_H
+
+#include "core/variation.h"
+#include "util/rng.h"
+
+namespace nv::variants {
+
+class AddressPartitioning : public core::Variation {
+ public:
+  explicit AddressPartitioning(std::uint64_t partition_stride = 0x80000000ULL)
+      : stride_(partition_stride) {}
+
+  [[nodiscard]] std::string_view name() const override { return "address-partitioning"; }
+
+  void configure_variant(core::VariantConfig& config) const override {
+    config.memory_base += stride_ * config.index + extra_offset(config.index);
+  }
+
+  /// R_i over addresses, for property checks and Table 1 rendering.
+  [[nodiscard]] core::AddressOffset reexpression(unsigned variant) const {
+    return core::AddressOffset{stride_ * variant + extra_offset(variant)};
+  }
+
+  [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
+
+ protected:
+  [[nodiscard]] virtual std::uint64_t extra_offset(unsigned /*variant*/) const { return 0; }
+
+ private:
+  std::uint64_t stride_;
+};
+
+/// Bruschi et al.'s extension: R_1(a) = a + 0x80000000 + offset, with the
+/// per-variant offset page-aligned and drawn from a seeded generator.
+class ExtendedAddressPartitioning final : public AddressPartitioning {
+ public:
+  ExtendedAddressPartitioning(std::uint64_t partition_stride, std::uint64_t max_offset,
+                              std::uint64_t seed)
+      : AddressPartitioning(partition_stride), max_offset_(max_offset), seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "extended-address-partitioning";
+  }
+
+ protected:
+  [[nodiscard]] std::uint64_t extra_offset(unsigned variant) const override {
+    if (variant == 0) return 0;
+    util::Rng rng{seed_ + variant};
+    // Always at least one page so the variant layouts genuinely differ.
+    return (rng.below(max_offset_ / 4096 - 1) + 1) * 4096;
+  }
+
+ private:
+  std::uint64_t max_offset_;
+  std::uint64_t seed_;
+};
+
+}  // namespace nv::variants
+
+#endif  // NV_VARIANTS_ADDRESS_PARTITIONING_H

@@ -1,0 +1,14 @@
+#include "variants/instruction_tagging.h"
+
+namespace nv::variants {
+
+std::uint64_t InstructionTagging::load_program(vkernel::AddressSpace& memory, std::uint64_t base,
+                                               const vkernel::VmProgram& program,
+                                               unsigned variant) const {
+  const auto image = program.assemble(tag_for(variant));
+  memory.map(base, image.size());
+  memory.store_bytes(base, image);
+  return image.size();
+}
+
+}  // namespace nv::variants

@@ -1,0 +1,44 @@
+// Instruction-set tagging (Table 1 row 3; Cox et al. [16]).
+//
+// Trusted code is loaded with a per-variant tag prepended to every
+// instruction (R_i(inst) = tag_i || inst); the VM checks and strips the tag
+// before execution. Injected code carries one concrete byte sequence, so its
+// tags can match at most one variant's expectation.
+#ifndef NV_VARIANTS_INSTRUCTION_TAGGING_H
+#define NV_VARIANTS_INSTRUCTION_TAGGING_H
+
+#include "core/variation.h"
+#include "vkernel/vm.h"
+
+namespace nv::variants {
+
+class InstructionTagging final : public core::Variation {
+ public:
+  explicit InstructionTagging(std::uint8_t base_tag = 0xA0) : base_tag_(base_tag) {}
+
+  [[nodiscard]] std::string_view name() const override { return "instruction-tagging"; }
+
+  void configure_variant(core::VariantConfig& config) const override {
+    config.code_tag = tag_for(config.index);
+  }
+
+  [[nodiscard]] std::uint8_t tag_for(unsigned variant) const noexcept {
+    return static_cast<std::uint8_t>(base_tag_ + variant);
+  }
+
+  /// Load `program` into `memory` at `base`, tagged for `variant`; returns
+  /// the image size. This is the "loader applies R_i" step.
+  std::uint64_t load_program(vkernel::AddressSpace& memory, std::uint64_t base,
+                             const vkernel::VmProgram& program, unsigned variant) const;
+
+  [[nodiscard]] core::InstructionTag reexpression(unsigned variant) const {
+    return core::InstructionTag{tag_for(variant)};
+  }
+
+ private:
+  std::uint8_t base_tag_;
+};
+
+}  // namespace nv::variants
+
+#endif  // NV_VARIANTS_INSTRUCTION_TAGGING_H

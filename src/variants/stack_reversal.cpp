@@ -1,0 +1,4 @@
+#include "variants/stack_reversal.h"
+
+// Header-only logic; this translation unit anchors the vtable.
+namespace nv::variants {}

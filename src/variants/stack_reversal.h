@@ -1,0 +1,26 @@
+// Reverse-stack-ordering variation (Franz [20]; mentioned in §1 as providing
+// probabilistic protection against relative memory-corruption attacks).
+//
+// Guests that maintain a simulated stack consult VariantConfig::reverse_stack
+// and grow it in opposite directions per variant, so a linear overrun that
+// corrupts the saved datum in one variant corrupts dead space in the other.
+// Included as the paper's "other variations" extension point.
+#ifndef NV_VARIANTS_STACK_REVERSAL_H
+#define NV_VARIANTS_STACK_REVERSAL_H
+
+#include "core/variation.h"
+
+namespace nv::variants {
+
+class StackReversal final : public core::Variation {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "stack-reversal"; }
+
+  void configure_variant(core::VariantConfig& config) const override {
+    config.reverse_stack = (config.index % 2) == 1;
+  }
+};
+
+}  // namespace nv::variants
+
+#endif  // NV_VARIANTS_STACK_REVERSAL_H

@@ -1,0 +1,69 @@
+#include "variants/uid_variation.h"
+
+#include "vfs/passwd.h"
+#include "vfs/path.h"
+
+namespace nv::variants {
+
+UidVariation::UidVariation(Options options) : options_(std::move(options)) {}
+
+os::uid_t UidVariation::mask_for(unsigned variant) const noexcept {
+  if (variant == 0) return 0;
+  return options_.variant1_mask >> (variant - 1);
+}
+
+core::ReexpressionPtr<os::uid_t> UidVariation::coder_for(unsigned variant) const {
+  if (variant == 0) return std::make_shared<core::Identity<os::uid_t>>();
+  return std::make_shared<core::XorMask>(mask_for(variant));
+}
+
+void UidVariation::configure_variant(core::VariantConfig& config) const {
+  config.uid_coder = coder_for(config.index);
+}
+
+void UidVariation::prepare_filesystem(vfs::FileSystem& fs, unsigned n_variants) const {
+  const os::Credentials root = os::Credentials::root();
+  for (const auto& path : options_.diversified_files) {
+    auto original = fs.read_file(path, root);
+    if (!original) continue;  // file absent in this deployment: nothing to diversify
+    const bool is_group = vfs::basename(path).find("group") != std::string::npos;
+    for (unsigned v = 0; v < n_variants; ++v) {
+      const os::uid_t mask = mask_for(v);
+      auto recode = [mask](os::uid_t u) { return u ^ mask; };
+      const std::string content = is_group
+                                      ? vfs::diversify_group(*original, recode)
+                                      : vfs::diversify_passwd(*original, recode, recode);
+      auto stat = fs.stat(path);
+      const os::mode_t mode = stat ? stat->mode : 0644;
+      if (!fs.write_file(vfs::variant_path(path, v), content, root, mode)) {
+        continue;  // leave the copy absent; opens will fail loudly at runtime
+      }
+    }
+  }
+}
+
+std::vector<std::string> UidVariation::unshared_paths() const {
+  return options_.diversified_files;
+}
+
+void UidVariation::canonicalize_args(unsigned variant, vkernel::SyscallArgs& args) const {
+  const os::uid_t mask = mask_for(variant);
+  if (mask == 0) return;
+  for (const std::size_t index : vkernel::uid_arg_indices(args)) {
+    if (index < args.ints.size()) {
+      args.ints[index] =
+          static_cast<os::uid_t>(args.ints[index]) ^ mask;  // R⁻¹_i is the same XOR
+    }
+  }
+}
+
+void UidVariation::reexpress_result(unsigned variant, const vkernel::SyscallArgs& canonical,
+                                    vkernel::SyscallResult& result) const {
+  const os::uid_t mask = mask_for(variant);
+  if (mask == 0) return;
+  if (vkernel::returns_uid(canonical.no) && result.ok()) {
+    result.value = static_cast<os::uid_t>(result.value) ^ mask;
+  }
+}
+
+}  // namespace nv::variants

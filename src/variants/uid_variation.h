@@ -1,0 +1,56 @@
+// The paper's contribution (§3): UID data diversity.
+//
+//   R_0(u) = u                      (variant 0 runs the original program)
+//   R_1(u) = u XOR 0x7FFFFFFF      (variant 1's root is 0x7FFFFFFF)
+//
+// The mask deliberately leaves the high bit unflipped because the kernel
+// treats high-bit-set UIDs ((uid_t)-1 and friends) as special sentinels
+// (§3.2). The paper accepts — and we reproduce — the resulting weakness:
+// an attack that flips ONLY the high bit of a stored UID escapes detection,
+// while any full-word or byte-granular corruption is caught.
+//
+// For N > 2 variants, variant i (i >= 1) uses mask 0x7FFFFFFF >> (i-1),
+// which keeps all masks pairwise distinct, non-zero, and high-bit-clear, so
+// pairwise disjointedness holds.
+#ifndef NV_VARIANTS_UID_VARIATION_H
+#define NV_VARIANTS_UID_VARIATION_H
+
+#include <string>
+#include <vector>
+
+#include "core/variation.h"
+
+namespace nv::variants {
+
+class UidVariation final : public core::Variation {
+ public:
+  struct Options {
+    os::uid_t variant1_mask = 0x7FFFFFFF;
+    /// Trusted UID-bearing files to diversify into unshared per-variant
+    /// copies (§3.4). Files whose basename contains "group" are treated as
+    /// group-format; everything else as passwd-format.
+    std::vector<std::string> diversified_files = {"/etc/passwd", "/etc/group"};
+  };
+
+  UidVariation() : UidVariation(Options{}) {}
+  explicit UidVariation(Options options);
+
+  [[nodiscard]] std::string_view name() const override { return "uid-variation"; }
+
+  [[nodiscard]] os::uid_t mask_for(unsigned variant) const noexcept;
+  [[nodiscard]] core::ReexpressionPtr<os::uid_t> coder_for(unsigned variant) const;
+
+  void configure_variant(core::VariantConfig& config) const override;
+  void prepare_filesystem(vfs::FileSystem& fs, unsigned n_variants) const override;
+  [[nodiscard]] std::vector<std::string> unshared_paths() const override;
+  void canonicalize_args(unsigned variant, vkernel::SyscallArgs& args) const override;
+  void reexpress_result(unsigned variant, const vkernel::SyscallArgs& canonical,
+                        vkernel::SyscallResult& result) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace nv::variants
+
+#endif  // NV_VARIANTS_UID_VARIATION_H

@@ -1,0 +1,247 @@
+#include "vfs/filesystem.h"
+
+#include <atomic>
+
+#include "vfs/path.h"
+
+namespace nv::vfs {
+
+namespace {
+std::uint64_t next_ino() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Inode::Inode(bool is_dir, os::mode_t mode, os::uid_t uid, os::gid_t gid)
+    : is_dir_(is_dir), mode_(mode), uid_(uid), gid_(gid), ino_(next_ino()) {}
+
+InodePtr Inode::make_file(os::mode_t mode, os::uid_t uid, os::gid_t gid, std::string content) {
+  auto node = InodePtr(new Inode(false, mode, uid, gid));
+  node->data_ = std::move(content);
+  return node;
+}
+
+InodePtr Inode::make_dir(os::mode_t mode, os::uid_t uid, os::gid_t gid) {
+  return InodePtr(new Inode(true, mode, uid, gid));
+}
+
+bool can_access(const Inode& node, const os::Credentials& creds, Access want) {
+  if (creds.is_superuser()) {
+    if (want != Access::kExec) return true;
+    // Root still needs at least one exec bit set anywhere.
+    return (node.mode() & (os::kModeOwnerExec | os::kModeGroupExec | os::kModeOtherExec)) != 0;
+  }
+  os::mode_t shift = 0;  // "other" bits
+  if (node.uid() == creds.euid) shift = 6;
+  else if (creds.in_group(node.gid())) shift = 3;
+  os::mode_t bit = 0;
+  switch (want) {
+    case Access::kRead: bit = 04; break;
+    case Access::kWrite: bit = 02; break;
+    case Access::kExec: bit = 01; break;
+  }
+  return (node.mode() >> shift & bit) != 0;
+}
+
+OpenFile::OpenFile(InodePtr inode, os::OpenFlags flags, std::string path)
+    : inode_(std::move(inode)), flags_(flags), path_(std::move(path)) {}
+
+Result<std::string> OpenFile::read(std::size_t count) {
+  if (!has_flag(flags_, os::OpenFlags::kRead)) return fail(os::Errno::kEBADF);
+  const std::string& data = inode_->data();
+  if (offset_ >= data.size()) return std::string{};
+  const std::size_t take = std::min(count, data.size() - static_cast<std::size_t>(offset_));
+  std::string out = data.substr(static_cast<std::size_t>(offset_), take);
+  offset_ += take;
+  return out;
+}
+
+Result<std::size_t> OpenFile::write(std::string_view bytes) {
+  if (!has_flag(flags_, os::OpenFlags::kWrite)) return fail(os::Errno::kEBADF);
+  std::string& data = inode_->data();
+  if (has_flag(flags_, os::OpenFlags::kAppend)) offset_ = data.size();
+  if (offset_ > data.size()) data.resize(static_cast<std::size_t>(offset_), '\0');
+  data.replace(static_cast<std::size_t>(offset_),
+               std::min(bytes.size(), data.size() - static_cast<std::size_t>(offset_)),
+               bytes);
+  offset_ += bytes.size();
+  return bytes.size();
+}
+
+Result<std::uint64_t> OpenFile::seek(std::uint64_t offset) {
+  offset_ = offset;
+  return offset_;
+}
+
+FileSystem::FileSystem() : root_(Inode::make_dir(0755, os::kRootUid, os::kRootGid)) {}
+
+Result<InodePtr> FileSystem::lookup(std::string_view path) const {
+  InodePtr node = root_;
+  for (const auto& part : split_path(path)) {
+    if (!node->is_dir()) return fail(os::Errno::kENOTDIR);
+    const auto it = node->entries().find(part);
+    if (it == node->entries().end()) return fail(os::Errno::kENOENT);
+    node = it->second;
+  }
+  return node;
+}
+
+Result<InodePtr> FileSystem::resolve_parent(std::string_view path,
+                                            const os::Credentials& creds) const {
+  auto parent = lookup(parent_path(path));
+  if (!parent) return parent;
+  if (!(*parent)->is_dir()) return fail(os::Errno::kENOTDIR);
+  // Traversal requires exec on the parent; we check only the final directory
+  // (intermediate checks omitted for simplicity; the kernel layer never
+  // relies on them).
+  if (!can_access(**parent, creds, Access::kExec)) return fail(os::Errno::kEACCES);
+  return parent;
+}
+
+Status FileSystem::mkdir(std::string_view path, const os::Credentials& creds, os::mode_t mode) {
+  const std::string name = basename(path);
+  if (name.empty()) return fail(os::Errno::kEEXIST);  // mkdir("/")
+  auto parent = resolve_parent(path, creds);
+  if (!parent) return fail(parent.error());
+  if ((*parent)->entries().contains(name)) return fail(os::Errno::kEEXIST);
+  if (!can_access(**parent, creds, Access::kWrite)) return fail(os::Errno::kEACCES);
+  (*parent)->entries()[name] = Inode::make_dir(mode, creds.euid, creds.egid);
+  return Ok{};
+}
+
+Status FileSystem::mkdir_p(std::string_view path, const os::Credentials& creds,
+                           os::mode_t mode) {
+  std::string prefix;
+  for (const auto& part : split_path(path)) {
+    prefix += '/';
+    prefix += part;
+    if (exists(prefix)) {
+      auto node = lookup(prefix);
+      if (node && !(*node)->is_dir()) return fail(os::Errno::kENOTDIR);
+      continue;
+    }
+    if (auto made = mkdir(prefix, creds, mode); !made) return made;
+  }
+  return Ok{};
+}
+
+Result<OpenFilePtr> FileSystem::open(std::string_view path, os::OpenFlags flags,
+                                     const os::Credentials& creds, os::mode_t create_mode) {
+  const std::string normalized = normalize_path(path);
+  auto found = lookup(normalized);
+  InodePtr node;
+  if (found) {
+    node = *found;
+  } else {
+    if (found.error() != os::Errno::kENOENT || !has_flag(flags, os::OpenFlags::kCreate)) {
+      return fail(found.error());
+    }
+    auto parent = resolve_parent(normalized, creds);
+    if (!parent) return fail(parent.error());
+    if (!can_access(**parent, creds, Access::kWrite)) return fail(os::Errno::kEACCES);
+    node = Inode::make_file(create_mode, creds.euid, creds.egid);
+    (*parent)->entries()[basename(normalized)] = node;
+  }
+  if (node->is_dir() && has_flag(flags, os::OpenFlags::kWrite)) return fail(os::Errno::kEISDIR);
+  if (has_flag(flags, os::OpenFlags::kRead) && !can_access(*node, creds, Access::kRead)) {
+    return fail(os::Errno::kEACCES);
+  }
+  if (has_flag(flags, os::OpenFlags::kWrite) && !can_access(*node, creds, Access::kWrite)) {
+    return fail(os::Errno::kEACCES);
+  }
+  if (has_flag(flags, os::OpenFlags::kTruncate) && !node->is_dir()) node->data().clear();
+  return std::make_shared<OpenFile>(node, flags, normalized);
+}
+
+Result<Stat> FileSystem::stat(std::string_view path) const {
+  auto node = lookup(path);
+  if (!node) return fail(node.error());
+  Stat s;
+  s.ino = (*node)->ino();
+  s.is_dir = (*node)->is_dir();
+  s.mode = (*node)->mode();
+  s.uid = (*node)->uid();
+  s.gid = (*node)->gid();
+  s.size = (*node)->size();
+  return s;
+}
+
+Status FileSystem::unlink(std::string_view path, const os::Credentials& creds) {
+  const std::string name = basename(path);
+  if (name.empty()) return fail(os::Errno::kEISDIR);
+  auto parent = resolve_parent(path, creds);
+  if (!parent) return fail(parent.error());
+  const auto it = (*parent)->entries().find(name);
+  if (it == (*parent)->entries().end()) return fail(os::Errno::kENOENT);
+  if (it->second->is_dir() && !it->second->entries().empty()) return fail(os::Errno::kEEXIST);
+  if (!can_access(**parent, creds, Access::kWrite)) return fail(os::Errno::kEACCES);
+  (*parent)->entries().erase(it);
+  return Ok{};
+}
+
+Status FileSystem::chmod(std::string_view path, os::mode_t mode, const os::Credentials& creds) {
+  auto node = lookup(path);
+  if (!node) return fail(node.error());
+  if (!creds.is_superuser() && (*node)->uid() != creds.euid) return fail(os::Errno::kEPERM);
+  (*node)->set_mode(mode);
+  return Ok{};
+}
+
+Status FileSystem::chown(std::string_view path, os::uid_t uid, os::gid_t gid,
+                         const os::Credentials& creds) {
+  auto node = lookup(path);
+  if (!node) return fail(node.error());
+  if (!creds.is_superuser()) return fail(os::Errno::kEPERM);
+  (*node)->set_owner(uid, gid);
+  return Ok{};
+}
+
+Status FileSystem::rename(std::string_view from, std::string_view to,
+                          const os::Credentials& creds) {
+  auto node = lookup(from);
+  if (!node) return fail(node.error());
+  auto from_parent = resolve_parent(from, creds);
+  if (!from_parent) return fail(from_parent.error());
+  auto to_parent = resolve_parent(to, creds);
+  if (!to_parent) return fail(to_parent.error());
+  if (!can_access(**from_parent, creds, Access::kWrite) ||
+      !can_access(**to_parent, creds, Access::kWrite)) {
+    return fail(os::Errno::kEACCES);
+  }
+  (*from_parent)->entries().erase(basename(from));
+  (*to_parent)->entries()[basename(to)] = *node;
+  return Ok{};
+}
+
+Status FileSystem::write_file(std::string_view path, std::string_view content,
+                              const os::Credentials& creds, os::mode_t mode) {
+  auto file = open(path, os::OpenFlags::kWrite | os::OpenFlags::kCreate | os::OpenFlags::kTruncate,
+                   creds, mode);
+  if (!file) return fail(file.error());
+  auto written = (*file)->write(content);
+  if (!written) return fail(written.error());
+  return Ok{};
+}
+
+Result<std::string> FileSystem::read_file(std::string_view path,
+                                          const os::Credentials& creds) const {
+  auto self = const_cast<FileSystem*>(this);  // open() does not mutate without kCreate
+  auto file = self->open(path, os::OpenFlags::kRead, creds);
+  if (!file) return fail(file.error());
+  return (*file)->read((*file)->inode()->size());
+}
+
+bool FileSystem::exists(std::string_view path) const { return lookup(path).has_value(); }
+
+Result<std::vector<std::string>> FileSystem::list_dir(std::string_view path) const {
+  auto node = lookup(path);
+  if (!node) return fail(node.error());
+  if (!(*node)->is_dir()) return fail(os::Errno::kENOTDIR);
+  std::vector<std::string> names;
+  names.reserve((*node)->entries().size());
+  for (const auto& [name, child] : (*node)->entries()) names.push_back(name);
+  return names;
+}
+
+}  // namespace nv::vfs

@@ -1,0 +1,97 @@
+#include "vfs/passwd.h"
+
+#include "util/strings.h"
+
+namespace nv::vfs {
+
+std::vector<PasswdEntry> parse_passwd(std::string_view content) {
+  std::vector<PasswdEntry> entries;
+  for (const auto& line : util::split(content, '\n')) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = util::split(line, ':');
+    if (fields.size() < 7) continue;
+    const auto uid = util::parse_u64(fields[2]);
+    const auto gid = util::parse_u64(fields[3]);
+    if (!uid || !gid) continue;
+    PasswdEntry entry;
+    entry.name = fields[0];
+    entry.uid = static_cast<os::uid_t>(*uid);
+    entry.gid = static_cast<os::gid_t>(*gid);
+    entry.gecos = fields[4];
+    entry.home = fields[5];
+    entry.shell = fields[6];
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string format_passwd(const std::vector<PasswdEntry>& entries) {
+  std::string out;
+  for (const auto& e : entries) {
+    out += e.name + ":x:" + std::to_string(e.uid) + ":" + std::to_string(e.gid) + ":" +
+           e.gecos + ":" + e.home + ":" + e.shell + "\n";
+  }
+  return out;
+}
+
+std::vector<GroupEntry> parse_group(std::string_view content) {
+  std::vector<GroupEntry> entries;
+  for (const auto& line : util::split(content, '\n')) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = util::split(line, ':');
+    if (fields.size() < 4) continue;
+    const auto gid = util::parse_u64(fields[2]);
+    if (!gid) continue;
+    GroupEntry entry;
+    entry.name = fields[0];
+    entry.gid = static_cast<os::gid_t>(*gid);
+    for (const auto& member : util::split(fields[3], ',')) {
+      if (!member.empty()) entry.members.push_back(member);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string format_group(const std::vector<GroupEntry>& entries) {
+  std::string out;
+  for (const auto& e : entries) {
+    out += e.name + ":x:" + std::to_string(e.gid) + ":" + util::join(e.members, ",") + "\n";
+  }
+  return out;
+}
+
+std::optional<PasswdEntry> find_user(const std::vector<PasswdEntry>& entries,
+                                     std::string_view name) {
+  for (const auto& e : entries) {
+    if (e.name == name) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<PasswdEntry> find_uid(const std::vector<PasswdEntry>& entries, os::uid_t uid) {
+  for (const auto& e : entries) {
+    if (e.uid == uid) return e;
+  }
+  return std::nullopt;
+}
+
+std::string diversify_passwd(std::string_view content,
+                             const std::function<os::uid_t(os::uid_t)>& uid_fn,
+                             const std::function<os::gid_t(os::gid_t)>& gid_fn) {
+  auto entries = parse_passwd(content);
+  for (auto& e : entries) {
+    e.uid = uid_fn(e.uid);
+    e.gid = gid_fn(e.gid);
+  }
+  return format_passwd(entries);
+}
+
+std::string diversify_group(std::string_view content,
+                            const std::function<os::gid_t(os::gid_t)>& gid_fn) {
+  auto entries = parse_group(content);
+  for (auto& e : entries) e.gid = gid_fn(e.gid);
+  return format_group(entries);
+}
+
+}  // namespace nv::vfs

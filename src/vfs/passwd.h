@@ -1,0 +1,57 @@
+// /etc/passwd and /etc/group parsing, formatting, and per-variant
+// diversification (the data half of the unshared-files mechanism, §3.4).
+#ifndef NV_VFS_PASSWD_H
+#define NV_VFS_PASSWD_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.h"
+#include "vkernel/types.h"
+
+namespace nv::vfs {
+
+struct PasswdEntry {
+  std::string name;
+  os::uid_t uid = 0;
+  os::gid_t gid = 0;
+  std::string gecos;
+  std::string home;
+  std::string shell;
+  [[nodiscard]] bool operator==(const PasswdEntry&) const = default;
+};
+
+struct GroupEntry {
+  std::string name;
+  os::gid_t gid = 0;
+  std::vector<std::string> members;
+  [[nodiscard]] bool operator==(const GroupEntry&) const = default;
+};
+
+/// Parse passwd-format content; malformed lines are skipped (as glibc does).
+[[nodiscard]] std::vector<PasswdEntry> parse_passwd(std::string_view content);
+[[nodiscard]] std::string format_passwd(const std::vector<PasswdEntry>& entries);
+
+[[nodiscard]] std::vector<GroupEntry> parse_group(std::string_view content);
+[[nodiscard]] std::string format_group(const std::vector<GroupEntry>& entries);
+
+[[nodiscard]] std::optional<PasswdEntry> find_user(const std::vector<PasswdEntry>& entries,
+                                                   std::string_view name);
+[[nodiscard]] std::optional<PasswdEntry> find_uid(const std::vector<PasswdEntry>& entries,
+                                                  os::uid_t uid);
+
+/// Rewrite every UID/GID field through the given reexpression functions,
+/// producing the variant-i copy of a trusted file. Everything except the
+/// numeric identity fields is preserved byte-for-byte.
+[[nodiscard]] std::string diversify_passwd(std::string_view content,
+                                           const std::function<os::uid_t(os::uid_t)>& uid_fn,
+                                           const std::function<os::gid_t(os::gid_t)>& gid_fn);
+[[nodiscard]] std::string diversify_group(std::string_view content,
+                                          const std::function<os::gid_t(os::gid_t)>& gid_fn);
+
+}  // namespace nv::vfs
+
+#endif  // NV_VFS_PASSWD_H

@@ -1,0 +1,53 @@
+#include "vfs/path.h"
+
+#include "util/strings.h"
+
+namespace nv::vfs {
+
+std::vector<std::string> split_path(std::string_view path) {
+  std::vector<std::string> components;
+  for (const auto& part : util::split(path, '/')) {
+    if (part.empty() || part == ".") continue;
+    if (part == "..") {
+      if (!components.empty()) components.pop_back();
+      continue;
+    }
+    components.push_back(part);
+  }
+  return components;
+}
+
+std::string normalize_path(std::string_view path) {
+  const auto components = split_path(path);
+  if (components.empty()) return "/";
+  std::string out;
+  for (const auto& part : components) {
+    out += '/';
+    out += part;
+  }
+  return out;
+}
+
+std::string parent_path(std::string_view path) {
+  auto components = split_path(path);
+  if (components.empty()) return "/";
+  components.pop_back();
+  if (components.empty()) return "/";
+  std::string out;
+  for (const auto& part : components) {
+    out += '/';
+    out += part;
+  }
+  return out;
+}
+
+std::string basename(std::string_view path) {
+  const auto components = split_path(path);
+  return components.empty() ? std::string{} : components.back();
+}
+
+std::string variant_path(std::string_view path, unsigned variant_index) {
+  return normalize_path(path) + "-" + std::to_string(variant_index);
+}
+
+}  // namespace nv::vfs

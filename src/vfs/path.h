@@ -1,0 +1,30 @@
+// Absolute path normalization for the simulated filesystem.
+#ifndef NV_VFS_PATH_H
+#define NV_VFS_PATH_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nv::vfs {
+
+/// Split an absolute path into components, resolving "." and "..".
+/// "/etc//passwd/." -> {"etc", "passwd"}. Leading ".." at root is dropped.
+[[nodiscard]] std::vector<std::string> split_path(std::string_view path);
+
+/// Canonical form: "/" + components joined by "/".
+[[nodiscard]] std::string normalize_path(std::string_view path);
+
+/// Parent of a normalized path ("/etc/passwd" -> "/etc"; "/" -> "/").
+[[nodiscard]] std::string parent_path(std::string_view path);
+
+/// Final component ("/etc/passwd" -> "passwd"; "/" -> "").
+[[nodiscard]] std::string basename(std::string_view path);
+
+/// The per-variant name used by the unshared-files mechanism (§3.4):
+/// variant_path("/etc/passwd", 1) == "/etc/passwd-1".
+[[nodiscard]] std::string variant_path(std::string_view path, unsigned variant_index);
+
+}  // namespace nv::vfs
+
+#endif  // NV_VFS_PATH_H

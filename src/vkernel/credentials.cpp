@@ -1,0 +1,106 @@
+#include "vkernel/credentials.h"
+
+namespace nv::vkernel {
+
+using os::Errno;
+using os::kInvalidUid;
+
+Errno sys_setuid(os::Credentials& creds, os::uid_t uid) noexcept {
+  if (uid == kInvalidUid) return Errno::kEINVAL;
+  if (creds.is_superuser()) {
+    creds.ruid = creds.euid = creds.suid = uid;
+    return Errno::kOk;
+  }
+  if (uid == creds.ruid || uid == creds.suid) {
+    creds.euid = uid;
+    return Errno::kOk;
+  }
+  return Errno::kEPERM;
+}
+
+Errno sys_seteuid(os::Credentials& creds, os::uid_t uid) noexcept {
+  if (uid == kInvalidUid) return Errno::kEINVAL;
+  if (creds.is_superuser() || uid == creds.ruid || uid == creds.euid || uid == creds.suid) {
+    creds.euid = uid;
+    return Errno::kOk;
+  }
+  return Errno::kEPERM;
+}
+
+Errno sys_setreuid(os::Credentials& creds, os::uid_t ruid, os::uid_t euid) noexcept {
+  const os::Credentials old = creds;
+  const bool privileged = creds.is_superuser();
+  if (ruid != kInvalidUid) {
+    if (!privileged && ruid != old.ruid && ruid != old.euid) return Errno::kEPERM;
+    creds.ruid = ruid;
+  }
+  if (euid != kInvalidUid) {
+    if (!privileged && euid != old.ruid && euid != old.euid && euid != old.suid) {
+      creds = old;
+      return Errno::kEPERM;
+    }
+    creds.euid = euid;
+  }
+  if (ruid != kInvalidUid || (euid != kInvalidUid && creds.euid != old.ruid)) {
+    creds.suid = creds.euid;
+  }
+  return Errno::kOk;
+}
+
+Errno sys_setresuid(os::Credentials& creds, os::uid_t ruid, os::uid_t euid,
+                    os::uid_t suid) noexcept {
+  const os::Credentials old = creds;
+  const bool privileged = creds.is_superuser();
+  auto allowed = [&](os::uid_t uid) {
+    return privileged || uid == old.ruid || uid == old.euid || uid == old.suid;
+  };
+  if (ruid != kInvalidUid) {
+    if (!allowed(ruid)) return Errno::kEPERM;
+    creds.ruid = ruid;
+  }
+  if (euid != kInvalidUid) {
+    if (!allowed(euid)) {
+      creds = old;
+      return Errno::kEPERM;
+    }
+    creds.euid = euid;
+  }
+  if (suid != kInvalidUid) {
+    if (!allowed(suid)) {
+      creds = old;
+      return Errno::kEPERM;
+    }
+    creds.suid = suid;
+  }
+  return Errno::kOk;
+}
+
+Errno sys_setgid(os::Credentials& creds, os::gid_t gid) noexcept {
+  if (gid == os::kInvalidGid) return Errno::kEINVAL;
+  if (creds.is_superuser()) {
+    creds.rgid = creds.egid = creds.sgid = gid;
+    return Errno::kOk;
+  }
+  if (gid == creds.rgid || gid == creds.sgid) {
+    creds.egid = gid;
+    return Errno::kOk;
+  }
+  return Errno::kEPERM;
+}
+
+Errno sys_setegid(os::Credentials& creds, os::gid_t gid) noexcept {
+  if (gid == os::kInvalidGid) return Errno::kEINVAL;
+  if (creds.is_superuser() || gid == creds.rgid || gid == creds.egid || gid == creds.sgid) {
+    creds.egid = gid;
+    return Errno::kOk;
+  }
+  return Errno::kEPERM;
+}
+
+Errno sys_setgroups(os::Credentials& creds, std::vector<os::gid_t> groups) noexcept {
+  if (!creds.is_superuser()) return Errno::kEPERM;
+  creds.groups = std::move(groups);
+  return Errno::kOk;
+}
+
+}  // namespace nv::vkernel

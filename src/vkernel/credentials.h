@@ -1,0 +1,37 @@
+// Linux credential-changing semantics (setuid(2) family) over
+// os::Credentials. The UID variation's target interpreter is exactly this
+// logic: whoever controls the values flowing into these functions controls
+// process privilege.
+#ifndef NV_VKERNEL_CREDENTIALS_H
+#define NV_VKERNEL_CREDENTIALS_H
+
+#include "vkernel/types.h"
+
+namespace nv::vkernel {
+
+/// setuid(2): root sets all three UIDs; others may only set euid to ruid/suid.
+[[nodiscard]] os::Errno sys_setuid(os::Credentials& creds, os::uid_t uid) noexcept;
+
+/// seteuid(2): may set euid to ruid, euid, or suid; root sets anything.
+[[nodiscard]] os::Errno sys_seteuid(os::Credentials& creds, os::uid_t uid) noexcept;
+
+/// setreuid(2): kInvalidUid (-1) leaves a field unchanged; updates suid when
+/// ruid is set or euid differs from the old ruid (Linux rule).
+[[nodiscard]] os::Errno sys_setreuid(os::Credentials& creds, os::uid_t ruid,
+                                     os::uid_t euid) noexcept;
+
+/// setresuid(2): -1 leaves a field unchanged; unprivileged callers may only
+/// use current ruid/euid/suid values.
+[[nodiscard]] os::Errno sys_setresuid(os::Credentials& creds, os::uid_t ruid, os::uid_t euid,
+                                      os::uid_t suid) noexcept;
+
+[[nodiscard]] os::Errno sys_setgid(os::Credentials& creds, os::gid_t gid) noexcept;
+[[nodiscard]] os::Errno sys_setegid(os::Credentials& creds, os::gid_t gid) noexcept;
+
+/// setgroups(2): root only.
+[[nodiscard]] os::Errno sys_setgroups(os::Credentials& creds,
+                                      std::vector<os::gid_t> groups) noexcept;
+
+}  // namespace nv::vkernel
+
+#endif  // NV_VKERNEL_CREDENTIALS_H

@@ -1,0 +1,50 @@
+#include "vkernel/process.h"
+
+namespace nv::vkernel {
+
+os::fd_t Process::install_fd(FdEntry entry) {
+  const os::fd_t fd = lowest_free_fd();
+  install_fd_at(fd, std::move(entry));
+  return fd;
+}
+
+void Process::install_fd_at(os::fd_t fd, FdEntry entry) {
+  if (fd < 0) return;
+  const auto index = static_cast<std::size_t>(fd);
+  if (index >= fds_.size()) fds_.resize(index + 1);
+  fds_[index] = std::move(entry);
+}
+
+FdEntry* Process::fd(os::fd_t fd) noexcept {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= fds_.size()) return nullptr;
+  FdEntry& entry = fds_[static_cast<std::size_t>(fd)];
+  if (std::holds_alternative<std::monostate>(entry)) return nullptr;
+  return &entry;
+}
+
+os::Errno Process::close_fd(os::fd_t fd) noexcept {
+  FdEntry* entry = this->fd(fd);
+  if (entry == nullptr) return os::Errno::kEBADF;
+  if (auto* sock = std::get_if<SocketPtr>(entry)) {
+    if (*sock && (*sock)->state == SocketObj::State::kConnected) (*sock)->conn.close();
+  }
+  *entry = std::monostate{};
+  return os::Errno::kOk;
+}
+
+std::size_t Process::open_fd_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& entry : fds_) {
+    if (!std::holds_alternative<std::monostate>(entry)) ++count;
+  }
+  return count;
+}
+
+os::fd_t Process::lowest_free_fd() const noexcept {
+  for (std::size_t i = 0; i < fds_.size(); ++i) {
+    if (std::holds_alternative<std::monostate>(fds_[i])) return static_cast<os::fd_t>(i);
+  }
+  return static_cast<os::fd_t>(fds_.size());
+}
+
+}  // namespace nv::vkernel

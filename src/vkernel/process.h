@@ -1,0 +1,76 @@
+// Simulated process control block: credentials, fd table, address space.
+#ifndef NV_VKERNEL_PROCESS_H
+#define NV_VKERNEL_PROCESS_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "vfs/filesystem.h"
+#include "vkernel/memory.h"
+#include "vkernel/sockets.h"
+#include "vkernel/types.h"
+
+namespace nv::vkernel {
+
+/// A socket fd object: either listening on a port or an established stream.
+struct SocketObj {
+  enum class State { kUnbound, kListening, kConnected };
+  State state = State::kUnbound;
+  std::uint16_t port = 0;
+  Connection conn;  // valid when kConnected
+};
+using SocketPtr = std::shared_ptr<SocketObj>;
+
+/// One fd-table slot: file, socket, or empty.
+using FdEntry = std::variant<std::monostate, vfs::OpenFilePtr, SocketPtr>;
+
+/// Process control block. The N-variant MVEE creates one per variant; slot n
+/// of every variant's fd table refers to corresponding objects (§3.4: "the
+/// n-th slot in P0's data structure corresponds to the n-th slot in P1's").
+class Process {
+ public:
+  Process(os::pid_t pid, std::string name, os::Credentials creds)
+      : pid_(pid), name_(std::move(name)), creds_(std::move(creds)) {}
+
+  [[nodiscard]] os::pid_t pid() const noexcept { return pid_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] os::Credentials& creds() noexcept { return creds_; }
+  [[nodiscard]] const os::Credentials& creds() const noexcept { return creds_; }
+
+  [[nodiscard]] AddressSpace& memory() noexcept { return memory_; }
+  [[nodiscard]] const AddressSpace& memory() const noexcept { return memory_; }
+
+  /// Place `entry` in the lowest free slot and return its fd.
+  [[nodiscard]] os::fd_t install_fd(FdEntry entry);
+  /// Place `entry` at exactly `fd` (used by the MVEE to keep tables slot-
+  /// synchronized); grows the table as needed.
+  void install_fd_at(os::fd_t fd, FdEntry entry);
+  [[nodiscard]] FdEntry* fd(os::fd_t fd) noexcept;
+  [[nodiscard]] os::Errno close_fd(os::fd_t fd) noexcept;
+  [[nodiscard]] std::size_t open_fd_count() const noexcept;
+  [[nodiscard]] os::fd_t lowest_free_fd() const noexcept;
+
+  void set_exited(int code) noexcept {
+    exited_ = true;
+    exit_code_ = code;
+  }
+  [[nodiscard]] bool exited() const noexcept { return exited_; }
+  [[nodiscard]] int exit_code() const noexcept { return exit_code_; }
+
+ private:
+  os::pid_t pid_;
+  std::string name_;
+  os::Credentials creds_;
+  AddressSpace memory_;
+  std::vector<FdEntry> fds_;
+  bool exited_ = false;
+  int exit_code_ = 0;
+};
+
+}  // namespace nv::vkernel
+
+#endif  // NV_VKERNEL_PROCESS_H

@@ -1,0 +1,145 @@
+#include "vkernel/sockets.h"
+
+namespace nv::vkernel {
+
+namespace {
+[[nodiscard]] util::Unexpected<os::Errno> net_fail(os::Errno e) {
+  return util::Unexpected<os::Errno>{e};
+}
+}  // namespace
+
+NetResult<std::string> Connection::recv(std::size_t max_bytes) {
+  if (!stream_) return net_fail(os::Errno::kEBADF);
+  if (!pending_.empty()) {
+    const std::size_t take = std::min(max_bytes, pending_.size());
+    std::string out = pending_.substr(0, take);
+    pending_.erase(0, take);
+    return out;
+  }
+  std::unique_lock lock(stream_->mutex);
+  Stream::Side& side = is_server_ ? stream_->server : stream_->client;
+  stream_->cv.wait(lock, [&] {
+    return !side.buffer.empty() || side.peer_closed || stream_->interrupted;
+  });
+  if (stream_->interrupted && side.buffer.empty()) return net_fail(os::Errno::kEINTR);
+  if (side.buffer.empty()) return std::string{};  // EOF
+  const std::size_t take = std::min(max_bytes, side.buffer.size());
+  std::string out = side.buffer.substr(0, take);
+  side.buffer.erase(0, take);
+  return out;
+}
+
+NetResult<std::size_t> Connection::send(std::string_view bytes) {
+  if (!stream_) return net_fail(os::Errno::kEBADF);
+  const std::scoped_lock lock(stream_->mutex);
+  // Writing into the buffer the *peer* reads from. my_side.peer_closed is
+  // set when the peer closed its end — sending to a departed peer is EPIPE.
+  Stream::Side& peer_side = is_server_ ? stream_->client : stream_->server;
+  Stream::Side& my_side = is_server_ ? stream_->server : stream_->client;
+  if (my_side.peer_closed) return net_fail(os::Errno::kEPIPE);
+  peer_side.buffer.append(bytes);
+  stream_->cv.notify_all();
+  return bytes.size();
+}
+
+NetResult<std::string> Connection::recv_until(std::string_view delimiter, std::size_t max_bytes) {
+  std::string collected = std::move(pending_);
+  pending_.clear();
+  while (collected.find(delimiter) == std::string::npos) {
+    if (collected.size() > max_bytes) return net_fail(os::Errno::kERANGE);
+    auto chunk = recv(4096);
+    if (!chunk) return chunk;
+    if (chunk->empty()) break;  // EOF before delimiter
+    collected += *chunk;
+  }
+  const std::size_t pos = collected.find(delimiter);
+  if (pos == std::string::npos) return collected;  // EOF case: return what we have
+  const std::size_t end = pos + delimiter.size();
+  pending_ = collected.substr(end);
+  collected.resize(end);
+  return collected;
+}
+
+void Connection::close() {
+  if (!stream_) return;
+  const std::scoped_lock lock(stream_->mutex);
+  // Closing my end means the *peer* sees peer_closed on their read side, and
+  // my own read side also reports peer_closed for symmetric teardown.
+  Stream::Side& peer_side = is_server_ ? stream_->client : stream_->server;
+  peer_side.peer_closed = true;
+  stream_->cv.notify_all();
+  stream_.reset();
+}
+
+os::Errno SocketHub::bind(std::uint16_t port) {
+  const std::scoped_lock lock(mutex_);
+  if (shutdown_) return os::Errno::kEINTR;
+  if (listeners_.contains(port)) return os::Errno::kEADDRINUSE;
+  listeners_.emplace(port, Listener{});
+  return os::Errno::kOk;
+}
+
+bool SocketHub::is_bound(std::uint16_t port) const {
+  const std::scoped_lock lock(mutex_);
+  return listeners_.contains(port);
+}
+
+void SocketHub::unbind(std::uint16_t port) {
+  const std::scoped_lock lock(mutex_);
+  listeners_.erase(port);
+  cv_.notify_all();
+}
+
+NetResult<Connection> SocketHub::accept(std::uint16_t port) {
+  std::unique_lock lock(mutex_);
+  const auto it = listeners_.find(port);
+  if (it == listeners_.end()) return net_fail(os::Errno::kEINVAL);
+  cv_.wait(lock, [&] { return !it->second.pending.empty() || shutdown_; });
+  if (it->second.pending.empty()) return net_fail(os::Errno::kEINTR);
+  StreamPtr stream = it->second.pending.front();
+  it->second.pending.pop_front();
+  return Connection{std::move(stream), /*is_server=*/true};
+}
+
+std::size_t SocketHub::backlog(std::uint16_t port) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = listeners_.find(port);
+  return it == listeners_.end() ? 0 : it->second.pending.size();
+}
+
+NetResult<Connection> SocketHub::connect(std::uint16_t port) {
+  const std::scoped_lock lock(mutex_);
+  if (shutdown_) return net_fail(os::Errno::kEINTR);
+  const auto it = listeners_.find(port);
+  if (it == listeners_.end()) return net_fail(os::Errno::kECONNREFUSED);
+  auto stream = std::make_shared<Stream>();
+  streams_.push_back(stream);
+  it->second.pending.push_back(stream);
+  cv_.notify_all();
+  return Connection{std::move(stream), /*is_server=*/false};
+}
+
+void SocketHub::shutdown() {
+  const std::scoped_lock lock(mutex_);
+  shutdown_ = true;
+  cv_.notify_all();
+  for (const auto& stream : streams_) {
+    const std::scoped_lock stream_lock(stream->mutex);
+    stream->interrupted = true;
+    stream->cv.notify_all();
+  }
+}
+
+bool SocketHub::is_shutdown() const {
+  const std::scoped_lock lock(mutex_);
+  return shutdown_;
+}
+
+void SocketHub::reset() {
+  const std::scoped_lock lock(mutex_);
+  shutdown_ = false;
+  listeners_.clear();
+  streams_.clear();
+}
+
+}  // namespace nv::vkernel

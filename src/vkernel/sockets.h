@@ -1,0 +1,101 @@
+// Simulated loopback TCP: listeners, bidirectional byte streams, and a
+// host-side client API used by workload generators and attack drivers.
+//
+// Blocking semantics use condition variables; SocketHub::shutdown() wakes
+// every blocked operation with EINTR so servers can be torn down cleanly.
+#ifndef NV_VKERNEL_SOCKETS_H
+#define NV_VKERNEL_SOCKETS_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/expected.h"
+#include "vkernel/types.h"
+
+namespace nv::vkernel {
+
+template <typename T>
+using NetResult = util::Expected<T, os::Errno>;
+
+/// One established connection: two byte streams guarded by a mutex. The
+/// server holds side A; the client holds side B.
+class Stream {
+ public:
+  struct Side {
+    std::string buffer;   // bytes waiting to be read by this side
+    bool peer_closed = false;
+  };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  Side server;  // data flowing client -> server
+  Side client;  // data flowing server -> client
+  bool interrupted = false;
+};
+
+using StreamPtr = std::shared_ptr<Stream>;
+
+/// Handle to one end of a Stream.
+class Connection {
+ public:
+  Connection() = default;
+  Connection(StreamPtr stream, bool is_server) : stream_(std::move(stream)), is_server_(is_server) {}
+
+  [[nodiscard]] bool valid() const noexcept { return stream_ != nullptr; }
+
+  /// Blocking receive: waits for data, EOF (returns ""), or interrupt.
+  [[nodiscard]] NetResult<std::string> recv(std::size_t max_bytes);
+  /// Non-blocking send; fails with EPIPE if the peer closed.
+  [[nodiscard]] NetResult<std::size_t> send(std::string_view bytes);
+  /// Receive exactly until `delimiter` or EOF; used by HTTP parsing.
+  [[nodiscard]] NetResult<std::string> recv_until(std::string_view delimiter,
+                                                  std::size_t max_bytes = 1 << 20);
+  void close();
+
+ private:
+  StreamPtr stream_;
+  bool is_server_ = false;
+  std::string pending_;  // bytes read past a delimiter by recv_until
+};
+
+/// The loopback network: port -> listener with a pending-connection queue.
+class SocketHub {
+ public:
+  [[nodiscard]] os::Errno bind(std::uint16_t port);
+  [[nodiscard]] bool is_bound(std::uint16_t port) const;
+  void unbind(std::uint16_t port);
+
+  /// Server side: block until a client connects to `port` (or interrupt).
+  [[nodiscard]] NetResult<Connection> accept(std::uint16_t port);
+  [[nodiscard]] std::size_t backlog(std::uint16_t port) const;
+
+  /// Client side (host threads): create a connection to a bound port.
+  [[nodiscard]] NetResult<Connection> connect(std::uint16_t port);
+
+  /// Wake all blocked accept/recv calls with EINTR and refuse new work.
+  void shutdown();
+  [[nodiscard]] bool is_shutdown() const;
+  /// Re-arm after shutdown (used between test scenarios).
+  void reset();
+
+ private:
+  struct Listener {
+    std::deque<StreamPtr> pending;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint16_t, Listener> listeners_;
+  bool shutdown_ = false;
+  std::vector<StreamPtr> streams_;  // every stream ever created (for interrupt)
+};
+
+}  // namespace nv::vkernel
+
+#endif  // NV_VKERNEL_SOCKETS_H

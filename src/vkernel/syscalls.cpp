@@ -1,0 +1,143 @@
+#include "vkernel/syscalls.h"
+
+#include "util/strings.h"
+
+namespace nv::vkernel {
+
+std::string_view sys_name(Sys sys) noexcept {
+  switch (sys) {
+    case Sys::kOpen: return "open";
+    case Sys::kClose: return "close";
+    case Sys::kRead: return "read";
+    case Sys::kWrite: return "write";
+    case Sys::kSeek: return "seek";
+    case Sys::kStat: return "stat";
+    case Sys::kUnlink: return "unlink";
+    case Sys::kMkdir: return "mkdir";
+    case Sys::kGetuid: return "getuid";
+    case Sys::kGeteuid: return "geteuid";
+    case Sys::kGetgid: return "getgid";
+    case Sys::kGetegid: return "getegid";
+    case Sys::kSetuid: return "setuid";
+    case Sys::kSeteuid: return "seteuid";
+    case Sys::kSetreuid: return "setreuid";
+    case Sys::kSetresuid: return "setresuid";
+    case Sys::kSetgid: return "setgid";
+    case Sys::kSetegid: return "setegid";
+    case Sys::kSetgroups: return "setgroups";
+    case Sys::kSocket: return "socket";
+    case Sys::kBind: return "bind";
+    case Sys::kListen: return "listen";
+    case Sys::kAccept: return "accept";
+    case Sys::kGetpid: return "getpid";
+    case Sys::kGettime: return "gettime";
+    case Sys::kExit: return "exit";
+    case Sys::kPollEvent: return "poll_event";
+    case Sys::kUidValue: return "uid_value";
+    case Sys::kCondChk: return "cond_chk";
+    case Sys::kCcCmp: return "cc_cmp";
+  }
+  return "sys?";
+}
+
+std::string_view cc_op_name(CcOp op) noexcept {
+  switch (op) {
+    case CcOp::kEq: return "cc_eq";
+    case CcOp::kNeq: return "cc_neq";
+    case CcOp::kLt: return "cc_lt";
+    case CcOp::kLeq: return "cc_leq";
+    case CcOp::kGt: return "cc_gt";
+    case CcOp::kGeq: return "cc_geq";
+  }
+  return "cc_?";
+}
+
+bool cc_eval(CcOp op, os::uid_t a, os::uid_t b) noexcept {
+  switch (op) {
+    case CcOp::kEq: return a == b;
+    case CcOp::kNeq: return a != b;
+    case CcOp::kLt: return a < b;
+    case CcOp::kLeq: return a <= b;
+    case CcOp::kGt: return a > b;
+    case CcOp::kGeq: return a >= b;
+  }
+  return false;
+}
+
+std::string SyscallArgs::describe() const {
+  std::string out{sys_name(no)};
+  out += "(";
+  for (std::size_t i = 0; i < ints.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(ints[i]);
+  }
+  for (const auto& s : strs) {
+    out += ", \"";
+    out += s.size() > 32 ? s.substr(0, 29) + "..." : s;
+    out += "\"";
+  }
+  out += ")";
+  return out;
+}
+
+SysClass sys_class(Sys sys) noexcept {
+  switch (sys) {
+    case Sys::kOpen:
+      return SysClass::kOpen;
+    case Sys::kRead:
+    case Sys::kAccept:
+    case Sys::kGettime:
+    case Sys::kGetpid:
+    case Sys::kStat:
+    case Sys::kPollEvent:
+      return SysClass::kInput;
+    case Sys::kWrite:
+      return SysClass::kOutput;
+    case Sys::kUidValue:
+    case Sys::kCondChk:
+    case Sys::kCcCmp:
+      return SysClass::kDetection;
+    case Sys::kExit:
+      return SysClass::kExit;
+    default:
+      return SysClass::kPerVariant;
+  }
+}
+
+bool returns_uid(Sys sys) noexcept {
+  switch (sys) {
+    case Sys::kGetuid:
+    case Sys::kGeteuid:
+    case Sys::kGetgid:
+    case Sys::kGetegid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<std::size_t> uid_arg_indices(const SyscallArgs& args) {
+  switch (args.no) {
+    case Sys::kSetuid:
+    case Sys::kSeteuid:
+    case Sys::kSetgid:
+    case Sys::kSetegid:
+    case Sys::kUidValue:
+      return {0};
+    case Sys::kSetreuid:
+      return {0, 1};
+    case Sys::kSetresuid:
+      return {0, 1, 2};
+    case Sys::kSetgroups: {
+      std::vector<std::size_t> all(args.ints.size());
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+      return all;
+    }
+    case Sys::kCcCmp:
+      return {1, 2};  // ints[0] is the operator
+    default:
+      return {};
+  }
+}
+
+}  // namespace nv::vkernel

@@ -1,0 +1,185 @@
+#include "vkernel/vm.h"
+
+#include <stdexcept>
+
+namespace nv::vkernel {
+
+std::size_t VmInstruction::encoded_size(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kLoadImm: return 6;  // op, reg, imm32
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kXor:
+    case Opcode::kJnz: return 3;  // op, a, b
+    case Opcode::kHalt:
+    case Opcode::kSysSetuid:
+    case Opcode::kSysGeteuid:
+    case Opcode::kEmit: return 1;
+  }
+  return 1;
+}
+
+std::vector<std::uint8_t> VmInstruction::encode() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.push_back(static_cast<std::uint8_t>(op));
+  switch (op) {
+    case Opcode::kLoadImm:
+      bytes.push_back(a);
+      for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(imm >> (8 * i)));
+      break;
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kXor:
+    case Opcode::kJnz:
+      bytes.push_back(a);
+      bytes.push_back(b);
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
+VmProgram& VmProgram::load_imm(std::uint8_t reg, std::uint32_t imm) {
+  instructions_.push_back({Opcode::kLoadImm, reg, 0, imm});
+  return *this;
+}
+VmProgram& VmProgram::mov(std::uint8_t dst, std::uint8_t src) {
+  instructions_.push_back({Opcode::kMov, dst, src, 0});
+  return *this;
+}
+VmProgram& VmProgram::add(std::uint8_t dst, std::uint8_t src) {
+  instructions_.push_back({Opcode::kAdd, dst, src, 0});
+  return *this;
+}
+VmProgram& VmProgram::xor_(std::uint8_t dst, std::uint8_t src) {
+  instructions_.push_back({Opcode::kXor, dst, src, 0});
+  return *this;
+}
+VmProgram& VmProgram::sys_setuid() {
+  instructions_.push_back({Opcode::kSysSetuid, 0, 0, 0});
+  return *this;
+}
+VmProgram& VmProgram::sys_geteuid() {
+  instructions_.push_back({Opcode::kSysGeteuid, 0, 0, 0});
+  return *this;
+}
+VmProgram& VmProgram::emit() {
+  instructions_.push_back({Opcode::kEmit, 0, 0, 0});
+  return *this;
+}
+VmProgram& VmProgram::jnz(std::uint8_t reg, std::int8_t rel) {
+  instructions_.push_back({Opcode::kJnz, reg, static_cast<std::uint8_t>(rel), 0});
+  return *this;
+}
+VmProgram& VmProgram::halt() {
+  instructions_.push_back({Opcode::kHalt, 0, 0, 0});
+  return *this;
+}
+
+std::vector<std::uint8_t> VmProgram::assemble(std::uint8_t tag) const {
+  std::vector<std::uint8_t> image;
+  for (const auto& inst : instructions_) {
+    image.push_back(tag);
+    const auto bytes = inst.encode();
+    image.insert(image.end(), bytes.begin(), bytes.end());
+  }
+  return image;
+}
+
+VmResult vm_run(AddressSpace& memory, std::uint64_t entry, std::uint8_t expected_tag,
+                SyscallPort& port, std::uint64_t max_steps) {
+  VmResult result;
+  std::array<std::uint32_t, 4>& regs = result.regs;
+  // Pre-decode instruction boundaries by walking the tagged stream. Jumps are
+  // expressed in instruction counts, so record each instruction's address.
+  std::uint64_t pc = entry;
+  std::vector<std::uint64_t> addrs;   // address of instruction i (its tag byte)
+
+  auto find_index = [&](std::uint64_t addr) -> std::size_t {
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+      if (addrs[i] == addr) return i;
+    }
+    addrs.push_back(addr);
+    return addrs.size() - 1;
+  };
+
+  while (result.steps < max_steps) {
+    ++result.steps;
+    const std::size_t index = find_index(pc);
+    const std::uint8_t tag = memory.load_u8(pc);
+    if (tag != expected_tag) throw TagFault{pc, expected_tag, tag};
+    const auto op = static_cast<Opcode>(memory.load_u8(pc + 1));
+    const std::uint64_t operands = pc + 2;
+    const std::uint64_t next = pc + 1 + VmInstruction::encoded_size(op);
+    switch (op) {
+      case Opcode::kHalt:
+        result.halted = true;
+        return result;
+      case Opcode::kLoadImm: {
+        const std::uint8_t reg = memory.load_u8(operands);
+        regs.at(reg % 4) = memory.load_u32(operands + 1);
+        pc = next;
+        break;
+      }
+      case Opcode::kMov: {
+        regs.at(memory.load_u8(operands) % 4) = regs.at(memory.load_u8(operands + 1) % 4);
+        pc = next;
+        break;
+      }
+      case Opcode::kAdd: {
+        regs.at(memory.load_u8(operands) % 4) += regs.at(memory.load_u8(operands + 1) % 4);
+        pc = next;
+        break;
+      }
+      case Opcode::kXor: {
+        regs.at(memory.load_u8(operands) % 4) ^= regs.at(memory.load_u8(operands + 1) % 4);
+        pc = next;
+        break;
+      }
+      case Opcode::kSysSetuid: {
+        SyscallArgs call;
+        call.no = Sys::kSetuid;
+        call.ints = {regs[0]};
+        const SyscallResult r = port.syscall(call);
+        regs[0] = static_cast<std::uint32_t>(r.err);
+        pc = next;
+        break;
+      }
+      case Opcode::kSysGeteuid: {
+        SyscallArgs call;
+        call.no = Sys::kGeteuid;
+        const SyscallResult r = port.syscall(call);
+        regs[0] = static_cast<std::uint32_t>(r.value);
+        pc = next;
+        break;
+      }
+      case Opcode::kEmit:
+        result.output.push_back(regs[0]);
+        pc = next;
+        break;
+      case Opcode::kJnz: {
+        const std::uint8_t reg = memory.load_u8(operands);
+        const auto rel = static_cast<std::int8_t>(memory.load_u8(operands + 1));
+        if (regs.at(reg % 4) != 0) {
+          const std::ptrdiff_t target = static_cast<std::ptrdiff_t>(index) + rel;
+          if (target < 0 || static_cast<std::size_t>(target) >= addrs.size()) {
+            // Backward jumps only reach already-visited instructions; anything
+            // else is a wild jump — treat as a fault, like a real CPU would
+            // eventually do on garbage.
+            throw MemoryFault{pc, "wild VM jump"};
+          }
+          pc = addrs[static_cast<std::size_t>(target)];
+        } else {
+          pc = next;
+        }
+        break;
+      }
+      default:
+        throw MemoryFault{pc, "illegal VM opcode"};
+    }
+  }
+  return result;  // step budget exhausted, not halted
+}
+
+}  // namespace nv::vkernel

@@ -1,0 +1,92 @@
+// Tagged-bytecode virtual machine: the "machine hardware" target interpreter
+// for the instruction-set-tagging variation (Table 1, row 3).
+//
+// Every instruction in memory is prefixed with a one-byte tag. The VM checks
+// the tag against the value configured for the executing variant and strips
+// it before decoding (R⁻¹ᵢ(i || inst) = inst). Code injected by an attacker
+// carries one concrete tag sequence, so it can satisfy at most one variant —
+// the other variant raises TagFault, which the monitor reports as an attack.
+#ifndef NV_VKERNEL_VM_H
+#define NV_VKERNEL_VM_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vkernel/memory.h"
+#include "vkernel/syscalls.h"
+
+namespace nv::vkernel {
+
+/// Raised when an instruction's tag does not match the variant's tag.
+struct TagFault {
+  std::uint64_t address = 0;
+  std::uint8_t expected = 0;
+  std::uint8_t found = 0;
+};
+
+enum class Opcode : std::uint8_t {
+  kHalt = 0x00,
+  kLoadImm = 0x01,   // reg, imm32
+  kMov = 0x02,       // dst, src
+  kAdd = 0x03,       // dst, src
+  kXor = 0x04,       // dst, src
+  kSysSetuid = 0x05, // setuid(r0); r0 <- errno
+  kSysGeteuid = 0x06,// r0 <- geteuid()
+  kEmit = 0x07,      // append r0 to output
+  kJnz = 0x08,       // reg, signed rel8 (instruction-count delta)
+};
+
+/// One untagged instruction (opcode + operands).
+struct VmInstruction {
+  Opcode op = Opcode::kHalt;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  std::uint32_t imm = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static std::size_t encoded_size(Opcode op) noexcept;
+};
+
+/// Convenience builder for guest code used in tests and examples.
+class VmProgram {
+ public:
+  VmProgram& load_imm(std::uint8_t reg, std::uint32_t imm);
+  VmProgram& mov(std::uint8_t dst, std::uint8_t src);
+  VmProgram& add(std::uint8_t dst, std::uint8_t src);
+  VmProgram& xor_(std::uint8_t dst, std::uint8_t src);
+  VmProgram& sys_setuid();
+  VmProgram& sys_geteuid();
+  VmProgram& emit();
+  VmProgram& jnz(std::uint8_t reg, std::int8_t rel);
+  VmProgram& halt();
+
+  [[nodiscard]] const std::vector<VmInstruction>& instructions() const noexcept {
+    return instructions_;
+  }
+
+  /// Flat image with each instruction prefixed by `tag` — the reexpression
+  /// function R_i(inst) = tag_i || inst applied at "load time".
+  [[nodiscard]] std::vector<std::uint8_t> assemble(std::uint8_t tag) const;
+
+ private:
+  std::vector<VmInstruction> instructions_;
+};
+
+struct VmResult {
+  std::vector<std::uint32_t> output;
+  std::uint64_t steps = 0;
+  bool halted = false;
+  std::array<std::uint32_t, 4> regs{};
+};
+
+/// Execute tagged code at `entry` in `memory`. Syscall opcodes call through
+/// `port` (so injected code can actually attempt privilege escalation).
+/// Throws TagFault on tag mismatch and MemoryFault on unmapped fetch.
+[[nodiscard]] VmResult vm_run(AddressSpace& memory, std::uint64_t entry, std::uint8_t expected_tag,
+                              SyscallPort& port, std::uint64_t max_steps = 10000);
+
+}  // namespace nv::vkernel
+
+#endif  // NV_VKERNEL_VM_H

@@ -1,0 +1,91 @@
+// The full attack x defense matrix, pinned against the paper's predicted
+// outcomes (parameterized over every cell).
+#include <gtest/gtest.h>
+
+#include "attack/attack.h"
+
+namespace nv::attack {
+namespace {
+
+constexpr AttackKind kAttacks[] = {
+    AttackKind::kUidFullWord,      AttackKind::kUidLowByte,      AttackKind::kUidHighBitFlip,
+    AttackKind::kAddressInjection, AttackKind::kPointerLowBytes, AttackKind::kCodeInjection,
+    AttackKind::kLinearOverrun,
+};
+constexpr DefenseKind kDefenses[] = {
+    DefenseKind::kSingleProcess,        DefenseKind::kDualIdentical,
+    DefenseKind::kAddressPartitioning,  DefenseKind::kExtendedPartitioning,
+    DefenseKind::kInstructionTagging,   DefenseKind::kUidVariation,
+    DefenseKind::kUidPlusAddress,       DefenseKind::kStackReversal,
+};
+
+using Cell = std::tuple<AttackKind, DefenseKind>;
+
+class MatrixCell : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(MatrixCell, OutcomeMatchesPaperPrediction) {
+  const auto [attack, defense] = GetParam();
+  EXPECT_EQ(run_attack(attack, defense), expected_outcome(attack, defense))
+      << to_string(attack) << " vs " << to_string(defense);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, MatrixCell,
+                         ::testing::Combine(::testing::ValuesIn(kAttacks),
+                                            ::testing::ValuesIn(kDefenses)),
+                         [](const ::testing::TestParamInfo<Cell>& info) {
+                           std::string name = std::string(to_string(std::get<0>(info.param))) +
+                                              "_vs_" +
+                                              std::string(to_string(std::get<1>(info.param)));
+                           for (char& c : name) {
+                             if (c == '-' || c == '+') c = '_';
+                           }
+                           return name;
+                         });
+
+// Spot checks with the headline claims stated explicitly.
+
+TEST(AttackMatrix, UidAttackDefeatsEverythingExceptUidVariation) {
+  EXPECT_EQ(run_attack(AttackKind::kUidFullWord, DefenseKind::kSingleProcess),
+            Outcome::kSucceeded);
+  EXPECT_EQ(run_attack(AttackKind::kUidFullWord, DefenseKind::kDualIdentical),
+            Outcome::kSucceeded);  // redundancy alone is not diversity
+  EXPECT_EQ(run_attack(AttackKind::kUidFullWord, DefenseKind::kAddressPartitioning),
+            Outcome::kSucceeded);  // wrong attack class for this variation
+  EXPECT_EQ(run_attack(AttackKind::kUidFullWord, DefenseKind::kUidVariation),
+            Outcome::kDetected);
+}
+
+TEST(AttackMatrix, HighBitFlipIsTheDocumentedGap) {
+  // §3.2: no alarm — but also no usable identity for the attacker.
+  EXPECT_EQ(run_attack(AttackKind::kUidHighBitFlip, DefenseKind::kUidVariation),
+            Outcome::kNoEffect);
+}
+
+TEST(AttackMatrix, PartialPointerOverwriteBeatsPlainPartitioningOnly) {
+  EXPECT_EQ(run_attack(AttackKind::kPointerLowBytes, DefenseKind::kAddressPartitioning),
+            Outcome::kSucceeded);  // §2.3's admitted limitation
+  EXPECT_EQ(run_attack(AttackKind::kPointerLowBytes, DefenseKind::kExtendedPartitioning),
+            Outcome::kDetected);   // Bruschi's offset closes it
+}
+
+TEST(AttackMatrix, StackReversalCatchesLinearOverruns) {
+  // Franz [20]: reversing data layout between variants means the same linear
+  // overrun corrupts different state, so the UID check diverges.
+  EXPECT_EQ(run_attack(AttackKind::kLinearOverrun, DefenseKind::kDualIdentical),
+            Outcome::kSucceeded);
+  EXPECT_EQ(run_attack(AttackKind::kLinearOverrun, DefenseKind::kStackReversal),
+            Outcome::kDetected);
+  // But reversal gives NO coverage against targeted (non-linear) writes.
+  EXPECT_EQ(run_attack(AttackKind::kUidFullWord, DefenseKind::kStackReversal),
+            Outcome::kSucceeded);
+}
+
+TEST(AttackMatrix, CompositionCoversBothClasses) {
+  EXPECT_EQ(run_attack(AttackKind::kUidFullWord, DefenseKind::kUidPlusAddress),
+            Outcome::kDetected);
+  EXPECT_EQ(run_attack(AttackKind::kAddressInjection, DefenseKind::kUidPlusAddress),
+            Outcome::kDetected);
+}
+
+}  // namespace
+}  // namespace nv::attack

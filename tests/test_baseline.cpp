@@ -1,0 +1,86 @@
+// Secret-based randomization baselines + output-voting comparators.
+#include <gtest/gtest.h>
+
+#include "baseline/output_voting.h"
+#include "baseline/secret_defense.h"
+
+namespace nv::baseline {
+namespace {
+
+TEST(SecretRandomization, KeyFitsEntropy) {
+  for (unsigned bits : {4u, 8u, 16u, 24u}) {
+    SecretRandomization defense(bits, 99);
+    SecretRandomization::ProbeStats stats = defense.brute_force(1ULL << bits);
+    EXPECT_TRUE(stats.recovered);
+    EXPECT_LE(stats.probes, 1ULL << bits);
+  }
+}
+
+TEST(SecretRandomization, BruteForceRespectsProbeBudget) {
+  SecretRandomization defense(24, 7);
+  const auto stats = defense.brute_force(10);
+  EXPECT_EQ(stats.probes, 10u);
+  // With a 24-bit key the chance of recovery in 10 probes is negligible; the
+  // seed used here does not land in the first 10 guesses.
+  EXPECT_FALSE(stats.recovered);
+}
+
+TEST(SecretRandomization, IncrementalBeatsBruteForceExponentially) {
+  // The Sovarel/Shacham observation: a probe oracle per chunk collapses the
+  // key space from 2^k to (k/c) * 2^c.
+  SecretRandomization defense(24, 123);
+  const auto incremental = defense.incremental(8, 1ULL << 24);
+  ASSERT_TRUE(incremental.recovered);
+  EXPECT_LE(incremental.probes, 3 * 256u);
+  const auto brute = defense.brute_force(1ULL << 24);
+  ASSERT_TRUE(brute.recovered);
+  EXPECT_GT(brute.probes, incremental.probes);
+}
+
+TEST(SecretRandomization, ExpectedProbeFormulas) {
+  EXPECT_DOUBLE_EQ(expected_brute_force_probes(16), 32768.0);
+  EXPECT_DOUBLE_EQ(expected_incremental_probes(16, 8), 2.0 * 128.0);
+  EXPECT_DOUBLE_EQ(expected_incremental_probes(24, 8), 3.0 * 128.0);
+}
+
+TEST(SecretRandomization, AverageBruteForceCostMatchesTheory) {
+  // Across many keys, mean probes ~= 2^(bits-1).
+  double total = 0;
+  constexpr int kTrials = 200;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SecretRandomization defense(12, 1000 + static_cast<std::uint64_t>(trial));
+    const auto stats = defense.brute_force(1ULL << 12);
+    EXPECT_TRUE(stats.recovered);
+    total += static_cast<double>(stats.probes);
+  }
+  EXPECT_NEAR(total / kTrials, expected_brute_force_probes(12), 300.0);
+}
+
+TEST(NVariantComparison, NoProbeCountEvadesDisjointedness) {
+  EXPECT_EQ(nvariant_evasion_probability(1), 0.0);
+  EXPECT_EQ(nvariant_evasion_probability(1ULL << 40), 0.0);
+}
+
+TEST(OutputVoting, DetectsOnlyVisibleDifferences) {
+  const OutputVotingMonitor hacqit(VotingMode::kStatusCodes);
+  const OutputVotingMonitor totel(VotingMode::kFullResponse);
+
+  const ServedOutput ok{200, "<html>page</html>"};
+  const ServedOutput defaced{200, "<html>pwned</html>"};
+  const ServedOutput error{500, "oops"};
+
+  // A UID exploit that leaves pages unchanged: invisible to both (§6 claim).
+  EXPECT_FALSE(hacqit.detects(ok, ok));
+  EXPECT_FALSE(totel.detects(ok, ok));
+
+  // Defacement: visible to full-response voting, invisible to status voting.
+  EXPECT_FALSE(hacqit.detects(ok, defaced));
+  EXPECT_TRUE(totel.detects(ok, defaced));
+
+  // Crash/error divergence: visible to both.
+  EXPECT_TRUE(hacqit.detects(ok, error));
+  EXPECT_TRUE(totel.detects(ok, error));
+}
+
+}  // namespace
+}  // namespace nv::baseline

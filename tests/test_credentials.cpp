@@ -1,0 +1,142 @@
+// Linux setuid-family semantics — the UID variation's target interpreter.
+#include <gtest/gtest.h>
+
+#include "vkernel/credentials.h"
+
+namespace nv::vkernel {
+namespace {
+
+using os::Credentials;
+using os::Errno;
+
+TEST(Setuid, RootSetsAllThreeIds) {
+  Credentials c = Credentials::root();
+  EXPECT_EQ(sys_setuid(c, 1000), Errno::kOk);
+  EXPECT_EQ(c.ruid, 1000u);
+  EXPECT_EQ(c.euid, 1000u);
+  EXPECT_EQ(c.suid, 1000u);
+}
+
+TEST(Setuid, AfterFullDropEscalationImpossible) {
+  Credentials c = Credentials::root();
+  ASSERT_EQ(sys_setuid(c, 1000), Errno::kOk);
+  EXPECT_EQ(sys_setuid(c, 0), Errno::kEPERM);
+  EXPECT_EQ(sys_seteuid(c, 0), Errno::kEPERM);
+}
+
+TEST(Setuid, UnprivilegedMaySetEuidToRealOrSaved) {
+  Credentials c = Credentials::user(1000, 1000);
+  c.suid = 2000;
+  EXPECT_EQ(sys_setuid(c, 2000), Errno::kOk);  // saved uid
+  EXPECT_EQ(c.euid, 2000u);
+  EXPECT_EQ(c.ruid, 1000u);  // real unchanged for unprivileged setuid
+  EXPECT_EQ(sys_setuid(c, 3000), Errno::kEPERM);
+}
+
+TEST(Setuid, InvalidSentinelRejected) {
+  Credentials c = Credentials::root();
+  EXPECT_EQ(sys_setuid(c, os::kInvalidUid), Errno::kEINVAL);
+}
+
+TEST(Seteuid, TogglesWithSavedRoot) {
+  // The server pattern: drop effective, keep saved root, escalate later.
+  Credentials c = Credentials::root();
+  EXPECT_EQ(sys_seteuid(c, 33), Errno::kOk);
+  EXPECT_EQ(c.euid, 33u);
+  EXPECT_EQ(c.suid, 0u);
+  EXPECT_EQ(sys_seteuid(c, 0), Errno::kOk);  // allowed: suid == 0
+  EXPECT_EQ(c.euid, 0u);
+}
+
+TEST(Seteuid, UnprivilegedLimitedToOwnIds) {
+  Credentials c = Credentials::user(1000, 1000);
+  EXPECT_EQ(sys_seteuid(c, 1000), Errno::kOk);
+  EXPECT_EQ(sys_seteuid(c, 0), Errno::kEPERM);
+}
+
+TEST(Setreuid, MinusOneLeavesFieldUnchanged) {
+  Credentials c = Credentials::root();
+  EXPECT_EQ(sys_setreuid(c, os::kInvalidUid, 500), Errno::kOk);
+  EXPECT_EQ(c.ruid, 0u);
+  EXPECT_EQ(c.euid, 500u);
+}
+
+TEST(Setreuid, SettingRealUpdatesSaved) {
+  Credentials c = Credentials::root();
+  EXPECT_EQ(sys_setreuid(c, 100, 200), Errno::kOk);
+  EXPECT_EQ(c.suid, 200u);  // saved becomes new effective
+}
+
+TEST(Setreuid, UnprivilegedRules) {
+  Credentials c = Credentials::user(1000, 1000);
+  c.suid = 0;
+  EXPECT_EQ(sys_setreuid(c, os::kInvalidUid, 0), Errno::kOk);  // euid <- suid
+  EXPECT_EQ(c.euid, 0u);
+  Credentials d = Credentials::user(1000, 1000);
+  EXPECT_EQ(sys_setreuid(d, 555, os::kInvalidUid), Errno::kEPERM);
+}
+
+TEST(Setresuid, PartialUpdatesWithSentinels) {
+  Credentials c = Credentials::root();
+  EXPECT_EQ(sys_setresuid(c, 1, os::kInvalidUid, 3), Errno::kOk);
+  EXPECT_EQ(c.ruid, 1u);
+  EXPECT_EQ(c.euid, 0u);
+  EXPECT_EQ(c.suid, 3u);
+}
+
+TEST(Setresuid, UnprivilegedMayPermuteOwnIds) {
+  Credentials c = Credentials::user(1000, 1000);
+  c.suid = 0;
+  EXPECT_EQ(sys_setresuid(c, 1000, 0, 1000), Errno::kOk);
+  EXPECT_EQ(c.euid, 0u);
+  // Regaining euid 0 re-privileges the process (Linux: CAP_SETUID follows
+  // the effective UID in our model), so arbitrary changes work again.
+  EXPECT_EQ(sys_setresuid(c, 42, 42, 42), Errno::kOk);
+  // Now fully unprivileged with no root ID anywhere: arbitrary IDs refused.
+  EXPECT_EQ(sys_setresuid(c, 7, os::kInvalidUid, os::kInvalidUid), Errno::kEPERM);
+}
+
+TEST(Setgid, MirrorsSetuidRules) {
+  Credentials c = Credentials::root();
+  EXPECT_EQ(sys_setgid(c, 33), Errno::kOk);
+  EXPECT_EQ(c.rgid, 33u);
+  EXPECT_EQ(c.egid, 33u);
+  EXPECT_EQ(c.sgid, 33u);
+  // c is still euid 0, so further setgid is allowed; drop euid first.
+  ASSERT_EQ(sys_seteuid(c, 1000), Errno::kOk);
+  EXPECT_EQ(sys_setgid(c, 99), Errno::kEPERM);
+  EXPECT_EQ(sys_setgid(c, 33), Errno::kOk);
+}
+
+TEST(Setegid, UnprivilegedLimitedToOwnGids) {
+  Credentials c = Credentials::user(1000, 1000);
+  c.sgid = 50;
+  EXPECT_EQ(sys_setegid(c, 50), Errno::kOk);
+  EXPECT_EQ(sys_setegid(c, 51), Errno::kEPERM);
+}
+
+TEST(Setgroups, RootOnly) {
+  Credentials c = Credentials::root();
+  EXPECT_EQ(sys_setgroups(c, {1, 2, 3}), Errno::kOk);
+  EXPECT_EQ(c.groups, (std::vector<os::gid_t>{1, 2, 3}));
+  Credentials d = Credentials::user(1000, 1000);
+  EXPECT_EQ(sys_setgroups(d, {1}), Errno::kEPERM);
+}
+
+TEST(Credentials, GroupMembershipChecks) {
+  Credentials c = Credentials::user(1000, 100);
+  c.groups = {200, 300};
+  EXPECT_TRUE(c.in_group(100));
+  EXPECT_TRUE(c.in_group(300));
+  EXPECT_FALSE(c.in_group(400));
+}
+
+TEST(Credentials, SuperuserIsEffectiveUidZero) {
+  Credentials c = Credentials::user(1000, 1000);
+  EXPECT_FALSE(c.is_superuser());
+  c.euid = 0;
+  EXPECT_TRUE(c.is_superuser());
+}
+
+}  // namespace
+}  // namespace nv::vkernel

@@ -1,0 +1,197 @@
+// GuestContext API coverage on the plain kernel (files, creds, network,
+// libc-style helpers, UidOps modes).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "guest/runners.h"
+#include "guest/uid_ops.h"
+#include "test_helpers.h"
+
+namespace nv::guest {
+namespace {
+
+struct GuestFixture : ::testing::Test {
+  vfs::FileSystem fs;
+  vkernel::SocketHub hub;
+  vkernel::KernelContext ctx{fs, hub};
+
+  void SetUp() override {
+    const auto root = os::Credentials::root();
+    ASSERT_TRUE(fs.mkdir_p("/etc", root));
+    ASSERT_TRUE(fs.mkdir_p("/data", root));
+    ASSERT_TRUE(fs.write_file("/etc/passwd",
+                              "root:x:0:0:root:/root:/bin/sh\n"
+                              "www:x:33:33:w:/var/www:/bin/false\n",
+                              root));
+    ASSERT_TRUE(fs.write_file("/etc/group", "root:x:0:\nwww:x:33:alice\n", root));
+    ASSERT_TRUE(fs.write_file("/data/hello.txt", "hello guest", root));
+  }
+
+  PlainRunResult run(testing::LambdaGuest::Fn fn) {
+    testing::LambdaGuest guest(std::move(fn));
+    return run_plain(ctx, guest);
+  }
+};
+
+TEST_F(GuestFixture, FileRoundTrip) {
+  const auto result = run([](GuestContext& g) {
+    auto fd = g.open("/data/out.txt", os::OpenFlags::kWrite | os::OpenFlags::kCreate);
+    ASSERT_TRUE(fd.has_value());
+    ASSERT_TRUE(g.write(*fd, "written by guest").has_value());
+    EXPECT_EQ(g.close(*fd), os::Errno::kOk);
+    auto content = g.read_file("/data/out.txt");
+    ASSERT_TRUE(content.has_value());
+    EXPECT_EQ(*content, "written by guest");
+    g.exit(0);
+  });
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.exit_code, 0);
+}
+
+TEST_F(GuestFixture, ReadFileConcatenatesChunks) {
+  std::string big(10000, 'x');
+  ASSERT_TRUE(fs.write_file("/data/big", big, os::Credentials::root()));
+  const auto result = run([&](GuestContext& g) {
+    auto content = g.read_file("/data/big");
+    ASSERT_TRUE(content.has_value());
+    EXPECT_EQ(content->size(), 10000u);
+    g.exit(0);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST_F(GuestFixture, StatSeekUnlinkMkdir) {
+  const auto result = run([](GuestContext& g) {
+    EXPECT_EQ(g.mkdir("/data/sub"), os::Errno::kOk);
+    auto st = g.stat("/data/hello.txt");
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(st->size, 11u);
+    auto fd = g.open("/data/hello.txt", os::OpenFlags::kRead);
+    ASSERT_TRUE(fd.has_value());
+    ASSERT_TRUE(g.seek(*fd, 6).has_value());
+    EXPECT_EQ(g.read(*fd, 100).value(), "guest");
+    (void)g.close(*fd);
+    EXPECT_EQ(g.unlink("/data/hello.txt"), os::Errno::kOk);
+    EXPECT_FALSE(g.stat("/data/hello.txt").has_value());
+    g.exit(0);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST_F(GuestFixture, CredentialHelpers) {
+  const auto result = run([](GuestContext& g) {
+    EXPECT_EQ(g.getuid(), 0u);
+    EXPECT_EQ(g.setgroups({33}), os::Errno::kOk);
+    EXPECT_EQ(g.setegid(33), os::Errno::kOk);
+    EXPECT_EQ(g.seteuid(33), os::Errno::kOk);
+    EXPECT_EQ(g.geteuid(), 33u);
+    EXPECT_EQ(g.getegid(), 33u);
+    EXPECT_EQ(g.getuid(), 0u);  // real uid unchanged
+    g.exit(0);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST_F(GuestFixture, GetpwnamAndGetgrnam) {
+  const auto result = run([](GuestContext& g) {
+    const auto www = g.getpwnam("www");
+    ASSERT_TRUE(www.has_value());
+    EXPECT_EQ(www->uid, 33u);
+    EXPECT_EQ(www->home, "/var/www");
+    EXPECT_FALSE(g.getpwnam("nobody-here").has_value());
+    const auto group = g.getgrnam("www");
+    ASSERT_TRUE(group.has_value());
+    EXPECT_EQ(group->gid, 33u);
+    EXPECT_EQ(group->members, (std::vector<std::string>{"alice"}));
+    g.exit(0);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST_F(GuestFixture, NetworkEcho) {
+  testing::LambdaGuest guest([](GuestContext& g) {
+    auto sock = g.socket();
+    ASSERT_TRUE(sock.has_value());
+    ASSERT_EQ(g.bind(*sock, 7777), os::Errno::kOk);
+    ASSERT_EQ(g.listen(*sock), os::Errno::kOk);
+    auto conn = g.accept(*sock);
+    ASSERT_TRUE(conn.has_value());
+    auto data = g.read(*conn, 100);
+    ASSERT_TRUE(data.has_value());
+    ASSERT_TRUE(g.write(*conn, "echo:" + *data).has_value());
+    (void)g.close(*conn);
+    g.exit(0);
+  });
+  PlainRunResult run_result;
+  std::thread server([&] { run_result = run_plain(ctx, guest); });
+  while (!hub.is_bound(7777)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto conn = hub.connect(7777);
+  ASSERT_TRUE(conn.has_value());
+  ASSERT_TRUE(conn->send("ping").has_value());
+  EXPECT_EQ(conn->recv(100).value(), "echo:ping");
+  server.join();
+  EXPECT_TRUE(run_result.completed);
+}
+
+TEST_F(GuestFixture, ExitCodePropagates) {
+  const auto result = run([](GuestContext& g) { g.exit(17); });
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.exit_code, 17);
+}
+
+TEST_F(GuestFixture, MemoryFaultReported) {
+  const auto result = run([](GuestContext& g) {
+    (void)g.memory().load_u8(0xDEADBEEF00ULL);
+    g.exit(0);
+  });
+  EXPECT_FALSE(result.completed);
+  EXPECT_TRUE(result.faulted);
+  EXPECT_NE(result.fault_detail.find("unmapped"), std::string::npos);
+}
+
+TEST_F(GuestFixture, UidConstIsIdentityOnPlainBuild) {
+  const auto result = run([](GuestContext& g) {
+    EXPECT_EQ(g.uid_const(0), 0u);
+    EXPECT_EQ(g.uid_const(1000), 1000u);
+    g.exit(0);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST_F(GuestFixture, UidOpsPlainAndCheckedAgreeOnPlainKernel) {
+  const auto result = run([](GuestContext& g) {
+    for (const auto mode :
+         {UidOpsMode::kPlain, UidOpsMode::kSyscallChecked, UidOpsMode::kUserSpaceReversed}) {
+      UidOps ops(g, mode);
+      EXPECT_TRUE(ops.eq(5, 5)) << to_string(mode);
+      EXPECT_TRUE(ops.neq(5, 6));
+      EXPECT_TRUE(ops.lt(5, 6));
+      EXPECT_TRUE(ops.leq(6, 6));
+      EXPECT_TRUE(ops.gt(7, 6));
+      EXPECT_TRUE(ops.geq(7, 7));
+      EXPECT_TRUE(ops.is_root(0));
+      EXPECT_FALSE(ops.is_root(1));
+      EXPECT_EQ(ops.check_value(42), 42u);
+      EXPECT_TRUE(ops.check_cond(true));
+    }
+    g.exit(0);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+TEST_F(GuestFixture, PermissionDeniedAfterDrop) {
+  ASSERT_TRUE(fs.write_file("/data/secret", "root only", os::Credentials::root(), 0600));
+  const auto result = run([](GuestContext& g) {
+    ASSERT_TRUE(g.read_file("/data/secret").has_value());  // still root
+    ASSERT_EQ(g.seteuid(33), os::Errno::kOk);
+    auto denied = g.read_file("/data/secret");
+    ASSERT_FALSE(denied.has_value());
+    EXPECT_EQ(denied.error(), os::Errno::kEACCES);
+    g.exit(0);
+  });
+  EXPECT_TRUE(result.completed);
+}
+
+}  // namespace
+}  // namespace nv::guest

@@ -1,0 +1,26 @@
+// Shared test scaffolding.
+#ifndef NV_TESTS_TEST_HELPERS_H
+#define NV_TESTS_TEST_HELPERS_H
+
+#include <functional>
+
+#include "guest/guest_program.h"
+
+namespace nv::testing {
+
+/// Guest program defined inline from a lambda. The lambda runs once per
+/// variant, concurrently — keep all state in locals or simulated memory.
+class LambdaGuest final : public guest::GuestProgram {
+ public:
+  using Fn = std::function<void(guest::GuestContext&)>;
+  explicit LambdaGuest(Fn fn) : fn_(std::move(fn)) {}
+  void run(guest::GuestContext& ctx) override { fn_(ctx); }
+  [[nodiscard]] std::string_view name() const override { return "lambda-guest"; }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace nv::testing
+
+#endif  // NV_TESTS_TEST_HELPERS_H

@@ -1,0 +1,206 @@
+// Mini-C interpreter semantics on the plain kernel.
+#include <gtest/gtest.h>
+
+#include "guest/runners.h"
+#include "test_helpers.h"
+#include "transform/analysis.h"
+#include "transform/interp.h"
+#include "transform/parser.h"
+
+namespace nv::transform {
+namespace {
+
+struct InterpFixture : ::testing::Test {
+  vfs::FileSystem fs;
+  vkernel::SocketHub hub;
+  vkernel::KernelContext ctx{fs, hub};
+
+  void SetUp() override {
+    const auto root = os::Credentials::root();
+    ASSERT_TRUE(fs.mkdir_p("/etc", root));
+    ASSERT_TRUE(fs.write_file("/etc/passwd",
+                              "root:x:0:0:r:/:/bin/sh\nwww:x:33:33:w:/w:/bin/f\n", root));
+    ASSERT_TRUE(fs.write_file("/etc/group", "root:x:0:\nwww:x:33:\n", root));
+  }
+
+  /// Run `source` to completion; returns the interpreter result.
+  InterpResult run(std::string_view source, InterpOptions options = {}) {
+    Program program = parse(source);
+    const auto analysis = analyze(program);
+    EXPECT_TRUE(analysis.ok()) << (analysis.errors.empty() ? "" : analysis.errors.front());
+    InterpResult result;
+    nv::testing::LambdaGuest guest([&](guest::GuestContext& g) {
+      result = interpret(program, g, options);
+      g.exit(0);
+    });
+    const auto report = guest::run_plain(ctx, guest);
+    EXPECT_TRUE(report.completed);
+    return result;
+  }
+
+  long long ret_int(std::string_view source) {
+    const auto result = run(source);
+    return std::get<long long>(result.ret);
+  }
+};
+
+TEST_F(InterpFixture, ArithmeticAndPrecedence) {
+  EXPECT_EQ(ret_int("int main() { return 2 + 3 * 4; }"), 14);
+  EXPECT_EQ(ret_int("int main() { return (2 + 3) * 4; }"), 20);
+  EXPECT_EQ(ret_int("int main() { return 10 / 3; }"), 3);
+  EXPECT_EQ(ret_int("int main() { return -5 + 2; }"), -3);
+}
+
+TEST_F(InterpFixture, ComparisonAndLogic) {
+  EXPECT_EQ(ret_int("int main() { return 1 < 2 && 3 >= 3; }"), 1);
+  EXPECT_EQ(ret_int("int main() { return 1 > 2 || 5 != 5; }"), 0);
+  EXPECT_EQ(ret_int("int main() { return !0; }"), 1);
+}
+
+TEST_F(InterpFixture, ShortCircuitEvaluation) {
+  // The right side would exit(9); && must not evaluate it.
+  const auto result = run(R"(
+    int main() {
+      if (false && exit_now()) { return 1; }
+      return 7;
+    }
+    bool exit_now() {
+      exit(9);
+      return true;
+    }
+  )");
+  EXPECT_EQ(std::get<long long>(result.ret), 7);
+}
+
+TEST_F(InterpFixture, WhileLoopAndAssignment) {
+  EXPECT_EQ(ret_int(R"(
+    int main() {
+      int total = 0;
+      int i = 1;
+      while (i <= 10) {
+        total = total + i;
+        i = i + 1;
+      }
+      return total;
+    }
+  )"),
+            55);
+}
+
+TEST_F(InterpFixture, FunctionCallsAndRecursion) {
+  EXPECT_EQ(ret_int(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(10); }
+  )"),
+            55);
+}
+
+TEST_F(InterpFixture, StringsAndLogging) {
+  const auto result = run(R"(
+    int main() {
+      log_msg("hello" + " " + "world");
+      respond(200);
+      respond(404);
+      return 0;
+    }
+  )");
+  ASSERT_EQ(result.log.size(), 1u);
+  EXPECT_EQ(result.log[0], "hello world");
+  EXPECT_EQ(result.responses, (std::vector<long long>{200, 404}));
+}
+
+TEST_F(InterpFixture, SyscallBuiltinsHitTheKernel) {
+  const auto result = run(R"(
+    int main() {
+      uid_t www = getpwnam_uid("www");
+      if (seteuid(www) != 0) { return 1; }
+      if (geteuid() != www) { return 2; }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(std::get<long long>(result.ret), 0);
+}
+
+TEST_F(InterpFixture, GetpwuidOkProbesPasswd) {
+  EXPECT_EQ(ret_int("int main() { if (getpwuid_ok(33)) { return 1; } return 0; }"), 1);
+  EXPECT_EQ(ret_int("int main() { if (getpwuid_ok(999)) { return 1; } return 0; }"), 0);
+}
+
+TEST_F(InterpFixture, UidComparisonsAreUnsigned) {
+  // (uid_t)-1 must compare greater than 0, not less (unsigned semantics).
+  EXPECT_EQ(ret_int(R"(
+    int main() {
+      uid_t sentinel = 0xFFFFFFFF;
+      uid_t root = 0;
+      if (sentinel > root) { return 1; }
+      return 0;
+    }
+  )"),
+            1);
+}
+
+TEST_F(InterpFixture, DivisionByZeroThrows) {
+  Program program = parse("int main() { return 1 / 0; }");
+  ASSERT_TRUE(analyze(program).ok());
+  nv::testing::LambdaGuest guest([&](guest::GuestContext& g) {
+    EXPECT_THROW((void)interpret(program, g), std::runtime_error);
+    g.exit(0);
+  });
+  EXPECT_TRUE(guest::run_plain(ctx, guest).completed);
+}
+
+TEST_F(InterpFixture, StepBudgetStopsInfiniteLoops) {
+  Program program = parse("int main() { while (true) { } return 0; }");
+  ASSERT_TRUE(analyze(program).ok());
+  nv::testing::LambdaGuest guest([&](guest::GuestContext& g) {
+    InterpOptions options;
+    options.max_steps = 1000;
+    EXPECT_THROW((void)interpret(program, g, options), std::runtime_error);
+    g.exit(0);
+  });
+  EXPECT_TRUE(guest::run_plain(ctx, guest).completed);
+}
+
+TEST_F(InterpFixture, MissingEntryFunctionThrows) {
+  Program program = parse("int helper() { return 1; }");
+  ASSERT_TRUE(analyze(program).ok());
+  nv::testing::LambdaGuest guest([&](guest::GuestContext& g) {
+    EXPECT_THROW((void)interpret(program, g), std::runtime_error);
+    g.exit(0);
+  });
+  EXPECT_TRUE(guest::run_plain(ctx, guest).completed);
+}
+
+TEST_F(InterpFixture, LogFdWritesToFile) {
+  Program program = parse(R"(int main() { log_msg("to-file"); return 0; })");
+  ASSERT_TRUE(analyze(program).ok());
+  nv::testing::LambdaGuest guest([&](guest::GuestContext& g) {
+    auto fd = g.open("/log.txt", os::OpenFlags::kWrite | os::OpenFlags::kCreate);
+    ASSERT_TRUE(fd.has_value());
+    InterpOptions options;
+    options.log_fd = *fd;
+    (void)interpret(program, g, options);
+    (void)g.close(*fd);
+    g.exit(0);
+  });
+  ASSERT_TRUE(guest::run_plain(ctx, guest).completed);
+  EXPECT_EQ(fs.read_file("/log.txt", os::Credentials::root()).value(), "to-file\n");
+}
+
+TEST_F(InterpFixture, ExitBuiltinUnwindsGuest) {
+  Program program = parse("int main() { exit(5); return 0; }");
+  ASSERT_TRUE(analyze(program).ok());
+  nv::testing::LambdaGuest guest([&](guest::GuestContext& g) {
+    (void)interpret(program, g);  // exit() throws GuestExit through here
+    FAIL() << "interpret should not return";
+  });
+  const auto result = guest::run_plain(ctx, guest);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.exit_code, 5);
+}
+
+}  // namespace
+}  // namespace nv::transform

@@ -1,0 +1,123 @@
+// The §2 interpreters model: normal equivalence on trusted flows, detection
+// on injected flows, and partial-overwrite analysis including the paper's
+// documented high-bit weakness.
+#include <gtest/gtest.h>
+
+#include "core/interpreter_model.h"
+#include "util/rng.h"
+#include "variants/uid_variation.h"
+
+namespace nv::core {
+namespace {
+
+TwoVariantDataFlow<os::uid_t> paper_flow() {
+  return TwoVariantDataFlow<os::uid_t>(std::make_shared<Identity<os::uid_t>>(),
+                                       std::make_shared<XorMask>(0x7FFFFFFF));
+}
+
+TEST(InterpreterModel, TrustedFlowsNeverDiverge) {
+  const auto flow = paper_flow();
+  for (os::uid_t u : uid_property_samples(5000)) {
+    const auto outcome = flow.trusted_flow(u);
+    EXPECT_FALSE(outcome.diverged()) << "uid " << u;
+    EXPECT_EQ(outcome.canonical0, u);
+    EXPECT_EQ(outcome.canonical1, u);
+  }
+}
+
+TEST(InterpreterModel, InjectedFlowsAlwaysDiverge) {
+  const auto flow = paper_flow();
+  for (os::uid_t x : uid_property_samples(5000)) {
+    EXPECT_TRUE(flow.injected_flow(x).diverged()) << "injected " << x;
+  }
+}
+
+TEST(InterpreterModel, InjectedRootIsCaught) {
+  const auto flow = paper_flow();
+  const auto outcome = flow.injected_flow(0);  // attacker injects "root"
+  EXPECT_TRUE(outcome.diverged());
+  EXPECT_EQ(outcome.canonical0, 0u);            // variant 0 would become root
+  EXPECT_EQ(outcome.canonical1, 0x7FFFFFFFu);   // variant 1 becomes nonsense
+}
+
+TEST(InterpreterModel, FullWordOverwriteDetected) {
+  const Identity<os::uid_t> r0;
+  const XorMask r1(0x7FFFFFFF);
+  const auto outcome = partial_overwrite(r0, r1, /*original=*/1000, /*value=*/0,
+                                         /*mask=*/0xFFFFFFFF);
+  EXPECT_TRUE(outcome.diverged());
+}
+
+TEST(InterpreterModel, EveryByteLevelOverwriteDetected) {
+  // The algebra: after a masked overwrite with the SAME bits in both
+  // variants, canonical0 XOR canonical1 = reexpression_mask AND overwrite_mask.
+  // So ANY overwrite touching reexpressed bits diverges — even one that
+  // happens to rewrite variant 0's representation with its existing bits —
+  // and only masks confined to the unflipped high bit escape. Byte-level
+  // attacks (the realistic remote threat, §3.2) are therefore always caught.
+  const Identity<os::uid_t> r0;
+  const XorMask r1(0x7FFFFFFF);
+  const os::uid_t byte_masks[] = {0x000000FF, 0x0000FF00, 0x00FF0000, 0xFF000000};
+  util::Rng rng{99};
+  for (os::uid_t mask : byte_masks) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto original = rng.next_u32();
+      const auto value = rng.next_u32();
+      const auto outcome = partial_overwrite(r0, r1, original, value, mask);
+      EXPECT_TRUE(outcome.diverged()) << "mask " << mask;
+      EXPECT_EQ(outcome.canonical0 ^ outcome.canonical1, 0x7FFFFFFFu & mask);
+    }
+  }
+}
+
+TEST(InterpreterModel, HighBitFlipEscapes) {
+  // The paper's §3.2 admission, reproduced exactly: flipping only the sign
+  // bit changes both canonical values the same way.
+  const Identity<os::uid_t> r0;
+  const XorMask r1(0x7FFFFFFF);
+  const auto outcome =
+      partial_overwrite(r0, r1, /*original=*/1000, /*value=*/1000 ^ 0x80000000u,
+                        /*mask=*/0x80000000u);
+  EXPECT_FALSE(outcome.diverged());
+  EXPECT_EQ(outcome.canonical0, 1000u ^ 0x80000000u);
+  EXPECT_EQ(outcome.canonical1, 1000u ^ 0x80000000u);
+}
+
+TEST(InterpreterModel, FullMaskWouldCloseTheHighBitGap) {
+  // Had the kernel tolerated it, XOR 0xFFFFFFFF detects the high-bit flip —
+  // the design trade-off §3.2 explains.
+  const Identity<os::uid_t> r0;
+  const XorMask r1(0xFFFFFFFF);
+  const auto outcome =
+      partial_overwrite(r0, r1, 1000, 1000 ^ 0x80000000u, 0x80000000u);
+  EXPECT_TRUE(outcome.diverged());
+}
+
+TEST(InterpreterModel, AddressFlowMirrorsFigureOne) {
+  TwoVariantDataFlow<std::uint64_t> flow(std::make_shared<Identity<std::uint64_t>>(),
+                                         std::make_shared<AddressOffset>(0x80000000ULL));
+  for (std::uint64_t addr : address_property_samples(2000)) {
+    EXPECT_FALSE(flow.trusted_flow(addr).diverged());
+    EXPECT_TRUE(flow.injected_flow(addr).diverged());
+  }
+}
+
+TEST(InterpreterModel, ExplainInjectionNarrative) {
+  const Identity<os::uid_t> r0;
+  const XorMask r1(0x7FFFFFFF);
+  const std::string text = explain_injection(r0, r1, 0);
+  EXPECT_NE(text.find("ATTACK DETECTED"), std::string::npos);
+  EXPECT_NE(text.find("0x7fffffff"), std::string::npos);
+}
+
+TEST(InterpreterModel, UidVariationCodersMatchModel) {
+  const variants::UidVariation variation;
+  const auto c0 = variation.coder_for(0);
+  const auto c1 = variation.coder_for(1);
+  TwoVariantDataFlow<os::uid_t> flow(c0, c1);
+  EXPECT_FALSE(flow.trusted_flow(33).diverged());
+  EXPECT_TRUE(flow.injected_flow(33).diverged());
+}
+
+}  // namespace
+}  // namespace nv::core

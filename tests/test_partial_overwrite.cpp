@@ -1,0 +1,80 @@
+// Property sweep over ALL single-bit and single-byte partial overwrites of
+// stored UIDs: detection holds exactly when the overwrite touches a
+// reexpressed bit (every bit except bit 31 under the paper's mask).
+#include <gtest/gtest.h>
+
+#include "core/interpreter_model.h"
+#include "util/rng.h"
+
+namespace nv::core {
+namespace {
+
+class BitPosition : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitPosition, SingleBitOverwriteDetectedIffBitReexpressed) {
+  const unsigned bit = GetParam();
+  const os::uid_t mask = 1u << bit;
+  const Identity<os::uid_t> r0;
+  const XorMask r1(0x7FFFFFFF);
+  util::Rng rng{1000 + bit};
+  for (int trial = 0; trial < 100; ++trial) {
+    const os::uid_t original = rng.next_u32();
+    const os::uid_t value = rng.next_u32();
+    const auto outcome = partial_overwrite(r0, r1, original, value, mask);
+    // canonical0 ^ canonical1 == 0x7FFFFFFF & mask: nonzero (=> detected)
+    // for bits 0..30, zero (=> silent) for bit 31.
+    if (bit == 31) {
+      EXPECT_FALSE(outcome.diverged());
+    } else {
+      EXPECT_TRUE(outcome.diverged());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, BitPosition, ::testing::Range(0u, 32u));
+
+class FullMaskBits : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FullMaskBits, FullMaskDetectsEveryBit) {
+  // The hypothetical 0xFFFFFFFF mask (§3.2's "ideally we would have used")
+  // closes the bit-31 gap entirely.
+  const unsigned bit = GetParam();
+  const Identity<os::uid_t> r0;
+  const XorMask r1(0xFFFFFFFF);
+  util::Rng rng{2000 + bit};
+  const os::uid_t original = rng.next_u32();
+  const os::uid_t value = rng.next_u32();
+  EXPECT_TRUE(partial_overwrite(r0, r1, original, value, 1u << bit).diverged());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, FullMaskBits, ::testing::Range(0u, 32u));
+
+TEST(PartialOverwriteAlgebra, DivergenceEqualsMaskIntersection) {
+  // The closed form behind all of the above: canonical0 XOR canonical1 ==
+  // reexpression_mask AND overwrite_mask, independent of data.
+  const Identity<os::uid_t> r0;
+  util::Rng rng{77};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const os::uid_t reexpr_mask = rng.next_u32();
+    const XorMask r1(reexpr_mask);
+    const os::uid_t original = rng.next_u32();
+    const os::uid_t value = rng.next_u32();
+    const os::uid_t overwrite_mask = rng.next_u32();
+    const auto outcome = partial_overwrite(r0, r1, original, value, overwrite_mask);
+    EXPECT_EQ(outcome.canonical0 ^ outcome.canonical1, reexpr_mask & overwrite_mask);
+  }
+}
+
+TEST(PartialOverwriteAlgebra, MultiByteMasksAllDetected) {
+  const Identity<os::uid_t> r0;
+  const XorMask r1(0x7FFFFFFF);
+  util::Rng rng{88};
+  const os::uid_t masks[] = {0x0000FFFF, 0x00FFFF00, 0xFFFF0000, 0x00FFFFFF, 0xFFFFFF00};
+  for (const os::uid_t mask : masks) {
+    const auto outcome = partial_overwrite(r0, r1, rng.next_u32(), rng.next_u32(), mask);
+    EXPECT_TRUE(outcome.diverged());
+  }
+}
+
+}  // namespace
+}  // namespace nv::core

@@ -1,0 +1,146 @@
+// The Table 3 performance reproduction: absolute calibration on config 1 and
+// shape (relative overheads) everywhere else.
+#include <gtest/gtest.h>
+
+#include "perf/webbench.h"
+
+namespace nv::perf {
+namespace {
+
+constexpr ServerSetup kSetups[] = {
+    ServerSetup::kUnmodified,
+    ServerSetup::kTransformed,
+    ServerSetup::kTwoVariantAddress,
+    ServerSetup::kTwoVariantUid,
+};
+
+PerfResult run_cell(ServerSetup setup, bool saturated) {
+  WorkloadConfig workload;
+  workload.clients = saturated ? 15 : 1;
+  workload.duration = 20 * sim::kSecond;
+  return run_webbench(setup, CostModel{}, workload);
+}
+
+TEST(CostModel, DemandOrdering) {
+  const CostModel model;
+  const double d1 = model.demand_ms(ServerSetup::kUnmodified);
+  const double d2 = model.demand_ms(ServerSetup::kTransformed);
+  const double d3 = model.demand_ms(ServerSetup::kTwoVariantAddress);
+  const double d4 = model.demand_ms(ServerSetup::kTwoVariantUid);
+  EXPECT_LT(d1, d2);
+  EXPECT_LT(d2, d3);
+  EXPECT_LT(d3, d4);
+  // 2-variant demand is a bit over 2x the single-variant demand.
+  EXPECT_GT(d3, 2.0 * d1);
+  EXPECT_LT(d3, 2.6 * d1);
+}
+
+TEST(CostModel, VisibleDemandBelowTotalForTwoVariants) {
+  const CostModel model;
+  EXPECT_DOUBLE_EQ(model.visible_demand_ms(ServerSetup::kUnmodified),
+                   model.demand_ms(ServerSetup::kUnmodified));
+  EXPECT_LT(model.visible_demand_ms(ServerSetup::kTwoVariantUid),
+            model.demand_ms(ServerSetup::kTwoVariantUid));
+}
+
+TEST(Table3, UnsaturatedBaselineMatchesPaperClosely) {
+  const auto result = run_cell(ServerSetup::kUnmodified, false);
+  const auto paper = paper_table3(ServerSetup::kUnmodified, false);
+  EXPECT_NEAR(result.latency_ms, paper.latency_ms, paper.latency_ms * 0.03);
+  EXPECT_NEAR(result.throughput_kbps, paper.throughput_kbps, paper.throughput_kbps * 0.03);
+}
+
+TEST(Table3, SaturatedBaselineMatchesPaperClosely) {
+  const auto result = run_cell(ServerSetup::kUnmodified, true);
+  const auto paper = paper_table3(ServerSetup::kUnmodified, true);
+  EXPECT_NEAR(result.latency_ms, paper.latency_ms, paper.latency_ms * 0.03);
+  EXPECT_NEAR(result.throughput_kbps, paper.throughput_kbps, paper.throughput_kbps * 0.03);
+}
+
+TEST(Table3, EveryCellWithinTenPercentOfPaper) {
+  for (bool saturated : {false, true}) {
+    for (ServerSetup setup : kSetups) {
+      const auto result = run_cell(setup, saturated);
+      const auto paper = paper_table3(setup, saturated);
+      EXPECT_NEAR(result.throughput_kbps, paper.throughput_kbps,
+                  paper.throughput_kbps * 0.10)
+          << to_string(setup) << (saturated ? " saturated" : " unsaturated");
+      EXPECT_NEAR(result.latency_ms, paper.latency_ms, paper.latency_ms * 0.10)
+          << to_string(setup) << (saturated ? " saturated" : " unsaturated");
+    }
+  }
+}
+
+TEST(Table3Shape, TransformationOverheadIsNegligible) {
+  // §4: "the overhead of the UID code transformations ... was negligible".
+  const auto base = run_cell(ServerSetup::kUnmodified, true);
+  const auto transformed = run_cell(ServerSetup::kTransformed, true);
+  EXPECT_GT(transformed.throughput_kbps, base.throughput_kbps * 0.97);
+}
+
+TEST(Table3Shape, SaturatedThroughputRoughlyHalvesWithTwoVariants) {
+  // "the approximate halving of throughput reflects the redundant
+  // computation required from running 2 variants."
+  const auto base = run_cell(ServerSetup::kUnmodified, true);
+  const auto dual = run_cell(ServerSetup::kTwoVariantAddress, true);
+  const double ratio = base.throughput_kbps / dual.throughput_kbps;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 2.6);
+  // Paper's ratio: 5420/2369 = 2.29.
+  EXPECT_NEAR(ratio, 5420.0 / 2369.0, 0.15);
+}
+
+TEST(Table3Shape, UidVariationAddsSmallOverheadOnTopOfMvee) {
+  // §4: config 4 vs config 3 — ~4.5% saturated throughput, ~3% latency.
+  const auto addr = run_cell(ServerSetup::kTwoVariantAddress, true);
+  const auto uid = run_cell(ServerSetup::kTwoVariantUid, true);
+  const double drop = 1.0 - uid.throughput_kbps / addr.throughput_kbps;
+  EXPECT_GT(drop, 0.01);
+  EXPECT_LT(drop, 0.09);
+}
+
+TEST(Table3Shape, UnsaturatedOverheadIsMuchSmallerThanSaturated) {
+  // "the overhead measured for the unloaded server is fairly low, since the
+  // process is primarily I/O bound."
+  const auto base_unsat = run_cell(ServerSetup::kUnmodified, false);
+  const auto dual_unsat = run_cell(ServerSetup::kTwoVariantAddress, false);
+  const double unsat_drop = 1.0 - dual_unsat.throughput_kbps / base_unsat.throughput_kbps;
+  const auto base_sat = run_cell(ServerSetup::kUnmodified, true);
+  const auto dual_sat = run_cell(ServerSetup::kTwoVariantAddress, true);
+  const double sat_drop = 1.0 - dual_sat.throughput_kbps / base_sat.throughput_kbps;
+  EXPECT_LT(unsat_drop, 0.20);  // paper: 12.2%
+  EXPECT_GT(sat_drop, 0.45);    // paper: 56%
+  EXPECT_LT(unsat_drop, sat_drop);
+}
+
+TEST(Table3Shape, SaturatedCpuIsTheBottleneck) {
+  const auto result = run_cell(ServerSetup::kTwoVariantUid, true);
+  EXPECT_GT(result.cpu_utilization, 0.95);
+  const auto unsat = run_cell(ServerSetup::kUnmodified, false);
+  EXPECT_LT(unsat.cpu_utilization, 0.4);
+}
+
+TEST(Webbench, DeterministicForFixedSeed) {
+  WorkloadConfig workload;
+  workload.clients = 4;
+  workload.duration = 5 * sim::kSecond;
+  const auto a = run_webbench(ServerSetup::kTwoVariantUid, CostModel{}, workload);
+  const auto b = run_webbench(ServerSetup::kTwoVariantUid, CostModel{}, workload);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+}
+
+TEST(Webbench, MoreClientsMoreThroughputUntilSaturation) {
+  WorkloadConfig workload;
+  workload.duration = 10 * sim::kSecond;
+  double last = 0;
+  for (unsigned clients : {1u, 2u, 4u, 8u}) {
+    workload.clients = clients;
+    const auto result = run_webbench(ServerSetup::kUnmodified, CostModel{}, workload);
+    EXPECT_GT(result.throughput_kbps, last);
+    last = result.throughput_kbps;
+  }
+}
+
+}  // namespace
+}  // namespace nv::perf

@@ -1,0 +1,136 @@
+// Property tests for reexpression functions: the inverse property (§2.2) and
+// the disjointedness property (§2.3), swept over mask/offset families with
+// parameterized suites.
+#include <gtest/gtest.h>
+
+#include "core/reexpression.h"
+
+namespace nv::core {
+namespace {
+
+TEST(XorMask, PaperMaskRoundTrips) {
+  const XorMask r1(0x7FFFFFFF);
+  EXPECT_EQ(r1.reexpress(0), 0x7FFFFFFFu);       // root's variant-1 encoding
+  EXPECT_EQ(r1.invert(0x7FFFFFFF), 0u);
+  EXPECT_EQ(r1.reexpress(r1.reexpress(1000)), 1000u);  // self-inverse
+}
+
+TEST(Identity, IsIdentity) {
+  const Identity<os::uid_t> r0;
+  for (os::uid_t u : uid_property_samples(100)) {
+    EXPECT_EQ(r0.reexpress(u), u);
+    EXPECT_EQ(r0.invert(u), u);
+  }
+}
+
+TEST(InverseProperty, HoldsForPaperPair) {
+  const auto samples = uid_property_samples(10000);
+  EXPECT_TRUE(verify_inverse<os::uid_t>(Identity<os::uid_t>{}, samples));
+  EXPECT_TRUE(verify_inverse<os::uid_t>(XorMask{0x7FFFFFFF}, samples));
+}
+
+TEST(DisjointednessProperty, HoldsForPaperPair) {
+  const Identity<os::uid_t> r0;
+  const XorMask r1(0x7FFFFFFF);
+  EXPECT_TRUE(disjointedness_violations<os::uid_t>(r0, r1, uid_property_samples(10000)).empty());
+}
+
+TEST(DisjointednessProperty, FailsForEqualMasks) {
+  const XorMask a(0x1234);
+  const XorMask b(0x1234);
+  const auto violations = disjointedness_violations<os::uid_t>(a, b, uid_property_samples(10));
+  EXPECT_EQ(violations.size(), uid_property_samples(10).size());
+  EXPECT_FALSE(xor_masks_disjoint(0x1234, 0x1234));
+  EXPECT_TRUE(xor_masks_disjoint(0, 0x7FFFFFFF));
+}
+
+// Parameterized sweep: any pair of distinct masks is disjoint; any mask is
+// self-inverse.
+class MaskSweep : public ::testing::TestWithParam<os::uid_t> {};
+
+TEST_P(MaskSweep, SelfInverse) {
+  const XorMask r(GetParam());
+  EXPECT_TRUE(verify_inverse<os::uid_t>(r, uid_property_samples(2000, GetParam())));
+}
+
+TEST_P(MaskSweep, DisjointFromIdentityIffNonZero) {
+  const Identity<os::uid_t> r0;
+  const XorMask r1(GetParam());
+  const auto violations =
+      disjointedness_violations<os::uid_t>(r0, r1, uid_property_samples(2000, GetParam()));
+  if (GetParam() == 0) {
+    EXPECT_FALSE(violations.empty());
+  } else {
+    EXPECT_TRUE(violations.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, MaskSweep,
+                         ::testing::Values(0u, 1u, 0xFFu, 0xFF00u, 0x7FFFFFFFu, 0x3FFFFFFFu,
+                                           0x55555555u, 0x0000FFFFu, 0x7F000000u));
+
+// Address-offset family (Table 1 rows 1-2).
+class OffsetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OffsetSweep, InverseHolds) {
+  const AddressOffset r(GetParam());
+  EXPECT_TRUE(verify_inverse<std::uint64_t>(r, address_property_samples(2000)));
+}
+
+TEST_P(OffsetSweep, DisjointFromIdentityIffNonZero) {
+  const AddressOffset r0(0);
+  const AddressOffset r1(GetParam());
+  const auto violations =
+      disjointedness_violations<std::uint64_t>(r0, r1, address_property_samples(2000));
+  if (GetParam() == 0) {
+    EXPECT_FALSE(violations.empty());
+  } else {
+    EXPECT_TRUE(violations.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, OffsetSweep,
+                         ::testing::Values(0ULL, 0x1000ULL, 0x80000000ULL,
+                                           0x80000000ULL + 0x7000ULL, 0xFFFFFFFFULL));
+
+TEST(InstructionTag, PrependsAndStrips) {
+  const InstructionTag r(0xA1);
+  const std::vector<std::uint8_t> inst = {0x01, 0x00, 0x2A, 0x00, 0x00, 0x00};
+  const auto tagged = r.reexpress(inst);
+  ASSERT_EQ(tagged.size(), inst.size() + 1);
+  EXPECT_EQ(tagged[0], 0xA1);
+  EXPECT_EQ(r.invert(tagged), inst);
+}
+
+TEST(InstructionTag, WrongTagThrowsOnInvert) {
+  const InstructionTag r0(0xA0);
+  const InstructionTag r1(0xA1);
+  const auto tagged_for_0 = r0.reexpress({0x05});
+  EXPECT_THROW((void)r1.invert(tagged_for_0), std::runtime_error);
+  EXPECT_THROW((void)r1.invert({}), std::runtime_error);
+}
+
+TEST(InstructionTag, DisjointTagsNeverBothValid) {
+  // Any concrete tagged unit decodes under at most one of two distinct tags.
+  const InstructionTag r0(0xA0);
+  const InstructionTag r1(0xA1);
+  const std::vector<std::uint8_t> injected = {0xA0, 0x05};  // attacker picks tag A0
+  EXPECT_NO_THROW((void)r0.invert(injected));
+  EXPECT_THROW((void)r1.invert(injected), std::runtime_error);
+}
+
+TEST(Samples, IncludeSecurityCriticalCorners) {
+  const auto samples = uid_property_samples(0);
+  EXPECT_NE(std::find(samples.begin(), samples.end(), 0u), samples.end());           // root
+  EXPECT_NE(std::find(samples.begin(), samples.end(), os::kInvalidUid), samples.end());
+  EXPECT_NE(std::find(samples.begin(), samples.end(), 0x7FFFFFFFu), samples.end());
+}
+
+TEST(Describe, HumanReadable) {
+  EXPECT_EQ(XorMask(0x7FFFFFFF).describe(), "R(u) = u XOR 0x7fffffff");
+  EXPECT_EQ(AddressOffset(0x80000000).describe(), "R(a) = a + 0x80000000");
+  EXPECT_EQ(InstructionTag(0xA0).describe(), "R(inst) = 0xa0 || inst");
+}
+
+}  // namespace
+}  // namespace nv::core

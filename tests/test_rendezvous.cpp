@@ -1,0 +1,148 @@
+// Rendezvous barrier semantics and the monitor's alarm bookkeeping.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/monitor.h"
+#include "core/rendezvous.h"
+
+namespace nv::core {
+namespace {
+
+using vkernel::Sys;
+using vkernel::SyscallArgs;
+using vkernel::SyscallResult;
+
+SyscallArgs call(Sys no, std::uint64_t a = 0) {
+  SyscallArgs args;
+  args.no = no;
+  args.ints = {a};
+  return args;
+}
+
+TEST(Rendezvous, LeaderSeesAllArgumentsAndDistributesResults) {
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(1000));
+  rdv.set_leader([](const std::vector<SyscallArgs>& all) {
+    EXPECT_EQ(all.size(), 2u);
+    std::vector<SyscallResult> results(2);
+    results[0].value = all[0].ints[0] * 10;
+    results[1].value = all[1].ints[0] * 10;
+    return results;
+  });
+  SyscallResult r0;
+  SyscallResult r1;
+  std::thread t0([&] { r0 = rdv.exchange(0, call(Sys::kGetpid, 1)); });
+  std::thread t1([&] { r1 = rdv.exchange(1, call(Sys::kGetpid, 2)); });
+  t0.join();
+  t1.join();
+  EXPECT_EQ(r0.value, 10u);
+  EXPECT_EQ(r1.value, 20u);
+  EXPECT_EQ(rdv.rounds_completed(), 1u);
+}
+
+TEST(Rendezvous, ManyRoundsKeepOrder) {
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(1000));
+  rdv.set_leader([](const std::vector<SyscallArgs>& all) {
+    std::vector<SyscallResult> results(2);
+    results[0].value = all[0].ints[0];
+    results[1].value = all[1].ints[0];
+    return results;
+  });
+  auto worker = [&](unsigned v) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      const auto r = rdv.exchange(v, call(Sys::kGettime, i));
+      ASSERT_EQ(r.value, i);
+    }
+  };
+  std::thread t0(worker, 0);
+  std::thread t1(worker, 1);
+  t0.join();
+  t1.join();
+  EXPECT_EQ(rdv.rounds_completed(), 100u);
+}
+
+TEST(Rendezvous, AbortWakesWaiter) {
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(10000));
+  rdv.set_leader([](const std::vector<SyscallArgs>&) { return std::vector<SyscallResult>(2); });
+  std::thread t0([&] {
+    EXPECT_THROW((void)rdv.exchange(0, call(Sys::kGetpid)), DivergenceAbort);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  rdv.abort(Alarm{AlarmKind::kMemoryFault, 1, "test"});
+  t0.join();
+  EXPECT_TRUE(rdv.aborted());
+}
+
+TEST(Rendezvous, ExchangeAfterAbortThrowsImmediately) {
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(1000));
+  rdv.abort(Alarm{AlarmKind::kGuestError, 0, "dead"});
+  EXPECT_THROW((void)rdv.exchange(0, call(Sys::kGetpid)), DivergenceAbort);
+}
+
+TEST(Rendezvous, TimeoutWhenPeerNeverArrives) {
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(50));
+  rdv.set_leader([](const std::vector<SyscallArgs>&) { return std::vector<SyscallResult>(2); });
+  try {
+    (void)rdv.exchange(0, call(Sys::kGetpid));
+    FAIL() << "expected timeout abort";
+  } catch (const DivergenceAbort& abort) {
+    EXPECT_EQ(abort.alarm.kind, AlarmKind::kRendezvousTimeout);
+  }
+}
+
+TEST(Rendezvous, SingleVariantRunsWithoutPeers) {
+  SyscallRendezvous rdv(1, std::chrono::milliseconds(100));
+  rdv.set_leader([](const std::vector<SyscallArgs>& all) {
+    std::vector<SyscallResult> results(1);
+    results[0].value = all[0].ints[0] + 1;
+    return results;
+  });
+  EXPECT_EQ(rdv.exchange(0, call(Sys::kGetpid, 41)).value, 42u);
+}
+
+TEST(Rendezvous, InvalidVariantIndexRejected) {
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(100));
+  EXPECT_THROW((void)rdv.exchange(5, call(Sys::kGetpid)), std::invalid_argument);
+}
+
+TEST(Rendezvous, ZeroVariantsRejected) {
+  EXPECT_THROW(SyscallRendezvous(0, std::chrono::milliseconds(1)), std::invalid_argument);
+}
+
+TEST(Monitor, FirstAlarmWinsAndAllRecorded) {
+  Monitor monitor;
+  EXPECT_FALSE(monitor.triggered());
+  monitor.raise(Alarm{AlarmKind::kMemoryFault, 0, "first"});
+  monitor.raise(Alarm{AlarmKind::kTagFault, 1, "second"});
+  EXPECT_TRUE(monitor.triggered());
+  EXPECT_EQ(monitor.first_alarm()->detail, "first");
+  EXPECT_EQ(monitor.alarms().size(), 2u);
+}
+
+TEST(Monitor, CallbackFires) {
+  Monitor monitor;
+  std::vector<AlarmKind> seen;
+  monitor.set_alarm_callback([&](const Alarm& alarm) { seen.push_back(alarm.kind); });
+  monitor.raise(Alarm{AlarmKind::kUidCheckFailed, 0, ""});
+  EXPECT_EQ(seen, (std::vector<AlarmKind>{AlarmKind::kUidCheckFailed}));
+}
+
+TEST(Monitor, ResetClearsState) {
+  Monitor monitor;
+  monitor.raise(Alarm{AlarmKind::kGuestError, 0, ""});
+  monitor.note_syscall_checked();
+  monitor.reset();
+  EXPECT_FALSE(monitor.triggered());
+  EXPECT_EQ(monitor.syscalls_checked(), 0u);
+}
+
+TEST(Alarm, DescribeIncludesKindVariantDetail) {
+  const Alarm alarm{AlarmKind::kUidCheckFailed, 1, "uid mismatch"};
+  const std::string text = alarm.describe();
+  EXPECT_NE(text.find("uid-check-failed"), std::string::npos);
+  EXPECT_NE(text.find("variant 1"), std::string::npos);
+  EXPECT_NE(text.find("uid mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nv::core

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "sim/resource.h"
+#include "sim/simulation.h"
+
+namespace nv::sim {
+namespace {
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulation, TiesBreakInSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_in(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 40u);
+}
+
+TEST(Simulation, SchedulingInThePastThrows) {
+  Simulation sim;
+  sim.schedule_at(10, [] {});
+  sim.run_to_completion();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(Simulation, RunUntilAdvancesClockToDeadline) {
+  Simulation sim;
+  sim.schedule_at(100, [] {});
+  sim.run_until(50);
+  EXPECT_EQ(sim.now(), 50u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(200);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(FifoStation, SingleServerSerializesJobs) {
+  Simulation sim;
+  FifoStation cpu(sim, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit(10, [&] { completions.push_back(sim.now()); });
+  }
+  sim.run_to_completion();
+  EXPECT_EQ(completions, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(cpu.completed(), 3u);
+}
+
+TEST(FifoStation, TwoServersRunInParallel) {
+  Simulation sim;
+  FifoStation cpu(sim, 2);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    cpu.submit(10, [&] { completions.push_back(sim.now()); });
+  }
+  sim.run_to_completion();
+  EXPECT_EQ(completions, (std::vector<SimTime>{10, 10, 20, 20}));
+}
+
+TEST(FifoStation, WaitTimesTracked) {
+  Simulation sim;
+  FifoStation cpu(sim, 1);
+  cpu.submit(from_ms(1.0), [] {});
+  cpu.submit(from_ms(1.0), [] {});
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(cpu.wait_stats().min(), 0.0);
+  EXPECT_DOUBLE_EQ(cpu.wait_stats().max(), 1.0);
+}
+
+TEST(FifoStation, UtilizationReflectsBusyTime) {
+  Simulation sim;
+  FifoStation cpu(sim, 1);
+  cpu.submit(100, [] {});
+  sim.schedule_at(200, [] {});  // extend the horizon to 200
+  sim.run_to_completion();
+  EXPECT_NEAR(cpu.utilization(), 0.5, 1e-9);
+}
+
+TEST(FifoStation, ZeroServersRejected) {
+  Simulation sim;
+  EXPECT_THROW(FifoStation(sim, 0), std::invalid_argument);
+}
+
+TEST(SimTimeConversions, RoundTrip) {
+  EXPECT_EQ(from_ms(5.0), 5 * kMillisecond);
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(3.25)), 3.25);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond), 2.0);
+}
+
+}  // namespace
+}  // namespace nv::sim

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "vkernel/sockets.h"
+
+namespace nv::vkernel {
+namespace {
+
+TEST(SocketHub, BindAndDoubleBind) {
+  SocketHub hub;
+  EXPECT_EQ(hub.bind(80), os::Errno::kOk);
+  EXPECT_EQ(hub.bind(80), os::Errno::kEADDRINUSE);
+  EXPECT_TRUE(hub.is_bound(80));
+  hub.unbind(80);
+  EXPECT_FALSE(hub.is_bound(80));
+}
+
+TEST(SocketHub, ConnectToUnboundPortRefused) {
+  SocketHub hub;
+  auto conn = hub.connect(9999);
+  ASSERT_FALSE(conn.has_value());
+  EXPECT_EQ(conn.error(), os::Errno::kECONNREFUSED);
+}
+
+TEST(SocketHub, AcceptDeliversPendingConnection) {
+  SocketHub hub;
+  ASSERT_EQ(hub.bind(80), os::Errno::kOk);
+  auto client = hub.connect(80);
+  ASSERT_TRUE(client.has_value());
+  EXPECT_EQ(hub.backlog(80), 1u);
+  auto server = hub.accept(80);
+  ASSERT_TRUE(server.has_value());
+  EXPECT_EQ(hub.backlog(80), 0u);
+}
+
+TEST(SocketHub, DataFlowsBothWays) {
+  SocketHub hub;
+  ASSERT_EQ(hub.bind(80), os::Errno::kOk);
+  auto client = hub.connect(80);
+  auto server = hub.accept(80);
+  ASSERT_TRUE(client.has_value() && server.has_value());
+
+  ASSERT_TRUE(client->send("ping").has_value());
+  EXPECT_EQ(server->recv(100).value(), "ping");
+  ASSERT_TRUE(server->send("pong").has_value());
+  EXPECT_EQ(client->recv(100).value(), "pong");
+}
+
+TEST(SocketHub, RecvBlocksUntilDataArrives) {
+  SocketHub hub;
+  ASSERT_EQ(hub.bind(80), os::Errno::kOk);
+  auto client = hub.connect(80);
+  auto server = hub.accept(80);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(client->send("late").has_value());
+  });
+  EXPECT_EQ(server->recv(100).value(), "late");
+  sender.join();
+}
+
+TEST(SocketHub, CloseSignalsEofToPeer) {
+  SocketHub hub;
+  ASSERT_EQ(hub.bind(80), os::Errno::kOk);
+  auto client = hub.connect(80);
+  auto server = hub.accept(80);
+  client->close();
+  EXPECT_EQ(server->recv(100).value(), "");  // EOF
+  auto send = server->send("x");
+  ASSERT_FALSE(send.has_value());
+  EXPECT_EQ(send.error(), os::Errno::kEPIPE);
+}
+
+TEST(SocketHub, RecvUntilDelimiterKeepsRemainder) {
+  SocketHub hub;
+  ASSERT_EQ(hub.bind(80), os::Errno::kOk);
+  auto client = hub.connect(80);
+  auto server = hub.accept(80);
+  ASSERT_TRUE(client->send("GET / HTTP/1.0\r\n\r\nextra").has_value());
+  EXPECT_EQ(server->recv_until("\r\n\r\n").value(), "GET / HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(server->recv(100).value(), "extra");
+}
+
+TEST(SocketHub, ShutdownWakesBlockedAccept) {
+  SocketHub hub;
+  ASSERT_EQ(hub.bind(80), os::Errno::kOk);
+  std::thread interrupter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    hub.shutdown();
+  });
+  auto conn = hub.accept(80);
+  ASSERT_FALSE(conn.has_value());
+  EXPECT_EQ(conn.error(), os::Errno::kEINTR);
+  interrupter.join();
+}
+
+TEST(SocketHub, ShutdownWakesBlockedRecv) {
+  SocketHub hub;
+  ASSERT_EQ(hub.bind(80), os::Errno::kOk);
+  auto client = hub.connect(80);
+  auto server = hub.accept(80);
+  std::thread interrupter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    hub.shutdown();
+  });
+  auto data = server->recv(100);
+  ASSERT_FALSE(data.has_value());
+  EXPECT_EQ(data.error(), os::Errno::kEINTR);
+  interrupter.join();
+}
+
+TEST(SocketHub, ResetAllowsReuse) {
+  SocketHub hub;
+  hub.shutdown();
+  EXPECT_TRUE(hub.is_shutdown());
+  hub.reset();
+  EXPECT_FALSE(hub.is_shutdown());
+  EXPECT_EQ(hub.bind(80), os::Errno::kOk);
+}
+
+TEST(SocketHub, MultipleClientsQueueInOrder) {
+  SocketHub hub;
+  ASSERT_EQ(hub.bind(80), os::Errno::kOk);
+  auto c1 = hub.connect(80);
+  auto c2 = hub.connect(80);
+  ASSERT_TRUE(c1.has_value() && c2.has_value());
+  ASSERT_TRUE(c1->send("first").has_value());
+  ASSERT_TRUE(c2->send("second").has_value());
+  EXPECT_EQ(hub.accept(80)->recv(100).value(), "first");
+  EXPECT_EQ(hub.accept(80)->recv(100).value(), "second");
+}
+
+}  // namespace
+}  // namespace nv::vkernel

@@ -1,0 +1,336 @@
+// Mini-C frontend, UID inference, and the automated transformation pass.
+#include <gtest/gtest.h>
+
+#include "transform/analysis.h"
+#include "transform/lexer.h"
+#include "transform/mini_apache.h"
+#include "transform/parser.h"
+#include "transform/printer.h"
+#include "transform/transform_pass.h"
+
+namespace nv::transform {
+namespace {
+
+Program parse_and_analyze(std::string_view source) {
+  Program program = parse(source);
+  const auto analysis = analyze(program);
+  EXPECT_TRUE(analysis.ok()) << (analysis.errors.empty() ? "" : analysis.errors.front());
+  return program;
+}
+
+TEST(Lexer, TokenKinds) {
+  const auto tokens = lex("uid_t x = 0x7FFFFFFF; // comment\nif (x == 42) { }");
+  ASSERT_GE(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].text, "uid_t");
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].text, "=");
+  EXPECT_EQ(tokens[3].number, 0x7FFFFFFF);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+}
+
+TEST(Lexer, StringEscapes) {
+  const auto tokens = lex(R"("a\nb\"c")");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "a\nb\"c");
+}
+
+TEST(Lexer, RejectsGarbage) {
+  EXPECT_THROW((void)lex("int x = @;"), std::runtime_error);
+  EXPECT_THROW((void)lex("\"unterminated"), std::runtime_error);
+}
+
+TEST(Parser, FunctionAndControlFlow) {
+  const Program program = parse(R"(
+    int main() {
+      int i = 0;
+      while (i < 10) {
+        i = i + 1;
+        if (i == 5) {
+          return i;
+        } else {
+          log_msg("tick");
+        }
+      }
+      return 0;
+    }
+  )");
+  ASSERT_EQ(program.functions.size(), 1u);
+  EXPECT_EQ(program.functions[0].name, "main");
+  EXPECT_EQ(program.functions[0].body.size(), 3u);
+}
+
+TEST(Parser, PrecedenceAndAssociativity) {
+  const Program program = parse("int f() { return 1 + 2 * 3 == 7 && true; }");
+  const auto& ret = *program.functions[0].body[0];
+  // Top: &&; lhs: (1+2*3) == 7.
+  ASSERT_EQ(ret.expr->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(ret.expr->op, BinOp::kAnd);
+  EXPECT_EQ(ret.expr->lhs->op, BinOp::kEq);
+  EXPECT_EQ(ret.expr->lhs->lhs->op, BinOp::kAdd);
+}
+
+TEST(Parser, SyntaxErrorsCarryLineNumbers) {
+  try {
+    (void)parse("int main() {\n  int x = ;\n}");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Analysis, TypesResolveFromDeclarations) {
+  Program program = parse_and_analyze(R"(
+    int main() {
+      uid_t u = getuid();
+      if (u == 0) { return 1; }
+      return 0;
+    }
+  )");
+  EXPECT_TRUE(program.functions[0].body[1]->expr->uid_tainted);
+}
+
+TEST(Analysis, InfersUidTypeFromGetuidAssignment) {
+  Program program = parse(R"(
+    int main() {
+      int who = getuid();
+      if (who == 0) { return 1; }
+      return 0;
+    }
+  )");
+  const auto analysis = analyze(program);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.var_types.at("main").at("who"), Type::kUid);
+  ASSERT_EQ(analysis.inferred_uid_vars.size(), 1u);
+  EXPECT_EQ(analysis.inferred_uid_vars[0], "main::who");
+}
+
+TEST(Analysis, InfersUidTypeFromSetuidParameter) {
+  Program program = parse(R"(
+    int main() {
+      int target = 1000;
+      setuid(target);
+      return 0;
+    }
+  )");
+  const auto analysis = analyze(program);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.var_types.at("main").at("target"), Type::kUid);
+}
+
+TEST(Analysis, InfersTransitivelyThroughAssignments) {
+  Program program = parse(R"(
+    int main() {
+      int a = getuid();
+      int b = 0;
+      b = a;
+      setuid(b);
+      return 0;
+    }
+  )");
+  const auto analysis = analyze(program);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.var_types.at("main").at("a"), Type::kUid);
+  EXPECT_EQ(analysis.var_types.at("main").at("b"), Type::kUid);
+}
+
+TEST(Analysis, ReportsUnknownIdentifiers) {
+  Program program = parse("int main() { return nope; }");
+  const auto analysis = analyze(program);
+  ASSERT_FALSE(analysis.ok());
+  EXPECT_NE(analysis.errors[0].find("unknown variable"), std::string::npos);
+}
+
+TEST(Analysis, ReportsUnknownFunctions) {
+  Program program = parse("int main() { frobnicate(); return 0; }");
+  const auto analysis = analyze(program);
+  ASSERT_FALSE(analysis.ok());
+}
+
+TEST(TransformPass, ReexpressesUidConstants) {
+  Program program = parse_and_analyze(R"(
+    int main() {
+      uid_t u = getuid();
+      if (u == 0) { return 1; }
+      return 0;
+    }
+  )");
+  TransformOptions options;
+  options.mask = 0x7FFFFFFF;
+  options.detection = DetectionMode::kNone;
+  TransformStats stats;
+  const Program out = transform_uid(program, options, &stats);
+  EXPECT_EQ(stats.constants_reexpressed, 1);
+  const std::string printed = print(out);
+  EXPECT_NE(printed.find("0x7fffffff"), std::string::npos);
+}
+
+TEST(TransformPass, IdentityMaskLeavesConstantValuesButCountsSites) {
+  Program program = parse_and_analyze("int main() { uid_t u = getuid(); if (u == 0) { return 1; } return 0; }");
+  TransformOptions options;
+  options.mask = 0;  // variant 0
+  options.detection = DetectionMode::kNone;
+  TransformStats stats;
+  const Program out = transform_uid(program, options, &stats);
+  EXPECT_EQ(stats.constants_reexpressed, 1);
+  EXPECT_NE(print(out).find("(u == 0)"), std::string::npos);
+}
+
+TEST(TransformPass, ImplicitComparisonMadeExplicit) {
+  // §3.3's exact example: if(!getuid()) becomes if(getuid() == 0).
+  Program program = parse_and_analyze("int main() { if (!getuid()) { return 1; } return 0; }");
+  TransformOptions options;
+  options.detection = DetectionMode::kNone;
+  TransformStats stats;
+  const Program out = transform_uid(program, options, &stats);
+  EXPECT_EQ(stats.implicit_made_explicit, 1);
+  EXPECT_EQ(stats.constants_reexpressed, 1);
+  EXPECT_NE(print(out).find("(getuid() == 0x7fffffff)"), std::string::npos);
+}
+
+TEST(TransformPass, BareUidConditionGetsExplicitNeq) {
+  Program program = parse_and_analyze("int main() { if (getuid()) { return 1; } return 0; }");
+  TransformOptions options;
+  options.detection = DetectionMode::kNone;
+  TransformStats stats;
+  const Program out = transform_uid(program, options, &stats);
+  EXPECT_EQ(stats.implicit_made_explicit, 1);
+  EXPECT_NE(print(out).find("!="), std::string::npos);
+}
+
+TEST(TransformPass, ComparisonsBecomeDetectionSyscalls) {
+  Program program = parse_and_analyze(R"(
+    int main() {
+      uid_t u = getuid();
+      uid_t v = geteuid();
+      if (u < v) { return 1; }
+      return 0;
+    }
+  )");
+  TransformStats stats;
+  const Program out = transform_uid(program, TransformOptions{}, &stats);
+  EXPECT_EQ(stats.cc_rewrites, 1);
+  EXPECT_NE(print(out).find("cc_lt(u, v)"), std::string::npos);
+}
+
+TEST(TransformPass, UserSpaceModeReversesInequalities) {
+  Program program = parse_and_analyze(R"(
+    int main() {
+      uid_t u = getuid();
+      uid_t v = geteuid();
+      if (u < v) { return 1; }
+      if (u == v) { return 2; }
+      return 0;
+    }
+  )");
+  TransformOptions options;
+  options.detection = DetectionMode::kUserSpaceReversed;
+  TransformStats stats;
+  const Program out = transform_uid(program, options, &stats);
+  EXPECT_EQ(stats.inequalities_reversed, 1);  // == is representation-independent
+  EXPECT_NE(print(out).find("(u > v)"), std::string::npos);
+}
+
+TEST(TransformPass, CondChkWrapsTaintedConditions) {
+  Program program = parse_and_analyze(R"(
+    int main() {
+      uid_t u = getuid();
+      bool privileged = u == 0;
+      if (privileged) { return 1; }
+      return 0;
+    }
+  )");
+  TransformStats stats;
+  const Program out = transform_uid(program, TransformOptions{}, &stats);
+  EXPECT_EQ(stats.cond_chk_insertions, 1);
+  EXPECT_NE(print(out).find("cond_chk(privileged)"), std::string::npos);
+}
+
+TEST(TransformPass, DirectCcConditionNotDoubleChecked) {
+  Program program = parse_and_analyze(R"(
+    int main() {
+      uid_t u = getuid();
+      if (u == 0) { return 1; }
+      return 0;
+    }
+  )");
+  TransformStats stats;
+  const Program out = transform_uid(program, TransformOptions{}, &stats);
+  EXPECT_EQ(stats.cc_rewrites, 1);
+  EXPECT_EQ(stats.cond_chk_insertions, 0);
+  EXPECT_EQ(print(out).find("cond_chk"), std::string::npos);
+}
+
+TEST(TransformPass, UidValueWrapsLookupArguments) {
+  Program program = parse_and_analyze(R"(
+    int main() {
+      uid_t u = getuid();
+      if (getpwuid_ok(u)) { return 1; }
+      return 0;
+    }
+  )");
+  TransformStats stats;
+  const Program out = transform_uid(program, TransformOptions{}, &stats);
+  EXPECT_EQ(stats.uid_value_insertions, 1);
+  EXPECT_NE(print(out).find("getpwuid_ok(uid_value(u))"), std::string::npos);
+}
+
+TEST(TransformPass, SetuidArgumentsNotWrapped) {
+  Program program = parse_and_analyze("int main() { setuid(getuid()); return 0; }");
+  TransformStats stats;
+  const Program out = transform_uid(program, TransformOptions{}, &stats);
+  EXPECT_EQ(stats.uid_value_insertions, 0);
+  EXPECT_EQ(print(out).find("uid_value"), std::string::npos);
+}
+
+TEST(CaseStudy, MiniApacheAnalyzesCleanly) {
+  Program program = parse(mini_apache_source());
+  const auto analysis = analyze(program);
+  ASSERT_TRUE(analysis.ok()) << analysis.errors.front();
+  // The deliberately int-declared CGI owner variable is inferred as uid_t.
+  EXPECT_EQ(analysis.var_types.at("run_cgi").at("cgi_uid"), Type::kUid);
+}
+
+TEST(CaseStudy, ChangeCountsMatchPaperTable) {
+  Program program = parse(mini_apache_source());
+  ASSERT_TRUE(analyze(program).ok());
+  TransformStats stats;
+  (void)transform_uid(program, TransformOptions{}, &stats);
+  // §4: "a total of 73 changes ... Fifteen ... constant UID values ...
+  // 16 changes to introduce the new system calls to expose single UID value
+  // usages ... 22 changes to expose conditional statements that compared UID
+  // values, and 20 changes to check conditional statements."
+  EXPECT_EQ(stats.constants_reexpressed, CaseStudyCounts::kConstants);
+  EXPECT_EQ(stats.uid_value_insertions, CaseStudyCounts::kUidValue);
+  EXPECT_EQ(stats.cc_rewrites, CaseStudyCounts::kComparisons);
+  EXPECT_EQ(stats.cond_chk_insertions, CaseStudyCounts::kCondChk);
+  EXPECT_EQ(stats.total(), CaseStudyCounts::kTotal);
+}
+
+TEST(Printer, RoundTripsThroughParser) {
+  Program program = parse(mini_apache_source());
+  const std::string printed = print(program);
+  Program reparsed = parse(printed);
+  EXPECT_EQ(reparsed.functions.size(), program.functions.size());
+  // Printing the reparse reproduces the same text (fixed point).
+  EXPECT_EQ(print(reparsed), printed);
+}
+
+// Parameterized sweep: transformation is idempotent in site counts across
+// masks — the mask changes values, never the shape.
+class MaskParam : public ::testing::TestWithParam<os::uid_t> {};
+
+TEST_P(MaskParam, SiteCountsAreMaskInvariant) {
+  Program program = parse(mini_apache_source());
+  ASSERT_TRUE(analyze(program).ok());
+  TransformOptions options;
+  options.mask = GetParam();
+  TransformStats stats;
+  (void)transform_uid(program, options, &stats);
+  EXPECT_EQ(stats.total(), CaseStudyCounts::kTotal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, MaskParam,
+                         ::testing::Values(0u, 0x7FFFFFFFu, 0x3FFFFFFFu, 0x55555555u));
+
+}  // namespace
+}  // namespace nv::transform

@@ -1,0 +1,252 @@
+// The paper's §3 UID variation end to end: reexpression at syscall
+// boundaries, unshared passwd files, detection of corruption, and the
+// documented high-bit weakness.
+#include <gtest/gtest.h>
+
+#include "core/nvariant_system.h"
+#include "guest/runners.h"
+#include "guest/uid_ops.h"
+#include "test_helpers.h"
+#include "variants/uid_variation.h"
+
+namespace nv {
+namespace {
+
+using core::NVariantOptions;
+using core::NVariantSystem;
+using testing::LambdaGuest;
+using variants::UidVariation;
+
+NVariantOptions fast_options() {
+  NVariantOptions options;
+  options.rendezvous_timeout = std::chrono::milliseconds(500);
+  return options;
+}
+
+std::unique_ptr<NVariantSystem> make_uid_system() {
+  auto system = std::make_unique<NVariantSystem>(fast_options());
+  EXPECT_TRUE(system->fs().mkdir_p("/etc", os::Credentials::root()));
+  EXPECT_TRUE(system->fs().write_file("/etc/passwd",
+                                      "root:x:0:0:root:/root:/bin/sh\n"
+                                      "www:x:33:33:www:/var/www:/bin/false\n"
+                                      "alice:x:1000:1000:Alice:/home/alice:/bin/sh\n",
+                                      os::Credentials::root()));
+  EXPECT_TRUE(system->fs().write_file("/etc/group", "root:x:0:\nwww:x:33:\n",
+                                      os::Credentials::root()));
+  system->add_variation(std::make_shared<UidVariation>());
+  return system;
+}
+
+TEST(UidVariation, MasksArePairwiseDistinct) {
+  UidVariation variation;
+  EXPECT_EQ(variation.mask_for(0), 0u);
+  EXPECT_EQ(variation.mask_for(1), 0x7FFFFFFFu);
+  EXPECT_EQ(variation.mask_for(2), 0x3FFFFFFFu);
+  EXPECT_NE(variation.mask_for(1), variation.mask_for(2));
+}
+
+TEST(UidVariation, GetuidReturnsReexpressedValuePerVariant) {
+  auto system = make_uid_system();
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    const os::uid_t euid = ctx.geteuid();
+    // Variant 0 sees canonical root (0); variant 1 sees 0x7FFFFFFF.
+    if (ctx.variant() == 0) {
+      EXPECT_EQ(euid, 0u);
+    } else {
+      EXPECT_EQ(euid, 0x7FFFFFFFu);
+    }
+    // Either way, it equals the variant's transformed root constant.
+    EXPECT_EQ(euid, ctx.uid_const(os::kRootUid));
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.attack_detected);
+}
+
+TEST(UidVariation, SetuidWithTransformedConstantSucceeds) {
+  auto system = make_uid_system();
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    // The transformed program passes R_i(1000); wrappers invert to 1000.
+    EXPECT_EQ(ctx.seteuid(ctx.uid_const(1000)), os::Errno::kOk);
+    EXPECT_EQ(ctx.geteuid(), ctx.uid_const(1000));
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.attack_detected);
+}
+
+TEST(UidVariation, KernelStoresCanonicalCredentials) {
+  auto system = make_uid_system();
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    EXPECT_EQ(ctx.setuid(ctx.uid_const(1000)), os::Errno::kOk);
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.attack_detected);
+}
+
+TEST(UidVariation, PasswdFilesAreDiversifiedPerVariant) {
+  auto system = make_uid_system();
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    const auto pw = ctx.getpwnam("www");
+    ASSERT_TRUE(pw.has_value());
+    // The unshared passwd copy already encodes this variant's representation.
+    EXPECT_EQ(pw->uid, ctx.uid_const(33));
+    // And installing it round-trips through the wrapper correctly.
+    EXPECT_EQ(ctx.seteuid(pw->uid), os::Errno::kOk);
+    EXPECT_EQ(ctx.geteuid(), ctx.uid_const(33));
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.attack_detected);
+}
+
+TEST(UidVariation, InjectedIdenticalUidDetectedAtUidValue) {
+  auto system = make_uid_system();
+  // The attacker corrupts a stored UID with the SAME concrete value in both
+  // variants (that is all the shared input channel allows). uid_value()
+  // inverts per variant: 0 vs 0x7FFFFFFF -> alarm.
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    const os::uid_t injected = 0;  // attacker wants root
+    (void)ctx.uid_value(injected);
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.attack_detected);
+  ASSERT_TRUE(report.alarm.has_value());
+  EXPECT_EQ(report.alarm->kind, core::AlarmKind::kUidCheckFailed);
+}
+
+TEST(UidVariation, InjectedUidDetectedAtSetuidEvenWithoutDetectionSyscalls) {
+  auto system = make_uid_system();
+  // §5: without uid_value the attack is still caught at the next UID-carrying
+  // syscall, at the cost of detection precision.
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    (void)ctx.seteuid(0);  // same raw value in both variants
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.attack_detected);
+  ASSERT_TRUE(report.alarm.has_value());
+  EXPECT_EQ(report.alarm->kind, core::AlarmKind::kArgumentMismatch);
+}
+
+TEST(UidVariation, CcComparisonAgreesOnTransformedValues) {
+  auto system = make_uid_system();
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    guest::UidOps ops(ctx, guest::UidOpsMode::kSyscallChecked);
+    const os::uid_t alice = ctx.uid_const(1000);
+    const os::uid_t root = ctx.uid_const(0);
+    EXPECT_TRUE(ops.lt(root, alice));   // 0 < 1000 canonically, both variants
+    EXPECT_FALSE(ops.gt(root, alice));
+    EXPECT_TRUE(ops.eq(root, root));
+    EXPECT_TRUE(ops.is_root(root));
+    EXPECT_FALSE(ops.is_root(alice));
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.attack_detected);
+}
+
+TEST(UidVariation, UserSpaceReversedComparisonsPreserveSemantics) {
+  auto system = make_uid_system();
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    guest::UidOps ops(ctx, guest::UidOpsMode::kUserSpaceReversed);
+    const os::uid_t alice = ctx.uid_const(1000);
+    const os::uid_t bob = ctx.uid_const(1001);
+    EXPECT_TRUE(ops.lt(alice, bob));
+    EXPECT_TRUE(ops.leq(alice, alice));
+    EXPECT_FALSE(ops.gt(alice, bob));
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.attack_detected);
+}
+
+TEST(UidVariation, HighBitFlipEscapesDetection) {
+  auto system = make_uid_system();
+  // The documented weakness (§3.2): the mask leaves the high bit unflipped,
+  // so corrupting ONLY the high bit of the stored representation yields the
+  // same canonical change in both variants — no divergence.
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    const os::uid_t stored = ctx.uid_const(1000);
+    const os::uid_t corrupted = stored ^ 0x80000000u;  // same flip, both variants
+    (void)ctx.uid_value(corrupted);                    // NOT detected
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_FALSE(report.attack_detected);  // faithful reproduction of the gap
+  EXPECT_TRUE(report.completed);
+}
+
+TEST(UidVariation, ByteLevelOverwriteIsDetected) {
+  auto system = make_uid_system();
+  // §3.2: byte-level partial overwrites are the realistic remote threat, and
+  // the low-byte flip lands on reexpressed bits -> canonical values diverge.
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    os::uid_t stored = ctx.uid_const(1000);
+    stored = (stored & 0xFFFFFF00u) | 0x00000000u;  // attacker zeroes low byte
+    (void)ctx.uid_value(stored);
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.attack_detected);
+}
+
+TEST(UidVariation, ThreeVariantConfigurationWorks) {
+  NVariantOptions options = fast_options();
+  options.n_variants = 3;
+  auto system = std::make_unique<NVariantSystem>(options);
+  EXPECT_TRUE(system->fs().mkdir_p("/etc", os::Credentials::root()));
+  EXPECT_TRUE(system->fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n",
+                                      os::Credentials::root()));
+  EXPECT_TRUE(
+      system->fs().write_file("/etc/group", "root:x:0:\n", os::Credentials::root()));
+  system->add_variation(std::make_shared<UidVariation>());
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    EXPECT_EQ(ctx.geteuid(), ctx.uid_const(0));
+    EXPECT_EQ(ctx.seteuid(ctx.uid_const(7)), os::Errno::kOk);
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.attack_detected);
+
+  LambdaGuest attacked([](guest::GuestContext& ctx) {
+    (void)ctx.uid_value(0);  // identical injected value across 3 variants
+    ctx.exit(0);
+  });
+  auto system2 = std::make_unique<NVariantSystem>(options);
+  EXPECT_TRUE(system2->fs().mkdir_p("/etc", os::Credentials::root()));
+  EXPECT_TRUE(system2->fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n",
+                                       os::Credentials::root()));
+  EXPECT_TRUE(
+      system2->fs().write_file("/etc/group", "root:x:0:\n", os::Credentials::root()));
+  system2->add_variation(std::make_shared<UidVariation>());
+  const auto report2 = guest::run_nvariant(*system2, attacked);
+  EXPECT_TRUE(report2.attack_detected);
+}
+
+TEST(UidVariation, InvalidUidSentinelRoundTrips) {
+  auto system = make_uid_system();
+  // setreuid(-1, x): the transformed program passes R_i(-1); the wrapper
+  // inverts it back to the canonical sentinel, which the kernel honours.
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    EXPECT_EQ(ctx.setreuid(ctx.uid_const(os::kInvalidUid), ctx.uid_const(1000)), os::Errno::kOk);
+    EXPECT_EQ(ctx.getuid(), ctx.uid_const(0));      // ruid unchanged (root)
+    EXPECT_EQ(ctx.geteuid(), ctx.uid_const(1000));  // euid changed
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.attack_detected);
+}
+
+}  // namespace
+}  // namespace nv

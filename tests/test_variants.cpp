@@ -1,0 +1,180 @@
+// Unit tests for the variation implementations (Table 1 rows as objects).
+#include <gtest/gtest.h>
+
+#include "variants/address_partitioning.h"
+#include "variants/instruction_tagging.h"
+#include "variants/stack_reversal.h"
+#include "variants/uid_variation.h"
+#include "vfs/filesystem.h"
+#include "vfs/passwd.h"
+
+namespace nv::variants {
+namespace {
+
+core::VariantConfig config_for(const core::Variation& variation, unsigned index) {
+  core::VariantConfig config;
+  config.index = index;
+  variation.configure_variant(config);
+  return config;
+}
+
+TEST(AddressPartitioningVariation, DisjointBases) {
+  const AddressPartitioning partitioning;
+  const auto c0 = config_for(partitioning, 0);
+  const auto c1 = config_for(partitioning, 1);
+  EXPECT_EQ(c0.memory_base, 0x10000000ULL);
+  EXPECT_EQ(c1.memory_base, 0x10000000ULL + 0x80000000ULL);
+  // Partitions do not overlap for 1 MiB segments.
+  EXPECT_GT(c1.memory_base, c0.memory_base + c0.memory_size);
+}
+
+TEST(AddressPartitioningVariation, ReexpressionMatchesTableOne) {
+  const AddressPartitioning partitioning;
+  const auto r1 = partitioning.reexpression(1);
+  EXPECT_EQ(r1.offset(), 0x80000000ULL);
+  EXPECT_EQ(r1.reexpress(0x1000), 0x80001000ULL);
+  EXPECT_EQ(r1.invert(0x80001000ULL), 0x1000ULL);
+}
+
+TEST(ExtendedPartitioningVariation, AddsNonZeroPageAlignedOffset) {
+  const ExtendedAddressPartitioning extended(0x80000000ULL, 1ULL << 20, 99);
+  const auto c0 = config_for(extended, 0);
+  const auto c1 = config_for(extended, 1);
+  EXPECT_EQ(c0.memory_base, 0x10000000ULL);
+  const std::uint64_t extra = c1.memory_base - 0x10000000ULL - 0x80000000ULL;
+  EXPECT_GT(extra, 0u);
+  EXPECT_LT(extra, 1ULL << 20);
+  EXPECT_EQ(extra % 4096, 0u);
+}
+
+TEST(ExtendedPartitioningVariation, OffsetIsDeterministicPerSeed) {
+  const ExtendedAddressPartitioning a(0x80000000ULL, 1ULL << 20, 7);
+  const ExtendedAddressPartitioning b(0x80000000ULL, 1ULL << 20, 7);
+  const ExtendedAddressPartitioning c(0x80000000ULL, 1ULL << 20, 8);
+  EXPECT_EQ(config_for(a, 1).memory_base, config_for(b, 1).memory_base);
+  EXPECT_NE(config_for(a, 1).memory_base, config_for(c, 1).memory_base);
+}
+
+TEST(InstructionTaggingVariation, DistinctTagsPerVariant) {
+  const InstructionTagging tagging;
+  EXPECT_EQ(config_for(tagging, 0).code_tag, 0xA0);
+  EXPECT_EQ(config_for(tagging, 1).code_tag, 0xA1);
+  EXPECT_EQ(config_for(tagging, 2).code_tag, 0xA2);
+}
+
+TEST(InstructionTaggingVariation, LoadProgramTagsImage) {
+  const InstructionTagging tagging;
+  vkernel::AddressSpace memory;
+  vkernel::VmProgram program;
+  program.load_imm(0, 5).halt();
+  const auto size = tagging.load_program(memory, 0x4000, program, 1);
+  EXPECT_EQ(size, 1u + 6 + 1 + 1);  // tag+loadimm, tag+halt
+  EXPECT_EQ(memory.load_u8(0x4000), 0xA1);
+}
+
+TEST(StackReversalVariation, AlternatesDirection) {
+  const StackReversal reversal;
+  EXPECT_FALSE(config_for(reversal, 0).reverse_stack);
+  EXPECT_TRUE(config_for(reversal, 1).reverse_stack);
+  EXPECT_FALSE(config_for(reversal, 2).reverse_stack);
+}
+
+TEST(UidVariationUnit, CoderMatchesMask) {
+  const UidVariation variation;
+  const auto c1 = config_for(variation, 1);
+  EXPECT_EQ(c1.uid_coder->reexpress(0), 0x7FFFFFFFu);
+  EXPECT_EQ(c1.uid_coder->invert(0x7FFFFFFFu), 0u);
+  const auto c0 = config_for(variation, 0);
+  EXPECT_EQ(c0.uid_coder->reexpress(12345), 12345u);
+}
+
+TEST(UidVariationUnit, PrepareFilesystemWritesDiversifiedCopies) {
+  vfs::FileSystem fs;
+  const auto root = os::Credentials::root();
+  ASSERT_TRUE(fs.mkdir_p("/etc", root));
+  ASSERT_TRUE(fs.write_file("/etc/passwd", "www:x:33:33:w:/w:/bin/f\n", root, 0644));
+  ASSERT_TRUE(fs.write_file("/etc/group", "www:x:33:\n", root, 0644));
+  const UidVariation variation;
+  variation.prepare_filesystem(fs, 2);
+
+  const auto p0 = vfs::parse_passwd(*fs.read_file("/etc/passwd-0", root));
+  const auto p1 = vfs::parse_passwd(*fs.read_file("/etc/passwd-1", root));
+  ASSERT_EQ(p0.size(), 1u);
+  ASSERT_EQ(p1.size(), 1u);
+  EXPECT_EQ(p0[0].uid, 33u);
+  EXPECT_EQ(p1[0].uid, 33u ^ 0x7FFFFFFFu);
+  const auto g1 = vfs::parse_group(*fs.read_file("/etc/group-1", root));
+  ASSERT_EQ(g1.size(), 1u);
+  EXPECT_EQ(g1[0].gid, 33u ^ 0x7FFFFFFFu);
+}
+
+TEST(UidVariationUnit, MissingFilesAreSkippedQuietly) {
+  vfs::FileSystem fs;  // no /etc at all
+  const UidVariation variation;
+  variation.prepare_filesystem(fs, 2);  // must not throw
+  EXPECT_FALSE(fs.exists("/etc/passwd-0"));
+}
+
+TEST(UidVariationUnit, CanonicalizeRewritesOnlyUidArguments) {
+  const UidVariation variation;
+  vkernel::SyscallArgs args;
+  args.no = vkernel::Sys::kSetresuid;
+  args.ints = {0x7FFFFFFF ^ 5u, 0x7FFFFFFF ^ 6u, 0x7FFFFFFF ^ 7u};
+  variation.canonicalize_args(1, args);
+  EXPECT_EQ(args.ints, (std::vector<std::uint64_t>{5, 6, 7}));
+
+  vkernel::SyscallArgs read_args;
+  read_args.no = vkernel::Sys::kRead;
+  read_args.ints = {3, 100};
+  variation.canonicalize_args(1, read_args);
+  EXPECT_EQ(read_args.ints, (std::vector<std::uint64_t>{3, 100}));  // untouched
+}
+
+TEST(UidVariationUnit, CcCmpOperatorByteNotRewritten) {
+  const UidVariation variation;
+  vkernel::SyscallArgs args;
+  args.no = vkernel::Sys::kCcCmp;
+  args.ints = {static_cast<std::uint64_t>(vkernel::CcOp::kLt), 0x7FFFFFFFu, 0x7FFFFFFEu};
+  variation.canonicalize_args(1, args);
+  EXPECT_EQ(args.ints[0], static_cast<std::uint64_t>(vkernel::CcOp::kLt));
+  EXPECT_EQ(args.ints[1], 0u);
+  EXPECT_EQ(args.ints[2], 1u);
+}
+
+TEST(UidVariationUnit, ReexpressResultOnlyForUidReturningCalls) {
+  const UidVariation variation;
+  vkernel::SyscallArgs getuid_call;
+  getuid_call.no = vkernel::Sys::kGetuid;
+  vkernel::SyscallResult result;
+  result.value = 33;
+  variation.reexpress_result(1, getuid_call, result);
+  EXPECT_EQ(result.value, 33u ^ 0x7FFFFFFFu);
+
+  vkernel::SyscallArgs read_call;
+  read_call.no = vkernel::Sys::kRead;
+  vkernel::SyscallResult read_result;
+  read_result.value = 33;
+  variation.reexpress_result(1, read_call, read_result);
+  EXPECT_EQ(read_result.value, 33u);  // untouched
+}
+
+TEST(UidVariationUnit, FailedUidCallResultNotReexpressed) {
+  const UidVariation variation;
+  vkernel::SyscallArgs call;
+  call.no = vkernel::Sys::kGeteuid;
+  vkernel::SyscallResult result;
+  result.err = os::Errno::kEPERM;
+  result.value = static_cast<std::uint64_t>(-1);
+  variation.reexpress_result(1, call, result);
+  EXPECT_EQ(result.value, static_cast<std::uint64_t>(-1));  // error value untouched
+}
+
+TEST(UidVariationUnit, CustomDiversifiedFileList) {
+  UidVariation::Options options;
+  options.diversified_files = {"/srv/users.db"};
+  const UidVariation variation(options);
+  EXPECT_EQ(variation.unshared_paths(), (std::vector<std::string>{"/srv/users.db"}));
+}
+
+}  // namespace
+}  // namespace nv::variants

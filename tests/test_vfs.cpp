@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "vfs/filesystem.h"
+#include "vfs/passwd.h"
+#include "vfs/path.h"
+
+namespace nv::vfs {
+namespace {
+
+const os::Credentials kRoot = os::Credentials::root();
+const os::Credentials kAlice = os::Credentials::user(1000, 1000);
+
+TEST(Path, Normalization) {
+  EXPECT_EQ(normalize_path("/etc//passwd/."), "/etc/passwd");
+  EXPECT_EQ(normalize_path("/a/b/../c"), "/a/c");
+  EXPECT_EQ(normalize_path("///"), "/");
+  EXPECT_EQ(normalize_path("/../.."), "/");
+}
+
+TEST(Path, ParentAndBasename) {
+  EXPECT_EQ(parent_path("/etc/passwd"), "/etc");
+  EXPECT_EQ(parent_path("/etc"), "/");
+  EXPECT_EQ(parent_path("/"), "/");
+  EXPECT_EQ(basename("/etc/passwd"), "passwd");
+  EXPECT_EQ(basename("/"), "");
+}
+
+TEST(Path, VariantPath) {
+  EXPECT_EQ(variant_path("/etc/passwd", 0), "/etc/passwd-0");
+  EXPECT_EQ(variant_path("/etc//passwd", 1), "/etc/passwd-1");
+}
+
+TEST(FileSystem, MkdirAndWriteRead) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.mkdir_p("/a/b/c", kRoot));
+  ASSERT_TRUE(fs.write_file("/a/b/c/f.txt", "data", kRoot));
+  EXPECT_EQ(fs.read_file("/a/b/c/f.txt", kRoot).value(), "data");
+  EXPECT_TRUE(fs.exists("/a/b"));
+  EXPECT_FALSE(fs.exists("/a/z"));
+}
+
+TEST(FileSystem, OpenMissingFileFails) {
+  FileSystem fs;
+  auto r = fs.open("/nope", os::OpenFlags::kRead, kRoot);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), os::Errno::kENOENT);
+}
+
+TEST(FileSystem, CreateRequiresParentWriteAccess) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.mkdir_p("/restricted", kRoot));
+  ASSERT_TRUE(fs.chmod("/restricted", 0755, kRoot));
+  auto r = fs.open("/restricted/x", os::OpenFlags::kWrite | os::OpenFlags::kCreate, kAlice);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), os::Errno::kEACCES);
+}
+
+TEST(FileSystem, PermissionBitsEnforced) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.write_file("/rootonly", "secret", kRoot, 0600));
+  auto denied = fs.read_file("/rootonly", kAlice);
+  ASSERT_FALSE(denied.has_value());
+  EXPECT_EQ(denied.error(), os::Errno::kEACCES);
+  EXPECT_TRUE(fs.read_file("/rootonly", kRoot).has_value());
+}
+
+TEST(FileSystem, GroupPermissionsApply) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.write_file("/shared", "g", kRoot, 0640));
+  ASSERT_TRUE(fs.chown("/shared", 0, 1000, kRoot));
+  EXPECT_TRUE(fs.read_file("/shared", kAlice).has_value());  // alice's gid 1000
+  const os::Credentials bob = os::Credentials::user(1001, 50);
+  EXPECT_FALSE(fs.read_file("/shared", bob).has_value());
+}
+
+TEST(FileSystem, SupplementaryGroupsChecked) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.write_file("/grp", "x", kRoot, 0040));
+  os::Credentials carol = os::Credentials::user(1002, 77);
+  carol.groups = {200, 300};
+  ASSERT_TRUE(fs.chown("/grp", 0, 300, kRoot));
+  EXPECT_TRUE(fs.read_file("/grp", carol).has_value());
+}
+
+TEST(FileSystem, TruncateAndAppend) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.write_file("/f", "0123456789", kRoot));
+  auto f = fs.open("/f", os::OpenFlags::kWrite | os::OpenFlags::kTruncate, kRoot);
+  ASSERT_TRUE(f.has_value());
+  ASSERT_TRUE((*f)->write("ab").has_value());
+  EXPECT_EQ(fs.read_file("/f", kRoot).value(), "ab");
+
+  auto a = fs.open("/f", os::OpenFlags::kWrite | os::OpenFlags::kAppend, kRoot);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE((*a)->write("cd").has_value());
+  EXPECT_EQ(fs.read_file("/f", kRoot).value(), "abcd");
+}
+
+TEST(FileSystem, ReadAdvancesCursor) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.write_file("/f", "hello", kRoot));
+  auto f = fs.open("/f", os::OpenFlags::kRead, kRoot);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ((*f)->read(2).value(), "he");
+  EXPECT_EQ((*f)->read(10).value(), "llo");
+  EXPECT_EQ((*f)->read(10).value(), "");  // EOF
+  ASSERT_TRUE((*f)->seek(1).has_value());
+  EXPECT_EQ((*f)->read(2).value(), "el");
+}
+
+TEST(FileSystem, WriteOnReadOnlyFdFails) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.write_file("/f", "x", kRoot));
+  auto f = fs.open("/f", os::OpenFlags::kRead, kRoot);
+  ASSERT_TRUE(f.has_value());
+  auto w = (*f)->write("y");
+  ASSERT_FALSE(w.has_value());
+  EXPECT_EQ(w.error(), os::Errno::kEBADF);
+}
+
+TEST(FileSystem, UnlinkAndRename) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.write_file("/f", "x", kRoot));
+  ASSERT_TRUE(fs.rename("/f", "/g", kRoot));
+  EXPECT_FALSE(fs.exists("/f"));
+  EXPECT_TRUE(fs.exists("/g"));
+  ASSERT_TRUE(fs.unlink("/g", kRoot));
+  EXPECT_FALSE(fs.exists("/g"));
+  auto u = fs.unlink("/g", kRoot);
+  ASSERT_FALSE(u.has_value());
+  EXPECT_EQ(u.error(), os::Errno::kENOENT);
+}
+
+TEST(FileSystem, StatReportsMetadata) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.write_file("/f", "12345", kRoot, 0640));
+  const auto st = fs.stat("/f");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_FALSE(st->is_dir);
+  EXPECT_EQ(st->size, 5u);
+  EXPECT_EQ(st->mode, 0640);
+  EXPECT_EQ(st->uid, 0u);
+}
+
+TEST(FileSystem, ListDirSorted) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.mkdir_p("/d", kRoot));
+  ASSERT_TRUE(fs.write_file("/d/b", "", kRoot));
+  ASSERT_TRUE(fs.write_file("/d/a", "", kRoot));
+  const auto names = fs.list_dir("/d");
+  ASSERT_TRUE(names.has_value());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(FileSystem, ChmodRequiresOwnershipOrRoot) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.write_file("/f", "", kRoot, 0644));
+  auto denied = fs.chmod("/f", 0600, kAlice);
+  ASSERT_FALSE(denied.has_value());
+  EXPECT_EQ(denied.error(), os::Errno::kEPERM);
+  ASSERT_TRUE(fs.chown("/f", 1000, 1000, kRoot));
+  EXPECT_TRUE(fs.chmod("/f", 0600, kAlice));
+}
+
+TEST(Passwd, ParseAndFormatRoundTrip) {
+  const std::string content =
+      "root:x:0:0:root:/root:/bin/sh\n"
+      "# comment line\n"
+      "www:x:33:33:www data:/var/www:/usr/sbin/nologin\n"
+      "broken-line-without-fields\n";
+  const auto entries = parse_passwd(content);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "root");
+  EXPECT_EQ(entries[1].uid, 33u);
+  EXPECT_EQ(entries[1].gecos, "www data");
+  const auto round = parse_passwd(format_passwd(entries));
+  EXPECT_EQ(round, entries);
+}
+
+TEST(Passwd, FindHelpers) {
+  const auto entries = parse_passwd("a:x:1:1:::\nb:x:2:2:::\n");
+  EXPECT_EQ(find_user(entries, "b")->uid, 2u);
+  EXPECT_FALSE(find_user(entries, "c").has_value());
+  EXPECT_EQ(find_uid(entries, 1)->name, "a");
+}
+
+TEST(Passwd, GroupParseAndMembers) {
+  const auto groups = parse_group("wheel:x:10:alice,bob\nempty:x:11:\n");
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members, (std::vector<std::string>{"alice", "bob"}));
+  EXPECT_TRUE(groups[1].members.empty());
+}
+
+TEST(Passwd, DiversifyRewritesOnlyIds) {
+  const std::string content = "root:x:0:0:root:/root:/bin/sh\nwww:x:33:33:w:/var/www:/bin/f\n";
+  const auto mask = [](os::uid_t u) { return u ^ 0x7FFFFFFFu; };
+  const std::string diversified = diversify_passwd(content, mask, mask);
+  const auto entries = parse_passwd(diversified);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].uid, 0x7FFFFFFFu);
+  EXPECT_EQ(entries[1].uid, 33u ^ 0x7FFFFFFFu);
+  EXPECT_EQ(entries[0].name, "root");
+  EXPECT_EQ(entries[0].shell, "/bin/sh");
+}
+
+TEST(Passwd, DiversifyGroupRewritesGid) {
+  const auto mask = [](os::gid_t g) { return g ^ 0x3FFFFFFFu; };
+  const auto groups = parse_group(diversify_group("www:x:33:alice\n", mask));
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].gid, 33u ^ 0x3FFFFFFFu);
+  EXPECT_EQ(groups[0].members, (std::vector<std::string>{"alice"}));
+}
+
+}  // namespace
+}  // namespace nv::vfs
