@@ -7,7 +7,7 @@
 #include "core/nvariant_system.h"
 #include "core/reexpression.h"
 #include "guest/runners.h"
-#include "variants/uid_variation.h"
+#include "variants/registry.h"
 #include "vkernel/kernel.h"
 
 namespace {
@@ -51,14 +51,14 @@ BENCHMARK(BM_MonitorArgComparison);
 
 /// Full 2-variant rendezvous round trip: two threads, one getpid each.
 void BM_MveeSyscallRound(benchmark::State& state) {
-  core::NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(10000);
-  core::NVariantSystem system(options);
+  const auto system = core::NVariantSystem::Builder()
+                          .rendezvous_timeout(std::chrono::milliseconds(10000))
+                          .build();
 
   // Guests spin issuing getpid until told to stop via a shared atomic.
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> rounds{0};
-  system.launch([&](unsigned variant, vkernel::SyscallPort& port, vkernel::Process&,
+  system->launch([&](unsigned variant, vkernel::SyscallPort& port, vkernel::Process&,
                     const core::VariantConfig&) {
     vkernel::SyscallArgs args;
     args.no = vkernel::Sys::kGetpid;
@@ -80,24 +80,24 @@ void BM_MveeSyscallRound(benchmark::State& state) {
   }
   const std::uint64_t done = rounds.load() - start;
   stop.store(true);
-  (void)system.stop();
+  (void)system->stop();
   state.SetItemsProcessed(static_cast<std::int64_t>(done));
 }
 BENCHMARK(BM_MveeSyscallRound)->Unit(benchmark::kMicrosecond);
 
 void BM_UnsharedOpenReadClose(benchmark::State& state) {
-  core::NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(10000);
-  core::NVariantSystem system(options);
+  const auto system = core::NVariantSystem::Builder()
+                          .rendezvous_timeout(std::chrono::milliseconds(10000))
+                          .variation(variants::make_builtin("uid-xor"))
+                          .build();
   const auto root = os::Credentials::root();
-  (void)system.fs().mkdir_p("/etc", root);
-  (void)system.fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n", root);
-  (void)system.fs().write_file("/etc/group", "root:x:0:\n", root);
-  system.add_variation(std::make_shared<variants::UidVariation>());
+  (void)system->fs().mkdir_p("/etc", root);
+  (void)system->fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n", root);
+  (void)system->fs().write_file("/etc/group", "root:x:0:\n", root);
 
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> rounds{0};
-  system.launch([&](unsigned variant, vkernel::SyscallPort& port, vkernel::Process& proc,
+  system->launch([&](unsigned variant, vkernel::SyscallPort& port, vkernel::Process& proc,
                     const core::VariantConfig& config) {
     guest::GuestContext ctx(port, proc, config);
     while (!stop.load(std::memory_order_relaxed)) {
@@ -117,7 +117,7 @@ void BM_UnsharedOpenReadClose(benchmark::State& state) {
     }
   }
   stop.store(true);
-  (void)system.stop();
+  (void)system->stop();
 }
 BENCHMARK(BM_UnsharedOpenReadClose)->Unit(benchmark::kMicrosecond);
 

@@ -6,7 +6,7 @@
 #include "guest/runners.h"
 #include "util/strings.h"
 #include "util/table.h"
-#include "variants/uid_variation.h"
+#include "variants/registry.h"
 
 namespace {
 
@@ -41,10 +41,11 @@ class InjectedGuest final : public guest::GuestProgram {
   }
 };
 
-core::NVariantSystem make_system() {
-  core::NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(1000);
-  return core::NVariantSystem(options);
+std::unique_ptr<core::NVariantSystem> make_system() {
+  return core::NVariantSystem::Builder()
+      .rendezvous_timeout(std::chrono::milliseconds(1000))
+      .variation(variants::make_builtin("uid-xor"))
+      .build();
 }
 
 }  // namespace
@@ -65,29 +66,27 @@ int main() {
 
   // Live demonstration on a 2-variant UID system.
   {
-    auto system = make_system();
+    const auto system = make_system();
     const auto root = os::Credentials::root();
-    (void)system.fs().mkdir_p("/etc", root);
-    (void)system.fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n", root);
-    (void)system.fs().write_file("/etc/group", "root:x:0:\n", root);
-    system.add_variation(std::make_shared<variants::UidVariation>());
+    (void)system->fs().mkdir_p("/etc", root);
+    (void)system->fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n", root);
+    (void)system->fs().write_file("/etc/group", "root:x:0:\n", root);
     DetectionGuest guest;
-    const auto report = guest::run_nvariant(system, guest);
+    const auto report = guest::run_nvariant(*system, guest);
     std::printf("%s\n", table.render().c_str());
     std::printf("normal run: %llu syscall rounds, %llu detection checks, alarms: %s\n",
                 static_cast<unsigned long long>(report.syscall_rounds),
-                static_cast<unsigned long long>(system.monitor().detection_checks()),
+                static_cast<unsigned long long>(system->monitor().detection_checks()),
                 report.attack_detected ? "YES (unexpected!)" : "none");
   }
   {
-    auto system = make_system();
+    const auto system = make_system();
     const auto root = os::Credentials::root();
-    (void)system.fs().mkdir_p("/etc", root);
-    (void)system.fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n", root);
-    (void)system.fs().write_file("/etc/group", "root:x:0:\n", root);
-    system.add_variation(std::make_shared<variants::UidVariation>());
+    (void)system->fs().mkdir_p("/etc", root);
+    (void)system->fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n", root);
+    (void)system->fs().write_file("/etc/group", "root:x:0:\n", root);
     InjectedGuest guest;
-    const auto report = guest::run_nvariant(system, guest);
+    const auto report = guest::run_nvariant(*system, guest);
     std::printf("injected run: uid_value(0x0) -> %s\n",
                 report.alarm ? report.alarm->describe().c_str() : "no alarm (unexpected!)");
   }

@@ -10,7 +10,7 @@
 #include "guest/runners.h"
 #include "httpd/mini_ftpd.h"
 #include "util/strings.h"
-#include "variants/uid_variation.h"
+#include "variants/registry.h"
 
 using namespace nv;  // NOLINT
 
@@ -74,16 +74,17 @@ int main() {
 
   std::printf("--- 2-variant UID variation ---\n");
   {
-    core::NVariantSystem system;
+    const auto system = core::NVariantSystem::Builder()
+                            .variation(variants::make_builtin("uid-xor"))
+                            .build();
     httpd::FtpdConfig config;
     config.max_sessions = 2;
-    httpd::install_ftpd_site(system.fs(), config);
-    system.add_variation(std::make_shared<variants::UidVariation>());
+    httpd::install_ftpd_site(system->fs(), config);
     httpd::MiniFtpd server(config);
-    guest::launch_nvariant(system, server);
-    while (!system.hub().is_bound(kPort)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    session(system.hub(), "nvar ", attack_script());
-    const auto report = system.stop();
+    guest::launch_nvariant(*system, server);
+    while (!system->hub().is_bound(kPort)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    session(system->hub(), "nvar ", attack_script());
+    const auto report = system->stop();
     std::printf("=> monitor verdict: %s\n",
                 report.alarm ? report.alarm->describe().c_str() : "no alarm");
     return report.attack_detected ? 0 : 1;

@@ -4,7 +4,7 @@
 //   $ ./examples/transform_tool                   # transform the bundled mini-Apache
 //   $ ./examples/transform_tool --mode userspace  # reversed-inequality variant
 //   $ ./examples/transform_tool --mask 0x3FFFFFFF # custom reexpression mask
-//   $ echo 'int main() { if (!getuid()) { return 1; } return 0; }' | \
+//   $ echo 'int main() { if (!getuid()) { return 1; } return 0; }' |
 //       ./examples/transform_tool --stdin
 #include <cstdio>
 #include <iostream>

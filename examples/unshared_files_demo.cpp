@@ -7,7 +7,7 @@
 
 #include "core/nvariant_system.h"
 #include "guest/runners.h"
-#include "variants/uid_variation.h"
+#include "variants/registry.h"
 
 using namespace nv;  // NOLINT
 
@@ -39,23 +39,24 @@ class PasswdReader final : public guest::GuestProgram {
 int main() {
   std::printf("=== Unshared files: per-variant /etc/passwd (§3.4) ===\n\n");
 
-  core::NVariantSystem system;
+  const auto system = core::NVariantSystem::Builder()
+                          .variation(variants::make_builtin("uid-xor"))
+                          .build();
   const auto root = os::Credentials::root();
-  (void)system.fs().mkdir_p("/etc", root);
-  (void)system.fs().write_file("/etc/passwd",
-                               "root:x:0:0:root:/root:/bin/sh\n"
-                               "www:x:33:33:www-data:/var/www:/usr/sbin/nologin\n"
-                               "alice:x:1000:1000:Alice:/home/alice:/bin/sh\n",
-                               root);
-  (void)system.fs().write_file("/etc/group", "root:x:0:\nwww:x:33:\n", root);
-  system.add_variation(std::make_shared<variants::UidVariation>());
+  (void)system->fs().mkdir_p("/etc", root);
+  (void)system->fs().write_file("/etc/passwd",
+                                "root:x:0:0:root:/root:/bin/sh\n"
+                                "www:x:33:33:www-data:/var/www:/usr/sbin/nologin\n"
+                                "alice:x:1000:1000:Alice:/home/alice:/bin/sh\n",
+                                root);
+  (void)system->fs().write_file("/etc/group", "root:x:0:\nwww:x:33:\n", root);
 
   PasswdReader reader;
-  const auto report = guest::run_nvariant(system, reader);
+  const auto report = guest::run_nvariant(*system, reader);
 
   std::printf("--- what actually exists in the filesystem ---\n");
   for (const char* path : {"/etc/passwd", "/etc/passwd-0", "/etc/passwd-1"}) {
-    auto content = system.fs().read_file(path, root);
+    auto content = system->fs().read_file(path, root);
     std::printf("%s:\n%s\n", path, content ? content->c_str() : "(absent)");
   }
   std::printf("run: completed=%s alarms=%s\n", report.completed ? "yes" : "no",

@@ -12,7 +12,7 @@
 #include "httpd/client.h"
 #include "httpd/mini_httpd.h"
 #include "util/strings.h"
-#include "variants/uid_variation.h"
+#include "variants/registry.h"
 
 using namespace nv;  // NOLINT
 
@@ -71,17 +71,18 @@ int main() {
   // Round 2: the same server, same attack, under the 2-variant UID variation.
   std::printf("--- round 2: 2-variant system, UID variation ---\n");
   {
-    core::NVariantSystem system;
+    const auto system = core::NVariantSystem::Builder()
+                            .variation(variants::make_builtin("uid-xor"))
+                            .build();
     httpd::ServerConfig config;
     config.max_requests = 10;
     config.uid_ops_mode = guest::UidOpsMode::kSyscallChecked;
-    httpd::install_default_site(system.fs(), config);
-    system.add_variation(std::make_shared<variants::UidVariation>());
+    httpd::install_default_site(system->fs(), config);
     httpd::MiniHttpd server;
-    guest::launch_nvariant(system, server);
-    wait_for_bind(system.hub());
-    drive_attack(system.hub(), "nvar ");
-    const auto report = system.stop();
+    guest::launch_nvariant(*system, server);
+    wait_for_bind(system->hub());
+    drive_attack(system->hub(), "nvar ");
+    const auto report = system->stop();
     std::printf("=> monitor verdict: %s\n",
                 report.alarm ? report.alarm->describe().c_str() : "no alarm");
     std::printf("   the corrupted UID meant two different things in the two variants;\n"

@@ -1,14 +1,12 @@
 #include "attack/attack.h"
 
 #include <memory>
+#include <stdexcept>
 
 #include "attack/victims.h"
 #include "guest/runners.h"
 #include "util/strings.h"
-#include "variants/address_partitioning.h"
-#include "variants/instruction_tagging.h"
-#include "variants/stack_reversal.h"
-#include "variants/uid_variation.h"
+#include "variants/registry.h"
 #include "vkernel/vm.h"
 
 namespace nv::attack {
@@ -81,10 +79,11 @@ std::string spec_for(AttackKind attack, DefenseKind defense) {
       return "uid-bitflip 0x80000000";
     case AttackKind::kAddressInjection:
       // Variant 0's data region base + the secret offset.
-      return util::format("ptr-abs 0x%llx",
-                          0x10000000ULL + AddressVictim::kSecretAOffset);
+      return util::format("ptr-abs 0x%llx", static_cast<unsigned long long>(
+                                                0x10000000ULL + AddressVictim::kSecretAOffset));
     case AttackKind::kPointerLowBytes:
-      return util::format("ptr-low 0x%llx", AddressVictim::kSecretBOffset);
+      return util::format("ptr-low 0x%llx",
+                          static_cast<unsigned long long>(AddressVictim::kSecretBOffset));
     case AttackKind::kCodeInjection: {
       // setuid(0); halt — tagged for variant 0 (tag is public knowledge).
       const std::uint8_t tag =
@@ -104,38 +103,43 @@ std::string spec_for(AttackKind attack, DefenseKind defense) {
   return "none";
 }
 
-void install_defense(core::NVariantSystem& system, DefenseKind defense) {
+void seed_trusted_files(vfs::FileSystem& fs) {
   const auto root = os::Credentials::root();
-  (void)system.fs().mkdir_p("/etc", root);
-  (void)system.fs().write_file("/etc/passwd",
-                               "root:x:0:0:root:/root:/bin/sh\nwww:x:33:33:w:/var/www:/bin/f\n",
-                               root);
-  (void)system.fs().write_file("/etc/group", "root:x:0:\nwww:x:33:\n", root);
+  (void)fs.mkdir_p("/etc", root);
+  (void)fs.write_file("/etc/passwd",
+                      "root:x:0:0:root:/root:/bin/sh\nwww:x:33:33:w:/var/www:/bin/f\n", root);
+  (void)fs.write_file("/etc/group", "root:x:0:\nwww:x:33:\n", root);
+}
+
+/// Defense configurations expressed as registry policies: each defense is a
+/// named-variation list, exactly the open-ended-catalog framing of Table 1.
+std::vector<core::VariationPtr> defense_variations(DefenseKind defense) {
+  const auto& registry = variants::builtin_registry();
+  const auto make = [&registry](std::string_view name,
+                                const core::VariationParams& params = {}) {
+    auto variation = registry.make(name, params);
+    if (!variation) throw std::logic_error("defense setup: " + variation.error());
+    return *variation;
+  };
   switch (defense) {
     case DefenseKind::kSingleProcess:
     case DefenseKind::kDualIdentical:
-      break;
+      return {};
     case DefenseKind::kAddressPartitioning:
-      system.add_variation(std::make_shared<variants::AddressPartitioning>());
-      break;
+      return {make("address-partitioning")};
     case DefenseKind::kExtendedPartitioning:
-      system.add_variation(std::make_shared<variants::ExtendedAddressPartitioning>(
-          0x80000000ULL, 1ULL << 20, 1234));
-      break;
+      return {make("extended-address-partitioning",
+                   core::VariationParams{{"seed", std::uint64_t{1234}}})};
     case DefenseKind::kInstructionTagging:
-      system.add_variation(std::make_shared<variants::InstructionTagging>());
-      break;
+      return {make("instruction-tagging")};
     case DefenseKind::kUidVariation:
-      system.add_variation(std::make_shared<variants::UidVariation>());
-      break;
+      return {make("uid-xor")};
     case DefenseKind::kUidPlusAddress:
-      system.add_variation(std::make_shared<variants::UidVariation>());
-      system.add_variation(std::make_shared<variants::AddressPartitioning>());
-      break;
+      return {make("uid-xor"), make("address-partitioning")};
     case DefenseKind::kStackReversal:
-      system.add_variation(std::make_shared<variants::StackReversal>());
-      break;
+      return {make("stack-reversal")};
   }
+  return {};
 }
 
 Outcome classify_plain(const guest::PlainRunResult& result) {
@@ -163,19 +167,18 @@ Outcome run_attack(AttackKind attack, DefenseKind defense) {
     vfs::FileSystem fs;
     vkernel::SocketHub hub;
     vkernel::KernelContext ctx(fs, hub);
-    (void)fs.mkdir_p("/etc", root);
-    (void)fs.write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\nwww:x:33:33:w:/:/bin/f\n", root);
-    (void)fs.write_file("/etc/group", "root:x:0:\nwww:x:33:\n", root);
+    seed_trusted_files(fs);  // same fixture as the MVEE runs, for comparability
     (void)fs.write_file(kSpecPath, spec, root);
     return classify_plain(guest::run_plain(ctx, *victim));
   }
 
-  core::NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(1000);
-  core::NVariantSystem system(options);
-  install_defense(system, defense);
-  (void)system.fs().write_file(kSpecPath, spec, root);
-  return classify_mvee(guest::run_nvariant(system, *victim));
+  core::NVariantSystem::Builder builder;
+  builder.rendezvous_timeout(std::chrono::milliseconds(1000));
+  for (auto& variation : defense_variations(defense)) builder.variation(std::move(variation));
+  const auto system = builder.build();
+  seed_trusted_files(system->fs());
+  (void)system->fs().write_file(kSpecPath, spec, root);
+  return classify_mvee(guest::run_nvariant(*system, *victim));
 }
 
 Outcome expected_outcome(AttackKind attack, DefenseKind defense) {

@@ -1,0 +1,55 @@
+#include "core/diversity_suite.h"
+
+namespace nv::core {
+
+util::Expected<DiversitySuite, std::string> DiversitySuite::compose(
+    unsigned n_variants, std::vector<VariationPtr> variations) {
+  if (n_variants < 2) {
+    return util::Unexpected{
+        std::string("a diversity suite needs at least 2 variants to compare")};
+  }
+  for (const auto& variation : variations) {
+    if (variation == nullptr) return util::Unexpected{std::string("null variation in suite")};
+  }
+  for (std::size_t a = 0; a < variations.size(); ++a) {
+    for (std::size_t b = a + 1; b < variations.size(); ++b) {
+      if (variations[a]->name() == variations[b]->name()) {
+        return util::Unexpected{"variation \"" + std::string(variations[a]->name()) +
+                                "\" installed twice"};
+      }
+    }
+  }
+  // All-pairs §2.3 check: each variation must keep its per-variant
+  // reexpressions disjoint across every (R_i, R_j) pair it will instantiate.
+  for (const auto& variation : variations) {
+    for (unsigned i = 0; i < n_variants; ++i) {
+      for (unsigned j = i + 1; j < n_variants; ++j) {
+        if (const auto violation = variation->disjointedness_violation(i, j)) {
+          return util::Unexpected{"disjointedness violation in \"" +
+                                  std::string(variation->name()) + "\": " + *violation};
+        }
+      }
+    }
+  }
+  return DiversitySuite(n_variants, std::move(variations));
+}
+
+DiversitySuite DiversitySuite::identical(unsigned n_variants) {
+  return DiversitySuite(n_variants < 2 ? 2 : n_variants, {});
+}
+
+std::string DiversitySuite::describe() const {
+  std::string out;
+  if (variations_.empty()) {
+    out = "identical";
+  } else {
+    for (const auto& variation : variations_) {
+      if (!out.empty()) out += " + ";
+      out += variation->name();
+    }
+  }
+  out += " across " + std::to_string(n_variants_) + " variants";
+  return out;
+}
+
+}  // namespace nv::core

@@ -1,0 +1,51 @@
+// A DiversitySuite is the validated composition the paper's §4 sketches:
+// several variations applied simultaneously to N variants.
+//
+// compose() is the build-time gate. For every installed variation it checks
+// the §2.3 disjointedness property over EVERY variant pair (i, j), using the
+// variation's own sampled verifier — a suite whose reexpression families
+// collide anywhere (uid mask exhaustion at large N, equal address offsets,
+// instruction-tag wraparound) is rejected before a variant ever launches,
+// instead of silently weakening detection at runtime.
+#ifndef NV_CORE_DIVERSITY_SUITE_H
+#define NV_CORE_DIVERSITY_SUITE_H
+
+#include <string>
+#include <vector>
+
+#include "core/variation.h"
+#include "util/expected.h"
+
+namespace nv::core {
+
+class DiversitySuite {
+ public:
+  /// Validate and build a suite for `n_variants`. Errors (expected failure
+  /// paths): n_variants < 2, null or duplicate variations, and any pairwise
+  /// disjointedness violation, with the offending pair named.
+  [[nodiscard]] static util::Expected<DiversitySuite, std::string> compose(
+      unsigned n_variants, std::vector<VariationPtr> variations);
+
+  /// An empty-but-valid suite: N identical variants, redundancy alone
+  /// (the paper's configuration 2 baseline).
+  [[nodiscard]] static DiversitySuite identical(unsigned n_variants);
+
+  [[nodiscard]] unsigned n_variants() const noexcept { return n_variants_; }
+  [[nodiscard]] const std::vector<VariationPtr>& variations() const noexcept {
+    return variations_;
+  }
+
+  /// "uid-xor + address-partitioning across 3 variants" — for logs/reports.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  DiversitySuite(unsigned n_variants, std::vector<VariationPtr> variations)
+      : n_variants_(n_variants), variations_(std::move(variations)) {}
+
+  unsigned n_variants_;
+  std::vector<VariationPtr> variations_;
+};
+
+}  // namespace nv::core
+
+#endif  // NV_CORE_DIVERSITY_SUITE_H

@@ -1,13 +1,18 @@
 #include "core/nvariant_system.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/strings.h"
 #include "vfs/path.h"
+#include "vkernel/syscall_descriptors.h"
 #include "vkernel/vm.h"
 
 namespace nv::core {
 
+using vkernel::ArgRole;
+using vkernel::ExecPolicy;
+using vkernel::MismatchKind;
 using vkernel::Sys;
 using vkernel::SysClass;
 using vkernel::SyscallArgs;
@@ -22,7 +27,104 @@ SyscallResult errno_result(os::Errno e) {
   return r;
 }
 
+AlarmKind alarm_kind_for(MismatchKind mismatch) {
+  switch (mismatch) {
+    case MismatchKind::kUidCheck: return AlarmKind::kUidCheckFailed;
+    case MismatchKind::kCondition: return AlarmKind::kConditionMismatch;
+    case MismatchKind::kArgument: break;
+  }
+  return AlarmKind::kArgumentMismatch;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Builder
+
+NVariantSystem::Builder& NVariantSystem::Builder::n_variants(unsigned n) {
+  options_.n_variants = n;
+  n_variants_set_ = true;
+  return *this;
+}
+
+NVariantSystem::Builder& NVariantSystem::Builder::rendezvous_timeout(
+    std::chrono::milliseconds timeout) {
+  options_.rendezvous_timeout = timeout;
+  return *this;
+}
+
+NVariantSystem::Builder& NVariantSystem::Builder::memory_base(std::uint64_t base) {
+  options_.default_memory_base = base;
+  return *this;
+}
+
+NVariantSystem::Builder& NVariantSystem::Builder::memory_size(std::uint64_t size) {
+  options_.default_memory_size = size;
+  return *this;
+}
+
+NVariantSystem::Builder& NVariantSystem::Builder::suite(DiversitySuite suite) {
+  suite_ = std::move(suite);
+  return *this;
+}
+
+NVariantSystem::Builder& NVariantSystem::Builder::variation(VariationPtr variation) {
+  pending_variations_.push_back(std::move(variation));
+  return *this;
+}
+
+NVariantSystem::Builder& NVariantSystem::Builder::unshared(std::string path) {
+  unshared_.push_back(std::move(path));
+  return *this;
+}
+
+util::Expected<std::unique_ptr<NVariantSystem>, std::string>
+NVariantSystem::Builder::try_build() {
+  if (suite_) {
+    if (n_variants_set_ && options_.n_variants != suite_->n_variants()) {
+      return util::Unexpected{util::format(
+          "n_variants(%u) conflicts with the suite's %u variants", options_.n_variants,
+          suite_->n_variants())};
+    }
+    options_.n_variants = suite_->n_variants();
+  }
+  if (options_.n_variants < 2) {
+    return util::Unexpected{util::format(
+        "an N-variant system needs at least 2 variants to compare, got %u",
+        options_.n_variants)};
+  }
+  if (options_.rendezvous_timeout <= std::chrono::milliseconds::zero()) {
+    return util::Unexpected{std::string("rendezvous timeout must be positive")};
+  }
+  if (options_.default_memory_size == 0) {
+    return util::Unexpected{std::string("variant memory size must be non-zero")};
+  }
+
+  // Merge suite variations with any ad-hoc variation() additions, then
+  // (re)compose so the §2.3 pairwise validation covers the final set.
+  std::vector<VariationPtr> all =
+      suite_ ? suite_->variations() : std::vector<VariationPtr>{};
+  all.insert(all.end(), pending_variations_.begin(), pending_variations_.end());
+  auto composed = DiversitySuite::compose(options_.n_variants, std::move(all));
+  if (!composed) return util::Unexpected{composed.error()};
+
+  auto system = std::make_unique<NVariantSystem>(options_);
+  for (const auto& variation : composed->variations()) {
+    system->install_variation(variation);
+  }
+  for (auto& path : unshared_) system->install_unshared(path);
+  system->seal();
+  return system;
+}
+
+std::unique_ptr<NVariantSystem> NVariantSystem::Builder::build() {
+  auto system = try_build();
+  if (!system) throw std::invalid_argument(system.error());
+  return std::move(*system);
+}
+
+// ---------------------------------------------------------------------------
+// System
 
 /// Guest-facing port bound to one variant: forwards into the rendezvous.
 class NVariantSystem::VariantPort final : public vkernel::SyscallPort {
@@ -53,16 +155,24 @@ NVariantSystem::~NVariantSystem() {
   }
 }
 
-void NVariantSystem::add_variation(VariationPtr variation) {
+void NVariantSystem::install_variation(VariationPtr variation) {
+  if (sealed_) throw std::logic_error("sealed system: variations are fixed at build time");
   for (const auto& path : variation->unshared_paths()) {
     unshared_.insert(vfs::normalize_path(path));
   }
   variations_.push_back(std::move(variation));
 }
 
-void NVariantSystem::mark_unshared(std::string path) {
-  unshared_.insert(vfs::normalize_path(path));
+void NVariantSystem::install_unshared(std::string path) {
+  if (sealed_) throw std::logic_error("sealed system: unshared paths are fixed at build time");
+  unshared_.insert(vfs::normalize_path(std::move(path)));
 }
+
+void NVariantSystem::add_variation(VariationPtr variation) {
+  install_variation(std::move(variation));
+}
+
+void NVariantSystem::mark_unshared(std::string path) { install_unshared(std::move(path)); }
 
 void NVariantSystem::prepare() {
   configs_.clear();
@@ -182,6 +292,29 @@ bool NVariantSystem::fd_is_shared(os::fd_t fd) const {
   return shared_fds_[static_cast<std::size_t>(fd)];
 }
 
+void NVariantSystem::mark_fd(os::fd_t fd, bool shared) {
+  if (fd < 0) return;
+  if (static_cast<std::size_t>(fd) >= shared_fds_.size()) {
+    shared_fds_.resize(static_cast<std::size_t>(fd) + 1, true);
+  }
+  shared_fds_[static_cast<std::size_t>(fd)] = shared;
+}
+
+void NVariantSystem::mirror_fd_into_variants(os::fd_t fd) {
+  auto* entry = procs_[0]->fd(fd);
+  for (unsigned v = 1; v < options_.n_variants; ++v) procs_[v]->install_fd_at(fd, *entry);
+  mark_fd(fd, /*shared=*/true);
+}
+
+/// The fd the descriptor routes shared/unshared execution on, if present.
+std::optional<os::fd_t> NVariantSystem::routed_fd(const SyscallArgs& call) {
+  const auto& desc = vkernel::descriptor(call.no);
+  for (std::size_t i = 0; i < call.ints.size(); ++i) {
+    if (desc.int_role(i) == ArgRole::kFd) return static_cast<os::fd_t>(call.ints[i]);
+  }
+  return std::nullopt;
+}
+
 bool NVariantSystem::compare_canonical(const std::vector<SyscallArgs>& canonical) {
   monitor_.note_syscall_checked();
   for (unsigned v = 1; v < canonical.size(); ++v) {
@@ -195,13 +328,8 @@ bool NVariantSystem::compare_canonical(const std::vector<SyscallArgs>& canonical
       return false;
     }
     if (canonical[v] != canonical[0]) {
-      AlarmKind kind = AlarmKind::kArgumentMismatch;
-      if (canonical[0].no == Sys::kUidValue || canonical[0].no == Sys::kCcCmp) {
-        kind = AlarmKind::kUidCheckFailed;
-      } else if (canonical[0].no == Sys::kCondChk) {
-        kind = AlarmKind::kConditionMismatch;
-      }
-      Alarm alarm{kind, Alarm::kAllVariants,
+      Alarm alarm{alarm_kind_for(vkernel::descriptor(canonical[0].no).mismatch),
+                  Alarm::kAllVariants,
                   util::format("%s: canonical arguments diverge between variant 0 and %u (%s vs %s)",
                                std::string(sys_name(canonical[0].no)).c_str(), v,
                                canonical[0].describe().c_str(), canonical[v].describe().c_str())};
@@ -213,10 +341,30 @@ bool NVariantSystem::compare_canonical(const std::vector<SyscallArgs>& canonical
   return true;
 }
 
+void NVariantSystem::execute_per_variant(const std::vector<SyscallArgs>& canonical,
+                                         std::vector<SyscallResult>& results) {
+  for (unsigned v = 0; v < options_.n_variants; ++v) {
+    results[v] = vkernel::execute_syscall(ctx_, *procs_[v], canonical[v]);
+  }
+}
+
+void NVariantSystem::execute_once(const SyscallArgs& call, bool mirror_fd,
+                                  std::vector<SyscallResult>& results) {
+  const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
+  if (mirror_fd && once.ok()) {
+    // The new fd must appear in every variant's table at the same slot, all
+    // referring to the same underlying kernel object (§3.1 input replication
+    // for accept; identical socket objects for socket()).
+    mirror_fd_into_variants(static_cast<os::fd_t>(once.value));
+  }
+  std::fill(results.begin(), results.end(), once);
+}
+
 std::vector<SyscallResult> NVariantSystem::lead(const std::vector<SyscallArgs>& raw) {
   const unsigned n = options_.n_variants;
 
-  // Step 1: canonicalize per variant (apply R⁻¹_i to UID-carrying args).
+  // Step 1: canonicalize per variant — each variation applies R⁻¹_i to the
+  // argument slots whose descriptor role it diversifies.
   std::vector<SyscallArgs> canonical = raw;
   for (unsigned v = 0; v < n; ++v) {
     for (const auto& variation : variations_) variation->canonicalize_args(v, canonical[v]);
@@ -225,122 +373,69 @@ std::vector<SyscallResult> NVariantSystem::lead(const std::vector<SyscallArgs>& 
   // Step 2: compare canonicalized invocations (normal equivalence check).
   if (!compare_canonical(canonical)) return {};
 
-  // Step 3: execute according to syscall class.
+  // Step 3: execute according to the descriptor's policy.
   std::vector<SyscallResult> results(n);
   const SyscallArgs& call = canonical[0];
-  switch (sys_class(call.no)) {
-    case SysClass::kOpen:
+  const auto& desc = vkernel::descriptor(call.no);
+  switch (desc.exec) {
+    case ExecPolicy::kOpen:
       results = lead_open(canonical);
       break;
 
-    case SysClass::kDetection:
-      results = lead_detection(canonical, raw);
+    case ExecPolicy::kDetection:
+      results = lead_detection(canonical);
       break;
 
-    case SysClass::kExit: {
-      for (unsigned v = 0; v < n; ++v) {
-        results[v] = vkernel::execute_syscall(ctx_, *procs_[v], canonical[v]);
-      }
+    case ExecPolicy::kExit:
+    case ExecPolicy::kPerVariant:
+      execute_per_variant(canonical, results);
       break;
-    }
 
-    case SysClass::kInput: {
-      // stat on an unshared path must resolve per variant.
-      if (call.no == Sys::kStat && !call.strs.empty() &&
-          unshared_.contains(vfs::normalize_path(call.strs[0]))) {
+    case ExecPolicy::kOnce:
+      execute_once(call, /*mirror_fd=*/false, results);
+      break;
+
+    case ExecPolicy::kOnceMirrorFd:
+      execute_once(call, /*mirror_fd=*/true, results);
+      break;
+
+    case ExecPolicy::kPathRouted: {
+      // stat on an unshared path must resolve per variant (§3.4).
+      if (!call.strs.empty() && unshared_.contains(vfs::normalize_path(call.strs[0]))) {
         for (unsigned v = 0; v < n; ++v) {
           SyscallArgs redirected = canonical[v];
           redirected.strs[0] = vfs::variant_path(redirected.strs[0], v);
           results[v] = vkernel::execute_syscall(ctx_, *procs_[v], redirected);
         }
-        break;
-      }
-      // read on an unshared fd executes per variant (each has its own file).
-      if (call.no == Sys::kRead && !call.ints.empty() &&
-          !fd_is_shared(static_cast<os::fd_t>(call.ints[0]))) {
-        for (unsigned v = 0; v < n; ++v) {
-          results[v] = vkernel::execute_syscall(ctx_, *procs_[v], canonical[v]);
-        }
-        break;
-      }
-      // Shared input: perform once, replicate the result (§3.1: "the actual
-      // input operation is only performed once and the same data is sent to
-      // all variants").
-      SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
-      if (call.no == Sys::kAccept && once.ok()) {
-        // The new connection fd must appear in every variant's table at the
-        // same slot, all referring to the same underlying stream.
-        const auto fd = static_cast<os::fd_t>(once.value);
-        auto* entry = procs_[0]->fd(fd);
-        for (unsigned v = 1; v < n; ++v) procs_[v]->install_fd_at(fd, *entry);
-        if (static_cast<std::size_t>(fd) >= shared_fds_.size()) {
-          shared_fds_.resize(static_cast<std::size_t>(fd) + 1, true);
-        }
-        shared_fds_[static_cast<std::size_t>(fd)] = true;
-      }
-      std::fill(results.begin(), results.end(), once);
-      break;
-    }
-
-    case SysClass::kOutput: {
-      // write on an unshared fd executes per variant; shared output executes
-      // once (argument equality was already established in step 2).
-      if (!call.ints.empty() && !fd_is_shared(static_cast<os::fd_t>(call.ints[0]))) {
-        for (unsigned v = 0; v < n; ++v) {
-          results[v] = vkernel::execute_syscall(ctx_, *procs_[v], canonical[v]);
-        }
       } else {
-        const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
-        std::fill(results.begin(), results.end(), once);
+        execute_once(call, /*mirror_fd=*/false, results);
       }
       break;
     }
 
-    case SysClass::kPerVariant: {
-      // Credential changes, close, seek, socket setup: these mutate
-      // per-process state. Socket objects must stay identical across
-      // variants, so socket/bind/listen execute once and the fd objects are
-      // mirrored; everything else executes in each variant with the same
-      // canonical arguments.
-      if (call.no == Sys::kSocket) {
-        const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
-        if (once.ok()) {
-          const auto fd = static_cast<os::fd_t>(once.value);
-          auto* entry = procs_[0]->fd(fd);
-          for (unsigned v = 1; v < n; ++v) procs_[v]->install_fd_at(fd, *entry);
-          if (static_cast<std::size_t>(fd) >= shared_fds_.size()) {
-            shared_fds_.resize(static_cast<std::size_t>(fd) + 1, true);
-          }
-          shared_fds_[static_cast<std::size_t>(fd)] = true;
+    case ExecPolicy::kFdRouted: {
+      // A shared fd means one underlying object: perform the operation once
+      // and replicate (§3.1 input-once / output-once). An unshared fd means
+      // each variant holds its own diversified file: execute per variant.
+      // No fd slot at all (malformed call): the descriptor says how.
+      const auto fd = routed_fd(call);
+      if (!fd.has_value()) {
+        if (desc.missing_fd_exec == ExecPolicy::kPerVariant) {
+          execute_per_variant(canonical, results);
+        } else {
+          execute_once(call, /*mirror_fd=*/false, results);
         }
-        std::fill(results.begin(), results.end(), once);
-        break;
-      }
-      if (call.no == Sys::kBind || call.no == Sys::kListen) {
-        const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
-        std::fill(results.begin(), results.end(), once);
-        break;
-      }
-      if (call.no == Sys::kUnlink || call.no == Sys::kMkdir) {
-        // Shared filesystem namespace: execute once.
-        const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
-        std::fill(results.begin(), results.end(), once);
-        break;
-      }
-      if (call.no == Sys::kSeek && !call.ints.empty() &&
-          fd_is_shared(static_cast<os::fd_t>(call.ints[0]))) {
-        const SyscallResult once = vkernel::execute_syscall(ctx_, *procs_[0], call);
-        std::fill(results.begin(), results.end(), once);
-        break;
-      }
-      for (unsigned v = 0; v < n; ++v) {
-        results[v] = vkernel::execute_syscall(ctx_, *procs_[v], canonical[v]);
+      } else if (fd_is_shared(*fd)) {
+        execute_once(call, /*mirror_fd=*/false, results);
+      } else {
+        execute_per_variant(canonical, results);
       }
       break;
     }
   }
 
-  // Step 4: reexpress trusted UID results per variant (R_i on getuid etc.).
+  // Step 4: reexpress trusted role-carrying results per variant (R_i on
+  // getuid-family values, uid_value echoes, ...).
   for (unsigned v = 0; v < n; ++v) {
     for (const auto& variation : variations_) {
       variation->reexpress_result(v, canonical[v], results[v]);
@@ -380,27 +475,24 @@ std::vector<SyscallResult> NVariantSystem::lead_open(const std::vector<SyscallAr
 
   const bool ok = std::all_of(results.begin(), results.end(),
                               [](const SyscallResult& r) { return r.ok(); });
-  if (ok) {
-    if (static_cast<std::size_t>(slot) >= shared_fds_.size()) {
-      shared_fds_.resize(static_cast<std::size_t>(slot) + 1, true);
-    }
-    shared_fds_[static_cast<std::size_t>(slot)] = !unshared;
-  }
+  if (ok) mark_fd(slot, !unshared);
   return results;
 }
 
 std::vector<SyscallResult> NVariantSystem::lead_detection(
-    const std::vector<SyscallArgs>& canonical, const std::vector<SyscallArgs>& raw) {
+    const std::vector<SyscallArgs>& canonical) {
   const unsigned n = options_.n_variants;
   monitor_.note_detection_check();
   std::vector<SyscallResult> results(n);
   ctx_.count_syscall();
   switch (canonical[0].no) {
     case Sys::kUidValue:
-      // Equality of canonical values was established by compare_canonical();
-      // each variant gets back the value it passed in (its own encoding).
+      // Equality of canonical values was established by compare_canonical().
+      // Return the canonical value; step 4 reexpresses it per variant (the
+      // descriptor marks uid_value's result uid-carrying), so each variant
+      // gets back its own encoding of the value it passed in.
       for (unsigned v = 0; v < n; ++v) {
-        results[v].value = raw[v].ints.at(0);
+        results[v].value = canonical[v].ints.at(0);
       }
       break;
     case Sys::kCondChk:

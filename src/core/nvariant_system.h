@@ -10,6 +10,13 @@
 //   - output syscalls are checked for equivalence and executed once;
 //   - unshared files open per-variant diversified copies (§3.4);
 //   - uid_value/cond_chk/cc_* compare UID meanings across variants (§3.5).
+//
+// Construction goes through NVariantSystem::Builder: options are validated,
+// a DiversitySuite is installed (with §2.3 pairwise disjointedness already
+// checked at compose time), and the resulting system is sealed — its policy
+// is immutable from the first launch on. The legacy mutate-then-run protocol
+// (default-construct, add_variation(), mark_unshared()) survives as thin
+// deprecated shims for incremental migration.
 #ifndef NV_CORE_NVARIANT_SYSTEM_H
 #define NV_CORE_NVARIANT_SYSTEM_H
 
@@ -22,9 +29,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/diversity_suite.h"
 #include "core/monitor.h"
 #include "core/rendezvous.h"
 #include "core/variation.h"
+#include "util/expected.h"
 #include "vfs/filesystem.h"
 #include "vkernel/kernel.h"
 #include "vkernel/process.h"
@@ -58,6 +67,47 @@ using VariantBody =
 
 class NVariantSystem {
  public:
+  /// Fluent construction with build-time validation. Typical use:
+  ///
+  ///   auto system = core::NVariantSystem::Builder()
+  ///                     .suite(std::move(validated_suite))   // sets N too
+  ///                     .rendezvous_timeout(500ms)
+  ///                     .unshared("/etc/state")
+  ///                     .build();                            // unique_ptr
+  class Builder {
+   public:
+    /// Variant count; a suite() call overrides this with the suite's N.
+    Builder& n_variants(unsigned n);
+    Builder& rendezvous_timeout(std::chrono::milliseconds timeout);
+    Builder& memory_base(std::uint64_t base);
+    Builder& memory_size(std::uint64_t size);
+    /// Install a validated composition (replacing any previous suite()) and
+    /// adopt its variant count. Order-independent with variation(): build()
+    /// merges the suite with every ad-hoc variation and re-validates.
+    Builder& suite(DiversitySuite suite);
+    /// Add one variation; build() composes all of them (plus any suite) into
+    /// one suite and runs the pairwise disjointedness validation then.
+    Builder& variation(VariationPtr variation);
+    /// Mark a path unshared even without a variation requesting it.
+    Builder& unshared(std::string path);
+
+    /// Validate and construct. Errors are expected failure paths: n < 2,
+    /// non-positive timeout, zero memory size, or a disjointedness violation
+    /// among the variations added via variation().
+    [[nodiscard]] util::Expected<std::unique_ptr<NVariantSystem>, std::string> try_build();
+    /// try_build() that throws std::invalid_argument on error.
+    [[nodiscard]] std::unique_ptr<NVariantSystem> build();
+
+   private:
+    NVariantOptions options_;
+    std::optional<DiversitySuite> suite_;
+    std::vector<VariationPtr> pending_variations_;
+    std::vector<std::string> unshared_;
+    bool n_variants_set_ = false;
+  };
+
+  /// Legacy construction (pre-Builder). Prefer Builder: it validates options
+  /// and seals the system against post-construction policy mutation.
   explicit NVariantSystem(NVariantOptions options = {});
   ~NVariantSystem();
 
@@ -65,9 +115,11 @@ class NVariantSystem {
   NVariantSystem& operator=(const NVariantSystem&) = delete;
 
   /// Install a variation. Must be called before launch()/run().
+  [[deprecated("construct through NVariantSystem::Builder with a DiversitySuite")]]
   void add_variation(VariationPtr variation);
 
   /// Mark a path unshared even without a variation requesting it.
+  [[deprecated("use NVariantSystem::Builder::unshared()")]]
   void mark_unshared(std::string path);
 
   [[nodiscard]] vfs::FileSystem& fs() noexcept { return fs_; }
@@ -78,6 +130,11 @@ class NVariantSystem {
     return configs_.at(variant);
   }
   [[nodiscard]] unsigned n_variants() const noexcept { return options_.n_variants; }
+  [[nodiscard]] const std::vector<VariationPtr>& variations() const noexcept {
+    return variations_;
+  }
+  /// Builder-made systems reject policy mutation (the immutability contract).
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
 
   /// Run `body` in every variant to completion (blocking). Each call builds
   /// fresh processes; the filesystem persists across runs.
@@ -90,6 +147,12 @@ class NVariantSystem {
   [[nodiscard]] bool running() const noexcept { return !threads_.empty(); }
 
  private:
+  friend class Builder;
+
+  void install_variation(VariationPtr variation);
+  void install_unshared(std::string path);
+  void seal() noexcept { sealed_ = true; }
+
   void prepare();
   [[nodiscard]] vkernel::SyscallResult variant_syscall(unsigned variant,
                                                        vkernel::SyscallArgs args);
@@ -98,13 +161,19 @@ class NVariantSystem {
   [[nodiscard]] RunReport collect_report();
 
   // Leader-side execution helpers (run with rendezvous lock released).
+  void execute_per_variant(const std::vector<vkernel::SyscallArgs>& canonical,
+                           std::vector<vkernel::SyscallResult>& results);
+  void execute_once(const vkernel::SyscallArgs& call, bool mirror_fd,
+                    std::vector<vkernel::SyscallResult>& results);
   [[nodiscard]] std::vector<vkernel::SyscallResult> lead_open(
       const std::vector<vkernel::SyscallArgs>& canonical);
   [[nodiscard]] std::vector<vkernel::SyscallResult> lead_detection(
-      const std::vector<vkernel::SyscallArgs>& canonical,
-      const std::vector<vkernel::SyscallArgs>& raw);
+      const std::vector<vkernel::SyscallArgs>& canonical);
   [[nodiscard]] bool compare_canonical(const std::vector<vkernel::SyscallArgs>& canonical);
   [[nodiscard]] bool fd_is_shared(os::fd_t fd) const;
+  [[nodiscard]] static std::optional<os::fd_t> routed_fd(const vkernel::SyscallArgs& call);
+  void mark_fd(os::fd_t fd, bool shared);
+  void mirror_fd_into_variants(os::fd_t fd);
 
   class VariantPort;
 
@@ -121,6 +190,7 @@ class NVariantSystem {
   std::unique_ptr<SyscallRendezvous> rendezvous_;
   std::vector<std::jthread> threads_;
   bool prepared_ = false;
+  bool sealed_ = false;
 };
 
 }  // namespace nv::core

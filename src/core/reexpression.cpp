@@ -6,6 +6,11 @@
 
 namespace nv::core {
 
+ReexpressionPtr<os::uid_t> identity_uid_coder() {
+  static const ReexpressionPtr<os::uid_t> instance = std::make_shared<Identity<os::uid_t>>();
+  return instance;
+}
+
 std::string XorMask::describe() const {
   return "R(u) = u XOR " + util::hex32(mask_);
 }

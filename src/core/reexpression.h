@@ -36,6 +36,10 @@ class Reexpression {
 template <typename T>
 using ReexpressionPtr = std::shared_ptr<const Reexpression<T>>;
 
+/// The process-wide identity UID coder. Identity is stateless and immutable,
+/// so every VariantConfig shares one instance instead of allocating its own.
+[[nodiscard]] ReexpressionPtr<os::uid_t> identity_uid_coder();
+
 /// R(x) = x. Variant 0 in every variation of Table 1.
 template <typename T>
 class Identity final : public Reexpression<T> {

@@ -1,0 +1,37 @@
+#include "core/variation.h"
+
+namespace nv::core {
+
+using vkernel::ArgRole;
+using vkernel::SyscallDescriptor;
+
+void Variation::canonicalize_args(unsigned variant, vkernel::SyscallArgs& args) const {
+  const SyscallDescriptor& desc = vkernel::descriptor(args.no);
+  // Query role_transform once per distinct role, not per slot: this runs on
+  // every rendezvous, and slots sharing a role are contiguous in practice
+  // (setresuid, setgroups), so a one-entry cache removes the repeated
+  // std::function construction from the hot path.
+  ArgRole cached_role = ArgRole::kNone;
+  std::optional<RoleTransform> cached;
+  for (std::size_t i = 0; i < args.ints.size(); ++i) {
+    const ArgRole role = desc.int_role(i);
+    if (role == ArgRole::kNone) continue;
+    if (role != cached_role) {
+      cached = role_transform(role, variant);
+      cached_role = role;
+    }
+    if (cached) args.ints[i] = cached->invert(args.ints[i]);
+  }
+}
+
+void Variation::reexpress_result(unsigned variant, const vkernel::SyscallArgs& canonical,
+                                 vkernel::SyscallResult& result) const {
+  if (!result.ok()) return;
+  const SyscallDescriptor& desc = vkernel::descriptor(canonical.no);
+  if (desc.result_role == ArgRole::kNone) return;
+  if (const auto transform = role_transform(desc.result_role, variant)) {
+    result.value = transform->reexpress(result.value);
+  }
+}
+
+}  // namespace nv::core

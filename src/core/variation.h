@@ -10,17 +10,28 @@
 //      arguments before the monitor compares them and before the real kernel
 //      executes; reexpress_result() applies R_i to trusted kernel outputs
 //      (§3.5).
+//
+// Point 3 is table-driven: the vkernel syscall descriptor table assigns a
+// semantic role (uid-carrying, fd, path, ...) to every argument slot, and a
+// variation registers a RoleTransform per role via role_transform(). The
+// default canonicalize_args()/reexpress_result() walk the descriptor and
+// apply the registered transforms, so a new data variation never pattern
+// matches raw SyscallArgs. Overriding the two boundary hooks directly remains
+// possible for variations that need non-slot-local behaviour.
 #ifndef NV_CORE_VARIATION_H
 #define NV_CORE_VARIATION_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/reexpression.h"
 #include "vfs/filesystem.h"
+#include "vkernel/syscall_descriptors.h"
 #include "vkernel/syscalls.h"
 
 namespace nv::core {
@@ -38,8 +49,15 @@ struct VariantConfig {
   /// stack grow it downward when false, upward when true.
   bool reverse_stack = false;
   /// UID reexpression for "program constants" in guest code (identity unless
-  /// the UID variation is installed). Never null.
-  ReexpressionPtr<os::uid_t> uid_coder = std::make_shared<Identity<os::uid_t>>();
+  /// the UID variation is installed). Never null; the identity default is a
+  /// shared immutable singleton.
+  ReexpressionPtr<os::uid_t> uid_coder = identity_uid_coder();
+};
+
+/// R_i over one 64-bit argument slot, selected by descriptor role.
+struct RoleTransform {
+  std::function<std::uint64_t(std::uint64_t)> invert;     // R⁻¹_i: variant -> canonical
+  std::function<std::uint64_t(std::uint64_t)> reexpress;  // R_i: canonical -> variant
 };
 
 class Variation {
@@ -60,19 +78,37 @@ class Variation {
   /// Paths the kernel must treat as unshared (open redirects to path-<i>).
   [[nodiscard]] virtual std::vector<std::string> unshared_paths() const { return {}; }
 
-  /// Apply R⁻¹_i to the UID-carrying arguments of `args` (in place).
-  virtual void canonicalize_args(unsigned variant, vkernel::SyscallArgs& args) const {
+  /// The reexpression this variation applies to argument slots carrying
+  /// `role` in variant `variant`, or nullopt when the role is untouched.
+  /// Data variations implement ONLY this; the boundary plumbing is generic.
+  [[nodiscard]] virtual std::optional<RoleTransform> role_transform(vkernel::ArgRole role,
+                                                                    unsigned variant) const {
+    (void)role;
     (void)variant;
-    (void)args;
+    return std::nullopt;
   }
 
-  /// Apply R_i to UID-carrying results (in place). `canonical` is the
-  /// already-canonicalized invocation, for syscall identification.
+  /// Apply R⁻¹_i to `args` in place. Default: descriptor-table walk applying
+  /// role_transform(...)->invert to every role-carrying int slot.
+  virtual void canonicalize_args(unsigned variant, vkernel::SyscallArgs& args) const;
+
+  /// Apply R_i to trusted results in place. `canonical` is the
+  /// already-canonicalized invocation, for syscall identification. Default:
+  /// applies role_transform(...)->reexpress when the descriptor marks the
+  /// result value as role-carrying and the call succeeded.
   virtual void reexpress_result(unsigned variant, const vkernel::SyscallArgs& canonical,
-                                vkernel::SyscallResult& result) const {
-    (void)variant;
-    (void)canonical;
-    (void)result;
+                                vkernel::SyscallResult& result) const;
+
+  /// Pairwise disjointedness evidence (§2.3) for variants `vi` and `vj`:
+  /// a human-readable violation description, or nullopt when R_vi and R_vj
+  /// are disjoint on the sampled domain — or when the variation carries no
+  /// value-domain reexpression to check (e.g. probabilistic layout
+  /// variations like stack reversal).
+  [[nodiscard]] virtual std::optional<std::string> disjointedness_violation(unsigned vi,
+                                                                            unsigned vj) const {
+    (void)vi;
+    (void)vj;
+    return std::nullopt;
   }
 };
 

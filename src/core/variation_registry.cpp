@@ -1,0 +1,100 @@
+#include "core/variation_registry.h"
+
+#include <algorithm>
+
+namespace nv::core {
+
+template <typename T>
+util::Expected<T, std::string> VariationParams::get(const std::string& key, T fallback,
+                                                    std::string_view type_name) const {
+  consumed_.push_back(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (const T* value = std::get_if<T>(&it->second)) return *value;
+  return util::Unexpected{"parameter \"" + key + "\" must be a " + std::string(type_name)};
+}
+
+util::Expected<std::uint64_t, std::string> VariationParams::get_u64(const std::string& key,
+                                                                    std::uint64_t fallback) const {
+  return get<std::uint64_t>(key, fallback, "u64");
+}
+
+util::Expected<bool, std::string> VariationParams::get_bool(const std::string& key,
+                                                            bool fallback) const {
+  return get<bool>(key, fallback, "bool");
+}
+
+util::Expected<std::string, std::string> VariationParams::get_string(const std::string& key,
+                                                                     std::string fallback) const {
+  return get<std::string>(key, std::move(fallback), "string");
+}
+
+util::Expected<std::vector<std::string>, std::string> VariationParams::get_strings(
+    const std::string& key, std::vector<std::string> fallback) const {
+  return get<std::vector<std::string>>(key, std::move(fallback), "string list");
+}
+
+std::vector<std::string> VariationParams::unconsumed() const {
+  std::vector<std::string> leftover;
+  for (const auto& [key, value] : values_) {
+    if (std::find(consumed_.begin(), consumed_.end(), key) == consumed_.end()) {
+      leftover.push_back(key);
+    }
+  }
+  return leftover;
+}
+
+void VariationRegistry::add(std::string name, std::string description, Factory factory,
+                            std::vector<std::string> aliases) {
+  // Replacing a name (shadowing a builtin) must also retire its old aliases:
+  // an alias left pointing at the replaced factory would make two names
+  // documented as equivalent construct different variations.
+  std::erase_if(entries_,
+                [&name](const auto& entry) { return entry.second.alias_of == name; });
+  for (auto& alias : aliases) {
+    entries_[std::move(alias)] = Entry{description, factory, name};
+  }
+  entries_[std::move(name)] = Entry{std::move(description), std::move(factory), {}};
+}
+
+util::Expected<VariationPtr, std::string> VariationRegistry::make(
+    std::string_view name, const VariationParams& params) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& entry_name : names()) {
+      if (!known.empty()) known += ", ";
+      known += entry_name;
+    }
+    return util::Unexpected{"unknown variation \"" + std::string(name) +
+                            "\" (known: " + known + ")"};
+  }
+  params.reset_consumption();
+  auto result = it->second.factory(params);
+  if (!result) return result;
+  const auto leftover = params.unconsumed();
+  if (!leftover.empty()) {
+    return util::Unexpected{"variation \"" + std::string(name) +
+                            "\" does not take parameter \"" + leftover.front() + "\""};
+  }
+  return result;
+}
+
+bool VariationRegistry::contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::string_view VariationRegistry::description(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? std::string_view{} : std::string_view{it->second.description};
+}
+
+std::vector<std::string> VariationRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.alias_of.empty()) out.push_back(name);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+}  // namespace nv::core

@@ -1,0 +1,107 @@
+// Open-ended variation catalog: Table 1 as data, not as code.
+//
+// The paper frames every diversity technique as a reexpression family R_i
+// plugged into the syscall boundary; the registry makes that literal. A
+// variation is registered once under a stable name with a factory that takes
+// typed parameters, and policy code (config files, experiment sweeps, the
+// attack lab) constructs variations by name without linking against their
+// concrete types. Unknown names and malformed parameters are expected
+// failure paths and come back as Expected errors, not exceptions.
+#ifndef NV_CORE_VARIATION_REGISTRY_H
+#define NV_CORE_VARIATION_REGISTRY_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/variation.h"
+#include "util/expected.h"
+
+namespace nv::core {
+
+/// Typed parameter bag for registry factories. Keys are consumed on access;
+/// make() rejects parameter sets with unconsumed (misspelled) keys so a typo
+/// like "strde" fails loudly instead of silently using the default.
+class VariationParams {
+ public:
+  using Value = std::variant<std::uint64_t, bool, std::string, std::vector<std::string>>;
+
+  VariationParams() = default;
+  VariationParams(std::initializer_list<std::pair<const std::string, Value>> init)
+      : values_(init) {}
+
+  VariationParams& set(const std::string& key, Value value) {
+    values_[key] = std::move(value);
+    return *this;
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const { return values_.contains(key); }
+
+  /// Typed getters: return the parameter (marking it consumed) or `fallback`
+  /// when absent. A present key with the wrong alternative reports an error.
+  [[nodiscard]] util::Expected<std::uint64_t, std::string> get_u64(const std::string& key,
+                                                                   std::uint64_t fallback) const;
+  [[nodiscard]] util::Expected<bool, std::string> get_bool(const std::string& key,
+                                                           bool fallback) const;
+  [[nodiscard]] util::Expected<std::string, std::string> get_string(const std::string& key,
+                                                                    std::string fallback) const;
+  [[nodiscard]] util::Expected<std::vector<std::string>, std::string> get_strings(
+      const std::string& key, std::vector<std::string> fallback) const;
+
+  /// Keys never consumed by any getter — misspellings the factory never read.
+  [[nodiscard]] std::vector<std::string> unconsumed() const;
+
+  /// Forget which keys were consumed. make() calls this before invoking a
+  /// factory so one params object can be reused across constructions without
+  /// stale consumption hiding a misspelled key.
+  void reset_consumption() const { consumed_.clear(); }
+
+ private:
+  template <typename T>
+  [[nodiscard]] util::Expected<T, std::string> get(const std::string& key, T fallback,
+                                                   std::string_view type_name) const;
+
+  std::map<std::string, Value> values_;
+  mutable std::vector<std::string> consumed_;
+};
+
+class VariationRegistry {
+ public:
+  using Factory =
+      std::function<util::Expected<VariationPtr, std::string>(const VariationParams&)>;
+
+  /// Register `factory` under `name` (plus optional aliases). Re-registering
+  /// a name replaces the previous entry — tests and downstream deployments
+  /// may shadow a builtin.
+  void add(std::string name, std::string description, Factory factory,
+           std::vector<std::string> aliases = {});
+
+  /// Construct a variation by name. Errors: unknown name (with the known
+  /// catalog listed), factory-reported parameter problems, unconsumed keys.
+  [[nodiscard]] util::Expected<VariationPtr, std::string> make(
+      std::string_view name, const VariationParams& params = {}) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  [[nodiscard]] std::string_view description(std::string_view name) const;
+  /// Primary (non-alias) names, sorted — the printable catalog.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    std::string description;
+    Factory factory;
+    /// Primary name this entry is an alias of; empty for primaries. Lets
+    /// add() retire a replaced name's aliases so shadowing a builtin cannot
+    /// leave an alias resolving to the old factory.
+    std::string alias_of;
+  };
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace nv::core
+
+#endif  // NV_CORE_VARIATION_REGISTRY_H

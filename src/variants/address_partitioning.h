@@ -30,6 +30,18 @@ class AddressPartitioning : public core::Variation {
     return core::AddressOffset{stride_ * variant + extra_offset(variant)};
   }
 
+  /// Address offsets are disjoint (§2.3) exactly when they differ: equal
+  /// offsets (stride 0, or an extended offset collision) invert identically
+  /// on every address. Sampled via the shared disjointedness verifier.
+  [[nodiscard]] std::optional<std::string> disjointedness_violation(unsigned vi,
+                                                                    unsigned vj) const override {
+    const auto violations = core::disjointedness_violations(
+        reexpression(vi), reexpression(vj), core::address_property_samples(16));
+    if (violations.empty()) return std::nullopt;
+    return std::string(name()) + ": variants " + std::to_string(vi) + " and " +
+           std::to_string(vj) + " share an address offset";
+  }
+
   [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
 
  protected:

@@ -35,6 +35,15 @@ class InstructionTagging final : public core::Variation {
     return core::InstructionTag{tag_for(variant)};
   }
 
+  /// Tags are disjoint when they differ; base_tag + variant wraps at 256, so
+  /// composing 256+ variants would silently reuse a tag — caught here.
+  [[nodiscard]] std::optional<std::string> disjointedness_violation(unsigned vi,
+                                                                    unsigned vj) const override {
+    if (tag_for(vi) != tag_for(vj)) return std::nullopt;
+    return std::string(name()) + ": variants " + std::to_string(vi) + " and " +
+           std::to_string(vj) + " share instruction tag";
+  }
+
  private:
   std::uint8_t base_tag_;
 };

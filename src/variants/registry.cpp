@@ -1,0 +1,102 @@
+#include "variants/registry.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "variants/address_partitioning.h"
+#include "variants/instruction_tagging.h"
+#include "variants/stack_reversal.h"
+#include "variants/uid_variation.h"
+
+namespace nv::variants {
+
+namespace {
+
+using core::VariationParams;
+using core::VariationPtr;
+using util::Unexpected;
+
+util::Expected<VariationPtr, std::string> make_address_partitioning(
+    const VariationParams& params) {
+  const auto stride = params.get_u64("stride", 0x80000000ULL);
+  if (!stride) return Unexpected{stride.error()};
+  if (*stride == 0) return Unexpected{std::string("stride must be non-zero")};
+  return VariationPtr{std::make_shared<AddressPartitioning>(*stride)};
+}
+
+util::Expected<VariationPtr, std::string> make_extended_partitioning(
+    const VariationParams& params) {
+  const auto stride = params.get_u64("stride", 0x80000000ULL);
+  const auto max_offset = params.get_u64("max-offset", 1ULL << 20);
+  const auto seed = params.get_u64("seed", 1234);
+  if (!stride) return Unexpected{stride.error()};
+  if (!max_offset) return Unexpected{max_offset.error()};
+  if (!seed) return Unexpected{seed.error()};
+  if (*stride == 0) return Unexpected{std::string("stride must be non-zero")};
+  if (*max_offset < 2 * 4096) {
+    return Unexpected{std::string("max-offset must allow at least one 4KiB page of jitter")};
+  }
+  return VariationPtr{
+      std::make_shared<ExtendedAddressPartitioning>(*stride, *max_offset, *seed)};
+}
+
+util::Expected<VariationPtr, std::string> make_instruction_tagging(
+    const VariationParams& params) {
+  const auto base_tag = params.get_u64("base-tag", 0xA0);
+  if (!base_tag) return Unexpected{base_tag.error()};
+  if (*base_tag > 0xFF) return Unexpected{std::string("base-tag must fit in one byte")};
+  return VariationPtr{
+      std::make_shared<InstructionTagging>(static_cast<std::uint8_t>(*base_tag))};
+}
+
+util::Expected<VariationPtr, std::string> make_uid_xor(const VariationParams& params) {
+  UidVariation::Options options;
+  const auto mask = params.get_u64("mask", options.variant1_mask);
+  const auto files = params.get_strings("files", options.diversified_files);
+  if (!mask) return Unexpected{mask.error()};
+  if (!files) return Unexpected{files.error()};
+  if (*mask > 0xFFFFFFFFULL) return Unexpected{std::string("mask must fit in 32 bits")};
+  options.variant1_mask = static_cast<os::uid_t>(*mask);
+  options.diversified_files = *files;
+  return VariationPtr{std::make_shared<UidVariation>(options)};
+}
+
+util::Expected<VariationPtr, std::string> make_stack_reversal(const VariationParams&) {
+  return VariationPtr{std::make_shared<StackReversal>()};
+}
+
+}  // namespace
+
+void register_builtin_variations(core::VariationRegistry& registry) {
+  registry.add("address-partitioning",
+               "disjoint data-segment bases per variant (Table 1 row 1)",
+               make_address_partitioning);
+  registry.add("extended-address-partitioning",
+               "partitioning plus per-variant page-aligned offset (Bruschi, row 2)",
+               make_extended_partitioning);
+  registry.add("instruction-tagging",
+               "per-variant instruction tags checked by the VM (row 3)",
+               make_instruction_tagging);
+  registry.add("uid-xor", "UID data diversity via per-variant XOR masks (§3, row 4)",
+               make_uid_xor, {"uid-variation"});
+  registry.add("stack-reversal",
+               "opposite stack growth directions per variant (Franz [20])",
+               make_stack_reversal);
+}
+
+const core::VariationRegistry& builtin_registry() {
+  static const core::VariationRegistry registry = [] {
+    core::VariationRegistry seeded;
+    register_builtin_variations(seeded);
+    return seeded;
+  }();
+  return registry;
+}
+
+core::VariationPtr make_builtin(std::string_view name, const core::VariationParams& params) {
+  auto variation = builtin_registry().make(name, params);
+  if (!variation) throw std::runtime_error(variation.error());
+  return std::move(variation).value();
+}
+
+}  // namespace nv::variants

@@ -1,0 +1,36 @@
+// The builtin Table-1 catalog, registered by name.
+//
+//   name                            parameters (all optional)
+//   ------------------------------  -----------------------------------------
+//   address-partitioning            stride (u64, default 0x80000000)
+//   extended-address-partitioning   stride, max-offset (u64, 1<<20), seed
+//   instruction-tagging             base-tag (u64, default 0xA0)
+//   uid-xor (alias: uid-variation)  mask (u64, 0x7FFFFFFF), files (str list)
+//   stack-reversal                  —
+//
+// Adding a Table-1-style variation is: implement core::Variation (usually
+// just role_transform + disjointedness_violation), then register a factory
+// here — no monitor, kernel, or call-site changes.
+#ifndef NV_VARIANTS_REGISTRY_H
+#define NV_VARIANTS_REGISTRY_H
+
+#include "core/variation_registry.h"
+
+namespace nv::variants {
+
+/// Register the builtin variations into `registry` (idempotent per name).
+void register_builtin_variations(core::VariationRegistry& registry);
+
+/// The shared process-wide registry, pre-seeded with the builtins.
+[[nodiscard]] const core::VariationRegistry& builtin_registry();
+
+/// builtin_registry().make() that throws std::runtime_error carrying the
+/// registry's diagnostic ("unknown variation ... (known: ...)") on failure —
+/// for call sites with no better error channel (demos, benches, tests).
+/// Policy code that can surface errors should call make() directly.
+[[nodiscard]] core::VariationPtr make_builtin(std::string_view name,
+                                              const core::VariationParams& params = {});
+
+}  // namespace nv::variants
+
+#endif  // NV_VARIANTS_REGISTRY_H

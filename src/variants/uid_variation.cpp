@@ -1,5 +1,6 @@
 #include "variants/uid_variation.h"
 
+#include "util/strings.h"
 #include "vfs/passwd.h"
 #include "vfs/path.h"
 
@@ -46,24 +47,29 @@ std::vector<std::string> UidVariation::unshared_paths() const {
   return options_.diversified_files;
 }
 
-void UidVariation::canonicalize_args(unsigned variant, vkernel::SyscallArgs& args) const {
+std::optional<core::RoleTransform> UidVariation::role_transform(vkernel::ArgRole role,
+                                                                unsigned variant) const {
+  if (role != vkernel::ArgRole::kUid) return std::nullopt;
   const os::uid_t mask = mask_for(variant);
-  if (mask == 0) return;
-  for (const std::size_t index : vkernel::uid_arg_indices(args)) {
-    if (index < args.ints.size()) {
-      args.ints[index] =
-          static_cast<os::uid_t>(args.ints[index]) ^ mask;  // R⁻¹_i is the same XOR
-    }
-  }
+  if (mask == 0) return std::nullopt;
+  // XOR is self-inverse: R⁻¹_i is the same mask.
+  const auto recode = [mask](std::uint64_t value) -> std::uint64_t {
+    return static_cast<os::uid_t>(value) ^ mask;
+  };
+  return core::RoleTransform{recode, recode};
 }
 
-void UidVariation::reexpress_result(unsigned variant, const vkernel::SyscallArgs& canonical,
-                                    vkernel::SyscallResult& result) const {
-  const os::uid_t mask = mask_for(variant);
-  if (mask == 0) return;
-  if (vkernel::returns_uid(canonical.no) && result.ok()) {
-    result.value = static_cast<os::uid_t>(result.value) ^ mask;
-  }
+std::optional<std::string> UidVariation::disjointedness_violation(unsigned vi, unsigned vj) const {
+  const os::uid_t mask_i = mask_for(vi);
+  const os::uid_t mask_j = mask_for(vj);
+  if (core::xor_masks_disjoint(mask_i, mask_j)) return std::nullopt;
+  // Equal masks: every sampled value is a violation; quote the first as proof.
+  const auto samples = core::uid_property_samples(16);
+  const auto violations = core::disjointedness_violations(
+      core::XorMask(mask_i), core::XorMask(mask_j), samples);
+  return util::format("uid masks collide for variants %u and %u (mask %s, e.g. R⁻¹(%s) agrees)",
+                      vi, vj, util::hex32(mask_i).c_str(),
+                      util::hex32(violations.empty() ? 0 : violations.front()).c_str());
 }
 
 }  // namespace nv::variants

@@ -43,9 +43,16 @@ class UidVariation final : public core::Variation {
   void configure_variant(core::VariantConfig& config) const override;
   void prepare_filesystem(vfs::FileSystem& fs, unsigned n_variants) const override;
   [[nodiscard]] std::vector<std::string> unshared_paths() const override;
-  void canonicalize_args(unsigned variant, vkernel::SyscallArgs& args) const override;
-  void reexpress_result(unsigned variant, const vkernel::SyscallArgs& canonical,
-                        vkernel::SyscallResult& result) const override;
+
+  /// The whole syscall-boundary story: UID-carrying slots get XOR'd. The
+  /// descriptor table routes every uid-role argument and result through this.
+  [[nodiscard]] std::optional<core::RoleTransform> role_transform(vkernel::ArgRole role,
+                                                                  unsigned variant) const override;
+
+  /// §2.3 for XOR masks: R⁻¹_vi == R⁻¹_vj exactly when the masks collide
+  /// (e.g. variant1_mask = 0, or N large enough that `mask >> (i-1)` hits 0).
+  [[nodiscard]] std::optional<std::string> disjointedness_violation(unsigned vi,
+                                                                    unsigned vj) const override;
 
  private:
   Options options_;

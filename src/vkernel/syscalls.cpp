@@ -1,44 +1,11 @@
 #include "vkernel/syscalls.h"
 
 #include "util/strings.h"
+#include "vkernel/syscall_descriptors.h"
 
 namespace nv::vkernel {
 
-std::string_view sys_name(Sys sys) noexcept {
-  switch (sys) {
-    case Sys::kOpen: return "open";
-    case Sys::kClose: return "close";
-    case Sys::kRead: return "read";
-    case Sys::kWrite: return "write";
-    case Sys::kSeek: return "seek";
-    case Sys::kStat: return "stat";
-    case Sys::kUnlink: return "unlink";
-    case Sys::kMkdir: return "mkdir";
-    case Sys::kGetuid: return "getuid";
-    case Sys::kGeteuid: return "geteuid";
-    case Sys::kGetgid: return "getgid";
-    case Sys::kGetegid: return "getegid";
-    case Sys::kSetuid: return "setuid";
-    case Sys::kSeteuid: return "seteuid";
-    case Sys::kSetreuid: return "setreuid";
-    case Sys::kSetresuid: return "setresuid";
-    case Sys::kSetgid: return "setgid";
-    case Sys::kSetegid: return "setegid";
-    case Sys::kSetgroups: return "setgroups";
-    case Sys::kSocket: return "socket";
-    case Sys::kBind: return "bind";
-    case Sys::kListen: return "listen";
-    case Sys::kAccept: return "accept";
-    case Sys::kGetpid: return "getpid";
-    case Sys::kGettime: return "gettime";
-    case Sys::kExit: return "exit";
-    case Sys::kPollEvent: return "poll_event";
-    case Sys::kUidValue: return "uid_value";
-    case Sys::kCondChk: return "cond_chk";
-    case Sys::kCcCmp: return "cc_cmp";
-  }
-  return "sys?";
-}
+std::string_view sys_name(Sys sys) noexcept { return descriptor(sys).name; }
 
 std::string_view cc_op_name(CcOp op) noexcept {
   switch (op) {
@@ -80,64 +47,17 @@ std::string SyscallArgs::describe() const {
   return out;
 }
 
-SysClass sys_class(Sys sys) noexcept {
-  switch (sys) {
-    case Sys::kOpen:
-      return SysClass::kOpen;
-    case Sys::kRead:
-    case Sys::kAccept:
-    case Sys::kGettime:
-    case Sys::kGetpid:
-    case Sys::kStat:
-    case Sys::kPollEvent:
-      return SysClass::kInput;
-    case Sys::kWrite:
-      return SysClass::kOutput;
-    case Sys::kUidValue:
-    case Sys::kCondChk:
-    case Sys::kCcCmp:
-      return SysClass::kDetection;
-    case Sys::kExit:
-      return SysClass::kExit;
-    default:
-      return SysClass::kPerVariant;
-  }
-}
+SysClass sys_class(Sys sys) noexcept { return descriptor(sys).cls; }
 
-bool returns_uid(Sys sys) noexcept {
-  switch (sys) {
-    case Sys::kGetuid:
-    case Sys::kGeteuid:
-    case Sys::kGetgid:
-    case Sys::kGetegid:
-      return true;
-    default:
-      return false;
-  }
-}
+bool returns_uid(Sys sys) noexcept { return descriptor(sys).result_role == ArgRole::kUid; }
 
 std::vector<std::size_t> uid_arg_indices(const SyscallArgs& args) {
-  switch (args.no) {
-    case Sys::kSetuid:
-    case Sys::kSeteuid:
-    case Sys::kSetgid:
-    case Sys::kSetegid:
-    case Sys::kUidValue:
-      return {0};
-    case Sys::kSetreuid:
-      return {0, 1};
-    case Sys::kSetresuid:
-      return {0, 1, 2};
-    case Sys::kSetgroups: {
-      std::vector<std::size_t> all(args.ints.size());
-      for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-      return all;
-    }
-    case Sys::kCcCmp:
-      return {1, 2};  // ints[0] is the operator
-    default:
-      return {};
+  const SyscallDescriptor& desc = descriptor(args.no);
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < args.ints.size(); ++i) {
+    if (desc.int_role(i) == ArgRole::kUid) indices.push_back(i);
   }
+  return indices;
 }
 
 }  // namespace nv::vkernel

@@ -6,21 +6,19 @@
 #include "core/nvariant_system.h"
 #include "guest/runners.h"
 #include "test_helpers.h"
-#include "variants/address_partitioning.h"
-#include "variants/instruction_tagging.h"
-#include "variants/uid_variation.h"
+#include "vkernel/vm.h"
 
 namespace nv {
 namespace {
 
-using core::NVariantOptions;
 using core::NVariantSystem;
 using testing::LambdaGuest;
 
-NVariantOptions fast_options() {
-  NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(500);
-  return options;
+std::unique_ptr<NVariantSystem> fast_system(
+    std::initializer_list<std::string_view> variation_names = {},
+    std::initializer_list<std::string> unshared = {}, unsigned n_variants = 2) {
+  return testing::build_system(std::chrono::milliseconds(500), n_variants, variation_names,
+                               unshared);
 }
 
 void seed_etc(NVariantSystem& system) {
@@ -31,7 +29,8 @@ void seed_etc(NVariantSystem& system) {
 }
 
 TEST(FailureInjection, GuestExceptionBecomesGuestErrorAlarm) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     if (ctx.variant() == 1) throw std::runtime_error("injected guest bug");
     (void)ctx.getpid();
@@ -46,8 +45,8 @@ TEST(FailureInjection, GuestExceptionBecomesGuestErrorAlarm) {
 }
 
 TEST(FailureInjection, TagFaultAlarmFromInjectedCode) {
-  NVariantSystem system(fast_options());
-  system.add_variation(std::make_shared<variants::InstructionTagging>());
+  const auto system_owner = fast_system({"instruction-tagging"});
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     // Both variants store the SAME injected bytes (tagged for variant 0's
     // tag) and execute them: variant 1 must trap.
@@ -67,8 +66,8 @@ TEST(FailureInjection, TagFaultAlarmFromInjectedCode) {
 }
 
 TEST(FailureInjection, TrustedTaggedCodeRunsInBothVariants) {
-  NVariantSystem system(fast_options());
-  system.add_variation(std::make_shared<variants::InstructionTagging>());
+  const auto system_owner = fast_system({"instruction-tagging"});
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     // Trusted load path: each variant tags the code with ITS OWN tag.
     vkernel::VmProgram program;
@@ -86,9 +85,9 @@ TEST(FailureInjection, TrustedTaggedCodeRunsInBothVariants) {
 }
 
 TEST(FailureInjection, SystemReusableAfterDetectedAttack) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system({"uid-xor"});
+  auto& system = *system_owner;
   seed_etc(system);
-  system.add_variation(std::make_shared<variants::UidVariation>());
 
   LambdaGuest attacked([](guest::GuestContext& ctx) {
     (void)ctx.uid_value(0);
@@ -108,18 +107,19 @@ TEST(FailureInjection, SystemReusableAfterDetectedAttack) {
 }
 
 TEST(FailureInjection, CompositionOfThreeVariations) {
-  NVariantSystem system(fast_options());
+  const auto system_owner =
+      fast_system({"uid-xor", "address-partitioning", "instruction-tagging"});
+  auto& system = *system_owner;
   seed_etc(system);
-  system.add_variation(std::make_shared<variants::UidVariation>());
-  system.add_variation(std::make_shared<variants::AddressPartitioning>());
-  system.add_variation(std::make_shared<variants::InstructionTagging>());
   LambdaGuest guest([](guest::GuestContext& ctx) {
     // UID path works.
     EXPECT_EQ(ctx.seteuid(ctx.uid_const(1000)), os::Errno::kOk);
     EXPECT_EQ(ctx.geteuid(), ctx.uid_const(1000));
     // Memory is partitioned.
     const auto addr = ctx.alloc(16);
-    if (ctx.variant() == 1) EXPECT_GE(addr, 0x80000000ULL);
+    if (ctx.variant() == 1) {
+      EXPECT_GE(addr, 0x80000000ULL);
+    }
     // Tagged code executes.
     vkernel::VmProgram program;
     program.load_imm(0, 9).emit().halt();
@@ -140,7 +140,8 @@ TEST(FailureInjection, SchedulingDivergenceLimitationReproduced) {
   // detection." We model an unsynchronized asynchronous event (a per-variant
   // race) influencing control flow: the framework — correctly per its rules,
   // wrongly per intent — raises an alarm.
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     // Each variant observes a different "signal arrival point".
     const bool signal_seen_early = ctx.variant() == 0;
@@ -157,7 +158,8 @@ TEST(FailureInjection, SchedulingDivergenceLimitationReproduced) {
 }
 
 TEST(FailureInjection, DoubleStopIsSafe) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) { ctx.exit(0); });
   guest::launch_nvariant(system, guest);
   const auto first = system.stop();
@@ -167,8 +169,8 @@ TEST(FailureInjection, DoubleStopIsSafe) {
 }
 
 TEST(FailureInjection, LaunchWhileRunningThrows) {
-  NVariantOptions options = fast_options();
-  NVariantSystem system(options);
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest server([](guest::GuestContext& ctx) {
     auto sock = ctx.socket();
     ASSERT_TRUE(sock.has_value());
@@ -189,7 +191,8 @@ TEST(FailureInjection, LaunchWhileRunningThrows) {
 }
 
 TEST(FailureInjection, AlarmCallbackFiresOnDetection) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   std::vector<core::AlarmKind> seen;
   system.monitor().set_alarm_callback(
       [&](const core::Alarm& alarm) { seen.push_back(alarm.kind); });
@@ -203,7 +206,8 @@ TEST(FailureInjection, AlarmCallbackFiresOnDetection) {
 }
 
 TEST(FailureInjection, MissingUnsharedVariantFileFailsLoudly) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system({}, {"/etc/conf"});
+  auto& system = *system_owner;
   const auto root = os::Credentials::root();
   ASSERT_TRUE(system.fs().mkdir_p("/etc", root));
   ASSERT_TRUE(system.fs().write_file("/etc/conf", "x", root));
@@ -211,7 +215,6 @@ TEST(FailureInjection, MissingUnsharedVariantFileFailsLoudly) {
   // No /etc/conf-1: variant 1's open must fail, and since results are
   // compared... both get their own errno. Variant 0 succeeds, variant 1
   // fails; the guest asserts success and exits differently -> divergence.
-  system.mark_unshared("/etc/conf");
   LambdaGuest guest([](guest::GuestContext& ctx) {
     auto content = ctx.read_file("/etc/conf");
     ctx.exit(content.has_value() ? 0 : 1);
@@ -221,11 +224,9 @@ TEST(FailureInjection, MissingUnsharedVariantFileFailsLoudly) {
 }
 
 TEST(FailureInjection, FourVariantLockstep) {
-  NVariantOptions options = fast_options();
-  options.n_variants = 4;
-  NVariantSystem system(options);
+  const auto system_owner = fast_system({"uid-xor"}, {}, 4);
+  auto& system = *system_owner;
   seed_etc(system);
-  system.add_variation(std::make_shared<variants::UidVariation>());
   LambdaGuest guest([](guest::GuestContext& ctx) {
     EXPECT_EQ(ctx.geteuid(), ctx.uid_const(0));
     EXPECT_EQ(ctx.seteuid(ctx.uid_const(42)), os::Errno::kOk);

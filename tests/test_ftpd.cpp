@@ -11,7 +11,6 @@
 #include "httpd/mini_ftpd.h"
 #include "util/strings.h"
 #include "test_helpers.h"
-#include "variants/uid_variation.h"
 
 namespace nv {
 namespace {
@@ -144,11 +143,8 @@ struct NvFtpd {
   MiniFtpd server;
 
   explicit NvFtpd(FtpdConfig config) : server(config) {
-    core::NVariantOptions options;
-    options.rendezvous_timeout = std::chrono::milliseconds(1000);
-    system = std::make_unique<core::NVariantSystem>(options);
+    system = testing::build_system(std::chrono::milliseconds(1000), 2, {"uid-xor"});
     httpd::install_ftpd_site(system->fs(), config);
-    system->add_variation(std::make_shared<variants::UidVariation>());
     guest::launch_nvariant(*system, server);
     wait_for_bind(system->hub());
   }
@@ -219,9 +215,8 @@ TEST(MiniFtpdNVariant, AttackWithoutDetectionSyscallsCaughtAtSeteuid) {
 // --- synchronized event delivery (extension) ---------------------------------
 
 TEST(EventDelivery, SynchronizedEventsDoNotDiverge) {
-  core::NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(1000);
-  core::NVariantSystem system(options);
+  const auto system_owner = testing::build_system(std::chrono::milliseconds(1000));
+  auto& system = *system_owner;
   // Queue events BEFORE launch; both variants must observe the identical
   // sequence at identical points (poll_event is an input-class syscall).
   system.kernel().push_event("reload-config");

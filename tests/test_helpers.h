@@ -2,9 +2,16 @@
 #ifndef NV_TESTS_TEST_HELPERS_H
 #define NV_TESTS_TEST_HELPERS_H
 
+#include <chrono>
 #include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
 
+#include "core/nvariant_system.h"
 #include "guest/guest_program.h"
+#include "variants/registry.h"
 
 namespace nv::testing {
 
@@ -20,6 +27,21 @@ class LambdaGuest final : public guest::GuestProgram {
  private:
   Fn fn_;
 };
+
+/// Builder shorthand for tests: N variants, rendezvous timeout, variations
+/// named from the builtin registry, extra unshared paths.
+inline std::unique_ptr<core::NVariantSystem> build_system(
+    std::chrono::milliseconds timeout, unsigned n_variants = 2,
+    std::initializer_list<std::string_view> variation_names = {},
+    std::initializer_list<std::string> unshared = {}) {
+  core::NVariantSystem::Builder builder;
+  builder.n_variants(n_variants).rendezvous_timeout(timeout);
+  for (const auto name : variation_names) {
+    builder.variation(variants::make_builtin(name));
+  }
+  for (const auto& path : unshared) builder.unshared(path);
+  return builder.build();
+}
 
 }  // namespace nv::testing
 

@@ -9,12 +9,11 @@
 #include "guest/runners.h"
 #include "httpd/client.h"
 #include "httpd/mini_httpd.h"
-#include "variants/uid_variation.h"
+#include "test_helpers.h"
 
 namespace nv {
 namespace {
 
-using core::NVariantOptions;
 using core::NVariantSystem;
 using httpd::HttpResponse;
 using httpd::MiniHttpd;
@@ -105,11 +104,8 @@ struct NvServer {
   MiniHttpd server;
 
   explicit NvServer(const ServerConfig& config) {
-    NVariantOptions options;
-    options.rendezvous_timeout = std::chrono::milliseconds(1000);
-    system = std::make_unique<NVariantSystem>(options);
+    system = testing::build_system(std::chrono::milliseconds(1000), 2, {"uid-xor"});
     httpd::install_default_site(system->fs(), config);
-    system->add_variation(std::make_shared<variants::UidVariation>());
     guest::launch_nvariant(*system, server);
     wait_for_bind(system->hub());
   }

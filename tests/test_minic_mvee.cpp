@@ -6,15 +6,16 @@
 #include "guest/runners.h"
 #include "transform/mini_apache.h"
 #include "transform/minic_guest.h"
-#include "variants/uid_variation.h"
+#include "variants/registry.h"
 
 namespace nv::transform {
 namespace {
 
 std::unique_ptr<core::NVariantSystem> make_system() {
-  core::NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(1000);
-  auto system = std::make_unique<core::NVariantSystem>(options);
+  auto system = core::NVariantSystem::Builder()
+                    .rendezvous_timeout(std::chrono::milliseconds(1000))
+                    .variation(variants::make_builtin("uid-xor"))
+                    .build();
   const auto root = os::Credentials::root();
   EXPECT_TRUE(system->fs().mkdir_p("/etc", root));
   EXPECT_TRUE(system->fs().mkdir_p("/var/log", root));
@@ -24,7 +25,6 @@ std::unique_ptr<core::NVariantSystem> make_system() {
                                       "alice:x:1000:1000:Alice:/home/a:/bin/sh\n",
                                       root));
   EXPECT_TRUE(system->fs().write_file("/etc/group", "root:x:0:\nwww:x:33:\n", root));
-  system->add_variation(std::make_shared<variants::UidVariation>());
   return system;
 }
 

@@ -5,24 +5,23 @@
 #include "core/nvariant_system.h"
 #include "guest/runners.h"
 #include "test_helpers.h"
-#include "variants/address_partitioning.h"
-#include "variants/uid_variation.h"
 
 namespace nv {
 namespace {
 
-using core::NVariantOptions;
 using core::NVariantSystem;
 using testing::LambdaGuest;
 
-NVariantOptions fast_options() {
-  NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(500);
-  return options;
+std::unique_ptr<NVariantSystem> fast_system(
+    std::initializer_list<std::string_view> variation_names = {},
+    std::initializer_list<std::string> unshared = {}, unsigned n_variants = 2) {
+  return testing::build_system(std::chrono::milliseconds(500), n_variants, variation_names,
+                               unshared);
 }
 
 TEST(NVariantSystem, IdenticalGuestsCompleteWithoutAlarm) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     (void)ctx.getpid();
     (void)ctx.gettime();
@@ -35,7 +34,8 @@ TEST(NVariantSystem, IdenticalGuestsCompleteWithoutAlarm) {
 }
 
 TEST(NVariantSystem, SyscallRoundsAreCounted) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     for (int i = 0; i < 5; ++i) (void)ctx.getpid();
     ctx.exit(0);
@@ -46,7 +46,8 @@ TEST(NVariantSystem, SyscallRoundsAreCounted) {
 }
 
 TEST(NVariantSystem, SharedFileReadIsReplicatedIdentically) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   ASSERT_TRUE(system.fs().write_file("/data.txt", "hello world", os::Credentials::root()));
   LambdaGuest guest([](guest::GuestContext& ctx) {
     auto content = ctx.read_file("/data.txt");
@@ -60,7 +61,8 @@ TEST(NVariantSystem, SharedFileReadIsReplicatedIdentically) {
 }
 
 TEST(NVariantSystem, SharedWritePerformedOnce) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     auto fd = ctx.open("/out.txt", os::OpenFlags::kWrite | os::OpenFlags::kCreate);
     ASSERT_TRUE(fd.has_value());
@@ -77,7 +79,8 @@ TEST(NVariantSystem, SharedWritePerformedOnce) {
 }
 
 TEST(NVariantSystem, DivergentSyscallNumbersRaiseAlarm) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     if (ctx.variant() == 0) {
       (void)ctx.getpid();
@@ -93,7 +96,8 @@ TEST(NVariantSystem, DivergentSyscallNumbersRaiseAlarm) {
 }
 
 TEST(NVariantSystem, DivergentWritePayloadsRaiseAlarm) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     auto fd = ctx.open("/log", os::OpenFlags::kWrite | os::OpenFlags::kCreate);
     ASSERT_TRUE(fd.has_value());
@@ -107,7 +111,8 @@ TEST(NVariantSystem, DivergentWritePayloadsRaiseAlarm) {
 }
 
 TEST(NVariantSystem, MemoryFaultInOneVariantRaisesAlarm) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     (void)ctx.getpid();  // one clean rendezvous first
     if (ctx.variant() == 1) {
@@ -124,7 +129,8 @@ TEST(NVariantSystem, MemoryFaultInOneVariantRaisesAlarm) {
 }
 
 TEST(NVariantSystem, ExitCodeDivergenceDetected) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) { ctx.exit(ctx.variant() == 0 ? 0 : 1); });
   const auto report = guest::run_nvariant(system, guest);
   EXPECT_TRUE(report.attack_detected);
@@ -133,7 +139,8 @@ TEST(NVariantSystem, ExitCodeDivergenceDetected) {
 }
 
 TEST(NVariantSystem, VariantThatStopsMakingSyscallsTimesOut) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     if (ctx.variant() == 0) {
       (void)ctx.getpid();
@@ -154,13 +161,13 @@ TEST(NVariantSystem, VariantThatStopsMakingSyscallsTimesOut) {
 }
 
 TEST(NVariantSystem, UnsharedFilesOpenVariantCopies) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system({}, {"/etc/secret"});
+  auto& system = *system_owner;
   const auto root = os::Credentials::root();
   ASSERT_TRUE(system.fs().mkdir_p("/etc", root));
   ASSERT_TRUE(system.fs().write_file("/etc/secret", "canonical", root));
   ASSERT_TRUE(system.fs().write_file("/etc/secret-0", "copy zero", root));
   ASSERT_TRUE(system.fs().write_file("/etc/secret-1", "copy one", root));
-  system.mark_unshared("/etc/secret");
   LambdaGuest guest([](guest::GuestContext& ctx) {
     auto content = ctx.read_file("/etc/secret");
     ASSERT_TRUE(content.has_value());
@@ -178,12 +185,12 @@ TEST(NVariantSystem, UnsharedFilesOpenVariantCopies) {
 }
 
 TEST(NVariantSystem, UnsharedWritesLandInVariantCopies) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system({}, {"/etc/state"});
+  auto& system = *system_owner;
   const auto root = os::Credentials::root();
   ASSERT_TRUE(system.fs().mkdir_p("/etc", root));
   ASSERT_TRUE(system.fs().write_file("/etc/state-0", "", root));
   ASSERT_TRUE(system.fs().write_file("/etc/state-1", "", root));
-  system.mark_unshared("/etc/state");
   LambdaGuest guest([](guest::GuestContext& ctx) {
     auto fd = ctx.open("/etc/state", os::OpenFlags::kWrite);
     ASSERT_TRUE(fd.has_value());
@@ -199,7 +206,8 @@ TEST(NVariantSystem, UnsharedWritesLandInVariantCopies) {
 }
 
 TEST(NVariantSystem, CondChkDivergenceRaisesConditionAlarm) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     (void)ctx.cond_chk(ctx.variant() == 0);
     ctx.exit(0);
@@ -211,7 +219,8 @@ TEST(NVariantSystem, CondChkDivergenceRaisesConditionAlarm) {
 }
 
 TEST(NVariantSystem, CondChkAgreementPasses) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     EXPECT_TRUE(ctx.cond_chk(true));
     EXPECT_FALSE(ctx.cond_chk(false));
@@ -222,9 +231,8 @@ TEST(NVariantSystem, CondChkAgreementPasses) {
 }
 
 TEST(NVariantSystem, ThreeVariantsRunInLockstep) {
-  NVariantOptions options = fast_options();
-  options.n_variants = 3;
-  NVariantSystem system(options);
+  const auto system_owner = fast_system({}, {}, 3);
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     for (int i = 0; i < 3; ++i) (void)ctx.gettime();
     ctx.exit(0);
@@ -235,7 +243,8 @@ TEST(NVariantSystem, ThreeVariantsRunInLockstep) {
 }
 
 TEST(NVariantSystem, CredentialChangesStayEquivalentAcrossVariants) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     EXPECT_EQ(ctx.seteuid(1000), os::Errno::kOk);
     EXPECT_EQ(ctx.geteuid(), 1000u);
@@ -248,8 +257,8 @@ TEST(NVariantSystem, CredentialChangesStayEquivalentAcrossVariants) {
 }
 
 TEST(NVariantSystem, AddressPartitioningGivesDisjointBases) {
-  NVariantSystem system(fast_options());
-  system.add_variation(std::make_shared<variants::AddressPartitioning>());
+  const auto system_owner = fast_system({"address-partitioning"});
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     const std::uint64_t addr = ctx.alloc(64);
     if (ctx.variant() == 0) {
@@ -267,8 +276,8 @@ TEST(NVariantSystem, AddressPartitioningGivesDisjointBases) {
 }
 
 TEST(NVariantSystem, InjectedAbsoluteAddressFaultsInOneVariant) {
-  NVariantSystem system(fast_options());
-  system.add_variation(std::make_shared<variants::AddressPartitioning>());
+  const auto system_owner = fast_system({"address-partitioning"});
+  auto& system = *system_owner;
   // The "attacker" injects a concrete pointer that is valid for variant 0
   // only; dereferencing it faults in variant 1 (Figure 1's argument).
   LambdaGuest guest([](guest::GuestContext& ctx) {
@@ -284,7 +293,8 @@ TEST(NVariantSystem, InjectedAbsoluteAddressFaultsInOneVariant) {
 }
 
 TEST(NVariantSystem, ServerModeStopsCleanly) {
-  NVariantSystem system(fast_options());
+  const auto system_owner = fast_system();
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     auto sock = ctx.socket();
     ASSERT_TRUE(sock.has_value());

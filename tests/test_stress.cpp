@@ -10,33 +10,28 @@
 #include "httpd/mini_httpd.h"
 #include "test_helpers.h"
 #include "util/rng.h"
-#include "variants/uid_variation.h"
 
 namespace nv {
 namespace {
 
-using core::NVariantOptions;
 using core::NVariantSystem;
 using testing::LambdaGuest;
 
-NVariantOptions stress_options() {
-  NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(5000);
-  return options;
+std::unique_ptr<NVariantSystem> stress_system(
+    std::initializer_list<std::string_view> variation_names = {}, unsigned n_variants = 2) {
+  return testing::build_system(std::chrono::milliseconds(5000), n_variants, variation_names);
 }
 
 class VariantCount : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(VariantCount, RandomizedSyscallSequenceStaysInLockstep) {
-  NVariantOptions options = stress_options();
-  options.n_variants = GetParam();
-  NVariantSystem system(options);
+  const auto system_owner = stress_system({"uid-xor"}, GetParam());
+  auto& system = *system_owner;
   const auto root = os::Credentials::root();
   ASSERT_TRUE(system.fs().mkdir_p("/etc", root));
   ASSERT_TRUE(system.fs().mkdir_p("/work", root));
   ASSERT_TRUE(system.fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n", root));
   ASSERT_TRUE(system.fs().write_file("/etc/group", "root:x:0:\n", root));
-  system.add_variation(std::make_shared<variants::UidVariation>());
 
   LambdaGuest guest([](guest::GuestContext& ctx) {
     // Deterministic per-guest RNG: every variant draws the SAME sequence, so
@@ -88,7 +83,8 @@ TEST_P(VariantCount, RandomizedSyscallSequenceStaysInLockstep) {
 INSTANTIATE_TEST_SUITE_P(Variants, VariantCount, ::testing::Values(2u, 3u, 4u));
 
 TEST(Stress, FdTableChurnStaysSynchronized) {
-  NVariantSystem system(stress_options());
+  const auto system_owner = stress_system();
+  auto& system = *system_owner;
   const auto root = os::Credentials::root();
   ASSERT_TRUE(system.fs().mkdir_p("/churn", root));
   LambdaGuest guest([](guest::GuestContext& ctx) {
@@ -115,11 +111,11 @@ TEST(Stress, FdTableChurnStaysSynchronized) {
 }
 
 TEST(Stress, HttpdSoakFiftyRequests) {
-  NVariantSystem system(stress_options());
+  const auto system_owner = stress_system({"uid-xor"});
+  auto& system = *system_owner;
   httpd::ServerConfig config;
   config.max_requests = 50;
   httpd::install_default_site(system.fs(), config);
-  system.add_variation(std::make_shared<variants::UidVariation>());
   httpd::MiniHttpd server;
   guest::launch_nvariant(system, server);
   while (!system.hub().is_bound(8080)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -138,11 +134,11 @@ TEST(Stress, HttpdSoakFiftyRequests) {
 }
 
 TEST(Stress, ConcurrentClientsAgainstSequentialServer) {
-  NVariantSystem system(stress_options());
+  const auto system_owner = stress_system({"uid-xor"});
+  auto& system = *system_owner;
   httpd::ServerConfig config;
   config.max_requests = 30;
   httpd::install_default_site(system.fs(), config);
-  system.add_variation(std::make_shared<variants::UidVariation>());
   httpd::MiniHttpd server;
   guest::launch_nvariant(system, server);
   while (!system.hub().is_bound(8080)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -167,13 +163,12 @@ TEST(Stress, ComputeHeavyGuestBetweenSyscalls) {
   // Long CPU bursts between rendezvous (fib via mini-C would be slow; plain
   // C++ loop here) must not trip the arrival timeout as long as both
   // variants keep making progress.
-  NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(2000);
-  NVariantSystem system(options);
+  const auto system_owner = testing::build_system(std::chrono::milliseconds(2000));
+  auto& system = *system_owner;
   LambdaGuest guest([](guest::GuestContext& ctx) {
     volatile std::uint64_t sink = 0;
     for (int burst = 0; burst < 5; ++burst) {
-      for (std::uint64_t i = 0; i < 2'000'000; ++i) sink += i;
+      for (std::uint64_t i = 0; i < 2'000'000; ++i) sink = sink + i;
       (void)ctx.getpid();
     }
     ctx.exit(0);
@@ -183,12 +178,12 @@ TEST(Stress, ComputeHeavyGuestBetweenSyscalls) {
 }
 
 TEST(Stress, RepeatedRunsOnOneSystem) {
-  NVariantSystem system(stress_options());
+  const auto system_owner = stress_system({"uid-xor"});
+  auto& system = *system_owner;
   const auto root = os::Credentials::root();
   ASSERT_TRUE(system.fs().mkdir_p("/etc", root));
   ASSERT_TRUE(system.fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n", root));
   ASSERT_TRUE(system.fs().write_file("/etc/group", "root:x:0:\n", root));
-  system.add_variation(std::make_shared<variants::UidVariation>());
   for (int round = 0; round < 10; ++round) {
     LambdaGuest guest([round](guest::GuestContext& ctx) {
       EXPECT_EQ(ctx.seteuid(ctx.uid_const(static_cast<os::uid_t>(100 + round))), os::Errno::kOk);

@@ -12,19 +12,13 @@
 namespace nv {
 namespace {
 
-using core::NVariantOptions;
 using core::NVariantSystem;
 using testing::LambdaGuest;
 using variants::UidVariation;
 
-NVariantOptions fast_options() {
-  NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(500);
-  return options;
-}
-
-std::unique_ptr<NVariantSystem> make_uid_system() {
-  auto system = std::make_unique<NVariantSystem>(fast_options());
+std::unique_ptr<NVariantSystem> make_uid_system(unsigned n_variants = 2) {
+  auto system =
+      testing::build_system(std::chrono::milliseconds(500), n_variants, {"uid-xor"});
   EXPECT_TRUE(system->fs().mkdir_p("/etc", os::Credentials::root()));
   EXPECT_TRUE(system->fs().write_file("/etc/passwd",
                                       "root:x:0:0:root:/root:/bin/sh\n"
@@ -33,7 +27,6 @@ std::unique_ptr<NVariantSystem> make_uid_system() {
                                       os::Credentials::root()));
   EXPECT_TRUE(system->fs().write_file("/etc/group", "root:x:0:\nwww:x:33:\n",
                                       os::Credentials::root()));
-  system->add_variation(std::make_shared<UidVariation>());
   return system;
 }
 
@@ -200,15 +193,7 @@ TEST(UidVariation, ByteLevelOverwriteIsDetected) {
 }
 
 TEST(UidVariation, ThreeVariantConfigurationWorks) {
-  NVariantOptions options = fast_options();
-  options.n_variants = 3;
-  auto system = std::make_unique<NVariantSystem>(options);
-  EXPECT_TRUE(system->fs().mkdir_p("/etc", os::Credentials::root()));
-  EXPECT_TRUE(system->fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n",
-                                      os::Credentials::root()));
-  EXPECT_TRUE(
-      system->fs().write_file("/etc/group", "root:x:0:\n", os::Credentials::root()));
-  system->add_variation(std::make_shared<UidVariation>());
+  auto system = make_uid_system(3);
   LambdaGuest guest([](guest::GuestContext& ctx) {
     EXPECT_EQ(ctx.geteuid(), ctx.uid_const(0));
     EXPECT_EQ(ctx.seteuid(ctx.uid_const(7)), os::Errno::kOk);
@@ -222,13 +207,7 @@ TEST(UidVariation, ThreeVariantConfigurationWorks) {
     (void)ctx.uid_value(0);  // identical injected value across 3 variants
     ctx.exit(0);
   });
-  auto system2 = std::make_unique<NVariantSystem>(options);
-  EXPECT_TRUE(system2->fs().mkdir_p("/etc", os::Credentials::root()));
-  EXPECT_TRUE(system2->fs().write_file("/etc/passwd", "root:x:0:0:r:/:/bin/sh\n",
-                                       os::Credentials::root()));
-  EXPECT_TRUE(
-      system2->fs().write_file("/etc/group", "root:x:0:\n", os::Credentials::root()));
-  system2->add_variation(std::make_shared<UidVariation>());
+  auto system2 = make_uid_system(3);
   const auto report2 = guest::run_nvariant(*system2, attacked);
   EXPECT_TRUE(report2.attack_detected);
 }
