@@ -108,7 +108,8 @@ NVariantSystem::Builder::try_build() {
   auto composed = DiversitySuite::compose(options_.n_variants, std::move(all));
   if (!composed) return util::Unexpected{composed.error()};
 
-  auto system = std::make_unique<NVariantSystem>(options_);
+  // make_unique cannot reach the private constructor; Builder (a member) can.
+  auto system = std::unique_ptr<NVariantSystem>(new NVariantSystem(options_));
   for (const auto& variation : composed->variations()) {
     system->install_variation(variation);
   }
@@ -167,12 +168,6 @@ void NVariantSystem::install_unshared(std::string path) {
   if (sealed_) throw std::logic_error("sealed system: unshared paths are fixed at build time");
   unshared_.insert(vfs::normalize_path(std::move(path)));
 }
-
-void NVariantSystem::add_variation(VariationPtr variation) {
-  install_variation(std::move(variation));
-}
-
-void NVariantSystem::mark_unshared(std::string path) { install_unshared(std::move(path)); }
 
 void NVariantSystem::prepare() {
   configs_.clear();

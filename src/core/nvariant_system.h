@@ -15,8 +15,8 @@
 // a DiversitySuite is installed (with §2.3 pairwise disjointedness already
 // checked at compose time), and the resulting system is sealed — its policy
 // is immutable from the first launch on. The legacy mutate-then-run protocol
-// (default-construct, add_variation(), mark_unshared()) survives as thin
-// deprecated shims for incremental migration.
+// (default-construct, add_variation(), mark_unshared()) is gone: every
+// NVariantSystem is Builder-made and sealed.
 #ifndef NV_CORE_NVARIANT_SYSTEM_H
 #define NV_CORE_NVARIANT_SYSTEM_H
 
@@ -106,21 +106,10 @@ class NVariantSystem {
     bool n_variants_set_ = false;
   };
 
-  /// Legacy construction (pre-Builder). Prefer Builder: it validates options
-  /// and seals the system against post-construction policy mutation.
-  explicit NVariantSystem(NVariantOptions options = {});
   ~NVariantSystem();
 
   NVariantSystem(const NVariantSystem&) = delete;
   NVariantSystem& operator=(const NVariantSystem&) = delete;
-
-  /// Install a variation. Must be called before launch()/run().
-  [[deprecated("construct through NVariantSystem::Builder with a DiversitySuite")]]
-  void add_variation(VariationPtr variation);
-
-  /// Mark a path unshared even without a variation requesting it.
-  [[deprecated("use NVariantSystem::Builder::unshared()")]]
-  void mark_unshared(std::string path);
 
   [[nodiscard]] vfs::FileSystem& fs() noexcept { return fs_; }
   [[nodiscard]] vkernel::SocketHub& hub() noexcept { return hub_; }
@@ -148,6 +137,9 @@ class NVariantSystem {
 
  private:
   friend class Builder;
+
+  /// Builder-only construction; the public path is Builder::build().
+  explicit NVariantSystem(NVariantOptions options);
 
   void install_variation(VariationPtr variation);
   void install_unshared(std::string path);

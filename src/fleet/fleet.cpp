@@ -1,0 +1,228 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+#include "util/strings.h"
+#include "variants/registry.h"
+
+namespace nv::fleet {
+
+namespace {
+
+std::uint64_t resolve_seed(std::optional<std::uint64_t> requested) {
+  if (requested.has_value()) return *requested;
+  std::random_device entropy;
+  return (static_cast<std::uint64_t>(entropy()) << 32) | entropy();
+}
+
+}  // namespace
+
+unsigned VariantFleet::resolve_pool_size(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp(hw, 2U, 8U);
+}
+
+VariantFleet::VariantFleet(FleetConfig config)
+    : config_(std::move(config)),
+      pool_size_(resolve_pool_size(config_.pool_size)),
+      factory_(config_.spec, resolve_seed(config_.seed), variants::builtin_registry()),
+      telemetry_(pool_size_) {
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument("fleet queue capacity must be positive");
+  }
+  sessions_.reserve(pool_size_);
+  for (unsigned lane = 0; lane < pool_size_; ++lane) {
+    auto session = factory_.make_session();
+    if (!session) {
+      throw std::invalid_argument("fleet spec cannot produce a session: " + session.error());
+    }
+    sessions_.push_back(std::move(*session));
+  }
+  lane_dead_.assign(pool_size_, false);
+  workers_.reserve(pool_size_);
+  for (unsigned lane = 0; lane < pool_size_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+VariantFleet::~VariantFleet() { shutdown(); }
+
+std::future<JobOutcome> VariantFleet::submit(FleetJob job) {
+  std::unique_lock lock(queue_mutex_);
+  queue_not_full_.wait(lock,
+                       [this] { return queue_.size() < config_.queue_capacity || !accepting_; });
+  if (!accepting_) throw std::runtime_error("fleet is shut down");
+  PendingJob pending;
+  pending.id = next_job_id_++;
+  pending.fn = std::move(job);
+  auto future = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  telemetry_.note_submitted();
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+std::optional<std::future<JobOutcome>> VariantFleet::try_submit(FleetJob job) {
+  std::unique_lock lock(queue_mutex_);
+  if (!accepting_ || queue_.size() >= config_.queue_capacity) {
+    telemetry_.note_rejected();
+    return std::nullopt;
+  }
+  PendingJob pending;
+  pending.id = next_job_id_++;
+  pending.fn = std::move(job);
+  auto future = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  telemetry_.note_submitted();
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+void VariantFleet::shutdown() {
+  {
+    const std::scoped_lock lock(queue_mutex_);
+    accepting_ = false;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  workers_.clear();  // jthread joins; workers drain the queue first
+}
+
+std::size_t VariantFleet::queue_depth() const {
+  const std::scoped_lock lock(queue_mutex_);
+  return queue_.size();
+}
+
+std::vector<std::string> VariantFleet::live_fingerprints() const {
+  const std::scoped_lock lock(sessions_mutex_);
+  std::vector<std::string> fingerprints;
+  fingerprints.reserve(sessions_.size());
+  for (const auto& session : sessions_) fingerprints.push_back(session.fingerprint);
+  return fingerprints;
+}
+
+std::vector<QuarantineRecord> VariantFleet::quarantine_log() const {
+  const std::scoped_lock lock(quarantine_mutex_);
+  return quarantine_log_;
+}
+
+void VariantFleet::worker_loop(unsigned lane) {
+  for (;;) {
+    PendingJob job;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_not_empty_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
+      if (queue_.empty()) return;  // shutdown and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      queue_not_full_.notify_one();
+    }
+    run_job(lane, std::move(job));
+    // A lane whose respawn failed must retire instead of racing healthy
+    // lanes for queued jobs and insta-failing them.
+    {
+      const std::scoped_lock lock(sessions_mutex_);
+      if (lane_dead_[lane]) return;
+    }
+  }
+}
+
+void VariantFleet::run_job(unsigned lane, PendingJob job) {
+  JobOutcome outcome;
+  outcome.job_id = job.id;
+
+  core::NVariantSystem* system = nullptr;
+  {
+    const std::scoped_lock lock(sessions_mutex_);
+    if (!lane_dead_[lane]) {
+      outcome.session_id = sessions_[lane].id;
+      system = sessions_[lane].system.get();
+    }
+  }
+  if (system == nullptr) {
+    outcome.error = "worker lane lost its session (respawn failed earlier)";
+    telemetry_.note_job_error();
+    job.promise.set_value(std::move(outcome));
+    return;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    outcome.report = job.fn(*system);
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.error = "job raised a non-standard exception";
+  }
+  // A job that threw between launch() and stop() leaves variant threads
+  // live; harvest them before the session is reused or quarantined. Keep
+  // the harvested report even alongside an error: if the monitor tripped
+  // before the job threw, the quarantine record must retain the REAL alarm,
+  // not a synthesized guest-error.
+  if (system->running()) outcome.report = system->stop();
+  const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  outcome.latency = latency;
+
+  telemetry_.record_latency(lane, static_cast<double>(latency.count()));
+  telemetry_.add_syscall_rounds(outcome.report.syscall_rounds);
+  if (!outcome.error.empty()) {
+    telemetry_.note_job_error();
+  } else if (outcome.report.attack_detected) {
+    telemetry_.note_alarmed();
+  } else {
+    telemetry_.note_completed();
+  }
+  if (outcome.ok()) {
+    const std::scoped_lock lock(sessions_mutex_);
+    ++sessions_[lane].jobs_served;  // clean service only; see QuarantineRecord
+  } else {
+    respawn(lane, outcome);
+  }
+  job.promise.set_value(std::move(outcome));
+}
+
+void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
+  outcome.session_quarantined = true;
+  telemetry_.note_quarantined();
+
+  QuarantineRecord record;
+  {
+    const std::scoped_lock lock(sessions_mutex_);
+    record.session_id = sessions_[lane].id;
+    record.fingerprint = sessions_[lane].fingerprint;
+    record.jobs_served = sessions_[lane].jobs_served;
+  }
+  record.report = outcome.report;
+  if (outcome.report.alarm.has_value()) {
+    record.alarm = *outcome.report.alarm;
+  } else {
+    record.alarm = core::Alarm{core::AlarmKind::kGuestError, core::Alarm::kAllVariants,
+                               outcome.error.empty() ? "job failed without an alarm"
+                                                     : outcome.error};
+  }
+
+  auto replacement = factory_.make_session();
+  if (replacement) {
+    record.replacement_id = replacement->id;
+    record.replacement_fingerprint = replacement->fingerprint;
+    const std::scoped_lock lock(sessions_mutex_);
+    sessions_[lane] = std::move(*replacement);
+    telemetry_.note_respawned();
+  } else {
+    // Keep the poisoned session out of service rather than serving through
+    // a known-compromised reexpression; the lane reports errors from now on.
+    record.replacement_fingerprint = "(respawn failed: " + replacement.error() + ")";
+    const std::scoped_lock lock(sessions_mutex_);
+    lane_dead_[lane] = true;
+  }
+
+  const std::scoped_lock lock(quarantine_mutex_);
+  quarantine_log_.push_back(std::move(record));
+}
+
+}  // namespace nv::fleet

@@ -1,0 +1,155 @@
+// VariantFleet: many independent N-variant sessions served concurrently by a
+// fixed worker pool, kept alive through attacks.
+//
+// Production posture the single-system runtime lacked:
+//   - admission: a bounded job queue; submit() blocks for backpressure,
+//     try_submit() refuses instead (and the refusal is counted);
+//   - dispatch: each worker lane owns one session stamped out by the
+//     SessionFactory and runs queued jobs on it to completion;
+//   - recovery: a job that ends in a divergence alarm (or throws) poisons
+//     its session — the worker QUARANTINES it (retaining the Alarm, run
+//     report, and diversity fingerprint for forensics) and respawns a
+//     freshly re-diversified replacement from the factory, while every other
+//     lane keeps serving;
+//   - telemetry: FleetTelemetry aggregates per-lane counters and latency
+//     samples into fleet-wide percentiles.
+//
+// A job receives a session's sealed NVariantSystem and drives it however it
+// likes (run a guest to completion, or launch/drive/stop a server) and
+// returns the RunReport the fleet inspects for the attack verdict.
+#ifndef NV_FLEET_FLEET_H
+#define NV_FLEET_FLEET_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/nvariant_system.h"
+#include "fleet/session_factory.h"
+#include "fleet/telemetry.h"
+
+namespace nv::fleet {
+
+/// One unit of guest work: drive `system` to completion and report. Runs on
+/// a worker thread; the system is exclusively owned for the duration.
+using FleetJob = std::function<core::RunReport(core::NVariantSystem& system)>;
+
+/// What the submitter's future resolves to.
+struct JobOutcome {
+  std::uint64_t job_id = 0;
+  std::uint64_t session_id = 0;
+  core::RunReport report;
+  /// This job's alarm (or exception) sent its session to quarantine.
+  bool session_quarantined = false;
+  /// Non-empty when the job callable threw instead of reporting.
+  std::string error;
+  std::chrono::microseconds latency{0};
+
+  [[nodiscard]] bool ok() const noexcept {
+    return error.empty() && !report.attack_detected;
+  }
+};
+
+/// Forensic record of one quarantined session.
+struct QuarantineRecord {
+  std::uint64_t session_id = 0;
+  std::uint64_t replacement_id = 0;
+  std::string fingerprint;              // diversity identity the attacker faced
+  std::string replacement_fingerprint;  // what replaced it (re-diversified)
+  core::Alarm alarm;                    // first alarm (or kGuestError for throws)
+  core::RunReport report;               // the poisoned run's full report
+  std::uint64_t jobs_served = 0;        // CLEAN jobs served before the fatal one
+};
+
+struct FleetConfig {
+  SessionSpec spec;
+  /// Concurrent sessions == worker lanes. 0 = hardware_concurrency, clamped
+  /// to [2, 8] so a 1-core CI box still exercises concurrency.
+  unsigned pool_size = 0;
+  /// Bounded admission queue; submit() blocks when full (backpressure).
+  std::size_t queue_capacity = 64;
+  /// Seed for the per-session diversity draws. Unset (the default) draws a
+  /// fresh seed from std::random_device — a fixed default would make every
+  /// deployment's "random" reexpressions predictable to anyone running the
+  /// same binary. Set it explicitly only for reproducible tests/benches.
+  std::optional<std::uint64_t> seed;
+};
+
+class VariantFleet {
+ public:
+  /// Spawns the worker pool and stamps out the initial sessions; throws
+  /// std::invalid_argument when the spec cannot produce a valid session.
+  explicit VariantFleet(FleetConfig config);
+  /// Drains the queue and joins the pool (shutdown()).
+  ~VariantFleet();
+
+  VariantFleet(const VariantFleet&) = delete;
+  VariantFleet& operator=(const VariantFleet&) = delete;
+
+  /// Enqueue a job; BLOCKS while the queue is at capacity (backpressure).
+  /// Throws std::runtime_error after shutdown().
+  [[nodiscard]] std::future<JobOutcome> submit(FleetJob job);
+
+  /// Non-blocking admission: nullopt when the queue is full or the fleet is
+  /// shutting down. The refusal is counted as telemetry.jobs_rejected.
+  [[nodiscard]] std::optional<std::future<JobOutcome>> try_submit(FleetJob job);
+
+  /// Stop admitting, run everything already queued, join the pool.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] FleetTelemetry& telemetry() noexcept { return telemetry_; }
+  [[nodiscard]] const FleetTelemetry& telemetry() const noexcept { return telemetry_; }
+  [[nodiscard]] std::vector<QuarantineRecord> quarantine_log() const;
+  [[nodiscard]] unsigned pool_size() const noexcept { return pool_size_; }
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Diversity fingerprints of the sessions currently installed in each lane.
+  [[nodiscard]] std::vector<std::string> live_fingerprints() const;
+
+ private:
+  struct PendingJob {
+    std::uint64_t id = 0;
+    FleetJob fn;
+    std::promise<JobOutcome> promise;
+  };
+
+  void worker_loop(unsigned lane);
+  void run_job(unsigned lane, PendingJob job);
+  /// Replace lane's session after quarantine; on persistent factory failure
+  /// the lane keeps the poisoned session out of service and reports errors.
+  void respawn(unsigned lane, JobOutcome& outcome);
+
+  [[nodiscard]] static unsigned resolve_pool_size(unsigned requested);
+
+  FleetConfig config_;
+  unsigned pool_size_;
+  SessionFactory factory_;
+  FleetTelemetry telemetry_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<PendingJob> queue_;
+  bool accepting_ = true;
+  std::uint64_t next_job_id_ = 0;
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<Session> sessions_;  // one per lane
+  std::vector<bool> lane_dead_;    // respawn failed; lane refuses jobs
+
+  mutable std::mutex quarantine_mutex_;
+  std::vector<QuarantineRecord> quarantine_log_;
+
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace nv::fleet
+
+#endif  // NV_FLEET_FLEET_H

@@ -1,0 +1,125 @@
+#include "fleet/session_factory.h"
+
+#include <utility>
+
+#include "core/diversity_suite.h"
+#include "util/strings.h"
+
+namespace nv::fleet {
+
+namespace {
+
+/// A randomized parameter set for one variation kind, plus its record.
+struct Draw {
+  core::VariationParams params;
+  std::map<std::string, std::uint64_t> recorded;  // param name -> value
+};
+
+Draw draw_params(const std::string& name, unsigned n_variants, util::Rng& rng) {
+  Draw draw;
+  if (name == "uid-xor" || name == "uid-variation") {
+    // Bit 30 set keeps every shifted per-variant mask (mask >> (i-1))
+    // non-zero and pairwise distinct; the high bit stays clear so sentinel
+    // UIDs ((uid_t)-1) keep their special meaning (§3.2).
+    const std::uint64_t mask = 0x40000000ULL | (rng.next_u64() & 0x3FFFFFFFULL);
+    draw.params.set("mask", mask);
+    draw.recorded["mask"] = mask;
+  } else if (name == "extended-address-partitioning") {
+    const std::uint64_t seed = rng.next_u64();
+    draw.params.set("seed", seed);
+    draw.recorded["seed"] = seed;
+  } else if (name == "address-partitioning") {
+    // Random multiple of 256 MiB in [1 GiB, 5 GiB): far larger than any
+    // variant's data segment, so partitions never overlap.
+    const std::uint64_t stride = (4 + rng.below(16)) * 0x10000000ULL;
+    draw.params.set("stride", stride);
+    draw.recorded["stride"] = stride;
+  } else if (name == "instruction-tagging") {
+    // tag_for(variant) = base + variant must stay within one byte: draw the
+    // base so the highest variant's tag cannot wrap.
+    const std::uint64_t ceiling = 0xFFULL - (n_variants - 1);
+    const std::uint64_t base_tag = 1 + rng.below(ceiling);
+    draw.params.set("base-tag", base_tag);
+    draw.recorded["base-tag"] = base_tag;
+  }
+  // Unknown / parameterless variations (stack-reversal, downstream
+  // registrations): registry defaults.
+  return draw;
+}
+
+}  // namespace
+
+SessionFactory::SessionFactory(SessionSpec spec, std::uint64_t seed,
+                               const core::VariationRegistry& registry)
+    : spec_(std::move(spec)), registry_(registry), rng_(seed) {}
+
+std::uint64_t SessionFactory::sessions_created() const {
+  const std::scoped_lock lock(mutex_);
+  return next_id_;
+}
+
+util::Expected<Session, std::string> SessionFactory::make_session() {
+  const std::scoped_lock lock(mutex_);
+  // Random draws can, in principle, collide into a disjointedness violation
+  // (two variations landing on the same reexpression); re-draw a few times
+  // before giving up so one unlucky draw does not kill a respawn. Every
+  // other error (unknown name, parameter rejection, builder validation) is
+  // systematic — redrawing cannot help and would only advance the RNG.
+  std::string last_error;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto session = try_make_locked();
+    if (session) return session;
+    last_error = session.error();
+    if (!spec_.randomize || last_error.find("disjointedness") == std::string::npos) {
+      return util::Unexpected{std::move(last_error)};
+    }
+  }
+  return util::Unexpected{"session factory exhausted redraws: " + last_error};
+}
+
+util::Expected<Session, std::string> SessionFactory::try_make_locked() {
+  Session session;
+  std::vector<core::VariationPtr> variations;
+  std::string fingerprint;
+  for (const auto& name : spec_.variations) {
+    Draw draw = spec_.randomize ? draw_params(name, spec_.n_variants, rng_)
+                                : Draw{};
+    auto variation = registry_.make(name, draw.params);
+    if (!variation) return util::Unexpected{variation.error()};
+    variations.push_back(std::move(*variation));
+
+    if (!fingerprint.empty()) fingerprint += " + ";
+    fingerprint += name;
+    if (!draw.recorded.empty()) {
+      fingerprint += "{";
+      bool first = true;
+      for (const auto& [param, value] : draw.recorded) {
+        if (!first) fingerprint += ",";
+        first = false;
+        fingerprint += util::format("%s=0x%llx", param.c_str(),
+                                    static_cast<unsigned long long>(value));
+        session.drawn_params[name + "." + param] = value;
+      }
+      fingerprint += "}";
+    }
+  }
+  if (fingerprint.empty()) fingerprint = "identical";
+
+  auto suite = core::DiversitySuite::compose(spec_.n_variants, std::move(variations));
+  if (!suite) return util::Unexpected{suite.error()};
+
+  core::NVariantSystem::Builder builder;
+  builder.suite(std::move(*suite)).rendezvous_timeout(spec_.rendezvous_timeout);
+  for (const auto& path : spec_.unshared) builder.unshared(path);
+  auto system = builder.try_build();
+  if (!system) return util::Unexpected{system.error()};
+
+  session.id = next_id_++;
+  session.system = std::move(*system);
+  session.fingerprint = util::format("session-%llu[%s]",
+                                     static_cast<unsigned long long>(session.id),
+                                     fingerprint.c_str());
+  return session;
+}
+
+}  // namespace nv::fleet

@@ -1,0 +1,93 @@
+// Stamps out sealed NVariantSystems for the fleet, drawing FRESH random
+// diversity parameters for every session from a seeded generator — the
+// dynamic re-diversification the diversity surveys call for (Zhang et al.):
+// no two sessions share a reexpression, and a quarantined session's
+// replacement is diversified differently from the instance the attacker just
+// probed.
+//
+// Parameter draws are per-variation-kind:
+//   uid-xor / uid-variation         mask: bit 30 set, high bit clear, so the
+//                                   per-variant shifted masks stay pairwise
+//                                   distinct and non-zero for any N <= 31
+//   extended-address-partitioning   seed: full 64-bit draw (page-aligned
+//                                   per-variant offsets follow from it)
+//   address-partitioning            stride: random multiple of 256 MiB
+//   instruction-tagging             base-tag: uniform in [1, 0xFF-(N-1)] so
+//                                   tag_for(variant) never wraps
+//   anything else                   registry defaults (no parameters drawn)
+//
+// Every draw is recorded in the session's fingerprint so forensics can tie a
+// quarantine record to the concrete reexpression the attacker faced, and so
+// tests can prove a respawned session differs from its predecessor.
+#ifndef NV_FLEET_SESSION_FACTORY_H
+#define NV_FLEET_SESSION_FACTORY_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/nvariant_system.h"
+#include "core/variation_registry.h"
+#include "util/expected.h"
+#include "util/rng.h"
+
+namespace nv::fleet {
+
+/// What every session in the fleet is made of: the DiversitySuite recipe by
+/// registry name plus the MVEE options shared across sessions.
+struct SessionSpec {
+  unsigned n_variants = 2;
+  std::vector<std::string> variations = {"uid-xor"};
+  std::chrono::milliseconds rendezvous_timeout{2000};
+  std::vector<std::string> unshared;
+  /// Draw fresh random parameters per session (the fleet posture). When
+  /// false every session uses the registry defaults — useful for
+  /// deterministic benches and for measuring the value of re-diversification.
+  bool randomize = true;
+};
+
+/// One stamped-out session: a sealed system plus the record of which
+/// diversity parameters it drew.
+struct Session {
+  std::uint64_t id = 0;
+  std::unique_ptr<core::NVariantSystem> system;
+  /// "uid-xor{mask=0x5f3a91c2} + instruction-tagging{base-tag=0x4e}" — the
+  /// concrete reexpression identity of this session, for logs and forensics.
+  std::string fingerprint;
+  /// Raw draws, keyed "variation.param" (e.g. "uid-xor.mask").
+  std::map<std::string, std::uint64_t> drawn_params;
+  /// Jobs this session has served so far (maintained by the fleet).
+  std::uint64_t jobs_served = 0;
+};
+
+class SessionFactory {
+ public:
+  /// `registry` must outlive the factory (the builtin registry does).
+  SessionFactory(SessionSpec spec, std::uint64_t seed,
+                 const core::VariationRegistry& registry);
+
+  /// Build one freshly diversified, sealed session. Thread-safe. Errors are
+  /// expected failure paths: unknown variation names, parameter rejections,
+  /// or a disjointedness violation the (bounded) re-draw loop cannot escape.
+  [[nodiscard]] util::Expected<Session, std::string> make_session();
+
+  [[nodiscard]] const SessionSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t sessions_created() const;
+
+ private:
+  [[nodiscard]] util::Expected<Session, std::string> try_make_locked();
+
+  SessionSpec spec_;
+  const core::VariationRegistry& registry_;
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace nv::fleet
+
+#endif  // NV_FLEET_SESSION_FACTORY_H

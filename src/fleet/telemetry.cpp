@@ -1,0 +1,60 @@
+#include "fleet/telemetry.h"
+
+#include "util/strings.h"
+
+namespace nv::fleet {
+
+FleetTelemetry::FleetTelemetry(unsigned lanes) {
+  lanes_.reserve(lanes == 0 ? 1 : lanes);
+  for (unsigned i = 0; i < (lanes == 0 ? 1 : lanes); ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+void FleetTelemetry::record_latency(unsigned lane, double latency_us) {
+  Lane& target = *lanes_[lane % lanes_.size()];
+  const std::scoped_lock lock(target.mutex);
+  target.latencies_us.add(latency_us);
+}
+
+FleetSnapshot FleetTelemetry::snapshot() const {
+  FleetSnapshot snap;
+  snap.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  snap.jobs_rejected = jobs_rejected_.load(std::memory_order_relaxed);
+  snap.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  snap.jobs_alarmed = jobs_alarmed_.load(std::memory_order_relaxed);
+  snap.job_errors = job_errors_.load(std::memory_order_relaxed);
+  snap.sessions_quarantined = sessions_quarantined_.load(std::memory_order_relaxed);
+  snap.sessions_respawned = sessions_respawned_.load(std::memory_order_relaxed);
+  snap.syscall_rounds = syscall_rounds_.load(std::memory_order_relaxed);
+
+  util::Samples merged;
+  for (const auto& lane : lanes_) {
+    const std::scoped_lock lock(lane->mutex);
+    merged.merge(lane->latencies_us);
+  }
+  snap.latency_count = merged.count();
+  snap.latency_mean_us = merged.mean();
+  snap.latency_p50_us = merged.percentile(50.0);
+  snap.latency_p95_us = merged.percentile(95.0);
+  snap.latency_p99_us = merged.percentile(99.0);
+  return snap;
+}
+
+std::string FleetSnapshot::describe() const {
+  return util::format(
+      "jobs: %llu submitted, %llu completed, %llu alarmed, %llu errored, %llu rejected | "
+      "sessions: %llu quarantined, %llu respawned | %llu syscall rounds | "
+      "latency us: p50 %.0f, p95 %.0f, p99 %.0f (n=%zu)",
+      static_cast<unsigned long long>(jobs_submitted),
+      static_cast<unsigned long long>(jobs_completed),
+      static_cast<unsigned long long>(jobs_alarmed),
+      static_cast<unsigned long long>(job_errors),
+      static_cast<unsigned long long>(jobs_rejected),
+      static_cast<unsigned long long>(sessions_quarantined),
+      static_cast<unsigned long long>(sessions_respawned),
+      static_cast<unsigned long long>(syscall_rounds), latency_p50_us, latency_p95_us,
+      latency_p99_us, latency_count);
+}
+
+}  // namespace nv::fleet

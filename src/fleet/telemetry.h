@@ -1,0 +1,90 @@
+// Fleet-wide observability: every worker lane records into its own
+// low-contention collector (counters are shared atomics; latency samples are
+// per-lane under a per-lane lock), and snapshot() folds the lanes into one
+// fleet view — counts, rates, and latency percentiles via
+// util::Samples::merge().
+//
+// This is the population-level measurement the diversity literature asks for
+// (Chen et al.: quantify effectiveness across many diversified instances,
+// not one): attacks detected, sessions quarantined and re-diversified, and
+// the latency the surviving sessions kept delivering while that happened.
+#ifndef NV_FLEET_TELEMETRY_H
+#define NV_FLEET_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace nv::fleet {
+
+/// One coherent view of the fleet's counters and latency distribution.
+struct FleetSnapshot {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_rejected = 0;   // backpressure refusals (try_submit on a full queue)
+  std::uint64_t jobs_completed = 0;  // finished cleanly, no alarm
+  std::uint64_t jobs_alarmed = 0;    // finished with a divergence alarm
+  std::uint64_t job_errors = 0;      // the job callable itself threw
+  std::uint64_t sessions_quarantined = 0;
+  std::uint64_t sessions_respawned = 0;
+  std::uint64_t syscall_rounds = 0;  // rendezvous rounds across all sessions
+
+  std::size_t latency_count = 0;  // completed-job latencies sampled
+  double latency_mean_us = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+class FleetTelemetry {
+ public:
+  explicit FleetTelemetry(unsigned lanes);
+
+  // Counter events (thread-safe, relaxed atomics).
+  void note_submitted() noexcept { jobs_submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void note_rejected() noexcept { jobs_rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void note_completed() noexcept { jobs_completed_.fetch_add(1, std::memory_order_relaxed); }
+  void note_alarmed() noexcept { jobs_alarmed_.fetch_add(1, std::memory_order_relaxed); }
+  void note_job_error() noexcept { job_errors_.fetch_add(1, std::memory_order_relaxed); }
+  void note_quarantined() noexcept {
+    sessions_quarantined_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_respawned() noexcept { sessions_respawned_.fetch_add(1, std::memory_order_relaxed); }
+  void add_syscall_rounds(std::uint64_t rounds) noexcept {
+    syscall_rounds_.fetch_add(rounds, std::memory_order_relaxed);
+  }
+
+  /// Record one job's end-to-end latency into `lane`'s collector.
+  void record_latency(unsigned lane, double latency_us);
+
+  /// Fold every lane's samples (merge()) plus the counters into one view.
+  [[nodiscard]] FleetSnapshot snapshot() const;
+
+  [[nodiscard]] unsigned lanes() const noexcept { return static_cast<unsigned>(lanes_.size()); }
+
+ private:
+  struct Lane {
+    mutable std::mutex mutex;
+    util::Samples latencies_us;
+  };
+
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_rejected_{0};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> jobs_alarmed_{0};
+  std::atomic<std::uint64_t> job_errors_{0};
+  std::atomic<std::uint64_t> sessions_quarantined_{0};
+  std::atomic<std::uint64_t> sessions_respawned_{0};
+  std::atomic<std::uint64_t> syscall_rounds_{0};
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace nv::fleet
+
+#endif  // NV_FLEET_TELEMETRY_H

@@ -214,28 +214,18 @@ TEST(Builder, ValidatesAdHocVariationsAtBuildTime) {
   EXPECT_NE(result.error().find("disjointedness"), std::string::npos);
 }
 
-TEST(Builder, SealedSystemRejectsPolicyMutation) {
-  const auto system = NVariantSystem::Builder().build();
-  ASSERT_TRUE(system->sealed());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_THROW(system->add_variation(*registry().make("uid-xor")), std::logic_error);
-  EXPECT_THROW(system->mark_unshared("/etc/late"), std::logic_error);
-#pragma GCC diagnostic pop
-}
-
-TEST(Builder, LegacyShimStillConfiguresAnUnsealedSystem) {
-  // Deprecated mutate-then-run protocol: kept as a migration bridge.
-  core::NVariantOptions options;
-  options.rendezvous_timeout = std::chrono::milliseconds(500);
-  NVariantSystem system(options);
-  EXPECT_FALSE(system.sealed());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  system.add_variation(*registry().make("uid-xor"));
-  system.mark_unshared("/etc/extra");
-#pragma GCC diagnostic pop
-  EXPECT_EQ(system.variations().size(), 1u);
+TEST(Builder, EverySystemIsSealed) {
+  // The legacy mutate-then-run protocol (add_variation/mark_unshared on a
+  // default-constructed system) is gone: construction goes through the
+  // Builder only, and the result is always sealed against policy mutation.
+  const auto bare = NVariantSystem::Builder().build();
+  EXPECT_TRUE(bare->sealed());
+  const auto configured = NVariantSystem::Builder()
+                              .variation(*registry().make("uid-xor"))
+                              .unshared("/etc/extra")
+                              .build();
+  EXPECT_TRUE(configured->sealed());
+  EXPECT_EQ(configured->variations().size(), 1u);
 }
 
 TEST(Builder, ThreeVariantSuiteRunsEndToEnd) {

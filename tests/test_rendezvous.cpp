@@ -1,6 +1,8 @@
 // Rendezvous barrier semantics and the monitor's alarm bookkeeping.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
 #include <thread>
 
 #include "core/monitor.h"
@@ -87,6 +89,76 @@ TEST(Rendezvous, TimeoutWhenPeerNeverArrives) {
     FAIL() << "expected timeout abort";
   } catch (const DivergenceAbort& abort) {
     EXPECT_EQ(abort.alarm.kind, AlarmKind::kRendezvousTimeout);
+  }
+}
+
+TEST(Rendezvous, TimeoutAbortsEveryWaiterWhenOnePeerStalls) {
+  // 3-variant barrier, two arrive, the third never does: BOTH waiters must
+  // unwind with the rendezvous-timeout alarm — no waiter may hang on the
+  // other's abort.
+  SyscallRendezvous rdv(3, std::chrono::milliseconds(50));
+  rdv.set_leader([](const std::vector<SyscallArgs>&) { return std::vector<SyscallResult>(3); });
+  std::atomic<int> aborts{0};
+  auto worker = [&](unsigned v) {
+    try {
+      (void)rdv.exchange(v, call(Sys::kGetpid));
+      FAIL() << "variant " << v << " expected a timeout abort";
+    } catch (const DivergenceAbort& abort) {
+      EXPECT_EQ(abort.alarm.kind, AlarmKind::kRendezvousTimeout);
+      ++aborts;
+    }
+  };
+  std::thread t0(worker, 0);
+  std::thread t1(worker, 1);
+  t0.join();
+  t1.join();
+  EXPECT_EQ(aborts.load(), 2);
+  EXPECT_TRUE(rdv.aborted());
+}
+
+TEST(Rendezvous, AbortWhileLeaderMidExecuteWakesEveryone) {
+  // The leader runs the real syscall with the lock released (it may block in
+  // accept indefinitely). An abort() during that window must unwind both the
+  // leader (when its work returns) and the follower (immediately) — and the
+  // follower's arrival timeout must NOT fire while the leader executes.
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(50));
+  std::promise<void> entered_execute;
+  std::promise<void> release_leader;
+  auto released = release_leader.get_future().share();
+  rdv.set_leader([&](const std::vector<SyscallArgs>&) {
+    entered_execute.set_value();
+    released.wait();  // simulate a long-blocking real syscall
+    return std::vector<SyscallResult>(2);
+  });
+  std::atomic<int> aborts{0};
+  auto worker = [&](unsigned v) {
+    try {
+      (void)rdv.exchange(v, call(Sys::kGetpid));
+      FAIL() << "variant " << v << " expected DivergenceAbort";
+    } catch (const DivergenceAbort& abort) {
+      EXPECT_EQ(abort.alarm.kind, AlarmKind::kMemoryFault);
+      ++aborts;
+    }
+  };
+  std::thread t0(worker, 0);
+  std::thread t1(worker, 1);
+  entered_execute.get_future().wait();
+  // Hold the leader mid-execute well past the arrival timeout: the follower
+  // must keep waiting (execute may legitimately block), not raise a timeout.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  rdv.abort(Alarm{AlarmKind::kMemoryFault, 0, "fault injected mid-execute"});
+  release_leader.set_value();
+  t0.join();
+  t1.join();
+  EXPECT_EQ(aborts.load(), 2);
+
+  // Exchange-after-abort: the barrier stays poisoned; later arrivals unwind
+  // immediately instead of waiting for peers that will never come.
+  try {
+    (void)rdv.exchange(0, call(Sys::kGetpid));
+    FAIL() << "expected immediate DivergenceAbort after abort";
+  } catch (const DivergenceAbort& abort) {
+    EXPECT_EQ(abort.alarm.kind, AlarmKind::kMemoryFault);
   }
 }
 

@@ -104,6 +104,67 @@ TEST(Samples, PercentilesInterpolate) {
   EXPECT_NEAR(s.percentile(99), 99.01, 0.2);
 }
 
+TEST(Samples, PercentileEdgeCases) {
+  Samples empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+
+  Samples one;
+  one.add(7.5);
+  EXPECT_DOUBLE_EQ(one.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(one.percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(one.percentile(100), 7.5);
+}
+
+TEST(Samples, MergeEqualsConcatenation) {
+  Samples a;
+  Samples b;
+  Samples all;
+  for (int i = 1; i <= 50; ++i) {
+    a.add(i);
+    all.add(i);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    b.add(i);
+    all.add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.median(), all.median(), 1e-9);
+  EXPECT_NEAR(a.percentile(95), all.percentile(95), 1e-9);
+  // The merged-from collector is untouched.
+  EXPECT_EQ(b.count(), 50u);
+}
+
+TEST(Samples, MergeEmptyIsNoOpEitherWay) {
+  Samples s;
+  s.add(1.0);
+  s.add(3.0);
+  Samples empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.median(), 2.0);
+}
+
+TEST(Samples, MergeAfterPercentileQueryResorts) {
+  // percentile() sorts lazily; a merge after a query must invalidate the
+  // sorted state so later percentiles see the combined, re-sorted samples.
+  Samples s;
+  s.add(10.0);
+  s.add(30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
+  Samples more;
+  more.add(20.0);
+  more.add(40.0);
+  s.merge(more);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+}
+
 TEST(Histogram, CountsAndClamps) {
   Histogram h(0, 10, 10);
   h.add(-5);   // clamps to first bucket
