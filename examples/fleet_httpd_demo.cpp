@@ -5,6 +5,12 @@
 // with FRESH diversity parameters — the rest of the fleet never stops
 // serving.
 //
+// New in the ops layer: the three quarantines share one attack SIGNATURE, so
+// the CampaignCorrelator folds them into exactly ONE fleet-level
+// CampaignAlert (a coordinated campaign, not three unrelated incidents) and
+// escalates by rotating every surviving session to a fresh reexpression.
+// The run ends with a deadline-bounded graceful drain.
+//
 //   $ ./examples/fleet_httpd_demo
 #include <cstdio>
 #include <future>
@@ -12,6 +18,7 @@
 
 #include "fleet/fleet.h"
 #include "fleet/jobs.h"
+#include "fleet/ops.h"
 
 using namespace nv;  // NOLINT
 
@@ -24,6 +31,12 @@ int main() {
   config.pool_size = 4;
   config.queue_capacity = 32;
   config.seed = 0xF1EE7;
+  config.campaign.threshold = 3;                          // K quarantines...
+  config.campaign.window = std::chrono::seconds(60);      // ...within this window
+  config.campaign.rotate_fleet_on_alert = true;           // escalate: rotate survivors
+  config.on_campaign = [](const fleet::CampaignAlert& alert) {
+    std::printf("  !! CAMPAIGN ALERT: %s\n", alert.describe().c_str());
+  };
   fleet::VariantFleet fleet(config);
 
   std::printf("--- initial fleet (every session drew its own uid mask) ---\n");
@@ -35,7 +48,7 @@ int main() {
   server.uid_ops_mode = guest::UidOpsMode::kSyscallChecked;
   server.max_requests = 10;
 
-  std::printf("\n--- dispatching 9 benign request streams + 3 UID-smash attacks ---\n");
+  std::printf("\n--- dispatching 9 benign request streams + a 3-session UID-smash campaign ---\n");
   std::vector<std::future<fleet::JobOutcome>> normal;
   std::vector<std::future<fleet::JobOutcome>> attacked;
   for (int wave = 0; wave < 3; ++wave) {
@@ -65,15 +78,29 @@ int main() {
                 record.replacement_fingerprint.c_str());
   }
 
-  std::printf("\n--- fleet after recovery (full strength, new reexpressions) ---\n");
+  std::printf("\n--- campaign correlation (3 quarantines, ONE signature, ONE alert) ---\n");
+  const auto alerts = fleet.campaign_alerts();
+  for (const auto& alert : alerts) {
+    std::printf("  %s\n  burned reexpressions:\n", alert.describe().c_str());
+    for (const auto& fingerprint : alert.fingerprints) {
+      std::printf("    %s\n", fingerprint.c_str());
+    }
+  }
+  const bool one_campaign = alerts.size() == 1 && alerts[0].session_ids.size() == 3;
+
+  std::printf("\n--- fleet after recovery + rotation escalation (all-new reexpressions) ---\n");
   for (const auto& fingerprint : fleet.live_fingerprints()) {
     std::printf("  %s\n", fingerprint.c_str());
   }
 
-  fleet.shutdown();
+  // Deadline-bounded graceful drain: admission stops, in-flight work
+  // finishes, and anything still queued past the deadline comes back counted.
+  const fleet::DrainReport drain = fleet.shutdown(std::chrono::milliseconds(2000));
+  std::printf("\n--- graceful drain ---\n  %s\n", drain.describe().c_str());
   std::printf("\n--- telemetry ---\n  %s\n", fleet.telemetry().snapshot().describe().c_str());
-  std::printf("\n=> the attacker burned 3 sessions and learned 3 dead reexpressions;\n"
-              "   the fleet never dropped a benign stream and every replacement is\n"
-              "   diversified differently from the instance that was probed.\n");
-  return (normal_ok == 9 && detected == 3) ? 0 : 1;
+  std::printf("\n=> the attacker burned 3 sessions and the fleet called it what it is: ONE\n"
+              "   coordinated campaign. Every replacement AND every survivor is now\n"
+              "   diversified differently from anything the campaign observed, and the\n"
+              "   fleet drained without abandoning a benign stream.\n");
+  return (normal_ok == 9 && detected == 3 && one_campaign && drain.clean) ? 0 : 1;
 }

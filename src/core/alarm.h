@@ -34,6 +34,30 @@ struct Alarm {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Diversity-independent classification of an alarm, the unit of cross-session
+/// correlation: the same attack payload hitting two differently-diversified
+/// sessions produces different raw values (each session drew its own masks)
+/// but the SAME signature — alarm kind, the syscall that tripped the monitor,
+/// and the shape of the offending values with every numeric literal collapsed.
+/// The variant index is deliberately excluded: which variant's reexpression
+/// broke first is itself a function of the per-session diversity draw.
+struct AlarmSignature {
+  AlarmKind kind = AlarmKind::kGuestError;
+  /// The monitor prefixes comparison alarms with "<syscall>: ..."; empty when
+  /// the detail carries no syscall attribution (guest errors, faults).
+  std::string syscall;
+  /// Alarm detail with numeric literals (hex and decimal) replaced by '#'.
+  std::string shape;
+
+  [[nodiscard]] bool operator==(const AlarmSignature&) const = default;
+  /// Stable map key: "<kind>|<syscall>|<shape>".
+  [[nodiscard]] std::string key() const;
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Derive the correlation signature from one alarm.
+[[nodiscard]] AlarmSignature signature_of(const Alarm& alarm);
+
 }  // namespace nv::core
 
 #endif  // NV_CORE_ALARM_H

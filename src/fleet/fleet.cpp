@@ -12,6 +12,8 @@ namespace nv::fleet {
 
 namespace {
 
+constexpr const char* kDeadLaneError = "worker lane lost its session (respawn failed earlier)";
+
 std::uint64_t resolve_seed(std::optional<std::uint64_t> requested) {
   if (requested.has_value()) return *requested;
   std::random_device entropy;
@@ -29,8 +31,10 @@ unsigned VariantFleet::resolve_pool_size(unsigned requested) {
 VariantFleet::VariantFleet(FleetConfig config)
     : config_(std::move(config)),
       pool_size_(resolve_pool_size(config_.pool_size)),
+      clock_(resolve_clock(config_.clock)),
       factory_(config_.spec, resolve_seed(config_.seed), variants::builtin_registry()),
-      telemetry_(pool_size_) {
+      telemetry_(pool_size_),
+      correlator_(config_.campaign, clock_) {
   if (config_.queue_capacity == 0) {
     throw std::invalid_argument("fleet queue capacity must be positive");
   }
@@ -42,59 +46,142 @@ VariantFleet::VariantFleet(FleetConfig config)
     }
     sessions_.push_back(std::move(*session));
   }
-  lane_dead_.assign(pool_size_, false);
+  lane_queues_.resize(pool_size_);
+  lane_flags_.assign(pool_size_, LaneFlags{});
   workers_.reserve(pool_size_);
-  for (unsigned lane = 0; lane < pool_size_; ++lane) {
-    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  try {
+    for (unsigned lane = 0; lane < pool_size_; ++lane) {
+      workers_.emplace_back([this, lane] { worker_loop(lane); });
+    }
+  } catch (...) {
+    // Thread spawning failed partway: the already-spawned workers are parked
+    // in queue_not_empty_.wait and would never see the jthread stop request,
+    // deadlocking the unwind's join. Tell them to exit first.
+    {
+      const std::scoped_lock lock(queue_mutex_);
+      accepting_ = false;
+    }
+    queue_not_empty_.notify_all();
+    throw;
   }
 }
 
 VariantFleet::~VariantFleet() { shutdown(); }
 
-std::future<JobOutcome> VariantFleet::submit(FleetJob job) {
-  std::unique_lock lock(queue_mutex_);
-  queue_not_full_.wait(lock,
-                       [this] { return queue_.size() < config_.queue_capacity || !accepting_; });
-  if (!accepting_) throw std::runtime_error("fleet is shut down");
+unsigned VariantFleet::pick_lane_locked() {
+  // Round-robin over lanes that can run work NOW; lanes mid-respawn are
+  // second choice (their backlog only moves if peers steal it). A lane whose
+  // worker already exited (shutdown path) can never drain its queue — jobs
+  // parked there would strand as broken promises.
+  for (unsigned i = 0; i < pool_size_; ++i) {
+    const unsigned lane = (next_lane_ + i) % pool_size_;
+    const LaneFlags& flags = lane_flags_[lane];
+    if (!flags.dead && !flags.exited && !flags.respawning) {
+      next_lane_ = (lane + 1) % pool_size_;
+      return lane;
+    }
+  }
+  for (unsigned i = 0; i < pool_size_; ++i) {
+    const unsigned lane = (next_lane_ + i) % pool_size_;
+    if (!lane_flags_[lane].dead && !lane_flags_[lane].exited) {
+      next_lane_ = (lane + 1) % pool_size_;
+      return lane;
+    }
+  }
+  return pool_size_;  // no lane can take work
+}
+
+std::future<JobOutcome> VariantFleet::enqueue_locked(FleetJob job) {
   PendingJob pending;
   pending.id = next_job_id_++;
   pending.fn = std::move(job);
   auto future = pending.promise.get_future();
-  queue_.push_back(std::move(pending));
+  const unsigned lane = pick_lane_locked();
+  if (lane == pool_size_) {
+    // No live lane will ever pop this; fail fast instead of queueing forever.
+    JobOutcome outcome;
+    outcome.job_id = pending.id;
+    outcome.error = kDeadLaneError;
+    telemetry_.note_submitted();
+    telemetry_.note_job_error();
+    pending.promise.set_value(std::move(outcome));
+    return future;
+  }
+  lane_queues_[lane].push_back(std::move(pending));
+  ++total_queued_;
   telemetry_.note_submitted();
-  queue_not_empty_.notify_one();
+  // notify_all, not notify_one: with per-lane queues a notify_one could wake
+  // a worker whose own queue is empty and (stealing off) cannot take the job.
+  queue_not_empty_.notify_all();
   return future;
+}
+
+std::future<JobOutcome> VariantFleet::submit(FleetJob job) {
+  std::unique_lock lock(queue_mutex_);
+  queue_not_full_.wait(lock,
+                       [this] { return total_queued_ < config_.queue_capacity || !accepting_; });
+  if (!accepting_) throw std::runtime_error("fleet is shut down");
+  return enqueue_locked(std::move(job));
 }
 
 std::optional<std::future<JobOutcome>> VariantFleet::try_submit(FleetJob job) {
   std::unique_lock lock(queue_mutex_);
-  if (!accepting_ || queue_.size() >= config_.queue_capacity) {
+  if (!accepting_ || total_queued_ >= config_.queue_capacity) {
     telemetry_.note_rejected();
     return std::nullopt;
   }
-  PendingJob pending;
-  pending.id = next_job_id_++;
-  pending.fn = std::move(job);
-  auto future = pending.promise.get_future();
-  queue_.push_back(std::move(pending));
-  telemetry_.note_submitted();
-  queue_not_empty_.notify_one();
-  return future;
+  return enqueue_locked(std::move(job));
 }
 
-void VariantFleet::shutdown() {
+void VariantFleet::shutdown() { (void)drain(std::nullopt); }
+
+DrainReport VariantFleet::shutdown(std::chrono::milliseconds deadline) {
+  return drain(deadline);
+}
+
+DrainReport VariantFleet::drain(std::optional<std::chrono::milliseconds> deadline) {
+  DrainReport report;
   {
-    const std::scoped_lock lock(queue_mutex_);
+    std::unique_lock lock(queue_mutex_);
     accepting_ = false;
+    queue_not_empty_.notify_all();
+    queue_not_full_.notify_all();
+    if (deadline.has_value()) {
+      // Give the lanes until the deadline (on the INJECTED clock — tests
+      // drive it manually) to work the queues down. Sliced waits instead of
+      // wait_until: a manual clock never fires a real-time timeout.
+      const auto deadline_at = clock_() + *deadline;
+      while (total_queued_ > 0 && clock_() < deadline_at) {
+        drain_progress_.wait_for(lock, std::chrono::milliseconds(1));
+      }
+      // Past the deadline: abandon everything still queued. In-flight jobs
+      // are NOT abandoned — the join below waits for them.
+      for (auto& queue : lane_queues_) {
+        while (!queue.empty()) {
+          PendingJob job = std::move(queue.front());
+          queue.pop_front();
+          --total_queued_;
+          JobOutcome outcome;
+          outcome.job_id = job.id;
+          outcome.error = kAbandonedError;
+          telemetry_.note_abandoned();
+          report.abandoned_job_ids.push_back(outcome.job_id);
+          job.promise.set_value(std::move(outcome));
+        }
+      }
+      queue_not_empty_.notify_all();
+    }
   }
-  queue_not_empty_.notify_all();
-  queue_not_full_.notify_all();
-  workers_.clear();  // jthread joins; workers drain the queue first
+  workers_.clear();  // jthread joins; workers finish in-flight work and (in
+                     // the no-deadline path) drain the remaining queues first
+  report.jobs_abandoned = report.abandoned_job_ids.size();
+  report.clean = report.jobs_abandoned == 0;
+  return report;
 }
 
 std::size_t VariantFleet::queue_depth() const {
   const std::scoped_lock lock(queue_mutex_);
-  return queue_.size();
+  return total_queued_;
 }
 
 std::vector<std::string> VariantFleet::live_fingerprints() const {
@@ -110,23 +197,75 @@ std::vector<QuarantineRecord> VariantFleet::quarantine_log() const {
   return quarantine_log_;
 }
 
+std::vector<CampaignAlert> VariantFleet::campaign_alerts() const {
+  return correlator_.alerts();
+}
+
 void VariantFleet::worker_loop(unsigned lane) {
   for (;;) {
+    bool rotate = false;
+    {
+      const std::scoped_lock lock(queue_mutex_);
+      // A rotation pending at shutdown is moot: the replacement would never
+      // serve a job, and building it would burn a draw from the finite
+      // unique-key space.
+      rotate = lane_flags_[lane].rotate && accepting_;
+      lane_flags_[lane].rotate = false;
+    }
+    if (rotate) rotate_lane(lane);  // factory work happens outside the locks
+
     PendingJob job;
+    bool stolen = false;
     {
       std::unique_lock lock(queue_mutex_);
-      queue_not_empty_.wait(lock, [this] { return !queue_.empty() || !accepting_; });
-      if (queue_.empty()) return;  // shutdown and fully drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      queue_not_empty_.wait(lock, [this, lane] {
+        if (lane_flags_[lane].rotate) return true;
+        if (!lane_queues_[lane].empty()) return true;
+        if (config_.work_stealing && total_queued_ > 0) return true;
+        return !accepting_;
+      });
+      if (lane_flags_[lane].rotate) continue;  // rotate at the loop top
+      if (!lane_queues_[lane].empty()) {
+        job = std::move(lane_queues_[lane].front());
+        lane_queues_[lane].pop_front();
+      } else if (config_.work_stealing && total_queued_ > 0) {
+        // Steal the oldest job from the most-backlogged peer — in particular
+        // from a lane stuck mid-respawn, whose own worker cannot pop.
+        unsigned victim = pool_size_;
+        std::size_t deepest = 0;
+        for (unsigned peer = 0; peer < pool_size_; ++peer) {
+          if (peer != lane && lane_queues_[peer].size() > deepest) {
+            deepest = lane_queues_[peer].size();
+            victim = peer;
+          }
+        }
+        if (victim == pool_size_) continue;  // raced: the backlog was ours/gone
+        job = std::move(lane_queues_[victim].front());
+        lane_queues_[victim].pop_front();
+        stolen = true;
+      } else {
+        // Nothing for this lane. With stealing, every queue is empty here;
+        // without, peers drain their own backlogs.
+        if (!accepting_) {
+          lane_flags_[lane].exited = true;  // no reassignments here anymore
+          return;
+        }
+        continue;  // spurious wakeup
+      }
+      --total_queued_;
       queue_not_full_.notify_one();
+      if (!accepting_) drain_progress_.notify_all();
     }
+    if (stolen) telemetry_.note_stolen();
     run_job(lane, std::move(job));
     // A lane whose respawn failed must retire instead of racing healthy
     // lanes for queued jobs and insta-failing them.
     {
-      const std::scoped_lock lock(sessions_mutex_);
-      if (lane_dead_[lane]) return;
+      const std::scoped_lock lock(queue_mutex_);
+      if (lane_flags_[lane].dead) {
+        lane_flags_[lane].exited = true;
+        return;
+      }
     }
   }
 }
@@ -135,19 +274,14 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
   JobOutcome outcome;
   outcome.job_id = job.id;
 
+  // The lane's session is always installed and valid here: a dead lane's
+  // worker retires before its next run_job, and a failed respawn leaves the
+  // (poisoned, never-reused) old session in the slot.
   core::NVariantSystem* system = nullptr;
   {
     const std::scoped_lock lock(sessions_mutex_);
-    if (!lane_dead_[lane]) {
-      outcome.session_id = sessions_[lane].id;
-      system = sessions_[lane].system.get();
-    }
-  }
-  if (system == nullptr) {
-    outcome.error = "worker lane lost its session (respawn failed earlier)";
-    telemetry_.note_job_error();
-    job.promise.set_value(std::move(outcome));
-    return;
+    outcome.session_id = sessions_[lane].id;
+    system = sessions_[lane].system.get();
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -181,7 +315,19 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
     const std::scoped_lock lock(sessions_mutex_);
     ++sessions_[lane].jobs_served;  // clean service only; see QuarantineRecord
   } else {
+    // Flag the lane respawning FIRST so admission routes around it and
+    // peers know its backlog is up for stealing while the factory works.
+    {
+      const std::scoped_lock lock(queue_mutex_);
+      lane_flags_[lane].respawning = true;
+      queue_not_empty_.notify_all();
+    }
+    if (config_.respawn_hook) config_.respawn_hook(lane);
     respawn(lane, outcome);
+    {
+      const std::scoped_lock lock(queue_mutex_);
+      lane_flags_[lane].respawning = false;
+    }
   }
   job.promise.set_value(std::move(outcome));
 }
@@ -215,14 +361,79 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
     telemetry_.note_respawned();
   } else {
     // Keep the poisoned session out of service rather than serving through
-    // a known-compromised reexpression; the lane reports errors from now on.
+    // a known-compromised reexpression; the lane retires and donates its
+    // backlog to the surviving lanes.
     record.replacement_fingerprint = "(respawn failed: " + replacement.error() + ")";
-    const std::scoped_lock lock(sessions_mutex_);
-    lane_dead_[lane] = true;
+    const std::scoped_lock lock(queue_mutex_);
+    lane_flags_[lane].dead = true;
+    retire_lane_locked(lane);
   }
 
-  const std::scoped_lock lock(quarantine_mutex_);
-  quarantine_log_.push_back(std::move(record));
+  // Population-level detection: fold this incident into the correlator and
+  // escalate when it crosses the campaign threshold. Observed BEFORE the log
+  // push so the record (with its embedded RunReport) can be moved, not
+  // copied, on the recovering worker's thread.
+  auto alert = correlator_.observe(record.alarm, record.session_id, record.fingerprint);
+  {
+    const std::scoped_lock lock(quarantine_mutex_);
+    quarantine_log_.push_back(std::move(record));
+  }
+  if (alert.has_value()) {
+    telemetry_.note_campaign();
+    if (config_.campaign.rotate_fleet_on_alert) request_rotation_except(lane);
+    if (config_.on_campaign) config_.on_campaign(*alert);
+  }
+}
+
+void VariantFleet::request_rotation_except(unsigned lane) {
+  const std::scoped_lock lock(queue_mutex_);
+  for (unsigned peer = 0; peer < pool_size_; ++peer) {
+    // The quarantining lane just respawned fresh; every other live lane
+    // rotates before its next job (a lane mid-job rotates right after it).
+    // A peer that is itself mid-respawn is skipped for the same reason the
+    // alerting lane is: it is about to install a fresh draw anyway, and the
+    // unique-fingerprint space is finite — don't burn a draw rotating it.
+    const LaneFlags& flags = lane_flags_[peer];
+    if (peer != lane && !flags.dead && !flags.exited && !flags.respawning) {
+      lane_flags_[peer].rotate = true;
+    }
+  }
+  queue_not_empty_.notify_all();
+}
+
+// Runs on the lane's OWN worker between jobs: the lane holds no job, and a
+// dead lane's worker retires before ever reaching here, so the swap is safe.
+void VariantFleet::rotate_lane(unsigned lane) {
+  auto replacement = factory_.make_session();
+  if (!replacement) return;  // keep serving on the old session; rotation is best-effort
+  {
+    const std::scoped_lock lock(sessions_mutex_);
+    sessions_[lane] = std::move(*replacement);
+  }
+  telemetry_.note_rotated();
+}
+
+void VariantFleet::retire_lane_locked(unsigned lane) {
+  // Reassign the dying lane's backlog; only fail jobs when no lane survives.
+  while (!lane_queues_[lane].empty()) {
+    PendingJob job = std::move(lane_queues_[lane].front());
+    lane_queues_[lane].pop_front();
+    const unsigned target = pick_lane_locked();
+    if (target != pool_size_) {
+      lane_queues_[target].push_back(std::move(job));
+    } else {
+      --total_queued_;
+      JobOutcome outcome;
+      outcome.job_id = job.id;
+      outcome.error = kDeadLaneError;
+      telemetry_.note_job_error();
+      job.promise.set_value(std::move(outcome));
+    }
+  }
+  queue_not_empty_.notify_all();
+  // Failed jobs freed capacity: submitters blocked on backpressure must
+  // re-check (and hit enqueue's no-live-lane fast-fail instead of hanging).
+  queue_not_full_.notify_all();
 }
 
 }  // namespace nv::fleet

@@ -1,16 +1,28 @@
 // VariantFleet: many independent N-variant sessions served concurrently by a
-// fixed worker pool, kept alive through attacks.
+// fixed worker pool, kept alive through attacks — and operated like a
+// service.
 //
 // Production posture the single-system runtime lacked:
-//   - admission: a bounded job queue; submit() blocks for backpressure,
-//     try_submit() refuses instead (and the refusal is counted);
+//   - admission: a bounded job budget across per-lane queues; submit()
+//     blocks for backpressure, try_submit() refuses instead (and the refusal
+//     is counted);
 //   - dispatch: each worker lane owns one session stamped out by the
-//     SessionFactory and runs queued jobs on it to completion;
+//     SessionFactory and runs its queued jobs on it to completion;
+//   - work stealing: an idle lane takes queued jobs from its peers, so a
+//     lane stuck respawning a quarantined session donates its backlog
+//     instead of stalling it behind the respawn;
 //   - recovery: a job that ends in a divergence alarm (or throws) poisons
 //     its session — the worker QUARANTINES it (retaining the Alarm, run
 //     report, and diversity fingerprint for forensics) and respawns a
 //     freshly re-diversified replacement from the factory, while every other
 //     lane keeps serving;
+//   - correlation: every quarantine feeds the CampaignCorrelator; K
+//     quarantines sharing one attack signature inside a sliding window raise
+//     ONE fleet-level CampaignAlert (not K incident records), optionally
+//     escalating by rotating every surviving session to a fresh
+//     reexpression;
+//   - graceful drain: shutdown(deadline) stops admission, finishes in-flight
+//     jobs, and returns the queued jobs it had to abandon;
 //   - telemetry: FleetTelemetry aggregates per-lane counters and latency
 //     samples into fleet-wide percentiles.
 //
@@ -32,6 +44,7 @@
 #include <vector>
 
 #include "core/nvariant_system.h"
+#include "fleet/ops.h"
 #include "fleet/session_factory.h"
 #include "fleet/telemetry.h"
 
@@ -48,7 +61,9 @@ struct JobOutcome {
   core::RunReport report;
   /// This job's alarm (or exception) sent its session to quarantine.
   bool session_quarantined = false;
-  /// Non-empty when the job callable threw instead of reporting.
+  /// Non-empty when the job callable threw instead of reporting — or when a
+  /// drain deadline abandoned the job before any session ran it (see
+  /// kAbandonedError).
   std::string error;
   std::chrono::microseconds latency{0};
 
@@ -73,42 +88,76 @@ struct FleetConfig {
   /// Concurrent sessions == worker lanes. 0 = hardware_concurrency, clamped
   /// to [2, 8] so a 1-core CI box still exercises concurrency.
   unsigned pool_size = 0;
-  /// Bounded admission queue; submit() blocks when full (backpressure).
+  /// Bounded admission budget across all lane queues; submit() blocks when
+  /// the fleet holds this many queued jobs (backpressure).
   std::size_t queue_capacity = 64;
   /// Seed for the per-session diversity draws. Unset (the default) draws a
   /// fresh seed from std::random_device — a fixed default would make every
   /// deployment's "random" reexpressions predictable to anyone running the
   /// same binary. Set it explicitly only for reproducible tests/benches.
   std::optional<std::uint64_t> seed;
+  /// Idle lanes take queued jobs from their peers (see file header). Off
+  /// reverts to strict lane affinity — useful for measuring what stealing
+  /// buys (bench_fleet_throughput does exactly that).
+  bool work_stealing = true;
+  /// Campaign correlation policy: K, the sliding window, and whether an
+  /// alert rotates the surviving sessions to fresh reexpressions.
+  CampaignPolicy campaign;
+  /// Escalation hook: invoked on the quarantining worker's thread each time
+  /// a NEW campaign alert is raised (joins do not re-fire). Keep it cheap.
+  std::function<void(const CampaignAlert&)> on_campaign;
+  /// Injectable time source for correlator windows and drain deadlines;
+  /// empty = real steady clock. Tests install ManualClock::fn().
+  ClockFn clock;
+  /// TEST SEAM: runs on the worker thread immediately after its lane enters
+  /// the respawning state (before the replacement session is built), so a
+  /// test can hold a lane mid-respawn and prove its queue drains via peers.
+  std::function<void(unsigned lane)> respawn_hook;
 };
 
 class VariantFleet {
  public:
+  /// JobOutcome::error of a job a drain deadline dropped before execution.
+  static constexpr const char* kAbandonedError = "abandoned at fleet shutdown deadline";
+
   /// Spawns the worker pool and stamps out the initial sessions; throws
   /// std::invalid_argument when the spec cannot produce a valid session.
   explicit VariantFleet(FleetConfig config);
-  /// Drains the queue and joins the pool (shutdown()).
+  /// Drains the queues fully and joins the pool (shutdown()).
   ~VariantFleet();
 
   VariantFleet(const VariantFleet&) = delete;
   VariantFleet& operator=(const VariantFleet&) = delete;
 
-  /// Enqueue a job; BLOCKS while the queue is at capacity (backpressure).
-  /// Throws std::runtime_error after shutdown().
+  /// Enqueue a job; BLOCKS while the fleet is at capacity (backpressure).
+  /// Throws std::runtime_error after shutdown.
   [[nodiscard]] std::future<JobOutcome> submit(FleetJob job);
 
-  /// Non-blocking admission: nullopt when the queue is full or the fleet is
-  /// shutting down. The refusal is counted as telemetry.jobs_rejected.
+  /// Non-blocking admission: nullopt when the fleet is at capacity or
+  /// shutting down (including mid-drain). Every refusal is counted exactly
+  /// once as telemetry jobs_rejected.
   [[nodiscard]] std::optional<std::future<JobOutcome>> try_submit(FleetJob job);
 
   /// Stop admitting, run everything already queued, join the pool.
-  /// Idempotent; called by the destructor.
+  /// Idempotent; called by the destructor. Must not race other shutdown
+  /// calls.
   void shutdown();
+
+  /// Deadline-bounded graceful drain: stop admitting, let the lanes work the
+  /// queues down until `deadline` elapses (measured on the injected clock),
+  /// then abandon whatever is still queued — each abandoned submitter's
+  /// future resolves with kAbandonedError — and join the pool once in-flight
+  /// jobs finish (in-flight work is never abandoned). The abandoned count is
+  /// mirrored in telemetry jobs_abandoned.
+  [[nodiscard]] DrainReport shutdown(std::chrono::milliseconds deadline);
 
   [[nodiscard]] FleetTelemetry& telemetry() noexcept { return telemetry_; }
   [[nodiscard]] const FleetTelemetry& telemetry() const noexcept { return telemetry_; }
   [[nodiscard]] std::vector<QuarantineRecord> quarantine_log() const;
+  /// Fleet-level campaign alerts raised so far (members folded in).
+  [[nodiscard]] std::vector<CampaignAlert> campaign_alerts() const;
   [[nodiscard]] unsigned pool_size() const noexcept { return pool_size_; }
+  /// Total jobs queued across every lane (excludes in-flight jobs).
   [[nodiscard]] std::size_t queue_depth() const;
   /// Diversity fingerprints of the sessions currently installed in each lane.
   [[nodiscard]] std::vector<std::string> live_fingerprints() const;
@@ -119,30 +168,56 @@ class VariantFleet {
     FleetJob fn;
     std::promise<JobOutcome> promise;
   };
+  /// Lane state, guarded by queue_mutex_. `dead` is only ever set by the
+  /// lane's OWN worker (inside respawn), so that worker may read it without
+  /// the lock; everyone else takes queue_mutex_.
+  struct LaneFlags {
+    bool dead = false;        // respawn failed; lane retired
+    bool exited = false;      // worker thread returned; queue will never drain
+    bool respawning = false;  // lane is mid-respawn; don't route new jobs here
+    bool rotate = false;      // campaign escalation: re-diversify before next job
+  };
 
   void worker_loop(unsigned lane);
   void run_job(unsigned lane, PendingJob job);
   /// Replace lane's session after quarantine; on persistent factory failure
-  /// the lane keeps the poisoned session out of service and reports errors.
+  /// the lane keeps the poisoned session out of service and retires.
   void respawn(unsigned lane, JobOutcome& outcome);
+  /// Campaign escalation: flag every other live lane for re-diversification.
+  void request_rotation_except(unsigned lane);
+  /// Swap a freshly-drawn session into an idle lane (rotation escalation).
+  void rotate_lane(unsigned lane);
+  /// Move a retiring lane's queued jobs to lanes that can still run them
+  /// (or fail them when none can).
+  void retire_lane_locked(unsigned lane);
+  /// Round-robin over serviceable lanes (worker alive, not dead, preferring
+  /// non-respawning). pool_size_ when no lane can take work.
+  [[nodiscard]] unsigned pick_lane_locked();
+  [[nodiscard]] std::future<JobOutcome> enqueue_locked(FleetJob job);
+  DrainReport drain(std::optional<std::chrono::milliseconds> deadline);
 
   [[nodiscard]] static unsigned resolve_pool_size(unsigned requested);
 
   FleetConfig config_;
   unsigned pool_size_;
+  ClockFn clock_;
   SessionFactory factory_;
   FleetTelemetry telemetry_;
+  CampaignCorrelator correlator_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
-  std::deque<PendingJob> queue_;
+  std::condition_variable drain_progress_;
+  std::vector<std::deque<PendingJob>> lane_queues_;  // one per lane
+  std::vector<LaneFlags> lane_flags_;
+  std::size_t total_queued_ = 0;
+  unsigned next_lane_ = 0;
   bool accepting_ = true;
   std::uint64_t next_job_id_ = 0;
 
   mutable std::mutex sessions_mutex_;
   std::vector<Session> sessions_;  // one per lane
-  std::vector<bool> lane_dead_;    // respawn failed; lane refuses jobs
 
   mutable std::mutex quarantine_mutex_;
   std::vector<QuarantineRecord> quarantine_log_;

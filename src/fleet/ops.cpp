@@ -1,0 +1,91 @@
+#include "fleet/ops.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace nv::fleet {
+
+ClockFn resolve_clock(ClockFn clock) {
+  if (clock) return clock;
+  return [] { return std::chrono::steady_clock::now(); };
+}
+
+CampaignCorrelator::CampaignCorrelator(CampaignPolicy policy, ClockFn clock)
+    : policy_(policy), clock_(resolve_clock(std::move(clock))) {}
+
+std::optional<CampaignAlert> CampaignCorrelator::observe(const core::Alarm& alarm,
+                                                         std::uint64_t session_id,
+                                                         const std::string& fingerprint) {
+  const auto now = clock_();
+  const core::AlarmSignature signature = core::signature_of(alarm);
+
+  const std::scoped_lock lock(mutex_);
+  ++incidents_;
+
+  // Slide EVERY track's window: incidents older than policy_.window age out,
+  // and a track whose window empties is erased outright — its campaign (if
+  // one was raised) is over, the raised alert lives on in alerts_, and a
+  // long-lived fleet seeing a stream of one-off signatures must not grow
+  // tracks_ without bound. The next burst of an erased signature starts
+  // fresh and may alert again.
+  for (auto it = tracks_.begin(); it != tracks_.end();) {
+    std::deque<Incident>& window = it->second.window;
+    while (!window.empty() && now - window.front().at > policy_.window) {
+      window.pop_front();
+    }
+    it = window.empty() ? tracks_.erase(it) : std::next(it);
+  }
+
+  Track& track = tracks_[signature.key()];
+  track.window.push_back(Incident{now, session_id, fingerprint});
+
+  if (track.open_alert.has_value()) {
+    // Campaign already raised: fold this incident in, do not re-alert.
+    CampaignAlert& alert = alerts_[*track.open_alert];
+    alert.session_ids.push_back(session_id);
+    alert.fingerprints.push_back(fingerprint);
+    alert.last_seen = now;
+    return std::nullopt;
+  }
+  if (track.window.size() < policy_.threshold) return std::nullopt;
+
+  CampaignAlert alert;
+  alert.id = static_cast<std::uint64_t>(alerts_.size());
+  alert.signature = signature;
+  alert.first_seen = track.window.front().at;
+  alert.last_seen = now;
+  for (const Incident& incident : track.window) {
+    alert.session_ids.push_back(incident.session_id);
+    alert.fingerprints.push_back(incident.fingerprint);
+  }
+  track.open_alert = alerts_.size();
+  alerts_.push_back(alert);
+  return alert;
+}
+
+std::vector<CampaignAlert> CampaignCorrelator::alerts() const {
+  const std::scoped_lock lock(mutex_);
+  return alerts_;
+}
+
+std::uint64_t CampaignCorrelator::incidents_observed() const {
+  const std::scoped_lock lock(mutex_);
+  return incidents_;
+}
+
+std::string CampaignAlert::describe() const {
+  const auto span =
+      std::chrono::duration_cast<std::chrono::milliseconds>(last_seen - first_seen);
+  return util::format("campaign #%llu: %zu sessions share signature {%s} within %lld ms",
+                      static_cast<unsigned long long>(id), session_ids.size(),
+                      signature.describe().c_str(), static_cast<long long>(span.count()));
+}
+
+std::string DrainReport::describe() const {
+  if (clean) return "drained cleanly: every queued job finished before the deadline";
+  return util::format("deadline expired: %llu queued job(s) abandoned",
+                      static_cast<unsigned long long>(jobs_abandoned));
+}
+
+}  // namespace nv::fleet

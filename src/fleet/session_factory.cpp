@@ -58,19 +58,28 @@ std::uint64_t SessionFactory::sessions_created() const {
   return next_id_;
 }
 
+std::uint64_t SessionFactory::unique_keys_issued() const {
+  const std::scoped_lock lock(mutex_);
+  return issued_keys_.size();
+}
+
 util::Expected<Session, std::string> SessionFactory::make_session() {
   const std::scoped_lock lock(mutex_);
-  // Random draws can, in principle, collide into a disjointedness violation
-  // (two variations landing on the same reexpression); re-draw a few times
-  // before giving up so one unlucky draw does not kill a respawn. Every
-  // other error (unknown name, parameter rejection, builder validation) is
-  // systematic — redrawing cannot help and would only advance the RNG.
+  // Random draws can collide — into a disjointedness violation (two
+  // variations landing on the same reexpression) or into a diversity key some
+  // EARLIER session already drew (a quarantine-heavy burst must never respawn
+  // the reexpression the attacker just probed). Both are luck, not policy:
+  // re-draw a bounded number of times before giving up. Every other error
+  // (unknown name, parameter rejection, builder validation) is systematic —
+  // redrawing cannot help and would only advance the RNG.
   std::string last_error;
-  for (int attempt = 0; attempt < 8; ++attempt) {
+  for (int attempt = 0; attempt < 32; ++attempt) {
     auto session = try_make_locked();
     if (session) return session;
     last_error = session.error();
-    if (!spec_.randomize || last_error.find("disjointedness") == std::string::npos) {
+    if (!spec_.randomize ||
+        (last_error.find("disjointedness") == std::string::npos &&
+         last_error.find("duplicate diversity draw") == std::string::npos)) {
       return util::Unexpected{std::move(last_error)};
     }
   }
@@ -105,6 +114,13 @@ util::Expected<Session, std::string> SessionFactory::try_make_locked() {
   }
   if (fingerprint.empty()) fingerprint = "identical";
 
+  // Fingerprint uniqueness per factory lifetime: reject the draw BEFORE the
+  // expensive system build when its diversity key was already issued. Only
+  // meaningful under randomize — registry defaults are identical by design.
+  if (spec_.randomize && issued_keys_.contains(fingerprint)) {
+    return util::Unexpected{"duplicate diversity draw: " + fingerprint};
+  }
+
   auto suite = core::DiversitySuite::compose(spec_.n_variants, std::move(variations));
   if (!suite) return util::Unexpected{suite.error()};
 
@@ -116,9 +132,11 @@ util::Expected<Session, std::string> SessionFactory::try_make_locked() {
 
   session.id = next_id_++;
   session.system = std::move(*system);
+  session.diversity_key = fingerprint;
   session.fingerprint = util::format("session-%llu[%s]",
                                      static_cast<unsigned long long>(session.id),
                                      fingerprint.c_str());
+  issued_keys_.insert(std::move(fingerprint));
   return session;
 }
 

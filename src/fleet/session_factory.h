@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,9 +56,15 @@ struct SessionSpec {
 struct Session {
   std::uint64_t id = 0;
   std::unique_ptr<core::NVariantSystem> system;
-  /// "uid-xor{mask=0x5f3a91c2} + instruction-tagging{base-tag=0x4e}" — the
-  /// concrete reexpression identity of this session, for logs and forensics.
+  /// "session-0[uid-xor{mask=0x5f3a91c2} + instruction-tagging{base-tag=0x4e}]"
+  /// — the concrete reexpression identity of this session, for logs and
+  /// forensics.
   std::string fingerprint;
+  /// The fingerprint WITHOUT the session id — the pure diversity identity.
+  /// When randomize is on, the factory guarantees this is unique across its
+  /// lifetime: no two sessions (in particular, no quarantined session and its
+  /// replacement in a quarantine-heavy burst) ever share a reexpression.
+  std::string diversity_key;
   /// Raw draws, keyed "variation.param" (e.g. "uid-xor.mask").
   std::map<std::string, std::uint64_t> drawn_params;
   /// Jobs this session has served so far (maintained by the fleet).
@@ -71,12 +78,18 @@ class SessionFactory {
                  const core::VariationRegistry& registry);
 
   /// Build one freshly diversified, sealed session. Thread-safe. Errors are
-  /// expected failure paths: unknown variation names, parameter rejections,
-  /// or a disjointedness violation the (bounded) re-draw loop cannot escape.
+  /// expected failure paths: unknown variation names, parameter rejections, a
+  /// disjointedness violation the (bounded) re-draw loop cannot escape, or a
+  /// diversity-key collision it cannot escape (the parameter space is
+  /// exhausted — every further session would repeat a reexpression some
+  /// earlier session already exposed to attackers).
   [[nodiscard]] util::Expected<Session, std::string> make_session();
 
   [[nodiscard]] const SessionSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] std::uint64_t sessions_created() const;
+  /// Distinct diversity keys issued so far (== sessions created when
+  /// randomize is on; uniqueness is not enforced for registry defaults).
+  [[nodiscard]] std::uint64_t unique_keys_issued() const;
 
  private:
   [[nodiscard]] util::Expected<Session, std::string> try_make_locked();
@@ -86,6 +99,7 @@ class SessionFactory {
   mutable std::mutex mutex_;
   util::Rng rng_;
   std::uint64_t next_id_ = 0;
+  std::set<std::string> issued_keys_;
 };
 
 }  // namespace nv::fleet

@@ -24,8 +24,12 @@ FleetSnapshot FleetTelemetry::snapshot() const {
   snap.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
   snap.jobs_alarmed = jobs_alarmed_.load(std::memory_order_relaxed);
   snap.job_errors = job_errors_.load(std::memory_order_relaxed);
+  snap.jobs_stolen = jobs_stolen_.load(std::memory_order_relaxed);
+  snap.jobs_abandoned = jobs_abandoned_.load(std::memory_order_relaxed);
   snap.sessions_quarantined = sessions_quarantined_.load(std::memory_order_relaxed);
   snap.sessions_respawned = sessions_respawned_.load(std::memory_order_relaxed);
+  snap.sessions_rotated = sessions_rotated_.load(std::memory_order_relaxed);
+  snap.campaign_alerts = campaign_alerts_.load(std::memory_order_relaxed);
   snap.syscall_rounds = syscall_rounds_.load(std::memory_order_relaxed);
 
   util::Samples merged;
@@ -43,16 +47,21 @@ FleetSnapshot FleetTelemetry::snapshot() const {
 
 std::string FleetSnapshot::describe() const {
   return util::format(
-      "jobs: %llu submitted, %llu completed, %llu alarmed, %llu errored, %llu rejected | "
-      "sessions: %llu quarantined, %llu respawned | %llu syscall rounds | "
-      "latency us: p50 %.0f, p95 %.0f, p99 %.0f (n=%zu)",
+      "jobs: %llu submitted, %llu completed, %llu alarmed, %llu errored, %llu rejected, "
+      "%llu stolen, %llu abandoned | "
+      "sessions: %llu quarantined, %llu respawned, %llu rotated | %llu campaign alerts | "
+      "%llu syscall rounds | latency us: p50 %.0f, p95 %.0f, p99 %.0f (n=%zu)",
       static_cast<unsigned long long>(jobs_submitted),
       static_cast<unsigned long long>(jobs_completed),
       static_cast<unsigned long long>(jobs_alarmed),
       static_cast<unsigned long long>(job_errors),
       static_cast<unsigned long long>(jobs_rejected),
+      static_cast<unsigned long long>(jobs_stolen),
+      static_cast<unsigned long long>(jobs_abandoned),
       static_cast<unsigned long long>(sessions_quarantined),
       static_cast<unsigned long long>(sessions_respawned),
+      static_cast<unsigned long long>(sessions_rotated),
+      static_cast<unsigned long long>(campaign_alerts),
       static_cast<unsigned long long>(syscall_rounds), latency_p50_us, latency_p95_us,
       latency_p99_us, latency_count);
 }

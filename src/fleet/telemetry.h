@@ -29,8 +29,12 @@ struct FleetSnapshot {
   std::uint64_t jobs_completed = 0;  // finished cleanly, no alarm
   std::uint64_t jobs_alarmed = 0;    // finished with a divergence alarm
   std::uint64_t job_errors = 0;      // the job callable itself threw
+  std::uint64_t jobs_stolen = 0;     // jobs an idle lane took from a peer's queue
+  std::uint64_t jobs_abandoned = 0;  // queued jobs dropped by a drain deadline
   std::uint64_t sessions_quarantined = 0;
   std::uint64_t sessions_respawned = 0;
+  std::uint64_t sessions_rotated = 0;  // proactive re-diversifications (campaign escalation)
+  std::uint64_t campaign_alerts = 0;   // fleet-level correlated-attack alerts
   std::uint64_t syscall_rounds = 0;  // rendezvous rounds across all sessions
 
   std::size_t latency_count = 0;  // completed-job latencies sampled
@@ -56,6 +60,10 @@ class FleetTelemetry {
     sessions_quarantined_.fetch_add(1, std::memory_order_relaxed);
   }
   void note_respawned() noexcept { sessions_respawned_.fetch_add(1, std::memory_order_relaxed); }
+  void note_stolen() noexcept { jobs_stolen_.fetch_add(1, std::memory_order_relaxed); }
+  void note_abandoned() noexcept { jobs_abandoned_.fetch_add(1, std::memory_order_relaxed); }
+  void note_rotated() noexcept { sessions_rotated_.fetch_add(1, std::memory_order_relaxed); }
+  void note_campaign() noexcept { campaign_alerts_.fetch_add(1, std::memory_order_relaxed); }
   void add_syscall_rounds(std::uint64_t rounds) noexcept {
     syscall_rounds_.fetch_add(rounds, std::memory_order_relaxed);
   }
@@ -79,8 +87,12 @@ class FleetTelemetry {
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> jobs_alarmed_{0};
   std::atomic<std::uint64_t> job_errors_{0};
+  std::atomic<std::uint64_t> jobs_stolen_{0};
+  std::atomic<std::uint64_t> jobs_abandoned_{0};
   std::atomic<std::uint64_t> sessions_quarantined_{0};
   std::atomic<std::uint64_t> sessions_respawned_{0};
+  std::atomic<std::uint64_t> sessions_rotated_{0};
+  std::atomic<std::uint64_t> campaign_alerts_{0};
   std::atomic<std::uint64_t> syscall_rounds_{0};
   std::vector<std::unique_ptr<Lane>> lanes_;
 };

@@ -1,6 +1,9 @@
 // The variant fleet: session stamping with fresh per-session diversity
 // draws, concurrent dispatch over a bounded queue, the detect -> quarantine
 // -> respawn recovery loop under injected attacks, and fleet-wide telemetry.
+// Deterministic throughout (seeded draws, promise-gated jobs — see
+// fleet_test_harness.h); the ops layer (campaigns, stealing, drain) is
+// covered in test_fleet_ops.cpp.
 #include <gtest/gtest.h>
 
 #include <future>
@@ -10,18 +13,14 @@
 #include "fleet/jobs.h"
 #include "fleet/session_factory.h"
 #include "fleet/telemetry.h"
+#include "fleet_test_harness.h"
 #include "variants/registry.h"
 
 namespace nv::fleet {
 namespace {
 
-SessionSpec uid_spec() {
-  SessionSpec spec;
-  spec.n_variants = 2;
-  spec.variations = {"uid-xor"};
-  spec.rendezvous_timeout = std::chrono::milliseconds(2000);
-  return spec;
-}
+using harness::GatedJob;
+using harness::uid_spec;
 
 httpd::ServerConfig httpd_config(std::uint32_t max_requests) {
   httpd::ServerConfig config;
@@ -164,17 +163,9 @@ TEST(VariantFleet, BackpressureBoundsTheAdmissionQueue) {
   VariantFleet fleet(config);
 
   // Occupy the single worker with a job that blocks until released.
-  auto started = std::make_shared<std::promise<void>>();
-  auto release = std::make_shared<std::promise<void>>();
-  auto release_future = release->get_future().share();
-  auto blocker = fleet.submit([started, release_future](core::NVariantSystem&) {
-    started->set_value();
-    release_future.wait();
-    core::RunReport report;
-    report.completed = true;
-    return report;
-  });
-  started->get_future().wait();
+  GatedJob gated;
+  auto blocker = fleet.submit(gated.job());
+  gated.wait_started();
 
   // Fill the queue's single slot, then verify admission control refuses more.
   auto queued = fleet.try_submit(jobs::uid_churn(5));
@@ -183,7 +174,7 @@ TEST(VariantFleet, BackpressureBoundsTheAdmissionQueue) {
   EXPECT_FALSE(refused.has_value());
   EXPECT_EQ(fleet.queue_depth(), 1u);
 
-  release->set_value();
+  gated.release();
   EXPECT_TRUE(blocker.get().ok());
   EXPECT_TRUE(queued->get().ok());
   EXPECT_GE(fleet.telemetry().snapshot().jobs_rejected, 1u);
