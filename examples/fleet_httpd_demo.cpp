@@ -9,11 +9,16 @@
 // the CampaignCorrelator folds them into exactly ONE fleet-level
 // CampaignAlert (a coordinated campaign, not three unrelated incidents) and
 // escalates by rotating every surviving session to a fresh reexpression.
-// The run ends with a deadline-bounded graceful drain.
+// The alert also drives the ADAPTIVE policy controller: the live campaign
+// policy tightens fleet-wide (threshold to the floor, window widened) while
+// the attack runs, then decays back to the configured baseline once the
+// fleet has been quiet. The run ends with a deadline-bounded graceful drain.
 //
 //   $ ./examples/fleet_httpd_demo
+#include <chrono>
 #include <cstdio>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "fleet/fleet.h"
@@ -21,6 +26,18 @@
 #include "fleet/ops.h"
 
 using namespace nv;  // NOLINT
+
+namespace {
+
+void print_policy(const char* label, const fleet::CampaignPolicy& policy) {
+  std::printf("  %s: threshold %u, window %lld ms, rotation %s\n", label, policy.threshold,
+              static_cast<long long>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(policy.window)
+                      .count()),
+              policy.rotate_fleet_on_alert ? "armed" : "off");
+}
+
+}  // namespace
 
 int main() {
   std::printf("=== variant fleet: concurrent MVEE sessions under attack ===\n\n");
@@ -34,6 +51,12 @@ int main() {
   config.campaign.threshold = 3;                          // K quarantines...
   config.campaign.window = std::chrono::seconds(60);      // ...within this window
   config.campaign.rotate_fleet_on_alert = true;           // escalate: rotate survivors
+  config.adaptive.enabled = true;                         // tighten on alert...
+  config.adaptive.threshold_floor = 1;
+  config.adaptive.threshold_step = 2;                     // ...straight to the floor
+  config.adaptive.window_step = std::chrono::seconds(60);
+  config.adaptive.window_cap = std::chrono::minutes(2);
+  config.adaptive.quiet_period = std::chrono::milliseconds(300);  // demo-sized
   config.on_campaign = [](const fleet::CampaignAlert& alert) {
     std::printf("  !! CAMPAIGN ALERT: %s\n", alert.describe().c_str());
   };
@@ -43,6 +66,7 @@ int main() {
   for (const auto& fingerprint : fleet.live_fingerprints()) {
     std::printf("  %s\n", fingerprint.c_str());
   }
+  print_policy("baseline campaign policy", fleet.campaign_policy());
 
   httpd::ServerConfig server;
   server.uid_ops_mode = guest::UidOpsMode::kSyscallChecked;
@@ -88,10 +112,32 @@ int main() {
   }
   const bool one_campaign = alerts.size() == 1 && alerts[0].session_ids.size() == 3;
 
+  std::printf("\n--- adaptive defense: the alert TIGHTENED the live policy fleet-wide ---\n");
+  const fleet::CampaignPolicy during = fleet.campaign_policy();
+  print_policy("live policy under attack", during);
+  // config.adaptive.enabled above guarantees the controller exists.
+  const bool tightened = during.threshold == 1 &&
+                         during.window > config.campaign.window &&
+                         fleet.adaptive()->tightened();
+  std::printf("  (%s)\n", fleet.adaptive()->describe().c_str());
+
   std::printf("\n--- fleet after recovery + rotation escalation (all-new reexpressions) ---\n");
   for (const auto& fingerprint : fleet.live_fingerprints()) {
     std::printf("  %s\n", fingerprint.c_str());
   }
+
+  // The attacker goes quiet: after the (demo-sized) quiet period the policy
+  // decays back to the baseline on its own — heightened posture is only paid
+  // for while it earns something.
+  std::this_thread::sleep_for(std::chrono::milliseconds(450));
+  (void)fleet.poll_adaptive();
+  std::printf("\n--- attacker quiet for a beat: the policy DECAYED back to baseline ---\n");
+  const fleet::CampaignPolicy after = fleet.campaign_policy();
+  print_policy("live policy after decay", after);
+  const bool decayed = after.threshold == config.campaign.threshold &&
+                       after.window == config.campaign.window &&
+                       !fleet.adaptive()->tightened();
+  std::printf("  (%s)\n", fleet.adaptive()->describe().c_str());
 
   // Deadline-bounded graceful drain: admission stops, in-flight work
   // finishes, and anything still queued past the deadline comes back counted.
@@ -99,8 +145,12 @@ int main() {
   std::printf("\n--- graceful drain ---\n  %s\n", drain.describe().c_str());
   std::printf("\n--- telemetry ---\n  %s\n", fleet.telemetry().snapshot().describe().c_str());
   std::printf("\n=> the attacker burned 3 sessions and the fleet called it what it is: ONE\n"
-              "   coordinated campaign. Every replacement AND every survivor is now\n"
+              "   coordinated campaign. The live policy tightened while the campaign ran\n"
+              "   and relaxed once it stopped; every replacement AND every survivor is now\n"
               "   diversified differently from anything the campaign observed, and the\n"
               "   fleet drained without abandoning a benign stream.\n");
-  return (normal_ok == 9 && detected == 3 && one_campaign && drain.clean) ? 0 : 1;
+  return (normal_ok == 9 && detected == 3 && one_campaign && tightened && decayed &&
+          drain.clean)
+             ? 0
+             : 1;
 }

@@ -1,0 +1,137 @@
+#include "fleet/adaptive.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace nv::fleet {
+
+AdaptivePolicyController::AdaptivePolicyController(AdaptivePolicyConfig config,
+                                                   CampaignPolicy baseline, ClockFn clock)
+    : config_(config),
+      baseline_(baseline),
+      clock_(resolve_clock(std::move(clock))),
+      current_(baseline) {
+  // A floor above the baseline (or a cap below it) would make "tighten" loosen
+  // the policy; clamp the limits to the baseline so every step is monotone.
+  config_.threshold_floor = std::min(config_.threshold_floor, baseline_.threshold);
+  config_.threshold_floor = std::max(config_.threshold_floor, 1U);
+  config_.window_cap = std::max(config_.window_cap, baseline_.window);
+  quiet_since_ = clock_();
+}
+
+std::optional<CampaignPolicy> AdaptivePolicyController::on_alert(const CampaignAlert&) {
+  const auto now = clock_();
+  const std::scoped_lock lock(mutex_);
+  // Even a no-op tighten (already maximally tight) restarts the quiet timer:
+  // the attacker is demonstrably still here, so decay must wait.
+  quiet_since_ = now;
+  if (at_baseline_locked()) last_rotation_ = now;  // heightened posture starts
+
+  CampaignPolicy next = current_;
+  next.threshold = std::max(config_.threshold_floor,
+                            next.threshold - std::min(next.threshold, config_.threshold_step));
+  next.window = std::min(config_.window_cap, next.window + config_.window_step);
+  if (config_.arm_rotation) next.rotate_fleet_on_alert = true;
+
+  if (next.threshold == current_.threshold && next.window == current_.window &&
+      next.rotate_fleet_on_alert == current_.rotate_fleet_on_alert) {
+    return std::nullopt;
+  }
+  current_ = next;
+  ++tightened_count_;
+  return current_;
+}
+
+void AdaptivePolicyController::on_incident() {
+  const auto now = clock_();
+  const std::scoped_lock lock(mutex_);
+  quiet_since_ = now;
+}
+
+bool AdaptivePolicyController::at_baseline_locked() const {
+  return current_.threshold == baseline_.threshold && current_.window == baseline_.window &&
+         current_.rotate_fleet_on_alert == baseline_.rotate_fleet_on_alert;
+}
+
+bool AdaptivePolicyController::decay_step_locked() {
+  bool moved = false;
+  if (current_.threshold < baseline_.threshold) {
+    current_.threshold =
+        std::min(baseline_.threshold, current_.threshold + config_.threshold_step);
+    moved = true;
+  }
+  if (current_.window > baseline_.window) {
+    current_.window = std::max(baseline_.window, current_.window - config_.window_step);
+    moved = true;
+  }
+  // Rotation stays armed until the numeric knobs are fully relaxed: it is the
+  // cheapest part of the posture to keep while any suspicion remains.
+  if (current_.threshold == baseline_.threshold && current_.window == baseline_.window &&
+      current_.rotate_fleet_on_alert != baseline_.rotate_fleet_on_alert) {
+    current_.rotate_fleet_on_alert = baseline_.rotate_fleet_on_alert;
+    moved = true;
+  }
+  return moved;
+}
+
+std::optional<CampaignPolicy> AdaptivePolicyController::poll() {
+  const auto now = clock_();
+  const std::scoped_lock lock(mutex_);
+  if (at_baseline_locked()) return std::nullopt;
+  if (now - quiet_since_ < config_.quiet_period) return std::nullopt;
+  if (!decay_step_locked()) return std::nullopt;
+  ++decayed_count_;
+  // Advance by one period, not to `now`: a fleet that idled through several
+  // quiet periods owes several decay steps, and each subsequent poll takes
+  // the next one immediately. One step per poll keeps every step visible as
+  // its own telemetry policy_decayed increment.
+  quiet_since_ += config_.quiet_period;
+  return current_;
+}
+
+bool AdaptivePolicyController::rotation_due() {
+  const auto now = clock_();
+  const std::scoped_lock lock(mutex_);
+  if (config_.tightened_rotation_interval <= std::chrono::milliseconds::zero()) return false;
+  if (at_baseline_locked()) return false;
+  if (now - last_rotation_ < config_.tightened_rotation_interval) return false;
+  last_rotation_ = now;
+  return true;
+}
+
+CampaignPolicy AdaptivePolicyController::current() const {
+  const std::scoped_lock lock(mutex_);
+  return current_;
+}
+
+bool AdaptivePolicyController::tightened() const {
+  const std::scoped_lock lock(mutex_);
+  return !at_baseline_locked();
+}
+
+std::uint64_t AdaptivePolicyController::times_tightened() const {
+  const std::scoped_lock lock(mutex_);
+  return tightened_count_;
+}
+
+std::uint64_t AdaptivePolicyController::times_decayed() const {
+  const std::scoped_lock lock(mutex_);
+  return decayed_count_;
+}
+
+std::string AdaptivePolicyController::describe() const {
+  const std::scoped_lock lock(mutex_);
+  return util::format(
+      "adaptive policy: threshold %u (baseline %u), window %lld ms (baseline %lld), "
+      "rotation %s; tightened %llux, decayed %llux",
+      current_.threshold, baseline_.threshold,
+      static_cast<long long>(current_.window.count()),
+      static_cast<long long>(baseline_.window.count()),
+      current_.rotate_fleet_on_alert ? "armed" : "disarmed",
+      static_cast<unsigned long long>(tightened_count_),
+      static_cast<unsigned long long>(decayed_count_));
+}
+
+}  // namespace nv::fleet

@@ -1,0 +1,128 @@
+// Campaign-driven adaptive defense: the correlator's CampaignPolicy is no
+// longer static — every CampaignAlert TIGHTENS it fleet-wide, and a quiet
+// fleet DECAYS it back to the configured baseline.
+//
+// The population-level argument (Chen et al.): the defender's lever is how
+// fast the fleet re-diversifies relative to the attacker's probing rate.
+// Under active probing the fleet should (a) call smaller bursts a campaign
+// (shrink `threshold` toward a floor), (b) remember probes for longer (widen
+// `window` toward a cap), and (c) optionally arm rotate_fleet_on_alert so
+// every subsequent alert re-diversifies the survivors. Once the attacker
+// goes quiet the heightened posture costs real money — rotations burn draws
+// from a finite reexpression space and a hair-trigger threshold false-alarms
+// on unrelated crashes — so after `quiet_period` without a new alert the
+// controller walks the policy back one step per elapsed quiet period until
+// it is at baseline again.
+//
+// All time is read from the injected ClockFn, so the whole tighten/decay
+// lifecycle is testable on a ManualClock without sleeps.
+#ifndef NV_FLEET_ADAPTIVE_H
+#define NV_FLEET_ADAPTIVE_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "fleet/ops.h"
+
+namespace nv::fleet {
+
+/// How far and how fast the live CampaignPolicy moves away from its baseline
+/// while campaigns fire, and how it relaxes once they stop.
+struct AdaptivePolicyConfig {
+  /// Master switch; a default FleetConfig keeps the static-policy behavior.
+  bool enabled = false;
+  /// Each alert shrinks the live threshold by `threshold_step`, never below
+  /// `threshold_floor` (a floor of 1 means: while under attack, every single
+  /// same-signature quarantine is campaign evidence).
+  unsigned threshold_floor = 1;
+  unsigned threshold_step = 1;
+  /// Each alert widens the live window by `window_step`, never past
+  /// `window_cap` — a probing attacker who slows down to dodge the window
+  /// finds it has grown to meet them.
+  std::chrono::milliseconds window_cap{120'000};
+  std::chrono::milliseconds window_step{10'000};
+  /// Tightening also arms CampaignPolicy::rotate_fleet_on_alert, so the next
+  /// alert proactively re-diversifies the surviving sessions even when the
+  /// baseline posture does not.
+  bool arm_rotation = true;
+  /// The strongest lever (Chen et al.: defense = defender's re-diversify
+  /// rate vs. the attacker's probing rate): while tightened, the fleet
+  /// re-diversifies EVERY interval — not just on alerts, which one long
+  /// campaign raises only once (later incidents join silently). Zero
+  /// disables; decaying back to baseline stops the rotations.
+  std::chrono::milliseconds tightened_rotation_interval{0};
+  /// A stretch this long with no new alert decays the policy ONE step back
+  /// toward baseline (threshold up, window down; rotation disarms — unless
+  /// the baseline itself armed it — once fully at baseline). Several elapsed
+  /// quiet periods decay several steps in one poll.
+  std::chrono::milliseconds quiet_period{30'000};
+};
+
+/// Thread-safe controller owning the tighten/decay state machine. The fleet
+/// feeds it alerts (on_alert) and polls it for decay (poll); both return the
+/// new policy when it changed so the caller can install it into the live
+/// CampaignCorrelator via set_policy().
+class AdaptivePolicyController {
+ public:
+  AdaptivePolicyController(AdaptivePolicyConfig config, CampaignPolicy baseline,
+                           ClockFn clock = {});
+
+  /// A campaign alert fired: tighten one step. Returns the new policy when
+  /// anything moved (already at floor+cap with rotation armed => nullopt,
+  /// but the quiet timer still restarts).
+  [[nodiscard]] std::optional<CampaignPolicy> on_alert(const CampaignAlert& alert);
+
+  /// Any quarantine — alerting or not — is attacker activity: restart the
+  /// quiet timer. Without this an ongoing campaign whose later incidents
+  /// merely JOIN the open alert (no re-alert) would decay the policy while
+  /// the attack is still running.
+  void on_incident();
+
+  /// Decay check: walks the policy back ONE step once a quiet period has
+  /// elapsed since the last alert/incident/decay (several elapsed periods
+  /// catch up one step per subsequent poll). Returns the new policy when it
+  /// moved. Cheap when at baseline (single mutex + compare).
+  [[nodiscard]] std::optional<CampaignPolicy> poll();
+
+  /// True when the heightened posture owes a periodic re-diversification:
+  /// tightened, tightened_rotation_interval set, and an interval has elapsed
+  /// since the last one. Consuming — the caller that gets `true` must
+  /// perform the rotation (VariantFleet::poll_adaptive does).
+  [[nodiscard]] bool rotation_due();
+
+  [[nodiscard]] CampaignPolicy current() const;
+  [[nodiscard]] const CampaignPolicy& baseline() const noexcept { return baseline_; }
+  /// True while the live policy sits anywhere off baseline.
+  [[nodiscard]] bool tightened() const;
+  [[nodiscard]] std::uint64_t times_tightened() const;
+  [[nodiscard]] std::uint64_t times_decayed() const;
+
+  /// "adaptive policy: threshold 1 (baseline 3), window 30000 ms (baseline
+  /// 10000), rotation armed; tightened 2x, decayed 0x"
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  [[nodiscard]] bool at_baseline_locked() const;
+  /// One decay step toward baseline; true when anything moved.
+  bool decay_step_locked();
+
+  AdaptivePolicyConfig config_;
+  CampaignPolicy baseline_;
+  ClockFn clock_;
+
+  mutable std::mutex mutex_;
+  CampaignPolicy current_;
+  /// Start of the current quiet stretch: the last alert or decay step.
+  std::chrono::steady_clock::time_point quiet_since_{};
+  /// Last heightened-posture rotation (or the tighten that started it).
+  std::chrono::steady_clock::time_point last_rotation_{};
+  std::uint64_t tightened_count_ = 0;
+  std::uint64_t decayed_count_ = 0;
+};
+
+}  // namespace nv::fleet
+
+#endif  // NV_FLEET_ADAPTIVE_H

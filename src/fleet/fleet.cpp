@@ -35,6 +35,9 @@ VariantFleet::VariantFleet(FleetConfig config)
       factory_(config_.spec, resolve_seed(config_.seed), variants::builtin_registry()),
       telemetry_(pool_size_),
       correlator_(config_.campaign, clock_) {
+  if (config_.adaptive.enabled) {
+    adaptive_.emplace(config_.adaptive, config_.campaign, clock_);
+  }
   if (config_.queue_capacity == 0) {
     throw std::invalid_argument("fleet queue capacity must be positive");
   }
@@ -147,12 +150,24 @@ DrainReport VariantFleet::drain(std::optional<std::chrono::milliseconds> deadlin
     queue_not_empty_.notify_all();
     queue_not_full_.notify_all();
     if (deadline.has_value()) {
-      // Give the lanes until the deadline (on the INJECTED clock — tests
-      // drive it manually) to work the queues down. Sliced waits instead of
-      // wait_until: a manual clock never fires a real-time timeout.
+      // Give the lanes until the deadline (on the injected clock) to work
+      // the queues down. Workers notify drain_progress_ on every pop and
+      // lane retirement, so this wait is event-driven, not a busy-spin.
       const auto deadline_at = clock_() + *deadline;
-      while (total_queued_ > 0 && clock_() < deadline_at) {
-        drain_progress_.wait_for(lock, std::chrono::milliseconds(1));
+      if (!config_.clock) {
+        // Real steady clock: a timed wait fires exactly at the deadline.
+        while (total_queued_ > 0 && clock_() < deadline_at) {
+          drain_progress_.wait_until(lock, deadline_at);
+        }
+      } else {
+        // Injected clock: a real-time wait_until means nothing — the clock
+        // only moves when its owner advances it. Re-check on worker progress
+        // and on notify_time_advanced() (wire it up via
+        // ManualClock::subscribe); the coarse slice below is only a safety
+        // net for injected clocks nobody subscribed.
+        while (total_queued_ > 0 && clock_() < deadline_at) {
+          drain_progress_.wait_for(lock, std::chrono::milliseconds(50));
+        }
       }
       // Past the deadline: abandon everything still queued. In-flight jobs
       // are NOT abandoned — the join below waits for them.
@@ -199,6 +214,45 @@ std::vector<QuarantineRecord> VariantFleet::quarantine_log() const {
 
 std::vector<CampaignAlert> VariantFleet::campaign_alerts() const {
   return correlator_.alerts();
+}
+
+std::vector<CampaignAlert> VariantFleet::open_campaigns() const {
+  return correlator_.open_campaigns();
+}
+
+CampaignPolicy VariantFleet::campaign_policy() const { return correlator_.policy(); }
+
+void VariantFleet::notify_time_advanced() noexcept { drain_progress_.notify_all(); }
+
+std::size_t VariantFleet::rotate_fleet() {
+  const std::scoped_lock lock(queue_mutex_);
+  std::size_t flagged = 0;
+  for (unsigned lane = 0; lane < pool_size_; ++lane) {
+    LaneFlags& flags = lane_flags_[lane];
+    // A lane mid-respawn is skipped for the same reason campaign escalation
+    // skips it: it is about to install a fresh draw anyway, and the unique
+    // reexpression space is finite.
+    if (!flags.dead && !flags.exited && !flags.respawning && !flags.rotate) {
+      flags.rotate = true;
+      ++flagged;
+    }
+  }
+  queue_not_empty_.notify_all();
+  return flagged;
+}
+
+std::size_t VariantFleet::poll_adaptive() {
+  if (!adaptive_.has_value()) return 0;
+  {
+    // Decay first: a posture that just relaxed to baseline owes no rotation.
+    const std::scoped_lock install_lock(adaptive_install_mutex_);
+    if (auto next = adaptive_->poll()) {
+      correlator_.set_policy(*next);
+      telemetry_.note_policy_decayed();
+    }
+  }
+  if (adaptive_->rotation_due()) return rotate_fleet();
+  return 0;
 }
 
 void VariantFleet::worker_loop(unsigned lane) {
@@ -284,7 +338,11 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
     system = sessions_[lane].system.get();
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  // Latency is measured on the INJECTED clock, like every other fleet
+  // duration: under a ManualClock a sample is exactly the time the test (or
+  // experiment) advanced during the job — not wall-clock noise that would
+  // poison the population experiments' telemetry.
+  const auto start = clock_();
   try {
     outcome.report = job.fn(*system);
   } catch (const std::exception& e) {
@@ -298,8 +356,7 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
   // before the job threw, the quarantine record must retain the REAL alarm,
   // not a synthesized guest-error.
   if (system->running()) outcome.report = system->stop();
-  const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - start);
+  const auto latency = std::chrono::duration_cast<std::chrono::microseconds>(clock_() - start);
   outcome.latency = latency;
 
   telemetry_.record_latency(lane, static_cast<double>(latency.count()));
@@ -329,6 +386,9 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
       lane_flags_[lane].respawning = false;
     }
   }
+  // Every finished job is a decay opportunity: a serving fleet relaxes a
+  // tightened policy on its own once the quiet period passes.
+  poll_adaptive();
   job.promise.set_value(std::move(outcome));
 }
 
@@ -378,9 +438,22 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
     const std::scoped_lock lock(quarantine_mutex_);
     quarantine_log_.push_back(std::move(record));
   }
+  // Every quarantine is attacker activity: an ongoing campaign whose later
+  // incidents merely JOIN (no re-alert) must still defer the adaptive decay.
+  if (adaptive_.has_value()) adaptive_->on_incident();
   if (alert.has_value()) {
     telemetry_.note_campaign();
-    if (config_.campaign.rotate_fleet_on_alert) request_rotation_except(lane);
+    if (adaptive_.has_value()) {
+      const std::scoped_lock install_lock(adaptive_install_mutex_);
+      if (auto next = adaptive_->on_alert(*alert)) {
+        correlator_.set_policy(*next);
+        telemetry_.note_policy_tightened();
+      }
+    }
+    // Rotation escalation reads the LIVE policy: adaptation may have armed
+    // rotate_fleet_on_alert for exactly this alert even though the baseline
+    // posture leaves it off.
+    if (correlator_.policy().rotate_fleet_on_alert) request_rotation_except(lane);
     if (config_.on_campaign) config_.on_campaign(*alert);
   }
 }
@@ -405,7 +478,14 @@ void VariantFleet::request_rotation_except(unsigned lane) {
 // dead lane's worker retires before ever reaching here, so the swap is safe.
 void VariantFleet::rotate_lane(unsigned lane) {
   auto replacement = factory_.make_session();
-  if (!replacement) return;  // keep serving on the old session; rotation is best-effort
+  if (!replacement) {
+    // Rotation is best-effort — the lane keeps serving on its old session —
+    // but a fleet that silently keeps burned reexpressions in service after
+    // a rotation order is an operator hazard: count it so a key-space-
+    // exhausted factory shows up in telemetry instead of nowhere.
+    telemetry_.note_rotation_failed();
+    return;
+  }
   {
     const std::scoped_lock lock(sessions_mutex_);
     sessions_[lane] = std::move(*replacement);
@@ -434,6 +514,9 @@ void VariantFleet::retire_lane_locked(unsigned lane) {
   // Failed jobs freed capacity: submitters blocked on backpressure must
   // re-check (and hit enqueue's no-live-lane fast-fail instead of hanging).
   queue_not_full_.notify_all();
+  // And they shrank total_queued_: a deadline drain waiting for the queues
+  // to empty must re-check now, not on its fallback poll.
+  drain_progress_.notify_all();
 }
 
 }  // namespace nv::fleet

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "core/nvariant_system.h"
+#include "fleet/adaptive.h"
 #include "fleet/ops.h"
 #include "fleet/session_factory.h"
 #include "fleet/telemetry.h"
@@ -101,8 +102,14 @@ struct FleetConfig {
   /// buys (bench_fleet_throughput does exactly that).
   bool work_stealing = true;
   /// Campaign correlation policy: K, the sliding window, and whether an
-  /// alert rotates the surviving sessions to fresh reexpressions.
+  /// alert rotates the surviving sessions to fresh reexpressions. With
+  /// adaptation enabled this is the BASELINE the live policy tightens away
+  /// from and decays back to.
   CampaignPolicy campaign;
+  /// Campaign-driven adaptive defense (see fleet/adaptive.h): every alert
+  /// tightens the live policy fleet-wide, quiet periods decay it back.
+  /// Disabled by default — the static-policy posture of earlier revisions.
+  AdaptivePolicyConfig adaptive;
   /// Escalation hook: invoked on the quarantining worker's thread each time
   /// a NEW campaign alert is raised (joins do not re-fire). Keep it cheap.
   std::function<void(const CampaignAlert&)> on_campaign;
@@ -151,11 +158,46 @@ class VariantFleet {
   /// mirrored in telemetry jobs_abandoned.
   [[nodiscard]] DrainReport shutdown(std::chrono::milliseconds deadline);
 
+  /// Operator-initiated fleet-wide re-diversification: flag every live lane
+  /// to swap in a freshly-drawn session before its next job (the same
+  /// mechanism campaign escalation uses, minus the alert). Returns how many
+  /// lanes were flagged; each flag resolves asynchronously into exactly one
+  /// telemetry sessions_rotated or rotations_failed increment. This is the
+  /// defender's re-diversification-rate lever the population experiments
+  /// sweep (experiments/population_curves.h).
+  std::size_t rotate_fleet();
+
+  /// Adaptive housekeeping (no-op without a controller): take a due decay
+  /// step, and fire the heightened-posture periodic rotation when one is
+  /// owed (returns how many lanes it flagged, usually 0). Workers poll after
+  /// every job, so a serving fleet adapts on its own; an IDLE fleet needs
+  /// this called (or a job submitted) once the injected clock moves past the
+  /// quiet period / rotation interval.
+  std::size_t poll_adaptive();
+
+  /// Wake a deadline-bounded drain blocked on an INJECTED clock so it
+  /// re-reads the time. Subscribe it to the clock —
+  /// clock.subscribe([&fleet] { fleet.notify_time_advanced(); }) — or call it
+  /// directly after advance(); without it the drain falls back to a coarse
+  /// poll. Harmless no-op otherwise.
+  void notify_time_advanced() noexcept;
+
+  /// The LIVE campaign policy (== FleetConfig::campaign until the adaptive
+  /// controller moves it).
+  [[nodiscard]] CampaignPolicy campaign_policy() const;
+  /// Adaptive controller state, or nullptr when FleetConfig::adaptive is
+  /// disabled. Safe for concurrent reads (the controller locks internally).
+  [[nodiscard]] const AdaptivePolicyController* adaptive() const noexcept {
+    return adaptive_.has_value() ? &*adaptive_ : nullptr;
+  }
+
   [[nodiscard]] FleetTelemetry& telemetry() noexcept { return telemetry_; }
   [[nodiscard]] const FleetTelemetry& telemetry() const noexcept { return telemetry_; }
   [[nodiscard]] std::vector<QuarantineRecord> quarantine_log() const;
   /// Fleet-level campaign alerts raised so far (members folded in).
   [[nodiscard]] std::vector<CampaignAlert> campaign_alerts() const;
+  /// Campaigns whose sliding window is still live right now.
+  [[nodiscard]] std::vector<CampaignAlert> open_campaigns() const;
   [[nodiscard]] unsigned pool_size() const noexcept { return pool_size_; }
   /// Total jobs queued across every lane (excludes in-flight jobs).
   [[nodiscard]] std::size_t queue_depth() const;
@@ -204,6 +246,11 @@ class VariantFleet {
   SessionFactory factory_;
   FleetTelemetry telemetry_;
   CampaignCorrelator correlator_;
+  std::optional<AdaptivePolicyController> adaptive_;
+  /// Serializes {controller decision -> correlator set_policy()} so two
+  /// workers cannot install steps out of order (a stale tighter policy would
+  /// otherwise stick while the controller believes it is at baseline).
+  std::mutex adaptive_install_mutex_;
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;

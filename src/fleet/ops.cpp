@@ -22,20 +22,7 @@ std::optional<CampaignAlert> CampaignCorrelator::observe(const core::Alarm& alar
 
   const std::scoped_lock lock(mutex_);
   ++incidents_;
-
-  // Slide EVERY track's window: incidents older than policy_.window age out,
-  // and a track whose window empties is erased outright — its campaign (if
-  // one was raised) is over, the raised alert lives on in alerts_, and a
-  // long-lived fleet seeing a stream of one-off signatures must not grow
-  // tracks_ without bound. The next burst of an erased signature starts
-  // fresh and may alert again.
-  for (auto it = tracks_.begin(); it != tracks_.end();) {
-    std::deque<Incident>& window = it->second.window;
-    while (!window.empty() && now - window.front().at > policy_.window) {
-      window.pop_front();
-    }
-    it = window.empty() ? tracks_.erase(it) : std::next(it);
-  }
+  prune_locked(now);
 
   Track& track = tracks_[signature.key()];
   track.window.push_back(Incident{now, session_id, fingerprint});
@@ -64,14 +51,54 @@ std::optional<CampaignAlert> CampaignCorrelator::observe(const core::Alarm& alar
   return alert;
 }
 
+// Slide EVERY track's window: incidents older than policy_.window age out,
+// and a track whose window empties is erased outright — its campaign (if
+// one was raised) is over, the raised alert lives on in alerts_, and a
+// long-lived fleet seeing a stream of one-off signatures must not grow
+// tracks_ without bound. The next burst of an erased signature starts
+// fresh and may alert again. Reader APIs prune too: an IDLE fleet must not
+// report a campaign as open forever just because nothing new quarantined.
+void CampaignCorrelator::prune_locked(std::chrono::steady_clock::time_point now) const {
+  for (auto it = tracks_.begin(); it != tracks_.end();) {
+    std::deque<Incident>& window = it->second.window;
+    while (!window.empty() && now - window.front().at > policy_.window) {
+      window.pop_front();
+    }
+    it = window.empty() ? tracks_.erase(it) : std::next(it);
+  }
+}
+
 std::vector<CampaignAlert> CampaignCorrelator::alerts() const {
+  const auto now = clock_();
   const std::scoped_lock lock(mutex_);
+  prune_locked(now);
   return alerts_;
+}
+
+std::vector<CampaignAlert> CampaignCorrelator::open_campaigns() const {
+  const auto now = clock_();
+  const std::scoped_lock lock(mutex_);
+  prune_locked(now);
+  std::vector<CampaignAlert> open;
+  for (const auto& [key, track] : tracks_) {
+    if (track.open_alert.has_value()) open.push_back(alerts_[*track.open_alert]);
+  }
+  return open;
 }
 
 std::uint64_t CampaignCorrelator::incidents_observed() const {
   const std::scoped_lock lock(mutex_);
   return incidents_;
+}
+
+CampaignPolicy CampaignCorrelator::policy() const {
+  const std::scoped_lock lock(mutex_);
+  return policy_;
+}
+
+void CampaignCorrelator::set_policy(CampaignPolicy policy) {
+  const std::scoped_lock lock(mutex_);
+  policy_ = policy;
 }
 
 std::string CampaignAlert::describe() const {

@@ -48,8 +48,24 @@ class ManualClock {
   }
 
   void advance(std::chrono::milliseconds delta) {
+    std::vector<std::function<void()>> wakers;
+    {
+      const std::scoped_lock lock(mutex_);
+      now_ += delta;
+      wakers = wakers_;  // invoke outside the lock: a waker may read now()
+    }
+    for (const auto& waker : wakers) waker();
+  }
+
+  /// Register a callback invoked after every advance(). Components that block
+  /// on a deadline measured against an injected clock (VariantFleet's drain)
+  /// cannot see manual time move on their own; a subscribed waker (e.g.
+  /// [&fleet] { fleet.notify_time_advanced(); }) turns advance() into an
+  /// event instead of something to poll for. The subscriber must outlive the
+  /// clock or the clock must stop advancing first.
+  void subscribe(std::function<void()> waker) {
     const std::scoped_lock lock(mutex_);
-    now_ += delta;
+    wakers_.push_back(std::move(waker));
   }
 
   /// A ClockFn view of this clock; the clock must outlive it.
@@ -60,6 +76,7 @@ class ManualClock {
  private:
   mutable std::mutex mutex_;
   std::chrono::steady_clock::time_point now_{};  // epoch; only deltas matter
+  std::vector<std::function<void()>> wakers_;
 };
 
 /// When does a set of quarantines become a campaign, and what does the fleet
@@ -106,9 +123,19 @@ class CampaignCorrelator {
                                                      const std::string& fingerprint);
 
   /// Every alert raised so far, including members joined after the raise.
+  /// Prunes expired tracks first, so a campaign whose window emptied while
+  /// the fleet sat idle reads as CLOSED here — not open forever just because
+  /// no further observe() happened to slide the window.
   [[nodiscard]] std::vector<CampaignAlert> alerts() const;
+  /// The alerts whose campaigns are still LIVE right now (window non-empty on
+  /// the injected clock). Empty on a fleet that has been quiet for a window.
+  [[nodiscard]] std::vector<CampaignAlert> open_campaigns() const;
   [[nodiscard]] std::uint64_t incidents_observed() const;
-  [[nodiscard]] const CampaignPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] CampaignPolicy policy() const;
+  /// Replace the live policy fleet-wide (thread-safe; the adaptive controller
+  /// tightens/decays through this). A lowered threshold applies from the next
+  /// observe(); a widened window immediately keeps older incidents alive.
+  void set_policy(CampaignPolicy policy);
 
  private:
   struct Incident {
@@ -121,10 +148,15 @@ class CampaignCorrelator {
     std::optional<std::size_t> open_alert;   // index into alerts_ while live
   };
 
+  /// Slide every track's window to `now`; erase emptied tracks (their
+  /// campaigns close). Called under mutex_ from observe() and the read APIs —
+  /// tracks_ is mutable so const readers can expire idle campaigns too.
+  void prune_locked(std::chrono::steady_clock::time_point now) const;
+
   CampaignPolicy policy_;
   ClockFn clock_;
   mutable std::mutex mutex_;
-  std::map<std::string, Track> tracks_;  // AlarmSignature::key() -> live window
+  mutable std::map<std::string, Track> tracks_;  // AlarmSignature::key() -> live window
   std::vector<CampaignAlert> alerts_;
   std::uint64_t incidents_ = 0;
 };

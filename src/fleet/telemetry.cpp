@@ -29,7 +29,10 @@ FleetSnapshot FleetTelemetry::snapshot() const {
   snap.sessions_quarantined = sessions_quarantined_.load(std::memory_order_relaxed);
   snap.sessions_respawned = sessions_respawned_.load(std::memory_order_relaxed);
   snap.sessions_rotated = sessions_rotated_.load(std::memory_order_relaxed);
+  snap.rotations_failed = rotations_failed_.load(std::memory_order_relaxed);
   snap.campaign_alerts = campaign_alerts_.load(std::memory_order_relaxed);
+  snap.policy_tightened = policy_tightened_.load(std::memory_order_relaxed);
+  snap.policy_decayed = policy_decayed_.load(std::memory_order_relaxed);
   snap.syscall_rounds = syscall_rounds_.load(std::memory_order_relaxed);
 
   util::Samples merged;
@@ -49,7 +52,8 @@ std::string FleetSnapshot::describe() const {
   return util::format(
       "jobs: %llu submitted, %llu completed, %llu alarmed, %llu errored, %llu rejected, "
       "%llu stolen, %llu abandoned | "
-      "sessions: %llu quarantined, %llu respawned, %llu rotated | %llu campaign alerts | "
+      "sessions: %llu quarantined, %llu respawned, %llu rotated (%llu rotations failed) | "
+      "%llu campaign alerts | adaptive: %llu tightened, %llu decayed | "
       "%llu syscall rounds | latency us: p50 %.0f, p95 %.0f, p99 %.0f (n=%zu)",
       static_cast<unsigned long long>(jobs_submitted),
       static_cast<unsigned long long>(jobs_completed),
@@ -61,7 +65,10 @@ std::string FleetSnapshot::describe() const {
       static_cast<unsigned long long>(sessions_quarantined),
       static_cast<unsigned long long>(sessions_respawned),
       static_cast<unsigned long long>(sessions_rotated),
+      static_cast<unsigned long long>(rotations_failed),
       static_cast<unsigned long long>(campaign_alerts),
+      static_cast<unsigned long long>(policy_tightened),
+      static_cast<unsigned long long>(policy_decayed),
       static_cast<unsigned long long>(syscall_rounds), latency_p50_us, latency_p95_us,
       latency_p99_us, latency_count);
 }

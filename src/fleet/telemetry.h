@@ -34,7 +34,10 @@ struct FleetSnapshot {
   std::uint64_t sessions_quarantined = 0;
   std::uint64_t sessions_respawned = 0;
   std::uint64_t sessions_rotated = 0;  // proactive re-diversifications (campaign escalation)
+  std::uint64_t rotations_failed = 0;  // rotation kept serving a burned reexpression
   std::uint64_t campaign_alerts = 0;   // fleet-level correlated-attack alerts
+  std::uint64_t policy_tightened = 0;  // adaptive steps away from the baseline policy
+  std::uint64_t policy_decayed = 0;    // adaptive steps back toward the baseline
   std::uint64_t syscall_rounds = 0;  // rendezvous rounds across all sessions
 
   std::size_t latency_count = 0;  // completed-job latencies sampled
@@ -63,7 +66,16 @@ class FleetTelemetry {
   void note_stolen() noexcept { jobs_stolen_.fetch_add(1, std::memory_order_relaxed); }
   void note_abandoned() noexcept { jobs_abandoned_.fetch_add(1, std::memory_order_relaxed); }
   void note_rotated() noexcept { sessions_rotated_.fetch_add(1, std::memory_order_relaxed); }
+  void note_rotation_failed() noexcept {
+    rotations_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
   void note_campaign() noexcept { campaign_alerts_.fetch_add(1, std::memory_order_relaxed); }
+  void note_policy_tightened() noexcept {
+    policy_tightened_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void note_policy_decayed() noexcept {
+    policy_decayed_.fetch_add(1, std::memory_order_relaxed);
+  }
   void add_syscall_rounds(std::uint64_t rounds) noexcept {
     syscall_rounds_.fetch_add(rounds, std::memory_order_relaxed);
   }
@@ -92,7 +104,10 @@ class FleetTelemetry {
   std::atomic<std::uint64_t> sessions_quarantined_{0};
   std::atomic<std::uint64_t> sessions_respawned_{0};
   std::atomic<std::uint64_t> sessions_rotated_{0};
+  std::atomic<std::uint64_t> rotations_failed_{0};
   std::atomic<std::uint64_t> campaign_alerts_{0};
+  std::atomic<std::uint64_t> policy_tightened_{0};
+  std::atomic<std::uint64_t> policy_decayed_{0};
   std::atomic<std::uint64_t> syscall_rounds_{0};
   std::vector<std::unique_ptr<Lane>> lanes_;
 };

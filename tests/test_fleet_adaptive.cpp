@@ -1,0 +1,359 @@
+// Adaptive campaign defense: the AdaptivePolicyController's tighten/decay
+// state machine in isolation, its wiring into VariantFleet (live policy
+// installed in the correlator, telemetry counters, heightened-posture
+// rotation), and the population-curves experiment built on top — all on
+// ManualClock time, no sleeps.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+
+#include "experiments/population_curves.h"
+#include "fleet/adaptive.h"
+#include "fleet/fleet.h"
+#include "fleet/jobs.h"
+#include "fleet/ops.h"
+#include "fleet_test_harness.h"
+
+namespace nv::fleet {
+namespace {
+
+using harness::diversity_part;
+using harness::poison_job;
+using harness::uid_spec;
+using harness::wait_until;
+
+using std::chrono::milliseconds;
+
+CampaignAlert dummy_alert() {
+  CampaignAlert alert;
+  alert.id = 0;
+  return alert;
+}
+
+CampaignPolicy baseline_policy(unsigned threshold, milliseconds window) {
+  CampaignPolicy policy;
+  policy.threshold = threshold;
+  policy.window = window;
+  return policy;
+}
+
+// --- AdaptivePolicyController ------------------------------------------------
+
+TEST(AdaptivePolicy, TightensStepwiseTowardFloorAndCap) {
+  ManualClock clock;
+  AdaptivePolicyConfig config;
+  config.enabled = true;
+  config.threshold_floor = 2;
+  config.threshold_step = 1;
+  config.window_step = milliseconds(5000);
+  config.window_cap = milliseconds(20'000);
+  AdaptivePolicyController controller(config, baseline_policy(5, milliseconds(10'000)),
+                                      clock.fn());
+  EXPECT_FALSE(controller.tightened());
+
+  auto first = controller.on_alert(dummy_alert());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->threshold, 4u);
+  EXPECT_EQ(first->window, milliseconds(15'000));
+  EXPECT_TRUE(first->rotate_fleet_on_alert);  // arm_rotation default
+  EXPECT_TRUE(controller.tightened());
+
+  auto second = controller.on_alert(dummy_alert());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->threshold, 3u);
+  EXPECT_EQ(second->window, milliseconds(20'000));  // cap reached
+
+  auto third = controller.on_alert(dummy_alert());
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->threshold, 2u);  // floor reached
+
+  // Maximally tight: a further alert moves nothing (but still counts as
+  // activity — the quiet timer restarts, covered below).
+  EXPECT_FALSE(controller.on_alert(dummy_alert()).has_value());
+  EXPECT_EQ(controller.times_tightened(), 3u);
+  EXPECT_NE(controller.describe().find("threshold 2 (baseline 5)"), std::string::npos);
+}
+
+TEST(AdaptivePolicy, FloorAndCapAreClampedToTheBaseline) {
+  // A floor ABOVE the baseline (or a cap below it) must not turn "tighten"
+  // into "loosen": the knobs clamp to the baseline.
+  ManualClock clock;
+  AdaptivePolicyConfig config;
+  config.threshold_floor = 10;
+  config.window_cap = milliseconds(1);
+  AdaptivePolicyController controller(config, baseline_policy(3, milliseconds(10'000)),
+                                      clock.fn());
+  auto tightened = controller.on_alert(dummy_alert());
+  ASSERT_TRUE(tightened.has_value());  // rotation arming still moves the policy
+  EXPECT_EQ(tightened->threshold, 3u);
+  EXPECT_EQ(tightened->window, milliseconds(10'000));
+  EXPECT_TRUE(tightened->rotate_fleet_on_alert);
+}
+
+TEST(AdaptivePolicy, DecaysOneStepPerElapsedQuietPeriod) {
+  ManualClock clock;
+  AdaptivePolicyConfig config;
+  config.threshold_floor = 1;
+  config.threshold_step = 1;
+  config.window_step = milliseconds(5000);
+  config.window_cap = milliseconds(60'000);
+  config.quiet_period = milliseconds(10'000);
+  AdaptivePolicyController controller(config, baseline_policy(3, milliseconds(10'000)),
+                                      clock.fn());
+  (void)controller.on_alert(dummy_alert());
+  (void)controller.on_alert(dummy_alert());  // threshold 1, window 20 s
+
+  // Not quiet long enough: nothing decays.
+  clock.advance(milliseconds(9'999));
+  EXPECT_FALSE(controller.poll().has_value());
+
+  // Two full quiet periods elapsed: each poll takes ONE step back.
+  clock.advance(milliseconds(10'002));
+  auto step1 = controller.poll();
+  ASSERT_TRUE(step1.has_value());
+  EXPECT_EQ(step1->threshold, 2u);
+  EXPECT_EQ(step1->window, milliseconds(15'000));
+  auto step2 = controller.poll();
+  ASSERT_TRUE(step2.has_value());
+  EXPECT_EQ(step2->threshold, 3u);
+  EXPECT_EQ(step2->window, milliseconds(10'000));
+  EXPECT_FALSE(step2->rotate_fleet_on_alert);  // disarmed at baseline
+  EXPECT_FALSE(controller.tightened());
+  EXPECT_FALSE(controller.poll().has_value());  // at baseline: nothing to do
+  EXPECT_EQ(controller.times_decayed(), 2u);
+}
+
+TEST(AdaptivePolicy, IncidentsAndAlertsDeferTheDecay) {
+  ManualClock clock;
+  AdaptivePolicyConfig config;
+  config.quiet_period = milliseconds(10'000);
+  AdaptivePolicyController controller(config, baseline_policy(3, milliseconds(10'000)),
+                                      clock.fn());
+  (void)controller.on_alert(dummy_alert());
+
+  // A below-threshold quarantine (a JOIN on an open campaign, say) 8 s in
+  // restarts the quiet clock: 8 s later the policy must still be tight.
+  clock.advance(milliseconds(8'000));
+  controller.on_incident();
+  clock.advance(milliseconds(8'000));
+  EXPECT_FALSE(controller.poll().has_value());
+  EXPECT_TRUE(controller.tightened());
+
+  clock.advance(milliseconds(2'001));  // now 10 s past the incident
+  EXPECT_TRUE(controller.poll().has_value());
+}
+
+TEST(AdaptivePolicy, HeightenedPostureOwesPeriodicRotations) {
+  ManualClock clock;
+  AdaptivePolicyConfig config;
+  config.quiet_period = milliseconds(60'000);
+  config.tightened_rotation_interval = milliseconds(5'000);
+  AdaptivePolicyController controller(config, baseline_policy(3, milliseconds(10'000)),
+                                      clock.fn());
+  EXPECT_FALSE(controller.rotation_due());  // baseline: no rotations owed
+
+  (void)controller.on_alert(dummy_alert());
+  EXPECT_FALSE(controller.rotation_due());  // interval starts at the tighten
+  clock.advance(milliseconds(5'000));
+  EXPECT_TRUE(controller.rotation_due());   // consuming...
+  EXPECT_FALSE(controller.rotation_due());  // ...so asking twice owes once
+  clock.advance(milliseconds(5'000));
+  EXPECT_TRUE(controller.rotation_due());
+}
+
+// --- VariantFleet integration ------------------------------------------------
+
+/// The acceptance scenario: with adaptation enabled, the uid-smash campaign
+/// tightens the LIVE policy fleet-wide (threshold floor reached, window
+/// widened, rotation armed => survivors re-diversified), and a quiet period
+/// later the policy decays back to the configured baseline.
+TEST(FleetAdaptive, UidSmashCampaignTightensThenQuietDecays) {
+  ManualClock clock;
+  FleetConfig config;
+  config.spec = uid_spec();
+  config.pool_size = 3;
+  config.queue_capacity = 32;
+  config.seed = 0xADA1;
+  config.campaign.threshold = 3;
+  config.campaign.window = milliseconds(60'000);
+  config.campaign.rotate_fleet_on_alert = false;  // baseline posture: observe only
+  config.adaptive.enabled = true;
+  config.adaptive.threshold_floor = 1;
+  config.adaptive.threshold_step = 2;  // one alert reaches the floor
+  config.adaptive.window_step = milliseconds(30'000);
+  config.adaptive.window_cap = milliseconds(120'000);
+  config.adaptive.quiet_period = milliseconds(10'000);
+  config.clock = clock.fn();
+  VariantFleet fleet(config);
+
+  std::set<std::string> initial;
+  for (const auto& fp : fleet.live_fingerprints()) initial.insert(diversity_part(fp));
+
+  // The §4 uid-smash fired at three differently-diversified httpd sessions:
+  // three quarantines, one signature, ONE campaign alert.
+  httpd::ServerConfig server;
+  server.uid_ops_mode = guest::UidOpsMode::kSyscallChecked;
+  server.max_requests = 10;
+  for (int i = 0; i < 3; ++i) {
+    const JobOutcome outcome =
+        fleet.submit(jobs::httpd_request_stream(server, jobs::uid_smash_attack())).get();
+    EXPECT_TRUE(outcome.report.attack_detected);
+    EXPECT_TRUE(outcome.session_quarantined);
+  }
+  ASSERT_EQ(fleet.campaign_alerts().size(), 1u);
+
+  // TIGHTENED, fleet-wide and live: threshold at the floor, window widened,
+  // rotation armed — and because arming applies to the alert that tightened,
+  // the two surviving lanes re-diversify even though the baseline never
+  // rotates.
+  const CampaignPolicy tightened = fleet.campaign_policy();
+  EXPECT_EQ(tightened.threshold, 1u);
+  EXPECT_EQ(tightened.window, milliseconds(90'000));
+  EXPECT_TRUE(tightened.rotate_fleet_on_alert);
+  ASSERT_NE(fleet.adaptive(), nullptr);
+  EXPECT_TRUE(fleet.adaptive()->tightened());
+  ASSERT_TRUE(
+      wait_until([&] { return fleet.telemetry().snapshot().sessions_rotated == 2u; }));
+  for (const auto& fp : fleet.live_fingerprints()) {
+    EXPECT_FALSE(initial.contains(diversity_part(fp))) << fp;
+  }
+
+  // The tightening is LIVE in the correlator: with the threshold at the
+  // floor of 1, a single quarantine of a brand-new signature is a campaign
+  // on its own — under the baseline threshold of 3 it would not even warn.
+  EXPECT_TRUE(fleet.submit(poison_job("second wave")).get().session_quarantined);
+  EXPECT_EQ(fleet.campaign_alerts().size(), 2u);
+
+  // QUIET: the posture is two decay steps from baseline (threshold 1 -> 3 is
+  // one step; the cap-widened window needs a second), so wait out two quiet
+  // periods. A benign job's completion triggers the first poll; the
+  // operator-style explicit poll takes the second step.
+  clock.advance(milliseconds(20'002));
+  EXPECT_TRUE(fleet.submit(jobs::uid_churn(3)).get().ok());
+  (void)fleet.poll_adaptive();
+  const CampaignPolicy decayed = fleet.campaign_policy();
+  EXPECT_EQ(decayed.threshold, config.campaign.threshold);
+  EXPECT_EQ(decayed.window, config.campaign.window);
+  EXPECT_FALSE(decayed.rotate_fleet_on_alert);
+  EXPECT_FALSE(fleet.adaptive()->tightened());
+
+  const FleetSnapshot snap = fleet.telemetry().snapshot();
+  EXPECT_EQ(snap.policy_tightened, 2u);  // uid-smash alert + second-wave alert
+  EXPECT_GE(snap.policy_decayed, 1u);
+  EXPECT_EQ(snap.campaign_alerts, 2u);
+}
+
+TEST(FleetAdaptive, IdleCampaignExpiryAndDecayInteract) {
+  // Satellite regression: an idle fleet must close its campaigns
+  // (open_campaigns prunes) AND decay its policy (poll_adaptive), without a
+  // single further quarantine.
+  ManualClock clock;
+  FleetConfig config;
+  config.spec = uid_spec();
+  config.pool_size = 2;
+  config.queue_capacity = 16;
+  config.seed = 0xADA2;
+  config.campaign.threshold = 2;
+  config.campaign.window = milliseconds(5'000);
+  config.adaptive.enabled = true;
+  config.adaptive.threshold_floor = 1;
+  config.adaptive.window_step = milliseconds(5'000);
+  config.adaptive.window_cap = milliseconds(30'000);
+  config.adaptive.quiet_period = milliseconds(20'000);
+  config.clock = clock.fn();
+  VariantFleet fleet(config);
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(fleet.submit(poison_job("idle probe")).get().session_quarantined);
+  }
+  ASSERT_EQ(fleet.open_campaigns().size(), 1u);
+  EXPECT_TRUE(fleet.adaptive()->tightened());
+
+  // The widened window (10 s) outlives the baseline window: at 7 s the
+  // campaign is still open BECAUSE the policy is tight.
+  clock.advance(milliseconds(7'000));
+  EXPECT_EQ(fleet.open_campaigns().size(), 1u);
+
+  // Past the widened window the campaign closes on the idle fleet; past the
+  // quiet period the policy decays back — and with the baseline window
+  // restored, the already-closed campaign stays closed.
+  clock.advance(milliseconds(4'000));  // t = 11 s > 10 s widened window
+  EXPECT_TRUE(fleet.open_campaigns().empty());
+  EXPECT_TRUE(fleet.adaptive()->tightened());  // decay needs the quiet period
+
+  clock.advance(milliseconds(10'000));  // t = 21 s > 20 s quiet period
+  (void)fleet.poll_adaptive();          // idle fleet: the operator's tick
+  EXPECT_FALSE(fleet.adaptive()->tightened());
+  EXPECT_EQ(fleet.campaign_policy().threshold, 2u);
+  EXPECT_EQ(fleet.telemetry().snapshot().policy_decayed, 1u);
+  EXPECT_EQ(fleet.campaign_alerts().size(), 1u);  // history intact
+}
+
+TEST(FleetAdaptive, TightenedPostureRotatesPeriodicallyViaPoll) {
+  ManualClock clock;
+  FleetConfig config;
+  config.spec = uid_spec();
+  config.pool_size = 2;
+  config.queue_capacity = 16;
+  config.seed = 0xADA3;
+  config.campaign.threshold = 2;
+  config.campaign.window = milliseconds(60'000);
+  config.adaptive.enabled = true;
+  config.adaptive.arm_rotation = false;  // isolate the periodic lever
+  config.adaptive.quiet_period = milliseconds(60'000);
+  config.adaptive.tightened_rotation_interval = milliseconds(1'000);
+  config.clock = clock.fn();
+  VariantFleet fleet(config);
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(fleet.submit(poison_job("posture probe")).get().session_quarantined);
+  }
+  ASSERT_TRUE(fleet.adaptive()->tightened());
+  EXPECT_EQ(fleet.telemetry().snapshot().sessions_rotated, 0u);
+
+  clock.advance(milliseconds(1'000));
+  EXPECT_EQ(fleet.poll_adaptive(), 2u);  // one rotation owed, both lanes flagged
+  ASSERT_TRUE(
+      wait_until([&] { return fleet.telemetry().snapshot().sessions_rotated == 2u; }));
+  EXPECT_EQ(fleet.poll_adaptive(), 0u);  // nothing further owed yet
+}
+
+// --- Population-curves experiment -------------------------------------------
+
+TEST(PopulationCurves, FasterRediversificationRaisesAttackerCost) {
+  experiments::PopulationExperimentConfig config;
+  config.pool_size = 2;
+  config.seed = 0xE59;
+  config.ticks = 120;
+  config.tick = milliseconds(10);
+  config.attacker.keyspace = 11;
+  config.timeline_stride = 10;
+
+  config.rediversify_interval = milliseconds(0);
+  const auto never = experiments::run_population_experiment(config);
+  config.rediversify_interval = milliseconds(400);
+  const auto slow = experiments::run_population_experiment(config);
+  config.rediversify_interval = milliseconds(100);
+  const auto fast = experiments::run_population_experiment(config);
+
+  // Probes really cost one quarantine each.
+  EXPECT_EQ(never.quarantines, never.probes - never.silent_compromises);
+  EXPECT_GT(never.compromised_lane_ticks, 0u);
+  EXPECT_GT(slow.rotations, 0u);
+  EXPECT_GT(fast.rotations, slow.rotations);
+
+  // The headline claim, in miniature: cost rises with the rate.
+  EXPECT_LT(never.attacker_cost, slow.attacker_cost);
+  EXPECT_LT(slow.attacker_cost, fast.attacker_cost);
+
+  // Deterministic: the same config replays to the same ledger.
+  config.rediversify_interval = milliseconds(0);
+  const auto replay = experiments::run_population_experiment(config);
+  EXPECT_EQ(replay.probes, never.probes);
+  EXPECT_EQ(replay.compromised_lane_ticks, never.compromised_lane_ticks);
+  EXPECT_EQ(replay.quarantines, never.quarantines);
+}
+
+}  // namespace
+}  // namespace nv::fleet

@@ -171,6 +171,50 @@ TEST(CampaignCorrelator, SlidingWindowAgesIncidentsOut) {
   EXPECT_TRUE(correlator.observe(uid_mismatch_alarm(1, 5), 4, "fp-4").has_value());
 }
 
+TEST(CampaignCorrelator, IdleExpiryClosesCampaignsWithoutAnObserve) {
+  // Regression: windows used to be pruned only inside observe(), so a fleet
+  // that went idle after a campaign reported it open FOREVER. The read APIs
+  // prune now: open_campaigns() empties once the window ages out, while
+  // alerts() keeps the historical record.
+  ManualClock clock;
+  CampaignCorrelator correlator(policy_of(2, std::chrono::milliseconds(500)), clock.fn());
+  EXPECT_FALSE(correlator.observe(uid_mismatch_alarm(1, 1), 0, "fp-0").has_value());
+  EXPECT_TRUE(correlator.observe(uid_mismatch_alarm(1, 2), 1, "fp-1").has_value());
+  ASSERT_EQ(correlator.open_campaigns().size(), 1u);
+
+  // NOTHING further observed: the campaign must still close on its own.
+  clock.advance(std::chrono::milliseconds(501));
+  EXPECT_TRUE(correlator.open_campaigns().empty());
+  EXPECT_EQ(correlator.alerts().size(), 1u);  // history survives the close
+
+  // And the closed track really is gone: the next burst is a NEW campaign.
+  EXPECT_FALSE(correlator.observe(uid_mismatch_alarm(1, 3), 2, "fp-2").has_value());
+  EXPECT_TRUE(correlator.observe(uid_mismatch_alarm(1, 4), 3, "fp-3").has_value());
+  EXPECT_EQ(correlator.alerts().size(), 2u);
+  EXPECT_EQ(correlator.open_campaigns().size(), 1u);
+}
+
+TEST(CampaignCorrelator, SetPolicyAppliesToTheLiveWindow) {
+  ManualClock clock;
+  CampaignCorrelator correlator(policy_of(5, std::chrono::milliseconds(1000)), clock.fn());
+  EXPECT_FALSE(correlator.observe(uid_mismatch_alarm(1, 1), 0, "fp-0").has_value());
+  EXPECT_FALSE(correlator.observe(uid_mismatch_alarm(1, 2), 1, "fp-1").has_value());
+
+  // Tighten K to 3 mid-stream: the 3rd same-signature incident now alerts.
+  auto policy = correlator.policy();
+  policy.threshold = 3;
+  correlator.set_policy(policy);
+  EXPECT_TRUE(correlator.observe(uid_mismatch_alarm(1, 3), 2, "fp-2").has_value());
+
+  // Widening the window immediately keeps older incidents alive: at 1500 ms
+  // the incidents from t=0 would have aged out of the original 1000 ms
+  // window, but the widened one still holds them.
+  policy.window = std::chrono::milliseconds(5000);
+  correlator.set_policy(policy);
+  clock.advance(std::chrono::milliseconds(1500));
+  EXPECT_EQ(correlator.open_campaigns().size(), 1u);
+}
+
 TEST(CampaignCorrelator, CampaignClosesWhenWindowEmptiesThenCanRealert) {
   ManualClock clock;
   CampaignCorrelator correlator(policy_of(2, std::chrono::milliseconds(500)), clock.fn());
@@ -323,6 +367,100 @@ TEST(FleetCampaign, CoordinatedUidSmashAcrossSessionsIsOneCampaign) {
   EXPECT_EQ(alerts[0].session_ids.size(), 3u);
   EXPECT_EQ(alerts[0].signature.kind, core::AlarmKind::kUidCheckFailed);
   EXPECT_EQ(fleet.telemetry().snapshot().campaign_alerts, 1u);
+}
+
+// --- VariantFleet: injected-clock determinism -------------------------------
+
+TEST(FleetClock, JobLatencyIsMeasuredOnTheInjectedClock) {
+  // Regression: run_job used to read std::chrono::steady_clock directly, so
+  // under a ManualClock every latency sample was wall-clock noise — poisoning
+  // the population experiments' telemetry. Latency must be EXACTLY the manual
+  // time the job advanced: not approximately, exactly.
+  ManualClock clock;
+  FleetConfig config;
+  config.spec = uid_spec();
+  config.pool_size = 1;
+  config.queue_capacity = 8;
+  config.seed = 0xC10C;
+  config.clock = clock.fn();
+  VariantFleet fleet(config);
+
+  const JobOutcome slow = fleet
+                              .submit([&clock](core::NVariantSystem&) -> core::RunReport {
+                                clock.advance(std::chrono::milliseconds(7));
+                                core::RunReport report;
+                                report.completed = true;
+                                return report;
+                              })
+                              .get();
+  EXPECT_EQ(slow.latency, std::chrono::microseconds(7000));
+
+  // A job that advances nothing took zero manual time — however long the
+  // worker actually spent on it.
+  const JobOutcome instant = fleet.submit(jobs::uid_churn(5)).get();
+  EXPECT_TRUE(instant.ok());
+  EXPECT_EQ(instant.latency, std::chrono::microseconds(0));
+
+  const FleetSnapshot snap = fleet.telemetry().snapshot();
+  ASSERT_EQ(snap.latency_count, 2u);
+  // Samples are exactly {0, 7000}: every derived statistic is exact too.
+  EXPECT_DOUBLE_EQ(snap.latency_mean_us, 3500.0);
+  EXPECT_DOUBLE_EQ(snap.latency_p50_us, 3500.0);
+}
+
+// --- VariantFleet: rotation failure visibility ------------------------------
+
+TEST(FleetRotation, OperatorRotationRediversifiesEveryLane) {
+  FleetConfig config;
+  config.spec = uid_spec();
+  config.pool_size = 3;
+  config.queue_capacity = 16;
+  config.seed = 0x207A;
+  VariantFleet fleet(config);
+
+  std::set<std::string> before;
+  for (const auto& fp : fleet.live_fingerprints()) before.insert(diversity_part(fp));
+  ASSERT_EQ(fleet.rotate_fleet(), 3u);
+  ASSERT_TRUE(
+      wait_until([&] { return fleet.telemetry().snapshot().sessions_rotated == 3u; }));
+  for (const auto& fp : fleet.live_fingerprints()) {
+    EXPECT_FALSE(before.contains(diversity_part(fp))) << fp;
+  }
+  EXPECT_EQ(fleet.telemetry().snapshot().rotations_failed, 0u);
+  EXPECT_TRUE(fleet.submit(jobs::uid_churn(3)).get().ok());
+}
+
+TEST(FleetRotation, ExhaustedKeySpaceMakesRotationFailuresVisible) {
+  // Regression: rotate_lane used to swallow factory failure — a fleet-wide
+  // rotation that silently left burned reexpressions in service was invisible
+  // to operators. Drive the factory to key-space exhaustion
+  // (address-partitioning draws from exactly 16 strides) and demand the
+  // failed rotations show up in telemetry and describe().
+  FleetConfig config;
+  config.spec.n_variants = 2;
+  config.spec.variations = {"address-partitioning"};
+  config.pool_size = 2;
+  config.queue_capacity = 32;
+  config.seed = 2026;
+  VariantFleet fleet(config);
+
+  // 2 initial draws + 14 quarantine respawns = all 16 strides issued.
+  for (int i = 0; i < 14; ++i) {
+    ASSERT_TRUE(fleet.submit(poison_job("burn the key space")).get().session_quarantined);
+  }
+  const auto before = fleet.live_fingerprints();
+
+  // Both lanes are alive but NO unique reexpression remains: every rotation
+  // must fail, keep the old session serving, and be counted.
+  ASSERT_EQ(fleet.rotate_fleet(), 2u);
+  ASSERT_TRUE(
+      wait_until([&] { return fleet.telemetry().snapshot().rotations_failed == 2u; }));
+  const FleetSnapshot snap = fleet.telemetry().snapshot();
+  EXPECT_EQ(snap.sessions_rotated, 0u);
+  EXPECT_NE(snap.describe().find("2 rotations failed"), std::string::npos)
+      << snap.describe();
+  EXPECT_EQ(fleet.live_fingerprints(), before);  // old sessions stayed in service
+  EXPECT_TRUE(fleet.submit(jobs::uid_churn(3)).get().ok());
 }
 
 // --- VariantFleet: work stealing --------------------------------------------
@@ -496,6 +634,9 @@ TEST(FleetDrain, ManualClockDeadlineIsHonored) {
   config.seed = 0xD7A2;
   config.clock = clock.fn();
   VariantFleet fleet(config);
+  // Event-driven drain: every advance() wakes the drain loop so it re-reads
+  // the manual clock instead of relying on its coarse fallback poll.
+  clock.subscribe([&fleet] { fleet.notify_time_advanced(); });
 
   GatedJob blocker;
   auto fb = fleet.submit(blocker.job());
@@ -553,6 +694,7 @@ TEST(FleetDrain, TrySubmitRefusalsDuringDrainAreCountedExactly) {
   config.seed = 0xD7A4;
   config.clock = clock.fn();
   VariantFleet fleet(config);
+  clock.subscribe([&fleet] { fleet.notify_time_advanced(); });
 
   GatedJob blocker;
   auto fb = fleet.submit(blocker.job());

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Schema + invariant check for BENCH_population_curves.json.
+
+CI runs this on the document bench_population_curves just wrote, so future
+PRs can diff curves knowing the shape is stable and the core claim holds:
+
+  - schema is "population_curves/v1" with the documented keys;
+  - the grid is ordered by ascending re-diversification rate;
+  - attacker cost rises STRICTLY MONOTONICALLY along the grid;
+  - ledgers are internally consistent (every failed probe cost one
+    quarantine; timelines are non-empty and time-ordered).
+
+Usage: check_population_curves.py BENCH_population_curves.json
+Exit code 0 on success, 1 with a message on any violation.
+"""
+import json
+import sys
+
+CURVE_KEYS = {
+    "rediversify_interval_ms", "rediversify_rate_hz", "probes",
+    "silent_compromises", "compromised_lane_ticks", "mean_compromised_fraction",
+    "attacker_cost", "quarantines", "rotations", "rotations_failed",
+    "campaign_alerts", "policy_tightened", "policy_decayed", "timeline",
+}
+CONFIG_KEYS = {"pool_size", "keyspace", "probes_per_tick", "tick_ms", "ticks", "seed"}
+
+
+def fail(message: str) -> None:
+    print(f"check_population_curves: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_curve(curve: dict, where: str) -> None:
+    missing = CURVE_KEYS - curve.keys()
+    if missing:
+        fail(f"{where}: missing keys {sorted(missing)}")
+    if not curve["timeline"]:
+        fail(f"{where}: empty timeline")
+    times = [point["t_ms"] for point in curve["timeline"]]
+    if times != sorted(times):
+        fail(f"{where}: timeline is not time-ordered")
+    for point in curve["timeline"]:
+        if not 0.0 <= point["compromised_fraction"] <= 1.0:
+            fail(f"{where}: compromised_fraction out of [0,1]")
+    # Every failed probe cost exactly one quarantine (the successes ran clean).
+    if curve["quarantines"] != curve["probes"] - curve["silent_compromises"]:
+        fail(f"{where}: quarantines != probes - silent_compromises")
+    if curve["attacker_cost"] < 0:
+        fail(f"{where}: negative attacker cost")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_population_curves.py BENCH_population_curves.json")
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    if doc.get("schema") != "population_curves/v1":
+        fail(f"unexpected schema {doc.get('schema')!r}")
+    config = doc.get("config", {})
+    if not CONFIG_KEYS <= config.keys():
+        fail(f"config missing keys {sorted(CONFIG_KEYS - config.keys())}")
+
+    grid = doc.get("grid", [])
+    if len(grid) < 2:
+        fail("grid needs at least two re-diversification rates to be a curve")
+    for i, curve in enumerate(grid):
+        check_curve(curve, f"grid[{i}]")
+
+    rates = [curve["rediversify_rate_hz"] for curve in grid]
+    if rates != sorted(rates):
+        fail("grid is not ordered by ascending re-diversification rate")
+    costs = [curve["attacker_cost"] for curve in grid]
+    for prev, cur in zip(costs, costs[1:]):
+        if cur <= prev:
+            fail(f"attacker cost not strictly monotone: {prev} -> {cur}")
+
+    comparison = doc.get("adaptive_comparison", [])
+    for i, curve in enumerate(comparison):
+        check_curve(curve, f"adaptive_comparison[{i}]")
+    if len(comparison) == 2:
+        static_cost, adaptive_cost = (c["attacker_cost"] for c in comparison)
+        if adaptive_cost <= static_cost:
+            fail(f"adaptive posture did not raise attacker cost "
+                 f"({adaptive_cost} <= {static_cost})")
+
+    print(f"check_population_curves: OK ({len(grid)} grid points, "
+          f"cost {costs[0]:.3f} -> {costs[-1]:.3f}, "
+          f"{len(comparison)} comparison runs)")
+
+
+if __name__ == "__main__":
+    main()
