@@ -30,10 +30,15 @@ experiments::PopulationExperimentConfig base_config(bool quick) {
   config.seed = 0xC0FFEE;
   config.tick = std::chrono::milliseconds(10);
   config.ticks = quick ? 400 : 1600;
-  // Prime, so the success schedule never phase-locks to a rotation interval
-  // (footholds land at varied offsets inside the rotation period and the
-  // average hold is ~interval/2, as the analytic model expects).
-  config.attacker.keyspace = 37;
+  // The attacker probes address-partitioning's REAL registry-reported
+  // keyspace (16 strides => S = 16, success period 160 ms at 1 probe/tick);
+  // uid-xor rides along so the composed session space (~34 bits) never
+  // exhausts the factory. The grid intervals below deliberately avoid
+  // multiples of that 160 ms so the success schedule does not phase-lock to
+  // the rotation period (footholds land at varied offsets and the average
+  // hold stays ~interval/2, as the analytic expectation wants).
+  config.variations = {"address-partitioning", "uid-xor"};
+  config.attacker.probed_variation = "address-partitioning";
   config.attacker.probes_per_tick = 1;
   config.timeline_stride = quick ? 8 : 16;
   return config;
@@ -75,13 +80,14 @@ int main(int argc, char** argv) {
 
   const auto base = base_config(quick);
   std::printf("=== population curves: attacker cost vs. re-diversification rate ===\n");
-  std::printf("(pool %u, model keyspace %u, %u ticks x %lld ms manual time%s)\n\n",
-              base.pool_size, base.attacker.keyspace, base.ticks,
+  std::printf("(pool %u, probing %s, %u ticks x %lld ms manual time%s)\n\n",
+              base.pool_size, base.attacker.probed_variation.c_str(), base.ticks,
               static_cast<long long>(base.tick.count()), quick ? ", --quick" : "");
 
   // The primary grid: periodic re-diversification, slow to fast, campaigns
-  // out of the way (the rotation-rate lever in isolation).
-  const std::vector<std::uint64_t> intervals_ms = {0, 1280, 640, 320, 160, 80};
+  // out of the way (the rotation-rate lever in isolation). No interval is a
+  // multiple of the 160 ms success period (see base_config).
+  const std::vector<std::uint64_t> intervals_ms = {0, 1290, 650, 330, 170, 90};
   std::vector<experiments::PopulationCurve> grid;
   for (const std::uint64_t interval : intervals_ms) {
     auto config = base;
@@ -90,15 +96,17 @@ int main(int argc, char** argv) {
   }
   print_grid(grid);
   std::printf(
-      "reading: each probe costs the attacker one real quarantine; every S-th (here %u-th) guess\n"
-      "lands silently and HOLDS until that session is re-diversified. Rotating faster\n"
-      "shortens every foothold, so the probes the attacker must spend per lane-tick of\n"
-      "control — the attacker cost — rises with the re-diversification rate.\n\n",
-      base.attacker.keyspace);
+      "reading: each probe costs the attacker one real quarantine; every S-th (here %llu-th,\n"
+      "S = 2^%.1f, the registry-reported %s keyspace) guess lands silently\n"
+      "and HOLDS until that session is re-diversified. Rotating faster shortens every\n"
+      "foothold, so the probes the attacker must spend per lane-tick of control — the\n"
+      "attacker cost — rises with the re-diversification rate.\n\n",
+      static_cast<unsigned long long>(grid.front().keyspace_keys),
+      grid.front().keyspace_bits, grid.front().probed_variation.c_str());
 
   // Adaptive vs. static at the same baseline: campaigns ON (threshold 3,
   // 2 s window), no periodic rotation — the defense must come from the
-  // adaptive posture (tighten on alert, re-diversify every 160 ms while
+  // adaptive posture (tighten on alert, re-diversify every 170 ms while
   // tightened, decay after 1 s of quiet).
   std::vector<experiments::PopulationCurve> comparison;
   {
@@ -114,7 +122,7 @@ int main(int argc, char** argv) {
     adaptive_config.adaptive_config.window_cap = std::chrono::milliseconds(8000);
     adaptive_config.adaptive_config.quiet_period = std::chrono::milliseconds(1000);
     adaptive_config.adaptive_config.tightened_rotation_interval =
-        std::chrono::milliseconds(160);
+        std::chrono::milliseconds(170);
     comparison.push_back(experiments::run_population_experiment(adaptive_config));
   }
   std::printf("--- adaptive defense vs. static policy (no periodic rotation) ---\n\n");
@@ -139,7 +147,39 @@ int main(int argc, char** argv) {
         "its footholds. Adaptation buys the rate increase only while under attack.\n\n");
   }
 
-  const std::string json = experiments::curves_to_json(base, grid, comparison, quick);
+  // The entropy A/B: the same attacker, the same fixed rotation rate, probing
+  // variations with DIFFERENT real keyspaces. The curves now carry genuine
+  // per-variation units, so "more entropy => more probes per lane-tick held"
+  // is checkable instead of assumed.
+  std::vector<experiments::PopulationCurve> variation_grid;
+  for (const char* probed : {"address-partitioning", "instruction-tagging"}) {
+    auto config = base;
+    config.variations = {probed, "uid-xor"};
+    config.attacker.probed_variation = probed;
+    config.rediversify_interval = std::chrono::milliseconds(330);
+    variation_grid.push_back(experiments::run_population_experiment(config));
+  }
+  std::printf("--- variation A/B: attacker cost vs. probed keyspace (rotation 330 ms) ---\n\n");
+  {
+    util::TextTable table;
+    table.set_header({"probed variation", "keyspace", "bits", "probes",
+                      "compromised lane-ticks", "attacker cost"});
+    for (std::size_t c = 1; c <= 5; ++c) table.align_right(c);
+    for (const auto& curve : variation_grid) {
+      table.add_row({curve.probed_variation, std::to_string(curve.keyspace_keys),
+                     util::format("%.1f", curve.keyspace_bits), std::to_string(curve.probes),
+                     std::to_string(curve.compromised_lane_ticks),
+                     util::format("%.3f", curve.attacker_cost)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "reading: at a fixed defense rate the attacker's cost scales with the probed\n"
+        "variation's real entropy — the per-variation units Chen et al. ask diversity\n"
+        "effectiveness claims to carry.\n\n");
+  }
+
+  const std::string json =
+      experiments::curves_to_json(base, grid, comparison, variation_grid, quick);
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -166,7 +206,24 @@ int main(int argc, char** argv) {
   if (!adaptive_wins) {
     std::fprintf(stderr, "adaptive posture did not raise attacker cost over static\n");
   }
-  std::printf("=> attacker cost monotone in re-diversification rate: %s; adaptive > static: %s\n",
-              monotone ? "yes" : "NO", adaptive_wins ? "yes" : "NO");
-  return monotone && adaptive_wins ? 0 : 1;
+  // Entropy claim: more real keyspace must cost the attacker more at the same
+  // defense rate (variation_grid is ordered by ascending keyspace_bits).
+  bool entropy_monotone = true;
+  for (std::size_t i = 1; i < variation_grid.size(); ++i) {
+    if (variation_grid[i].keyspace_bits <= variation_grid[i - 1].keyspace_bits ||
+        variation_grid[i].attacker_cost <= variation_grid[i - 1].attacker_cost) {
+      entropy_monotone = false;
+      std::fprintf(stderr,
+                   "ENTROPY VIOLATION: %s (%.1f bits) cost %.3f vs %s (%.1f bits) cost %.3f\n",
+                   variation_grid[i].probed_variation.c_str(), variation_grid[i].keyspace_bits,
+                   variation_grid[i].attacker_cost,
+                   variation_grid[i - 1].probed_variation.c_str(),
+                   variation_grid[i - 1].keyspace_bits, variation_grid[i - 1].attacker_cost);
+    }
+  }
+  std::printf(
+      "=> attacker cost monotone in re-diversification rate: %s; adaptive > static: %s; "
+      "cost monotone in probed entropy: %s\n",
+      monotone ? "yes" : "NO", adaptive_wins ? "yes" : "NO", entropy_monotone ? "yes" : "NO");
+  return monotone && adaptive_wins && entropy_monotone ? 0 : 1;
 }

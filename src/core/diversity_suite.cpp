@@ -38,6 +38,12 @@ DiversitySuite DiversitySuite::identical(unsigned n_variants) {
   return DiversitySuite(n_variants < 2 ? 2 : n_variants, {});
 }
 
+double DiversitySuite::keyspace_bits() const {
+  double bits = 0.0;
+  for (const auto& variation : variations_) bits += variation->keyspace_bits(n_variants_);
+  return bits;
+}
+
 std::string DiversitySuite::describe() const {
   std::string out;
   if (variations_.empty()) {

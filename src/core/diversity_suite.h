@@ -35,6 +35,12 @@ class DiversitySuite {
     return variations_;
   }
 
+  /// Composed per-session fingerprint entropy, in bits: the sum of every
+  /// installed variation's keyspace_bits(n_variants()). Independent draws
+  /// multiply their keyspaces, so bits add; an empty (identical) suite is a
+  /// single-key space (0 bits).
+  [[nodiscard]] double keyspace_bits() const;
+
   /// "uid-xor + address-partitioning across 3 variants" — for logs/reports.
   [[nodiscard]] std::string describe() const;
 

@@ -164,6 +164,14 @@ void NVariantSystem::install_variation(VariationPtr variation) {
   variations_.push_back(std::move(variation));
 }
 
+double NVariantSystem::keyspace_bits() const {
+  double bits = 0.0;
+  for (const auto& variation : variations_) {
+    bits += variation->keyspace_bits(options_.n_variants);
+  }
+  return bits;
+}
+
 void NVariantSystem::install_unshared(std::string path) {
   if (sealed_) throw std::logic_error("sealed system: unshared paths are fixed at build time");
   unshared_.insert(vfs::normalize_path(std::move(path)));

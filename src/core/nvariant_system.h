@@ -122,6 +122,11 @@ class NVariantSystem {
   [[nodiscard]] const std::vector<VariationPtr>& variations() const noexcept {
     return variations_;
   }
+  /// Composed per-session fingerprint entropy: the sum of every installed
+  /// variation's keyspace_bits() — how many bits of re-expression diversity
+  /// this system's parameterization was drawn from (DiversitySuite composes
+  /// the same sum at validation time).
+  [[nodiscard]] double keyspace_bits() const;
   /// Builder-made systems reject policy mutation (the immutability contract).
   [[nodiscard]] bool sealed() const noexcept { return sealed_; }
 

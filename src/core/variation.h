@@ -99,6 +99,20 @@ class Variation {
   virtual void reexpress_result(unsigned variant, const vkernel::SyscallArgs& canonical,
                                 vkernel::SyscallResult& result) const;
 
+  /// Entropy of this variation's re-expression keyspace, in bits: log2 of the
+  /// number of DISTINCT parameterizations a fleet can stamp out for an
+  /// N-variant session (the space a probing attacker must guess through, and
+  /// the space SessionFactory's uniqueness-per-lifetime burns down — its
+  /// draw_params() policy realizes exactly this space per builtin). Zero for
+  /// variations with no drawn parameters (e.g. stack reversal: the layout
+  /// flip is deterministic), which compose as a single-key space. Estimates
+  /// compose additively across a DiversitySuite because the factory draws
+  /// each variation's parameters independently.
+  [[nodiscard]] virtual double keyspace_bits(unsigned n_variants) const {
+    (void)n_variants;
+    return 0.0;
+  }
+
   /// Pairwise disjointedness evidence (§2.3) for variants `vi` and `vj`:
   /// a human-readable violation description, or nullopt when R_vi and R_vj
   /// are disjoint on the sampled domain — or when the variation carries no

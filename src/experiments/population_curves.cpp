@@ -1,11 +1,13 @@
 #include "experiments/population_curves.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 
 #include "fleet/fleet.h"
 #include "util/strings.h"
+#include "variants/registry.h"
 
 namespace nv::experiments {
 
@@ -36,8 +38,8 @@ void await_rotations(const fleet::VariantFleet& fleet, std::uint64_t target) {
 }  // namespace
 
 PopulationCurve run_population_experiment(const PopulationExperimentConfig& config) {
-  if (config.pool_size == 0 || config.ticks == 0 || config.attacker.keyspace < 2) {
-    throw std::invalid_argument("population experiment needs pool, ticks, keyspace >= 2");
+  if (config.pool_size == 0 || config.ticks == 0) {
+    throw std::invalid_argument("population experiment needs a pool and ticks");
   }
   if (config.tick <= std::chrono::milliseconds::zero() ||
       (config.rediversify_interval.count() != 0 &&
@@ -47,11 +49,33 @@ PopulationCurve run_population_experiment(const PopulationExperimentConfig& conf
     throw std::invalid_argument(
         "rediversify_interval must be a positive multiple of tick (or zero)");
   }
+  if (std::find(config.variations.begin(), config.variations.end(),
+                config.attacker.probed_variation) == config.variations.end()) {
+    throw std::invalid_argument("probed_variation must be one of the installed variations");
+  }
+
+  // The attacker's keyspace S is the REAL, registry-reported entropy of the
+  // probed variation — not an analytic model parameter. 2^bits must be small
+  // enough for the deterministic every-S-th-probe schedule to realize it.
+  constexpr unsigned kNVariants = 2;
+  auto probed = variants::builtin_registry().make(config.attacker.probed_variation);
+  if (!probed) {
+    throw std::invalid_argument("population experiment: " + probed.error());
+  }
+  const double keyspace_bits = (*probed)->keyspace_bits(kNVariants);
+  const double keys = std::exp2(keyspace_bits);
+  if (keys < 2.0 || keys > static_cast<double>(1U << 20)) {
+    throw std::invalid_argument(util::format(
+        "probed variation \"%s\" has a keyspace of %.1f bits; the deterministic "
+        "attacker needs 1..20 bits to realize its expected cost",
+        config.attacker.probed_variation.c_str(), keyspace_bits));
+  }
+  const unsigned keyspace = static_cast<unsigned>(std::llround(keys));
 
   fleet::ManualClock clock;
   fleet::FleetConfig fc;
-  fc.spec.n_variants = 2;
-  fc.spec.variations = {"uid-xor"};
+  fc.spec.n_variants = kNVariants;
+  fc.spec.variations = config.variations;
   fc.pool_size = config.pool_size;
   fc.queue_capacity = std::max<std::size_t>(8, config.pool_size * 4);
   fc.seed = config.seed;
@@ -72,6 +96,9 @@ PopulationCurve run_population_experiment(const PopulationExperimentConfig& conf
   curve.rediversify_interval_ms = interval_ms;
   curve.rediversify_rate_hz =
       interval_ms == 0 ? 0.0 : 1000.0 / static_cast<double>(interval_ms);
+  curve.probed_variation = config.attacker.probed_variation;
+  curve.keyspace_bits = keyspace_bits;
+  curve.keyspace_keys = keyspace;
 
   // Attacker state: which lanes it silently controls, and its deterministic
   // expected-cost probe schedule (every S-th probe is the lucky guess).
@@ -146,7 +173,7 @@ PopulationCurve run_population_experiment(const PopulationExperimentConfig& conf
 
       ++curve.probes;
       ++probe_serial;
-      if (probe_serial % config.attacker.keyspace == 0) {
+      if (probe_serial % keyspace == 0) {
         // The lucky guess: the payload matched this session's reexpression,
         // so the request runs CLEAN — the monitor sees normal traffic and
         // the attacker holds the session until re-diversification.
@@ -225,6 +252,10 @@ std::string curve_to_json(const PopulationCurve& curve, const std::string& inden
   json += in + util::format("\"rediversify_interval_ms\": %llu,\n",
                             static_cast<unsigned long long>(curve.rediversify_interval_ms));
   json += in + util::format("\"rediversify_rate_hz\": %.6f,\n", curve.rediversify_rate_hz);
+  json += in + util::format("\"probed_variation\": \"%s\",\n", curve.probed_variation.c_str());
+  json += in + util::format("\"keyspace_bits\": %.6f,\n", curve.keyspace_bits);
+  json += in + util::format("\"keyspace_keys\": %llu,\n",
+                            static_cast<unsigned long long>(curve.keyspace_keys));
   json += in + util::format("\"probes\": %llu,\n",
                             static_cast<unsigned long long>(curve.probes));
   json += in + util::format("\"silent_compromises\": %llu,\n",
@@ -277,13 +308,20 @@ std::string curve_list_to_json(const std::vector<PopulationCurve>& curves) {
 
 std::string curves_to_json(const PopulationExperimentConfig& base,
                            const std::vector<PopulationCurve>& grid,
-                           const std::vector<PopulationCurve>& comparison, bool quick) {
+                           const std::vector<PopulationCurve>& comparison,
+                           const std::vector<PopulationCurve>& variation_grid, bool quick) {
   std::string json = "{\n";
-  json += "  \"schema\": \"population_curves/v1\",\n";
+  json += "  \"schema\": \"population_curves/v2\",\n";
   json += util::format("  \"quick\": %s,\n", quick ? "true" : "false");
   json += "  \"config\": {\n";
   json += util::format("    \"pool_size\": %u,\n", base.pool_size);
-  json += util::format("    \"keyspace\": %u,\n", base.attacker.keyspace);
+  json += "    \"variations\": [";
+  for (std::size_t i = 0; i < base.variations.size(); ++i) {
+    json += util::format("%s\"%s\"", i == 0 ? "" : ", ", base.variations[i].c_str());
+  }
+  json += "],\n";
+  json += util::format("    \"probed_variation\": \"%s\",\n",
+                       base.attacker.probed_variation.c_str());
   json += util::format("    \"probes_per_tick\": %u,\n", base.attacker.probes_per_tick);
   json += util::format("    \"tick_ms\": %lld,\n",
                        static_cast<long long>(base.tick.count()));
@@ -292,7 +330,8 @@ std::string curves_to_json(const PopulationExperimentConfig& base,
                        static_cast<unsigned long long>(base.seed));
   json += "  },\n";
   json += "  \"grid\": " + curve_list_to_json(grid) + ",\n";
-  json += "  \"adaptive_comparison\": " + curve_list_to_json(comparison) + "\n";
+  json += "  \"adaptive_comparison\": " + curve_list_to_json(comparison) + ",\n";
+  json += "  \"variation_grid\": " + curve_list_to_json(variation_grid) + "\n";
   json += "}\n";
   return json;
 }

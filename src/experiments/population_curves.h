@@ -44,10 +44,15 @@ namespace nv::experiments {
 
 /// The scripted attacker's parameters.
 struct AttackerModel {
-  /// Model reexpression-space size S: the expected number of probes to guess
-  /// one session's diversity draw under detect-and-respawn. The script
-  /// realizes the expectation deterministically (every S-th probe succeeds).
-  unsigned keyspace = 32;
+  /// The installed variation whose parameterization the probe payload must
+  /// guess. The reexpression-space size S is NOT modeled analytically: it is
+  /// the registry-reported 2^keyspace_bits() of this variation — real
+  /// entropy units (address-partitioning: its genuine 16-stride space). The
+  /// expected probing cost under detect-and-respawn is S per compromise; the
+  /// script realizes the expectation deterministically (every S-th probe
+  /// succeeds). Must name a member of PopulationExperimentConfig::variations
+  /// whose keyspace is small enough to realize (2 <= S <= 2^20).
+  std::string probed_variation = "address-partitioning";
   /// Probing rate: probes per simulation tick (attacker idles once every
   /// live session is compromised — full control costs nothing to keep).
   unsigned probes_per_tick = 1;
@@ -55,6 +60,11 @@ struct AttackerModel {
 
 struct PopulationExperimentConfig {
   unsigned pool_size = 4;
+  /// The fleet's DiversitySuite recipe. uid-xor rides along so the COMPOSED
+  /// per-session space (keyspace_bits sum ~34 bits) never exhausts the
+  /// SessionFactory during a probing run, while the attacker still pays only
+  /// for the variation it probes.
+  std::vector<std::string> variations = {"address-partitioning", "uid-xor"};
   std::uint64_t seed = 0xC0FFEE;
   /// Simulated duration: `ticks` steps of `tick` manual-clock time each.
   std::chrono::milliseconds tick{10};
@@ -87,6 +97,11 @@ struct TimelinePoint {
 struct PopulationCurve {
   std::uint64_t rediversify_interval_ms = 0;  // 0 = never
   double rediversify_rate_hz = 0.0;           // 0 for never
+  // The probed variation's REAL keyspace (registry-reported), so the curve
+  // carries per-variation entropy units instead of a modeling assumption.
+  std::string probed_variation;
+  double keyspace_bits = 0.0;
+  std::uint64_t keyspace_keys = 0;  // 2^keyspace_bits == the realized S
   // Attacker ledger.
   std::uint64_t probes = 0;
   std::uint64_t silent_compromises = 0;
@@ -110,14 +125,18 @@ struct PopulationCurve {
 [[nodiscard]] PopulationCurve run_population_experiment(
     const PopulationExperimentConfig& config);
 
-/// Serialize a sweep (plus the optional adaptive-vs-static comparison pair)
-/// into the BENCH_population_curves.json document, schema
-/// "population_curves/v1". `grid` must be ordered by ascending
-/// re-diversification rate; tools/check_population_curves.py verifies the
-/// schema and the attacker-cost monotonicity on exactly this document.
+/// Serialize a sweep (plus the optional adaptive-vs-static comparison pair
+/// and the variation A/B grid) into the BENCH_population_curves.json
+/// document, schema "population_curves/v2". `grid` must be ordered by
+/// ascending re-diversification rate; `variation_grid` (runs differing only
+/// in the probed variation, at one fixed rotation rate) by ascending
+/// keyspace_bits. tools/check_population_curves.py verifies the schema, the
+/// attacker-cost monotonicity in rate, and the attacker-cost monotonicity in
+/// entropy on exactly this document.
 [[nodiscard]] std::string curves_to_json(const PopulationExperimentConfig& base,
                                          const std::vector<PopulationCurve>& grid,
                                          const std::vector<PopulationCurve>& comparison,
+                                         const std::vector<PopulationCurve>& variation_grid,
                                          bool quick);
 
 }  // namespace nv::experiments

@@ -49,6 +49,11 @@ VariantFleet::VariantFleet(FleetConfig config)
     }
     sessions_.push_back(std::move(*session));
   }
+  displaced_sessions_.resize(pool_size_);
+  // Arm the backoff so the FIRST low-keyspace rotation is admitted; only the
+  // spacing between subsequent ones is enforced.
+  last_backoff_rotation_ = clock_() - config_.rotation_backoff;
+  (void)refresh_keyspace_gauge();
   lane_queues_.resize(pool_size_);
   lane_flags_.assign(pool_size_, LaneFlags{});
   workers_.reserve(pool_size_);
@@ -224,8 +229,37 @@ CampaignPolicy VariantFleet::campaign_policy() const { return correlator_.policy
 
 void VariantFleet::notify_time_advanced() noexcept { drain_progress_.notify_all(); }
 
+std::uint64_t VariantFleet::low_watermark() const noexcept {
+  return config_.keyspace_low_watermark == 0 ? pool_size_ : config_.keyspace_low_watermark;
+}
+
+KeyspaceAccount VariantFleet::refresh_keyspace_gauge() {
+  const KeyspaceAccount account = factory_.keyspace();
+  telemetry_.set_keyspace(account.keys_total, account.keys_remaining);
+  keyspace_exhausted_.store(account.exhausted(), std::memory_order_relaxed);
+  if (account.tracked && account.keys_remaining <= low_watermark() &&
+      !keyspace_low_fired_.exchange(true) && config_.on_keyspace_low) {
+    config_.on_keyspace_low(account);
+  }
+  return account;
+}
+
 std::size_t VariantFleet::rotate_fleet() {
+  const KeyspaceAccount account = refresh_keyspace_gauge();
+  if (account.exhausted()) {
+    // Every flag would resolve as a rotations_failed increment against a
+    // factory that can never satisfy it. Stop re-flagging; the operator
+    // already heard about it via on_keyspace_low and the gauges.
+    return 0;
+  }
+  const auto now = clock_();
   const std::scoped_lock lock(queue_mutex_);
+  const bool low = account.tracked && account.keys_remaining <= low_watermark();
+  // Low water: still rotate (a burned reexpression in service is worse than
+  // a shorter runway), but no faster than one fleet sweep per backoff
+  // interval — heightened-posture periodic rotation must not sprint through
+  // the last few keys.
+  if (low && now - last_backoff_rotation_ < config_.rotation_backoff) return 0;
   std::size_t flagged = 0;
   for (unsigned lane = 0; lane < pool_size_; ++lane) {
     LaneFlags& flags = lane_flags_[lane];
@@ -234,15 +268,74 @@ std::size_t VariantFleet::rotate_fleet() {
     // reexpression space is finite.
     if (!flags.dead && !flags.exited && !flags.respawning && !flags.rotate) {
       flags.rotate = true;
+      flags.rotate_since = now;
       ++flagged;
     }
   }
+  // Charge the backoff slot only for a sweep that flagged something: a call
+  // that found every lane busy respawning (or already flagged) must not
+  // block the retry that would actually rotate.
+  if (low && flagged > 0) last_backoff_rotation_ = now;
   queue_not_empty_.notify_all();
   return flagged;
 }
 
+std::size_t VariantFleet::enforce_rotation_deadlines() {
+  if (config_.rotation_deadline <= std::chrono::milliseconds::zero()) return 0;
+  const auto now = clock_();
+  std::vector<unsigned> overdue;
+  {
+    const std::scoped_lock lock(queue_mutex_);
+    for (unsigned lane = 0; lane < pool_size_; ++lane) {
+      LaneFlags& flags = lane_flags_[lane];
+      if (flags.rotate && !flags.force_rotating && !flags.dead && !flags.exited &&
+          !flags.respawning && now - flags.rotate_since >= config_.rotation_deadline) {
+        // Latch so the lane's own worker (and concurrent pollers) leave this
+        // rotation to us.
+        flags.force_rotating = true;
+        overdue.push_back(lane);
+      }
+    }
+  }
+  std::size_t swapped = 0;
+  for (const unsigned lane : overdue) {
+    // The session this deadline is about, observed after the latch: if a
+    // concurrent quarantine respawn replaces it while the factory below
+    // works, the lane already holds a fresh never-exposed draw and this
+    // swap must abort rather than displace it.
+    std::uint64_t stale_id = 0;
+    {
+      const std::scoped_lock lock(sessions_mutex_);
+      stale_id = sessions_[lane].id;
+    }
+    auto replacement = factory_.make_session();
+    (void)refresh_keyspace_gauge();
+    if (!replacement) {
+      telemetry_.note_rotation_failed();
+    } else {
+      const std::scoped_lock lock(sessions_mutex_);
+      if (sessions_[lane].id == stale_id) {
+        // The lane may still be driving the old session; park it until its
+        // worker finishes the in-flight job and reaps it (quarantine-style
+        // swap: the stale reexpression leaves service NOW either way).
+        displaced_sessions_[lane].push_back(std::move(sessions_[lane]));
+        sessions_[lane] = std::move(*replacement);
+        telemetry_.note_rotated();
+        ++swapped;
+      }
+      // else: raced a respawn; the surplus replacement is discarded (one
+      // draw lost to the race, the fresh session in the lane is kept).
+    }
+    const std::scoped_lock lock(queue_mutex_);
+    lane_flags_[lane].rotate = false;  // fulfilled (or given up on, counted)
+    lane_flags_[lane].force_rotating = false;
+  }
+  return swapped;
+}
+
 std::size_t VariantFleet::poll_adaptive() {
-  if (!adaptive_.has_value()) return 0;
+  std::size_t moved = enforce_rotation_deadlines();
+  if (!adaptive_.has_value()) return moved;
   {
     // Decay first: a posture that just relaxed to baseline owes no rotation.
     const std::scoped_lock install_lock(adaptive_install_mutex_);
@@ -251,8 +344,13 @@ std::size_t VariantFleet::poll_adaptive() {
       telemetry_.note_policy_decayed();
     }
   }
-  if (adaptive_->rotation_due()) return rotate_fleet();
-  return 0;
+  // Exhaustion-aware heightened posture: when no unique key remains, leave
+  // the rotation debt unconsumed instead of burning a guaranteed failure —
+  // the interval re-fires normally if the operator widens the space. The
+  // cached bit keeps this post-every-job path off the factory mutex.
+  if (keyspace_exhausted_.load(std::memory_order_relaxed)) return moved;
+  if (adaptive_->rotation_due()) return moved + rotate_fleet();
+  return moved;
 }
 
 void VariantFleet::worker_loop(unsigned lane) {
@@ -262,9 +360,13 @@ void VariantFleet::worker_loop(unsigned lane) {
       const std::scoped_lock lock(queue_mutex_);
       // A rotation pending at shutdown is moot: the replacement would never
       // serve a job, and building it would burn a draw from the finite
-      // unique-key space.
-      rotate = lane_flags_[lane].rotate && accepting_;
-      lane_flags_[lane].rotate = false;
+      // unique-key space. A lane mid-force-rotation (deadline enforcement)
+      // leaves the swap to the enforcer.
+      LaneFlags& flags = lane_flags_[lane];
+      rotate = flags.rotate && !flags.force_rotating && accepting_;
+      // Consume the flag unless a deadline enforcer owns it (force_rotating):
+      // a rotation pending at shutdown is consumed as moot too.
+      if (flags.rotate && !flags.force_rotating) flags.rotate = false;
     }
     if (rotate) rotate_lane(lane);  // factory work happens outside the locks
 
@@ -273,12 +375,14 @@ void VariantFleet::worker_loop(unsigned lane) {
     {
       std::unique_lock lock(queue_mutex_);
       queue_not_empty_.wait(lock, [this, lane] {
-        if (lane_flags_[lane].rotate) return true;
+        if (lane_flags_[lane].rotate && !lane_flags_[lane].force_rotating) return true;
         if (!lane_queues_[lane].empty()) return true;
         if (config_.work_stealing && total_queued_ > 0) return true;
         return !accepting_;
       });
-      if (lane_flags_[lane].rotate) continue;  // rotate at the loop top
+      if (lane_flags_[lane].rotate && !lane_flags_[lane].force_rotating) {
+        continue;  // rotate at the loop top
+      }
       if (!lane_queues_[lane].empty()) {
         job = std::move(lane_queues_[lane].front());
         lane_queues_[lane].pop_front();
@@ -312,6 +416,12 @@ void VariantFleet::worker_loop(unsigned lane) {
     }
     if (stolen) telemetry_.note_stolen();
     run_job(lane, std::move(job));
+    // The job this lane just finished was the last possible user of any
+    // session a rotation deadline displaced from under it; reap them now.
+    {
+      const std::scoped_lock lock(sessions_mutex_);
+      displaced_sessions_[lane].clear();
+    }
     // A lane whose respawn failed must retire instead of racing healthy
     // lanes for queued jobs and insta-failing them.
     {
@@ -370,7 +480,9 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
   }
   if (outcome.ok()) {
     const std::scoped_lock lock(sessions_mutex_);
-    ++sessions_[lane].jobs_served;  // clean service only; see QuarantineRecord
+    // Credit the session that actually served the job — a rotation deadline
+    // may have swapped a fresh session into the lane mid-job.
+    if (sessions_[lane].id == outcome.session_id) ++sessions_[lane].jobs_served;
   } else {
     // Flag the lane respawning FIRST so admission routes around it and
     // peers know its backlog is up for stealing while the factory works.
@@ -397,11 +509,31 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
   telemetry_.note_quarantined();
 
   QuarantineRecord record;
+  bool already_replaced = false;
   {
     const std::scoped_lock lock(sessions_mutex_);
-    record.session_id = sessions_[lane].id;
-    record.fingerprint = sessions_[lane].fingerprint;
-    record.jobs_served = sessions_[lane].jobs_served;
+    if (sessions_[lane].id == outcome.session_id) {
+      record.session_id = sessions_[lane].id;
+      record.fingerprint = sessions_[lane].fingerprint;
+      record.jobs_served = sessions_[lane].jobs_served;
+    } else {
+      // A rotation deadline already swapped the poisoned session out from
+      // under this job: it sits among the lane's displaced sessions and the
+      // lane ALREADY holds a fresh, never-exposed replacement. Record the
+      // quarantine against the session the attacker actually faced and keep
+      // the fresh one — burning another draw on it would waste keyspace.
+      already_replaced = true;
+      record.session_id = outcome.session_id;
+      record.fingerprint = "(displaced by rotation deadline)";
+      for (const auto& displaced : displaced_sessions_[lane]) {
+        if (displaced.id == outcome.session_id) {
+          record.fingerprint = displaced.fingerprint;
+          record.jobs_served = displaced.jobs_served;
+        }
+      }
+      record.replacement_id = sessions_[lane].id;
+      record.replacement_fingerprint = sessions_[lane].fingerprint;
+    }
   }
   record.report = outcome.report;
   if (outcome.report.alarm.has_value()) {
@@ -412,21 +544,24 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
                                                      : outcome.error};
   }
 
-  auto replacement = factory_.make_session();
-  if (replacement) {
-    record.replacement_id = replacement->id;
-    record.replacement_fingerprint = replacement->fingerprint;
-    const std::scoped_lock lock(sessions_mutex_);
-    sessions_[lane] = std::move(*replacement);
-    telemetry_.note_respawned();
-  } else {
-    // Keep the poisoned session out of service rather than serving through
-    // a known-compromised reexpression; the lane retires and donates its
-    // backlog to the surviving lanes.
-    record.replacement_fingerprint = "(respawn failed: " + replacement.error() + ")";
-    const std::scoped_lock lock(queue_mutex_);
-    lane_flags_[lane].dead = true;
-    retire_lane_locked(lane);
+  if (!already_replaced) {
+    auto replacement = factory_.make_session();
+    (void)refresh_keyspace_gauge();
+    if (replacement) {
+      record.replacement_id = replacement->id;
+      record.replacement_fingerprint = replacement->fingerprint;
+      const std::scoped_lock lock(sessions_mutex_);
+      sessions_[lane] = std::move(*replacement);
+      telemetry_.note_respawned();
+    } else {
+      // Keep the poisoned session out of service rather than serving through
+      // a known-compromised reexpression; the lane retires and donates its
+      // backlog to the surviving lanes.
+      record.replacement_fingerprint = "(respawn failed: " + replacement.error() + ")";
+      const std::scoped_lock lock(queue_mutex_);
+      lane_flags_[lane].dead = true;
+      retire_lane_locked(lane);
+    }
   }
 
   // Population-level detection: fold this incident into the correlator and
@@ -459,6 +594,11 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
 }
 
 void VariantFleet::request_rotation_except(unsigned lane) {
+  // Campaign escalation outranks the low-keyspace backoff (an active attack
+  // is exactly when a burned reexpression must leave service) but yields to
+  // exhaustion: flagging an empty factory can only churn rotations_failed.
+  if (refresh_keyspace_gauge().exhausted()) return;
+  const auto now = clock_();
   const std::scoped_lock lock(queue_mutex_);
   for (unsigned peer = 0; peer < pool_size_; ++peer) {
     // The quarantining lane just respawned fresh; every other live lane
@@ -466,9 +606,10 @@ void VariantFleet::request_rotation_except(unsigned lane) {
     // A peer that is itself mid-respawn is skipped for the same reason the
     // alerting lane is: it is about to install a fresh draw anyway, and the
     // unique-fingerprint space is finite — don't burn a draw rotating it.
-    const LaneFlags& flags = lane_flags_[peer];
+    LaneFlags& flags = lane_flags_[peer];
     if (peer != lane && !flags.dead && !flags.exited && !flags.respawning) {
-      lane_flags_[peer].rotate = true;
+      if (!flags.rotate) flags.rotate_since = now;
+      flags.rotate = true;
     }
   }
   queue_not_empty_.notify_all();
@@ -478,6 +619,7 @@ void VariantFleet::request_rotation_except(unsigned lane) {
 // dead lane's worker retires before ever reaching here, so the swap is safe.
 void VariantFleet::rotate_lane(unsigned lane) {
   auto replacement = factory_.make_session();
+  (void)refresh_keyspace_gauge();
   if (!replacement) {
     // Rotation is best-effort — the lane keeps serving on its old session —
     // but a fleet that silently keeps burned reexpressions in service after

@@ -113,6 +113,31 @@ struct FleetConfig {
   /// Escalation hook: invoked on the quarantining worker's thread each time
   /// a NEW campaign alert is raised (joins do not re-fire). Keep it cheap.
   std::function<void(const CampaignAlert&)> on_campaign;
+  /// --- Keyspace posture (see SessionFactory::keyspace()) -----------------
+  /// Rotation becomes reluctant once keys_remaining drops to this watermark:
+  /// fleet-wide rotations are throttled to one per `rotation_backoff`, and
+  /// `on_keyspace_low` fires (exactly once per fleet lifetime) the first time
+  /// the factory's account is observed at or below it. 0 = auto: the pool
+  /// size, i.e. "one more fleet-wide rotation would drain the space".
+  std::uint64_t keyspace_low_watermark = 0;
+  /// Minimum spacing between fleet-wide rotations while the keyspace is low
+  /// (measured on the injected clock). Exhaustion stops rotation flagging
+  /// entirely — quarantine respawns, which MUST replace a burned session,
+  /// are never throttled and surface their failures as retired lanes.
+  std::chrono::milliseconds rotation_backoff{1'000};
+  /// Operator hook for the low/exhausted keyspace transition: provision a new
+  /// fleet, widen the spec, or accept reduced re-diversification. Invoked at
+  /// most once, on whichever thread first observes the account at or below
+  /// the watermark. Keep it cheap.
+  std::function<void(const KeyspaceAccount&)> on_keyspace_low;
+  /// Rotation deadline: a lane flagged for rotation normally swaps lazily
+  /// before its next job, so a long-running job pins its stale (possibly
+  /// campaign-burned) re-expression until it finishes. With a deadline set,
+  /// poll_adaptive() force-rotates any lane still flagged after this long:
+  /// the replacement session is installed immediately and the displaced
+  /// session is parked (quarantine-style) until its in-flight job completes
+  /// against it. 0 = lazy rotation only (previous behavior).
+  std::chrono::milliseconds rotation_deadline{0};
   /// Injectable time source for correlator windows and drain deadlines;
   /// empty = real steady clock. Tests install ManualClock::fn().
   ClockFn clock;
@@ -165,15 +190,28 @@ class VariantFleet {
   /// telemetry sessions_rotated or rotations_failed increment. This is the
   /// defender's re-diversification-rate lever the population experiments
   /// sweep (experiments/population_curves.h).
+  ///
+  /// Exhaustion-aware: once the factory's keyspace account reads 0 keys
+  /// remaining this flags NOTHING and returns 0 — re-flagging an empty
+  /// factory only churns rotations_failed without buying diversity. While
+  /// the account is merely LOW (<= keyspace_low_watermark) rotations are
+  /// throttled to one per rotation_backoff.
   std::size_t rotate_fleet();
 
-  /// Adaptive housekeeping (no-op without a controller): take a due decay
-  /// step, and fire the heightened-posture periodic rotation when one is
-  /// owed (returns how many lanes it flagged, usually 0). Workers poll after
-  /// every job, so a serving fleet adapts on its own; an IDLE fleet needs
-  /// this called (or a job submitted) once the injected clock moves past the
-  /// quiet period / rotation interval.
+  /// Fleet housekeeping: enforce the rotation deadline (force-rotating lanes
+  /// whose flag outlived FleetConfig::rotation_deadline), take a due adaptive
+  /// decay step, and fire the heightened-posture periodic rotation when one
+  /// is owed — unless the keyspace is exhausted, in which case the periodic
+  /// rotation is suppressed (it could only fail). Returns how many lanes it
+  /// flagged or force-rotated (usually 0). Workers poll after every job, so
+  /// a serving fleet adapts on its own; an IDLE fleet needs this called (or
+  /// a job submitted) once the injected clock moves past the quiet period /
+  /// rotation interval / rotation deadline.
   std::size_t poll_adaptive();
+
+  /// Live keyspace ledger (factory account; also mirrored into telemetry
+  /// keys_total / keys_remaining gauges after every draw).
+  [[nodiscard]] KeyspaceAccount keyspace() const { return factory_.keyspace(); }
 
   /// Wake a deadline-bounded drain blocked on an INJECTED clock so it
   /// re-reads the time. Subscribe it to the clock —
@@ -218,6 +256,11 @@ class VariantFleet {
     bool exited = false;      // worker thread returned; queue will never drain
     bool respawning = false;  // lane is mid-respawn; don't route new jobs here
     bool rotate = false;      // campaign escalation: re-diversify before next job
+    /// Deadline enforcement is force-rotating this lane right now; its own
+    /// worker must not race it with a lazy rotation.
+    bool force_rotating = false;
+    /// When `rotate` was set (injected clock), for the rotation deadline.
+    std::chrono::steady_clock::time_point rotate_since{};
   };
 
   void worker_loop(unsigned lane);
@@ -229,6 +272,15 @@ class VariantFleet {
   void request_rotation_except(unsigned lane);
   /// Swap a freshly-drawn session into an idle lane (rotation escalation).
   void rotate_lane(unsigned lane);
+  /// Mirror the factory account into the telemetry gauges and fire
+  /// on_keyspace_low on the first observation at/below the watermark.
+  KeyspaceAccount refresh_keyspace_gauge();
+  /// Resolved low watermark (config value, or the pool size when 0).
+  [[nodiscard]] std::uint64_t low_watermark() const noexcept;
+  /// Force-rotate lanes whose rotate flag outlived the rotation deadline:
+  /// install the replacement NOW and park the displaced session until the
+  /// lane's in-flight job finishes with it. Returns lanes swapped.
+  std::size_t enforce_rotation_deadlines();
   /// Move a retiring lane's queued jobs to lanes that can still run them
   /// (or fail them when none can).
   void retire_lane_locked(unsigned lane);
@@ -263,8 +315,24 @@ class VariantFleet {
   bool accepting_ = true;
   std::uint64_t next_job_id_ = 0;
 
+  /// One fleet-wide rotation per rotation_backoff while the keyspace is low;
+  /// guarded by queue_mutex_.
+  std::chrono::steady_clock::time_point last_backoff_rotation_{};
+  /// on_keyspace_low fires at most once per fleet lifetime (the account only
+  /// ever drains).
+  std::atomic<bool> keyspace_low_fired_{false};
+  /// Cached KeyspaceAccount::exhausted(), refreshed by
+  /// refresh_keyspace_gauge(): poll_adaptive runs after EVERY job, and the
+  /// hot path must not take the factory mutex just to read one bit.
+  std::atomic<bool> keyspace_exhausted_{false};
+
   mutable std::mutex sessions_mutex_;
   std::vector<Session> sessions_;  // one per lane
+  /// Sessions a rotation deadline displaced while a job was still driving
+  /// them (per lane, guarded by sessions_mutex_): the job holds a raw pointer
+  /// into the old system, so it must stay alive until the lane's worker
+  /// finishes the job and reaps them.
+  std::vector<std::vector<Session>> displaced_sessions_;
 
   mutable std::mutex quarantine_mutex_;
   std::vector<QuarantineRecord> quarantine_log_;

@@ -1,5 +1,7 @@
 #include "fleet/session_factory.h"
 
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "core/diversity_suite.h"
@@ -49,9 +51,41 @@ Draw draw_params(const std::string& name, unsigned n_variants, util::Rng& rng) {
 
 }  // namespace
 
+std::string KeyspaceAccount::describe() const {
+  if (!tracked) return "keyspace: untracked (registry defaults, one shared key)";
+  return util::format("keyspace: %llu of %llu keys remaining (%.1f bits)",
+                      static_cast<unsigned long long>(keys_remaining),
+                      static_cast<unsigned long long>(keys_total), bits);
+}
+
 SessionFactory::SessionFactory(SessionSpec spec, std::uint64_t seed,
                                const core::VariationRegistry& registry)
-    : spec_(std::move(spec)), registry_(registry), rng_(seed) {}
+    : spec_(std::move(spec)), registry_(registry), rng_(seed) {
+  // Composed entropy of the spec: ask each variation (constructed with
+  // registry defaults — keyspace_bits describes the DRAW space, not the one
+  // drawn point) for its estimate. Names the registry does not know
+  // contribute 0 bits here; make_session reports them as the real error.
+  for (const auto& name : spec_.variations) {
+    auto variation = registry_.make(name);
+    if (variation) keyspace_bits_ += (*variation)->keyspace_bits(spec_.n_variants);
+  }
+}
+
+KeyspaceAccount SessionFactory::keyspace() const {
+  KeyspaceAccount account;
+  account.tracked = spec_.randomize;
+  account.bits = keyspace_bits_;
+  if (!account.tracked) return account;
+  // Saturate well below 2^64: llround overflows past 2^63, and a space that
+  // large never exhausts in practice anyway.
+  account.keys_total = keyspace_bits_ >= 63.0
+                           ? std::numeric_limits<std::uint64_t>::max()
+                           : static_cast<std::uint64_t>(std::llround(std::exp2(keyspace_bits_)));
+  account.keys_issued = unique_keys_issued();
+  account.keys_remaining =
+      account.keys_total > account.keys_issued ? account.keys_total - account.keys_issued : 0;
+  return account;
+}
 
 std::uint64_t SessionFactory::sessions_created() const {
   const std::scoped_lock lock(mutex_);

@@ -51,6 +51,32 @@ struct SessionSpec {
   bool randomize = true;
 };
 
+/// The factory's view of its finite re-expression keyspace: how big the
+/// composed draw space is (in real entropy units — the sum of every
+/// variation's keyspace_bits), how much of it has already been issued, and
+/// how much is left before every further session would repeat a reexpression
+/// some earlier session already exposed to attackers.
+struct KeyspaceAccount {
+  /// True when the spec randomizes: uniqueness is enforced and the gauge is
+  /// meaningful. Registry-default (randomize=false) fleets repeat one key by
+  /// design — keys_total reads 0 and nothing here signals exhaustion.
+  bool tracked = false;
+  /// Composed fingerprint entropy of the spec's variations (bits add across
+  /// independently drawn variations).
+  double bits = 0.0;
+  /// 2^bits, saturated at uint64 max; 0 when untracked.
+  std::uint64_t keys_total = 0;
+  /// Distinct diversity keys issued so far (== SessionFactory::unique_keys_issued).
+  std::uint64_t keys_issued = 0;
+  /// keys_total - keys_issued, floored at 0.
+  std::uint64_t keys_remaining = 0;
+
+  /// No unique re-expression left: every further draw repeats an issued key.
+  [[nodiscard]] bool exhausted() const noexcept { return tracked && keys_remaining == 0; }
+  /// "keyspace: 14 of 16 keys remaining (4.0 bits)" / "keyspace: untracked".
+  [[nodiscard]] std::string describe() const;
+};
+
 /// One stamped-out session: a sealed system plus the record of which
 /// diversity parameters it drew.
 struct Session {
@@ -91,11 +117,18 @@ class SessionFactory {
   /// randomize is on; uniqueness is not enforced for registry defaults).
   [[nodiscard]] std::uint64_t unique_keys_issued() const;
 
+  /// Current keyspace ledger: composed entropy, keys issued, keys remaining.
+  /// The entropy estimate comes from the variations' own keyspace_bits()
+  /// (unknown variation names contribute 0 — make_session will reject them
+  /// anyway). Thread-safe; cheap enough to poll per rotation decision.
+  [[nodiscard]] KeyspaceAccount keyspace() const;
+
  private:
   [[nodiscard]] util::Expected<Session, std::string> try_make_locked();
 
   SessionSpec spec_;
   const core::VariationRegistry& registry_;
+  double keyspace_bits_ = 0.0;  // composed at construction from the spec
   mutable std::mutex mutex_;
   util::Rng rng_;
   std::uint64_t next_id_ = 0;

@@ -34,6 +34,8 @@ FleetSnapshot FleetTelemetry::snapshot() const {
   snap.policy_tightened = policy_tightened_.load(std::memory_order_relaxed);
   snap.policy_decayed = policy_decayed_.load(std::memory_order_relaxed);
   snap.syscall_rounds = syscall_rounds_.load(std::memory_order_relaxed);
+  snap.keys_total = keys_total_.load(std::memory_order_relaxed);
+  snap.keys_remaining = keys_remaining_.load(std::memory_order_relaxed);
 
   util::Samples merged;
   for (const auto& lane : lanes_) {
@@ -49,10 +51,16 @@ FleetSnapshot FleetTelemetry::snapshot() const {
 }
 
 std::string FleetSnapshot::describe() const {
+  const std::string keyspace =
+      keys_total == 0 ? std::string("untracked")
+                      : util::format("%llu of %llu keys remaining",
+                                     static_cast<unsigned long long>(keys_remaining),
+                                     static_cast<unsigned long long>(keys_total));
   return util::format(
       "jobs: %llu submitted, %llu completed, %llu alarmed, %llu errored, %llu rejected, "
       "%llu stolen, %llu abandoned | "
       "sessions: %llu quarantined, %llu respawned, %llu rotated (%llu rotations failed) | "
+      "keyspace: %s | "
       "%llu campaign alerts | adaptive: %llu tightened, %llu decayed | "
       "%llu syscall rounds | latency us: p50 %.0f, p95 %.0f, p99 %.0f (n=%zu)",
       static_cast<unsigned long long>(jobs_submitted),
@@ -65,7 +73,7 @@ std::string FleetSnapshot::describe() const {
       static_cast<unsigned long long>(sessions_quarantined),
       static_cast<unsigned long long>(sessions_respawned),
       static_cast<unsigned long long>(sessions_rotated),
-      static_cast<unsigned long long>(rotations_failed),
+      static_cast<unsigned long long>(rotations_failed), keyspace.c_str(),
       static_cast<unsigned long long>(campaign_alerts),
       static_cast<unsigned long long>(policy_tightened),
       static_cast<unsigned long long>(policy_decayed),

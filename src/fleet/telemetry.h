@@ -40,6 +40,12 @@ struct FleetSnapshot {
   std::uint64_t policy_decayed = 0;    // adaptive steps back toward the baseline
   std::uint64_t syscall_rounds = 0;  // rendezvous rounds across all sessions
 
+  // Keyspace gauges (not counters): the SessionFactory's finite unique-
+  // reexpression budget. keys_total == 0 means the spec does not randomize —
+  // uniqueness is untracked and keys_remaining carries no exhaustion signal.
+  std::uint64_t keys_total = 0;
+  std::uint64_t keys_remaining = 0;
+
   std::size_t latency_count = 0;  // completed-job latencies sampled
   double latency_mean_us = 0.0;
   double latency_p50_us = 0.0;
@@ -79,6 +85,13 @@ class FleetTelemetry {
   void add_syscall_rounds(std::uint64_t rounds) noexcept {
     syscall_rounds_.fetch_add(rounds, std::memory_order_relaxed);
   }
+  /// Gauge update (thread-safe): the fleet refreshes this after every draw
+  /// the SessionFactory makes, so operators watch the unique-key budget drain
+  /// in the same snapshot as the counters that drain it.
+  void set_keyspace(std::uint64_t total, std::uint64_t remaining) noexcept {
+    keys_total_.store(total, std::memory_order_relaxed);
+    keys_remaining_.store(remaining, std::memory_order_relaxed);
+  }
 
   /// Record one job's end-to-end latency into `lane`'s collector.
   void record_latency(unsigned lane, double latency_us);
@@ -109,6 +122,8 @@ class FleetTelemetry {
   std::atomic<std::uint64_t> policy_tightened_{0};
   std::atomic<std::uint64_t> policy_decayed_{0};
   std::atomic<std::uint64_t> syscall_rounds_{0};
+  std::atomic<std::uint64_t> keys_total_{0};
+  std::atomic<std::uint64_t> keys_remaining_{0};
   std::vector<std::unique_ptr<Lane>> lanes_;
 };
 

@@ -42,6 +42,11 @@ class AddressPartitioning : public core::Variation {
            std::to_string(vj) + " share an address offset";
   }
 
+  /// The fleet draws the stride as one of 16 multiples of 256 MiB: a 4-bit
+  /// re-expression keyspace. Small by design — and exactly why the exhaustion
+  /// accounting exists: 17 unique sessions are one more than this space holds.
+  [[nodiscard]] double keyspace_bits(unsigned /*n_variants*/) const override { return 4.0; }
+
   [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
 
  protected:
@@ -62,6 +67,18 @@ class ExtendedAddressPartitioning final : public AddressPartitioning {
   [[nodiscard]] std::string_view name() const override {
     return "extended-address-partitioning";
   }
+
+  /// The fleet draws a full 64-bit seed, and that seed IS the diversity key
+  /// the SessionFactory's uniqueness ledger counts — so the draw space is 64
+  /// bits. The OBSERVABLE layout space can be smaller ((max_offset/4096 - 1)
+  /// page offsets per offset-carrying variant; different seeds can collide
+  /// on a layout); a collision-aware ledger is a named ROADMAP follow-on.
+  /// Reporting the seed space here keeps exhaustion accounting aligned with
+  /// what the factory actually enforces: claiming ~2^8 keys while the
+  /// factory can issue 2^64 unique fingerprints would spuriously trip the
+  /// fleet's exhaustion posture and disable rotation against a factory that
+  /// still works.
+  [[nodiscard]] double keyspace_bits(unsigned /*n_variants*/) const override { return 64.0; }
 
  protected:
   [[nodiscard]] std::uint64_t extra_offset(unsigned variant) const override {

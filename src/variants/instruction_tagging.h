@@ -7,6 +7,8 @@
 #ifndef NV_VARIANTS_INSTRUCTION_TAGGING_H
 #define NV_VARIANTS_INSTRUCTION_TAGGING_H
 
+#include <cmath>
+
 #include "core/variation.h"
 #include "vkernel/vm.h"
 
@@ -33,6 +35,13 @@ class InstructionTagging final : public core::Variation {
 
   [[nodiscard]] core::InstructionTag reexpression(unsigned variant) const {
     return core::InstructionTag{tag_for(variant)};
+  }
+
+  /// The fleet draws the base tag uniformly from [1, 0xFF-(N-1)] so the
+  /// highest variant's tag never wraps: 255-(N-1) distinct draws.
+  [[nodiscard]] double keyspace_bits(unsigned n_variants) const override {
+    const unsigned draws = n_variants < 255 ? 255U - (n_variants - 1) : 1U;
+    return std::log2(static_cast<double>(draws));
   }
 
   /// Tags are disjoint when they differ; base_tag + variant wraps at 256, so

@@ -49,6 +49,12 @@ class UidVariation final : public core::Variation {
   [[nodiscard]] std::optional<core::RoleTransform> role_transform(vkernel::ArgRole role,
                                                                   unsigned variant) const override;
 
+  /// The fleet draws variant-1 masks with bit 30 set and the 30 low bits
+  /// random (high bit clear so sentinel UIDs keep their meaning, §3.2):
+  /// 2^30 distinct mask draws regardless of N (the per-variant shifts follow
+  /// deterministically from the one drawn mask).
+  [[nodiscard]] double keyspace_bits(unsigned /*n_variants*/) const override { return 30.0; }
+
   /// §2.3 for XOR masks: R⁻¹_vi == R⁻¹_vj exactly when the masks collide
   /// (e.g. variant1_mask = 0, or N large enough that `mask >> (i-1)` hits 0).
   [[nodiscard]] std::optional<std::string> disjointedness_violation(unsigned vi,

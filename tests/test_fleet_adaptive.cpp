@@ -327,7 +327,9 @@ TEST(PopulationCurves, FasterRediversificationRaisesAttackerCost) {
   config.seed = 0xE59;
   config.ticks = 120;
   config.tick = milliseconds(10);
-  config.attacker.keyspace = 11;
+  // The attacker keyspace is no longer a model parameter: it is the
+  // registry-reported entropy of the probed variation (the default probes
+  // address-partitioning's real 16-stride space => S = 16).
   config.timeline_stride = 10;
 
   config.rediversify_interval = milliseconds(0);

@@ -430,35 +430,54 @@ TEST(FleetRotation, OperatorRotationRediversifiesEveryLane) {
   EXPECT_TRUE(fleet.submit(jobs::uid_churn(3)).get().ok());
 }
 
-TEST(FleetRotation, ExhaustedKeySpaceMakesRotationFailuresVisible) {
-  // Regression: rotate_lane used to swallow factory failure — a fleet-wide
-  // rotation that silently left burned reexpressions in service was invisible
-  // to operators. Drive the factory to key-space exhaustion
-  // (address-partitioning draws from exactly 16 strides) and demand the
-  // failed rotations show up in telemetry and describe().
+TEST(FleetRotation, ExhaustedKeySpaceStopsRotationAndFiresTheHookOnce) {
+  // The exhaustion contract: once the factory's real keyspace
+  // (address-partitioning draws from exactly 16 strides) is spent, rotation
+  // stops being requested at all — rotations_failed must NOT grow without
+  // bound against an empty factory — the keys_remaining gauge reads 0, and
+  // the on_keyspace_low operator hook has fired exactly once.
+  int hook_fired = 0;
+  KeyspaceAccount hook_account;
+  ManualClock clock;
   FleetConfig config;
   config.spec.n_variants = 2;
   config.spec.variations = {"address-partitioning"};
   config.pool_size = 2;
   config.queue_capacity = 32;
   config.seed = 2026;
+  config.keyspace_low_watermark = 1;  // fire on the last key, not earlier
+  config.on_keyspace_low = [&](const KeyspaceAccount& account) {
+    ++hook_fired;
+    hook_account = account;
+  };
+  config.clock = clock.fn();
   VariantFleet fleet(config);
+  EXPECT_EQ(fleet.keyspace().keys_total, 16u);
+  EXPECT_EQ(fleet.keyspace().keys_remaining, 14u);  // 2 initial draws
 
   // 2 initial draws + 14 quarantine respawns = all 16 strides issued.
   for (int i = 0; i < 14; ++i) {
     ASSERT_TRUE(fleet.submit(poison_job("burn the key space")).get().session_quarantined);
   }
+  ASSERT_TRUE(fleet.keyspace().exhausted());
   const auto before = fleet.live_fingerprints();
 
-  // Both lanes are alive but NO unique reexpression remains: every rotation
-  // must fail, keep the old session serving, and be counted.
-  ASSERT_EQ(fleet.rotate_fleet(), 2u);
-  ASSERT_TRUE(
-      wait_until([&] { return fleet.telemetry().snapshot().rotations_failed == 2u; }));
+  // Both lanes are alive but NO unique reexpression remains: rotation is
+  // refused up front, repeatedly, without ever flagging a lane — no amount
+  // of elapsed backoff time changes that (an exhausted space cannot refill).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fleet.rotate_fleet(), 0u);
+    clock.advance(std::chrono::milliseconds(2'000));  // well past any backoff
+  }
   const FleetSnapshot snap = fleet.telemetry().snapshot();
   EXPECT_EQ(snap.sessions_rotated, 0u);
-  EXPECT_NE(snap.describe().find("2 rotations failed"), std::string::npos)
+  EXPECT_EQ(snap.rotations_failed, 0u);  // no churn against the empty factory
+  EXPECT_EQ(snap.keys_total, 16u);
+  EXPECT_EQ(snap.keys_remaining, 0u);
+  EXPECT_NE(snap.describe().find("0 of 16 keys remaining"), std::string::npos)
       << snap.describe();
+  EXPECT_EQ(hook_fired, 1);  // exactly once, despite 5 refused rotations
+  EXPECT_LE(hook_account.keys_remaining, 1u);  // fired at the watermark crossing
   EXPECT_EQ(fleet.live_fingerprints(), before);  // old sessions stayed in service
   EXPECT_TRUE(fleet.submit(jobs::uid_churn(3)).get().ok());
 }

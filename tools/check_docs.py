@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks, run by the CI docs job.
+
+1. Markdown link check: every relative link in README.md and docs/*.md must
+   point at a file (or directory) that exists in the repo. External links
+   (http/https/mailto) are not fetched.
+2. Telemetry coverage: every field of fleet::FleetSnapshot declared in
+   src/fleet/telemetry.h must appear (as `backtick-quoted` code) in
+   docs/TELEMETRY.md — a counter or gauge without documented semantics is a
+   CI failure, per the docs contract.
+
+Usage: check_docs.py [repo_root]     (default: the tools/ parent)
+Exit code 0 on success, 1 with messages on any violation.
+"""
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Field declarations inside the FleetSnapshot struct, e.g.
+#   std::uint64_t jobs_submitted = 0;   double latency_mean_us = 0.0;
+FIELD_RE = re.compile(r"^\s*(?:std::uint64_t|std::size_t|double)\s+(\w+)\s*=", re.MULTILINE)
+
+
+def check_links(root: pathlib.Path, errors: list) -> int:
+    checked = 0
+    for md in [root / "README.md", *sorted((root / "docs").glob("*.md"))]:
+        if not md.exists():
+            errors.append(f"{md}: expected markdown file is missing")
+            continue
+        in_code_block = False
+        for lineno, line in enumerate(md.read_text(encoding="utf-8").splitlines(), 1):
+            if line.lstrip().startswith("```"):
+                in_code_block = not in_code_block
+            if in_code_block:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                checked += 1
+                if not (md.parent / path).exists():
+                    errors.append(f"{md.relative_to(root)}:{lineno}: broken link -> {target}")
+    return checked
+
+
+def check_telemetry_coverage(root: pathlib.Path, errors: list) -> int:
+    header = root / "src" / "fleet" / "telemetry.h"
+    glossary = root / "docs" / "TELEMETRY.md"
+    text = header.read_text(encoding="utf-8")
+    match = re.search(r"struct FleetSnapshot \{(.*?)\n\};", text, re.DOTALL)
+    if not match:
+        errors.append(f"{header}: cannot locate struct FleetSnapshot")
+        return 0
+    fields = FIELD_RE.findall(match.group(1))
+    if not fields:
+        errors.append(f"{header}: found no FleetSnapshot fields to check")
+    documented = glossary.read_text(encoding="utf-8") if glossary.exists() else ""
+    for field in fields:
+        if f"`{field}`" not in documented:
+            errors.append(
+                f"telemetry.h field '{field}' has no entry in docs/TELEMETRY.md")
+    return len(fields)
+
+
+def main() -> None:
+    root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent
+    errors: list = []
+    links = check_links(root, errors)
+    fields = check_telemetry_coverage(root, errors)
+    if errors:
+        for error in errors:
+            print(f"check_docs: FAIL: {error}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_docs: OK ({links} relative links, "
+          f"{fields} telemetry fields documented)")
+
+
+if __name__ == "__main__":
+    main()

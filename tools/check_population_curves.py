@@ -2,11 +2,17 @@
 """Schema + invariant check for BENCH_population_curves.json.
 
 CI runs this on the document bench_population_curves just wrote, so future
-PRs can diff curves knowing the shape is stable and the core claim holds:
+PRs can diff curves knowing the shape is stable and the core claims hold.
+The written contract for this document lives in docs/BENCH_SCHEMAS.md.
 
-  - schema is "population_curves/v1" with the documented keys;
+  - schema is "population_curves/v2" with the documented keys;
+  - every curve carries the probed variation's registry-reported keyspace
+    (probed_variation / keyspace_bits / keyspace_keys, with
+    keyspace_keys ~= 2^keyspace_bits);
   - the grid is ordered by ascending re-diversification rate;
   - attacker cost rises STRICTLY MONOTONICALLY along the grid;
+  - the variation A/B grid is ordered by ascending keyspace_bits and
+    attacker cost rises strictly monotonically with the probed entropy;
   - ledgers are internally consistent (every failed probe cost one
     quarantine; timelines are non-empty and time-ordered).
 
@@ -17,12 +23,14 @@ import json
 import sys
 
 CURVE_KEYS = {
-    "rediversify_interval_ms", "rediversify_rate_hz", "probes",
+    "rediversify_interval_ms", "rediversify_rate_hz", "probed_variation",
+    "keyspace_bits", "keyspace_keys", "probes",
     "silent_compromises", "compromised_lane_ticks", "mean_compromised_fraction",
     "attacker_cost", "quarantines", "rotations", "rotations_failed",
     "campaign_alerts", "policy_tightened", "policy_decayed", "timeline",
 }
-CONFIG_KEYS = {"pool_size", "keyspace", "probes_per_tick", "tick_ms", "ticks", "seed"}
+CONFIG_KEYS = {"pool_size", "variations", "probed_variation", "probes_per_tick",
+               "tick_ms", "ticks", "seed"}
 
 
 def fail(message: str) -> None:
@@ -47,6 +55,14 @@ def check_curve(curve: dict, where: str) -> None:
         fail(f"{where}: quarantines != probes - silent_compromises")
     if curve["attacker_cost"] < 0:
         fail(f"{where}: negative attacker cost")
+    # The keyspace must be real entropy units: keys is the realized 2^bits.
+    if curve["keyspace_keys"] < 2:
+        fail(f"{where}: keyspace_keys < 2 is not a guessing game")
+    if abs(curve["keyspace_keys"] - 2 ** curve["keyspace_bits"]) > 0.5:
+        fail(f"{where}: keyspace_keys {curve['keyspace_keys']} "
+             f"!= 2^{curve['keyspace_bits']}")
+    if not curve["probed_variation"]:
+        fail(f"{where}: empty probed_variation")
 
 
 def main() -> None:
@@ -55,7 +71,7 @@ def main() -> None:
     with open(sys.argv[1], encoding="utf-8") as handle:
         doc = json.load(handle)
 
-    if doc.get("schema") != "population_curves/v1":
+    if doc.get("schema") != "population_curves/v2":
         fail(f"unexpected schema {doc.get('schema')!r}")
     config = doc.get("config", {})
     if not CONFIG_KEYS <= config.keys():
@@ -84,9 +100,26 @@ def main() -> None:
             fail(f"adaptive posture did not raise attacker cost "
                  f"({adaptive_cost} <= {static_cost})")
 
+    variation_grid = doc.get("variation_grid", [])
+    if len(variation_grid) < 2:
+        fail("variation_grid needs at least two probed variations to be an A/B")
+    for i, curve in enumerate(variation_grid):
+        check_curve(curve, f"variation_grid[{i}]")
+    bits = [curve["keyspace_bits"] for curve in variation_grid]
+    if bits != sorted(bits):
+        fail("variation_grid is not ordered by ascending keyspace_bits")
+    for prev, cur in zip(variation_grid, variation_grid[1:]):
+        if cur["attacker_cost"] <= prev["attacker_cost"]:
+            fail(f"attacker cost not monotone in probed entropy: "
+                 f"{prev['probed_variation']} ({prev['keyspace_bits']:.1f} bits) "
+                 f"cost {prev['attacker_cost']} vs {cur['probed_variation']} "
+                 f"({cur['keyspace_bits']:.1f} bits) cost {cur['attacker_cost']}")
+
     print(f"check_population_curves: OK ({len(grid)} grid points, "
           f"cost {costs[0]:.3f} -> {costs[-1]:.3f}, "
-          f"{len(comparison)} comparison runs)")
+          f"{len(comparison)} comparison runs, "
+          f"{len(variation_grid)} probed variations "
+          f"[{bits[0]:.1f} -> {bits[-1]:.1f} bits])")
 
 
 if __name__ == "__main__":
