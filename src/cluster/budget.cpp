@@ -1,0 +1,37 @@
+#include "cluster/budget.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace nv::cluster {
+
+ClusterKeyspaceBudget::ClusterKeyspaceBudget(std::uint64_t global_keys, unsigned shards)
+    : global_keys_(global_keys), shards_(shards) {
+  if (shards_ == 0) throw std::invalid_argument("keyspace budget needs at least one shard");
+  if (global_keys_ != 0 && global_keys_ < shards_) {
+    throw std::invalid_argument(
+        "global keyspace budget smaller than the shard count: some shard would "
+        "be allocated zero keys and could never build its initial sessions");
+  }
+}
+
+std::uint64_t ClusterKeyspaceBudget::allocation(unsigned shard) const {
+  if (shard >= shards_) throw std::out_of_range("allocation: no such shard");
+  if (unlimited()) return 0;
+  const std::uint64_t base = global_keys_ / shards_;
+  const std::uint64_t remainder = global_keys_ % shards_;
+  return base + (shard < remainder ? 1 : 0);
+}
+
+std::string ClusterKeyspaceBudget::describe() const {
+  if (unlimited()) {
+    return util::format("global keyspace budget: unlimited over %u shards", shards_);
+  }
+  return util::format("global keyspace budget: %llu keys over %u shards (%llu + remainder %llu)",
+                      static_cast<unsigned long long>(global_keys_), shards_,
+                      static_cast<unsigned long long>(global_keys_ / shards_),
+                      static_cast<unsigned long long>(global_keys_ % shards_));
+}
+
+}  // namespace nv::cluster

@@ -1,0 +1,45 @@
+// ClusterKeyspaceBudget: one global unique-key budget, split across shards.
+//
+// PR 5 made per-fleet keyspace accounting honest; the cluster problem (Zhang
+// et al.'s diversity-by-design budgeting) is the next layer up: the whole
+// deployment owns ONE finite pool of distinct re-expressions, and a single
+// noisy shard — one drawing replacements through a quarantine storm — must
+// not be able to drain the space every other shard needs. The budget is
+// enforced mechanically: each shard's SessionFactory gets its allocation as
+// SessionSpec::max_unique_keys, so overdraw is refused at the draw site (and
+// surfaces through the shard's ordinary exhaustion posture), not policed
+// after the fact.
+#ifndef NV_CLUSTER_BUDGET_H
+#define NV_CLUSTER_BUDGET_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nv::cluster {
+
+class ClusterKeyspaceBudget {
+ public:
+  /// `global_keys` == 0 means unlimited (every allocation reads 0 = uncapped).
+  ClusterKeyspaceBudget(std::uint64_t global_keys, unsigned shards);
+
+  /// The slice shard `shard` may issue: an even split, with the remainder
+  /// handed to the low indexes so the whole budget is always allocated
+  /// (sum over shards == global_keys). 0 when the budget is unlimited.
+  [[nodiscard]] std::uint64_t allocation(unsigned shard) const;
+
+  [[nodiscard]] std::uint64_t global_keys() const noexcept { return global_keys_; }
+  [[nodiscard]] unsigned shards() const noexcept { return shards_; }
+  [[nodiscard]] bool unlimited() const noexcept { return global_keys_ == 0; }
+
+  /// "global keyspace budget: 100 keys over 4 shards (25 + remainder 0)".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::uint64_t global_keys_;
+  unsigned shards_;
+};
+
+}  // namespace nv::cluster
+
+#endif  // NV_CLUSTER_BUDGET_H

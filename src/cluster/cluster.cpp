@@ -1,0 +1,198 @@
+#include "cluster/cluster.h"
+
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+#include "variants/registry.h"
+
+namespace nv::cluster {
+
+namespace {
+
+std::uint64_t resolve_base_seed(std::optional<std::uint64_t> requested) {
+  if (requested.has_value()) return *requested;
+  std::random_device entropy;
+  return (static_cast<std::uint64_t>(entropy()) << 32) | entropy();
+}
+
+}  // namespace
+
+FleetCluster::FleetCluster(ClusterConfig config)
+    : config_(std::move(config)),
+      budget_(config_.global_key_budget, config_.shards == 0 ? 1 : config_.shards),
+      gossip_(config_.gossip, config_.shard.clock),
+      router_(config_.router) {
+  if (config_.shards == 0) throw std::invalid_argument("cluster needs at least one shard");
+  const std::uint64_t base_seed = resolve_base_seed(config_.shard.seed);
+
+  fleets_.reserve(config_.shards);
+  network_factories_.reserve(config_.shards);
+  network_identities_.reserve(config_.shards);
+  for (unsigned index = 0; index < config_.shards; ++index) {
+    fleet::FleetConfig shard_config = config_.shard;
+    shard_config.seed = base_seed + 2ULL * index;
+    shard_config.spec.max_unique_keys = budget_.allocation(index);
+    // Locally-raised alerts gossip out; receivers apply without re-publishing
+    // (see VariantFleet::apply_remote_campaign), so the bus cannot loop.
+    shard_config.on_campaign = [this, index,
+                                user = config_.shard.on_campaign](const fleet::CampaignAlert& alert) {
+      gossip_.publish(index, alert);
+      if (user) user(alert);
+    };
+    fleets_.push_back(std::make_unique<fleet::VariantFleet>(std::move(shard_config)));
+
+    // The shard's network identity is a session over the network variations,
+    // drawn from the shard's own factory: the uniqueness ledger guarantees a
+    // rotation never re-presents an endpoint this shard already exposed, and
+    // keyspace_bits() composes through the same DiversitySuite path as every
+    // other variation.
+    fleet::SessionSpec network_spec;
+    network_spec.n_variants = config_.shard.spec.n_variants;
+    network_spec.variations = config_.network_variations;
+    network_spec.randomize = true;
+    auto factory = std::make_unique<fleet::SessionFactory>(
+        network_spec, base_seed + 2ULL * index + 1, variants::builtin_registry());
+    if (config_.network_variations.empty()) {
+      network_identities_.push_back("static");
+    } else {
+      auto identity = factory->make_session();
+      if (!identity) {
+        throw std::invalid_argument("cluster network identity: " + identity.error());
+      }
+      network_bits_ = factory->keyspace().bits;
+      network_identities_.push_back(identity->diversity_key);
+    }
+    network_factories_.push_back(std::move(factory));
+  }
+
+  // Subscribe in shard order AFTER every fleet exists: subscriber index ==
+  // shard index, and gossip delivery order is ascending shard order.
+  for (unsigned index = 0; index < config_.shards; ++index) {
+    gossip_.subscribe([this, index](unsigned /*origin*/, const fleet::CampaignAlert& alert) {
+      fleets_[index]->apply_remote_campaign(alert);
+    });
+  }
+}
+
+FleetCluster::~FleetCluster() { shutdown(); }
+
+void FleetCluster::shutdown() {
+  {
+    const std::scoped_lock lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  // Shard workers publish gossip; they must all be joined before this object
+  // starts tearing anything else down.
+  for (auto& fleet : fleets_) fleet->shutdown();
+}
+
+std::vector<ShardHealth> FleetCluster::sample_health() const {
+  std::vector<ShardHealth> health;
+  health.reserve(fleets_.size());
+  for (const auto& member : fleets_) {
+    const fleet::KeyspaceAccount account = member->keyspace();
+    ShardHealth shard;
+    shard.accepting = member->accepting();
+    shard.exhausted = account.exhausted();
+    shard.queue_depth = member->queue_depth();
+    shard.keys_remaining = account.keys_remaining;
+    shard.keys_total = account.keys_total;
+    health.push_back(shard);
+  }
+  return health;
+}
+
+std::future<fleet::JobOutcome> FleetCluster::submit(fleet::FleetJob job) {
+  const auto target = router_.route(sample_health());
+  if (!target.has_value()) {
+    telemetry_.note_unroutable();
+    throw std::runtime_error("cluster has no accepting shard");
+  }
+  auto future = fleets_[*target]->submit(std::move(job));
+  telemetry_.note_routed();
+  return future;
+}
+
+std::optional<std::future<fleet::JobOutcome>> FleetCluster::try_submit(fleet::FleetJob job) {
+  // Graceful degradation: walk the ranking so a refusal (full queue, raced a
+  // drain) falls through to the next-best shard instead of failing the job.
+  for (const unsigned index : router_.ranked(sample_health())) {
+    if (auto future = fleets_[index]->try_submit(job)) {
+      telemetry_.note_routed();
+      return future;
+    }
+  }
+  telemetry_.note_unroutable();
+  return std::nullopt;
+}
+
+std::future<fleet::JobOutcome> FleetCluster::submit_to(unsigned shard, fleet::FleetJob job) {
+  return fleets_.at(shard)->submit(std::move(job));
+}
+
+fleet::DrainReport FleetCluster::drain_shard(unsigned index,
+                                             std::chrono::milliseconds deadline) {
+  return fleets_.at(index)->shutdown(deadline);
+}
+
+std::string FleetCluster::network_fingerprint(unsigned index) const {
+  const std::scoped_lock lock(network_mutex_);
+  return network_identities_.at(index);
+}
+
+bool FleetCluster::rotate_shard_network(unsigned index) {
+  const std::scoped_lock lock(network_mutex_);
+  if (config_.network_variations.empty()) return false;  // static network: nothing to rotate
+  auto identity = network_factories_.at(index)->make_session();
+  if (!identity) return false;  // endpoint space exhausted for this shard
+  network_identities_[index] = identity->diversity_key;
+  telemetry_.note_network_rotation();
+  return true;
+}
+
+ClusterSnapshot FleetCluster::snapshot() const {
+  ClusterSnapshot snap;
+  snap.shards = fleets_.size();
+  snap.jobs_routed = telemetry_.jobs_routed();
+  snap.jobs_unroutable = telemetry_.jobs_unroutable();
+  snap.network_rotations = telemetry_.network_rotations();
+  snap.gossip_published = gossip_.published();
+  snap.gossip_delivered = gossip_.delivered();
+  snap.gossip_pending = gossip_.pending();
+  snap.network_bits = network_bits_;
+
+  // Specs past ~63 bits saturate their shard ledger at uint64 max; the sums
+  // must saturate too rather than wrap.
+  const auto saturating_add = [](std::uint64_t a, std::uint64_t b) {
+    return a > std::numeric_limits<std::uint64_t>::max() - b
+               ? std::numeric_limits<std::uint64_t>::max()
+               : a + b;
+  };
+  for (unsigned index = 0; index < fleets_.size(); ++index) {
+    const auto& member = *fleets_[index];
+    const fleet::KeyspaceAccount account = member.keyspace();
+    ShardSnapshot view;
+    view.shard = index;
+    view.accepting = member.accepting();
+    view.exhausted = account.exhausted();
+    view.network_fingerprint = network_fingerprint(index);
+    view.shard_keys_total = account.keys_total;
+    view.shard_keys_remaining = account.keys_remaining;
+    view.fleet = member.telemetry().snapshot();
+
+    snap.shards_accepting += view.accepting ? 1 : 0;
+    snap.shards_exhausted += view.exhausted ? 1 : 0;
+    snap.remote_campaigns_applied += view.fleet.remote_campaigns;
+    snap.keys_total = saturating_add(snap.keys_total, view.shard_keys_total);
+    snap.keys_remaining = saturating_add(snap.keys_remaining, view.shard_keys_remaining);
+    if (index == 0) snap.shard_spec_bits = account.bits;
+    snap.shard_views.push_back(std::move(view));
+  }
+  snap.cluster_bits =
+      static_cast<double>(snap.shards) * (snap.shard_spec_bits + snap.network_bits);
+  return snap;
+}
+
+}  // namespace nv::cluster

@@ -1,0 +1,147 @@
+// FleetCluster: the fleet-of-fleets.
+//
+// Many VariantFleet shards, each with its OWN SessionFactory and therefore
+// its own diversity draw space, behind a diversity-aware ShardRouter. The
+// paper's per-host entropy argument compounds across the deployment (Chen et
+// al., PAPERS.md): an attacker who burned probes mapping shard A's
+// re-expressions has learned nothing about shard B's, must re-discover every
+// shard's network endpoint (the drawn network-variation identity), and —
+// because shard A's campaign alert gossips to every other shard — meets the
+// rest of the cluster already tightened.
+//
+// Wiring per shard i:
+//   - FleetConfig stamped from the shard template: seed base + 2i, the
+//     cluster clock, and SessionSpec::max_unique_keys set to the
+//     ClusterKeyspaceBudget allocation (one noisy shard cannot overdraw the
+//     global space — its factory refuses at its slice boundary).
+//   - on_campaign chains: locally-raised alerts publish on the GossipBus;
+//     every other shard's apply_remote_campaign() tightens its adaptive
+//     posture without rotating or re-publishing (no gossip loops).
+//   - A network identity drawn from its own SessionFactory over
+//     ClusterConfig::network_variations (seed base + 2i + 1):
+//     network_fingerprint(i) names it, rotate_shard_network(i) redraws it,
+//     and its keyspace_bits flow into the composed cluster entropy gauge.
+//
+// Everything is deterministic under ManualClock + a fixed seed: shard draw
+// sequences, gossip delivery order (ascending shard index), and routing
+// tie-breaks (round-robin).
+#ifndef NV_CLUSTER_CLUSTER_H
+#define NV_CLUSTER_CLUSTER_H
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/budget.h"
+#include "cluster/gossip.h"
+#include "cluster/router.h"
+#include "cluster/telemetry.h"
+#include "fleet/fleet.h"
+
+namespace nv::cluster {
+
+struct ClusterConfig {
+  unsigned shards = 2;
+  /// Template for every shard's FleetConfig. `seed` is the cluster base seed
+  /// (unset draws one from std::random_device); each shard's fleet gets
+  /// base + 2i and its network factory base + 2i + 1, so shard draw spaces
+  /// are disjoint but the whole cluster reproduces from one number. `clock`
+  /// and the campaign/adaptive posture are shared by every shard; a set
+  /// `on_campaign` hook still fires (after the gossip publish).
+  fleet::FleetConfig shard;
+  /// Registry variations forming each shard's drawn NETWORK identity
+  /// (endpoint/port-space diversification). Empty = static network (no
+  /// endpoint entropy, network_fingerprint reads "static").
+  std::vector<std::string> network_variations = {"port-hopping"};
+  /// Global unique-key budget split across shards via ClusterKeyspaceBudget;
+  /// 0 = unlimited. Must be >= shards (every shard needs at least one key),
+  /// and in practice >= shards * pool_size so initial sessions can build.
+  std::uint64_t global_key_budget = 0;
+  GossipConfig gossip;
+  RouterPolicy router;
+};
+
+class FleetCluster {
+ public:
+  /// Builds every shard (spawning their worker pools) and draws the initial
+  /// network identities. Throws std::invalid_argument on a config the shards
+  /// or budget reject.
+  explicit FleetCluster(ClusterConfig config);
+  ~FleetCluster();
+
+  FleetCluster(const FleetCluster&) = delete;
+  FleetCluster& operator=(const FleetCluster&) = delete;
+
+  /// Route one job through the ShardRouter and submit it (blocking on the
+  /// chosen shard's backpressure). Throws std::runtime_error when no shard
+  /// is accepting (every refusal counted as jobs_unroutable).
+  [[nodiscard]] std::future<fleet::JobOutcome> submit(fleet::FleetJob job);
+
+  /// Non-blocking: walk shards best-score-first until one admits the job;
+  /// nullopt (counted jobs_unroutable) when none does.
+  [[nodiscard]] std::optional<std::future<fleet::JobOutcome>> try_submit(fleet::FleetJob job);
+
+  /// Bypass the router (tests / experiments that target shards directly —
+  /// not counted as jobs_routed).
+  [[nodiscard]] std::future<fleet::JobOutcome> submit_to(unsigned shard, fleet::FleetJob job);
+
+  [[nodiscard]] fleet::VariantFleet& shard(unsigned index) { return *fleets_.at(index); }
+  [[nodiscard]] const fleet::VariantFleet& shard(unsigned index) const {
+    return *fleets_.at(index);
+  }
+  [[nodiscard]] unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(fleets_.size());
+  }
+
+  /// Drain ONE shard gracefully; the router stops placing work there the
+  /// moment it stops accepting (the cluster degrades instead of failing).
+  fleet::DrainReport drain_shard(unsigned index, std::chrono::milliseconds deadline);
+
+  /// Drain every shard (idempotent; called by the destructor).
+  void shutdown();
+
+  /// The shard's current drawn network identity, e.g.
+  /// "port-hopping{mask=0x9c3a}" — or "static" when network_variations is
+  /// empty. An off-cluster attacker must rediscover this after every
+  /// rotate_shard_network().
+  [[nodiscard]] std::string network_fingerprint(unsigned index) const;
+
+  /// Redraw the shard's network identity (counted as network_rotations).
+  /// False when the network keyspace cannot yield a fresh identity.
+  bool rotate_shard_network(unsigned index);
+
+  [[nodiscard]] ClusterSnapshot snapshot() const;
+
+  [[nodiscard]] GossipBus& gossip() noexcept { return gossip_; }
+  [[nodiscard]] const ClusterKeyspaceBudget& budget() const noexcept { return budget_; }
+
+ private:
+  [[nodiscard]] std::vector<ShardHealth> sample_health() const;
+
+  ClusterConfig config_;
+  ClusterKeyspaceBudget budget_;
+  ClusterTelemetry telemetry_;
+  GossipBus gossip_;  // declared before fleets_: handlers reference the fleets
+  ShardRouter router_;
+  std::vector<std::unique_ptr<fleet::VariantFleet>> fleets_;
+
+  /// Per-shard network identity machinery (guarded by network_mutex_: the
+  /// factories serialize internally, but identity swap + fingerprint read
+  /// must be atomic).
+  mutable std::mutex network_mutex_;
+  std::vector<std::unique_ptr<fleet::SessionFactory>> network_factories_;
+  std::vector<std::string> network_identities_;
+  double network_bits_ = 0.0;  // one shard's network entropy (composed spec)
+
+  bool shut_down_ = false;
+  std::mutex shutdown_mutex_;
+};
+
+}  // namespace nv::cluster
+
+#endif  // NV_CLUSTER_CLUSTER_H

@@ -1,0 +1,79 @@
+#include "cluster/gossip.h"
+
+namespace nv::cluster {
+
+GossipBus::GossipBus(GossipConfig config, fleet::ClockFn clock)
+    : config_(config), clock_(fleet::resolve_clock(std::move(clock))) {}
+
+unsigned GossipBus::subscribe(Handler handler) {
+  const std::scoped_lock lock(mutex_);
+  handlers_.push_back(std::move(handler));
+  return static_cast<unsigned>(handlers_.size() - 1);
+}
+
+void GossipBus::publish(unsigned origin, const fleet::CampaignAlert& alert) {
+  QueuedAlert queued{origin, alert, {}};
+  std::vector<Handler> handlers;
+  {
+    const std::scoped_lock lock(mutex_);
+    ++published_;
+    if (config_.propagation_delay > std::chrono::milliseconds::zero()) {
+      queued.deliver_at = clock_() + config_.propagation_delay;
+      queue_.push_back(std::move(queued));
+      return;
+    }
+    handlers = handlers_;  // copy so handlers run outside the bus mutex
+  }
+  const std::size_t count = fan_out(queued, handlers);
+  const std::scoped_lock lock(mutex_);
+  delivered_ += count;
+}
+
+std::size_t GossipBus::pump() {
+  std::vector<QueuedAlert> due;
+  std::vector<Handler> handlers;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto now = clock_();
+    // The queue is in publish order and delays are uniform, so due messages
+    // form a prefix — delivery order is exactly publish order.
+    while (!queue_.empty() && queue_.front().deliver_at <= now) {
+      due.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    if (due.empty()) return 0;
+    handlers = handlers_;
+  }
+  std::size_t count = 0;
+  for (const auto& queued : due) count += fan_out(queued, handlers);
+  const std::scoped_lock lock(mutex_);
+  delivered_ += count;
+  return count;
+}
+
+std::size_t GossipBus::fan_out(const QueuedAlert& queued, const std::vector<Handler>& handlers) {
+  std::size_t count = 0;
+  for (unsigned index = 0; index < handlers.size(); ++index) {
+    if (index == queued.origin || !handlers[index]) continue;
+    handlers[index](queued.origin, queued.alert);
+    ++count;
+  }
+  return count;
+}
+
+std::uint64_t GossipBus::published() const {
+  const std::scoped_lock lock(mutex_);
+  return published_;
+}
+
+std::uint64_t GossipBus::delivered() const {
+  const std::scoped_lock lock(mutex_);
+  return delivered_;
+}
+
+std::uint64_t GossipBus::pending() const {
+  const std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace nv::cluster

@@ -1,0 +1,87 @@
+// GossipBus: cross-shard campaign-alert propagation on the injected clock.
+//
+// When shard A's CampaignCorrelator raises an alert, the cluster publishes
+// it here; every OTHER shard receives it (apply_remote_campaign) so its
+// AdaptivePolicyController tightens BEFORE the attacker's probes arrive —
+// the network-diversity literature's "defenders share what one node paid to
+// learn" loop, made deterministic:
+//
+//   - propagation_delay == 0 (default): publish() delivers synchronously on
+//     the publishing thread, subscribers in ascending index order.
+//   - propagation_delay > 0: publish() enqueues; pump() delivers everything
+//     whose deliver-at time (measured on the injected ClockFn) has passed,
+//     in publish order. Under ManualClock the whole propagation schedule is
+//     reproducible tick for tick.
+//
+// The bus carries only locally-raised alerts (receivers never re-publish),
+// so gossip cannot loop or amplify.
+#ifndef NV_CLUSTER_GOSSIP_H
+#define NV_CLUSTER_GOSSIP_H
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "fleet/ops.h"
+
+namespace nv::cluster {
+
+struct GossipConfig {
+  /// How long a published alert takes to reach the other shards, on the
+  /// injected clock. 0 = synchronous delivery inside publish().
+  std::chrono::milliseconds propagation_delay{0};
+};
+
+class GossipBus {
+ public:
+  /// Receives (origin shard, the alert). Invoked OUTSIDE the bus mutex, on
+  /// the publishing thread (delay 0) or the pumping thread (delay > 0).
+  using Handler = std::function<void(unsigned origin, const fleet::CampaignAlert& alert)>;
+
+  explicit GossipBus(GossipConfig config = {}, fleet::ClockFn clock = {});
+
+  /// Register a shard's receiver; returns its subscriber index. The cluster
+  /// subscribes shards in index order at construction, so "ascending
+  /// subscriber order" is "ascending shard order". Not thread-safe against
+  /// concurrent publish — subscribe everything first.
+  unsigned subscribe(Handler handler);
+
+  /// Broadcast `alert` from `origin` to every subscriber EXCEPT origin.
+  void publish(unsigned origin, const fleet::CampaignAlert& alert);
+
+  /// Deliver every queued message whose propagation delay has elapsed, in
+  /// publish order. Returns deliveries made (messages x receiving shards).
+  /// No-op at delay 0 (publish already delivered).
+  std::size_t pump();
+
+  [[nodiscard]] std::uint64_t published() const;
+  [[nodiscard]] std::uint64_t delivered() const;
+  /// Messages queued and not yet due (always 0 at delay 0).
+  [[nodiscard]] std::uint64_t pending() const;
+
+ private:
+  struct QueuedAlert {
+    unsigned origin = 0;
+    fleet::CampaignAlert alert;
+    std::chrono::steady_clock::time_point deliver_at{};
+  };
+
+  /// Deliver one alert to every subscriber except origin; called without
+  /// holding mutex_ (handlers take shard locks of their own).
+  std::size_t fan_out(const QueuedAlert& queued, const std::vector<Handler>& handlers);
+
+  GossipConfig config_;
+  fleet::ClockFn clock_;
+  mutable std::mutex mutex_;
+  std::vector<Handler> handlers_;
+  std::deque<QueuedAlert> queue_;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace nv::cluster
+
+#endif  // NV_CLUSTER_GOSSIP_H

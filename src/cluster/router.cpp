@@ -1,0 +1,51 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+
+namespace nv::cluster {
+
+ShardRouter::ShardRouter(RouterPolicy policy) : policy_(policy) {}
+
+double ShardRouter::score(const ShardHealth& shard) const {
+  const double fraction =
+      shard.keys_total == 0
+          ? 1.0  // untracked: never repelled on diversity grounds
+          : static_cast<double>(shard.keys_remaining) / static_cast<double>(shard.keys_total);
+  double value = static_cast<double>(shard.queue_depth) * policy_.queue_weight -
+                 fraction * policy_.keyspace_weight;
+  if (shard.exhausted) value += policy_.exhausted_penalty;
+  return value;
+}
+
+std::optional<unsigned> ShardRouter::route(const std::vector<ShardHealth>& shards) {
+  const std::scoped_lock lock(mutex_);
+  std::optional<unsigned> best;
+  double best_score = 0.0;
+  const unsigned n = static_cast<unsigned>(shards.size());
+  // Scan in rotated order so exact ties hand successive jobs to successive
+  // shards instead of pinning the lowest index.
+  for (unsigned step = 0; step < n; ++step) {
+    const unsigned index = (cursor_ + step) % n;
+    if (!shards[index].accepting) continue;
+    const double value = score(shards[index]);
+    if (!best.has_value() || value < best_score) {
+      best = index;
+      best_score = value;
+    }
+  }
+  if (best.has_value()) cursor_ = (*best + 1) % n;
+  return best;
+}
+
+std::vector<unsigned> ShardRouter::ranked(const std::vector<ShardHealth>& shards) const {
+  std::vector<unsigned> order;
+  for (unsigned index = 0; index < shards.size(); ++index) {
+    if (shards[index].accepting) order.push_back(index);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    return score(shards[a]) < score(shards[b]);
+  });
+  return order;
+}
+
+}  // namespace nv::cluster

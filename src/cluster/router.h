@@ -1,0 +1,76 @@
+// ShardRouter: diversity-aware job placement across fleet shards.
+//
+// A plain least-loaded balancer would happily pile work — and therefore
+// quarantine-driven key draws — onto whichever shard answers fastest. The
+// cluster's router scores shards on BOTH load and remaining diversity:
+//
+//   score = queue_depth * queue_weight
+//         - keyspace_fraction * keyspace_weight      (fraction remaining)
+//         + exhausted_penalty (if the shard's keyspace is exhausted)
+//
+// Lowest score wins; ties break round-robin so equal shards share work
+// deterministically. Non-accepting shards (draining / shut down) are
+// skipped entirely; exhausted shards stay routable as a last resort — they
+// can still serve, they just cannot re-diversify — which is the graceful-
+// degradation half of the cluster story.
+#ifndef NV_CLUSTER_ROUTER_H
+#define NV_CLUSTER_ROUTER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace nv::cluster {
+
+/// One shard's routing inputs, sampled by the cluster right before route().
+struct ShardHealth {
+  bool accepting = true;
+  bool exhausted = false;
+  std::size_t queue_depth = 0;
+  std::uint64_t keys_remaining = 0;
+  /// 0 when the shard's keyspace is untracked (keyspace_fraction reads 1:
+  /// an untracked shard never repels work on diversity grounds).
+  std::uint64_t keys_total = 0;
+};
+
+struct RouterPolicy {
+  /// Cost per queued job.
+  double queue_weight = 1.0;
+  /// Bonus (in queued-job units) for a full keyspace vs an empty one: at the
+  /// default, a shard with all keys left beats an equally-loaded shard with
+  /// none by 4 queued jobs' worth of score.
+  double keyspace_weight = 4.0;
+  /// Additive penalty for exhausted shards — large enough that any
+  /// non-exhausted shard wins, small enough to stay finite (exhausted shards
+  /// remain a last resort, not unroutable).
+  double exhausted_penalty = 1e6;
+};
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(RouterPolicy policy = {});
+
+  /// Pick the shard for the next job, or nullopt when no shard is accepting.
+  /// Thread-safe; the round-robin tie-break cursor is the only state.
+  [[nodiscard]] std::optional<unsigned> route(const std::vector<ShardHealth>& shards);
+
+  /// Every accepting shard, best score first — for try-submit fallback
+  /// (start at the winner, walk down on refusal). Ties keep ascending shard
+  /// order. Empty when no shard is accepting.
+  [[nodiscard]] std::vector<unsigned> ranked(const std::vector<ShardHealth>& shards) const;
+
+  [[nodiscard]] const RouterPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  [[nodiscard]] double score(const ShardHealth& shard) const;
+
+  RouterPolicy policy_;
+  mutable std::mutex mutex_;
+  unsigned cursor_ = 0;  // rotates on every route() for the tie-break
+};
+
+}  // namespace nv::cluster
+
+#endif  // NV_CLUSTER_ROUTER_H

@@ -11,6 +11,12 @@ ReexpressionPtr<os::uid_t> identity_uid_coder() {
   return instance;
 }
 
+ReexpressionPtr<std::uint16_t> identity_port_coder() {
+  static const ReexpressionPtr<std::uint16_t> instance =
+      std::make_shared<Identity<std::uint16_t>>();
+  return instance;
+}
+
 std::string XorMask::describe() const {
   return "R(u) = u XOR " + util::hex32(mask_);
 }

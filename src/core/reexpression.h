@@ -40,6 +40,10 @@ using ReexpressionPtr = std::shared_ptr<const Reexpression<T>>;
 /// so every VariantConfig shares one instance instead of allocating its own.
 [[nodiscard]] ReexpressionPtr<os::uid_t> identity_uid_coder();
 
+/// The process-wide identity port coder (network diversity's moral twin of
+/// identity_uid_coder: ports are 16-bit "program constants" in guest code).
+[[nodiscard]] ReexpressionPtr<std::uint16_t> identity_port_coder();
+
 /// R(x) = x. Variant 0 in every variation of Table 1.
 template <typename T>
 class Identity final : public Reexpression<T> {

@@ -52,6 +52,12 @@ struct VariantConfig {
   /// the UID variation is installed). Never null; the identity default is a
   /// shared immutable singleton.
   ReexpressionPtr<os::uid_t> uid_coder = identity_uid_coder();
+  /// Port reexpression for network-endpoint constants in guest code (identity
+  /// unless a network variation such as port-hopping is installed). Applied
+  /// by GuestContext::bind() — the transformed program P_i embeds its listen
+  /// port reexpressed, and the monitor's kPort canonicalization inverts it.
+  /// Never null; the identity default is a shared immutable singleton.
+  ReexpressionPtr<std::uint16_t> port_coder = identity_port_coder();
 };
 
 /// R_i over one 64-bit argument slot, selected by descriptor role.
@@ -111,6 +117,21 @@ class Variation {
   [[nodiscard]] virtual double keyspace_bits(unsigned n_variants) const {
     (void)n_variants;
     return 0.0;
+  }
+
+  /// The ATTACKER-OBSERVABLE identity of this parameterization, or nullopt
+  /// when the drawn parameters themselves are the observable identity (the
+  /// common case: a uid-xor mask or partitioning stride IS the layout the
+  /// attacker probes). Variations whose drawn parameters are a SEED that maps
+  /// onto a smaller derived space (extended-address-partitioning: 64-bit seed
+  /// -> page-aligned offset vector) override this to return the derived
+  /// layout, so SessionFactory's keyspace ledger counts distinct OBSERVABLE
+  /// layouts rather than distinct seeds and keys_remaining stays strictly
+  /// honest — two seeds colliding onto one layout are one key, not two.
+  /// Must be consistent with keyspace_bits(): 2^bits distinct observable keys.
+  [[nodiscard]] virtual std::optional<std::string> observable_key(unsigned n_variants) const {
+    (void)n_variants;
+    return std::nullopt;
   }
 
   /// Pairwise disjointedness evidence (§2.3) for variants `vi` and `vj`:

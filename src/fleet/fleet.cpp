@@ -125,6 +125,11 @@ std::future<JobOutcome> VariantFleet::enqueue_locked(FleetJob job) {
 }
 
 std::future<JobOutcome> VariantFleet::submit(FleetJob job) {
+  // A submitter's thread is a guaranteed tick an otherwise idle fleet gets:
+  // enforce the rotation deadline here so it never depends on a worker poll.
+  if (config_.rotation_deadline > std::chrono::milliseconds::zero()) {
+    (void)enforce_rotation_deadlines();
+  }
   std::unique_lock lock(queue_mutex_);
   queue_not_full_.wait(lock,
                        [this] { return total_queued_ < config_.queue_capacity || !accepting_; });
@@ -133,6 +138,9 @@ std::future<JobOutcome> VariantFleet::submit(FleetJob job) {
 }
 
 std::optional<std::future<JobOutcome>> VariantFleet::try_submit(FleetJob job) {
+  if (config_.rotation_deadline > std::chrono::milliseconds::zero()) {
+    (void)enforce_rotation_deadlines();
+  }
   std::unique_lock lock(queue_mutex_);
   if (!accepting_ || total_queued_ >= config_.queue_capacity) {
     telemetry_.note_rejected();
@@ -227,7 +235,30 @@ std::vector<CampaignAlert> VariantFleet::open_campaigns() const {
 
 CampaignPolicy VariantFleet::campaign_policy() const { return correlator_.policy(); }
 
-void VariantFleet::notify_time_advanced() noexcept { drain_progress_.notify_all(); }
+void VariantFleet::notify_time_advanced() {
+  // A truly idle fleet (no jobs, no operator poll) learns the clock moved
+  // ONLY here, so the rotation deadline must be enforced before waking the
+  // drain — otherwise a pinned lane keeps its stale re-expression forever.
+  (void)enforce_rotation_deadlines();
+  drain_progress_.notify_all();
+}
+
+bool VariantFleet::accepting() const {
+  const std::scoped_lock lock(queue_mutex_);
+  return accepting_;
+}
+
+void VariantFleet::apply_remote_campaign(const CampaignAlert& alert) {
+  telemetry_.note_remote_campaign();
+  if (!adaptive_.has_value()) return;
+  // Same install discipline as a local alert (respawn): the decision and its
+  // installation into the correlator must be one atomic step.
+  const std::scoped_lock install_lock(adaptive_install_mutex_);
+  if (auto next = adaptive_->on_alert(alert)) {
+    correlator_.set_policy(*next);
+    telemetry_.note_policy_tightened();
+  }
+}
 
 std::uint64_t VariantFleet::low_watermark() const noexcept {
   return config_.keyspace_low_watermark == 0 ? pool_size_ : config_.keyspace_low_watermark;

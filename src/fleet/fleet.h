@@ -213,12 +213,26 @@ class VariantFleet {
   /// keys_total / keys_remaining gauges after every draw).
   [[nodiscard]] KeyspaceAccount keyspace() const { return factory_.keyspace(); }
 
-  /// Wake a deadline-bounded drain blocked on an INJECTED clock so it
-  /// re-reads the time. Subscribe it to the clock —
+  /// Tell the fleet the injected clock moved: wakes a deadline-bounded drain
+  /// blocked on it AND enforces the rotation deadline (a truly idle fleet —
+  /// no jobs, no operator poll — would otherwise never force-rotate a pinned
+  /// lane past FleetConfig::rotation_deadline). Subscribe it to the clock —
   /// clock.subscribe([&fleet] { fleet.notify_time_advanced(); }) — or call it
-  /// directly after advance(); without it the drain falls back to a coarse
-  /// poll. Harmless no-op otherwise.
-  void notify_time_advanced() noexcept;
+  /// directly after advance(). Harmless no-op otherwise.
+  void notify_time_advanced();
+
+  /// True while the fleet admits jobs (drain/shutdown flip it off). The
+  /// cluster router's health bit; also useful for operator dashboards.
+  [[nodiscard]] bool accepting() const;
+
+  /// Cross-shard gossip entry point: apply a campaign alert RAISED ON
+  /// ANOTHER FLEET to this fleet's adaptive posture. Tightens the live
+  /// policy exactly as a local alert would (counted as telemetry
+  /// remote_campaigns + policy_tightened) but does NOT rotate, does not feed
+  /// the local correlator's signature window, and never re-publishes — the
+  /// GossipBus only carries locally-raised alerts, so gossip cannot loop.
+  /// The pre-warned shard meets the attacker already tightened.
+  void apply_remote_campaign(const CampaignAlert& alert);
 
   /// The LIVE campaign policy (== FleetConfig::campaign until the adaptive
   /// controller moves it).

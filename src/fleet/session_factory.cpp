@@ -43,6 +43,18 @@ Draw draw_params(const std::string& name, unsigned n_variants, util::Rng& rng) {
     const std::uint64_t base_tag = 1 + rng.below(ceiling);
     draw.params.set("base-tag", base_tag);
     draw.recorded["base-tag"] = base_tag;
+  } else if (name == "port-hopping") {
+    // Bit 15 set keeps every shifted per-variant mask (mask >> (i-1))
+    // non-zero and pairwise distinct over the 16-bit port space.
+    const std::uint64_t mask = 0x8000ULL | (rng.next_u64() & 0x7FFFULL);
+    draw.params.set("mask", mask);
+    draw.recorded["mask"] = mask;
+  } else if (name == "endpoint-rotation") {
+    // Bit 31 set so the drawn token never collides with the variation's
+    // "unset" zero state; the realized space is the 31 low bits.
+    const std::uint64_t endpoint = 0x80000000ULL | (rng.next_u64() & 0x7FFFFFFFULL);
+    draw.params.set("endpoint", endpoint);
+    draw.recorded["endpoint"] = endpoint;
   }
   // Unknown / parameterless variations (stack-reversal, downstream
   // registrations): registry defaults.
@@ -81,6 +93,11 @@ KeyspaceAccount SessionFactory::keyspace() const {
   account.keys_total = keyspace_bits_ >= 63.0
                            ? std::numeric_limits<std::uint64_t>::max()
                            : static_cast<std::uint64_t>(std::llround(std::exp2(keyspace_bits_)));
+  // A cluster budget allocation caps the natural space: the fleet's
+  // exhaustion posture then fires at the allocation boundary.
+  if (spec_.max_unique_keys > 0 && spec_.max_unique_keys < account.keys_total) {
+    account.keys_total = spec_.max_unique_keys;
+  }
   account.keys_issued = unique_keys_issued();
   account.keys_remaining =
       account.keys_total > account.keys_issued ? account.keys_total - account.keys_issued : 0;
@@ -121,38 +138,60 @@ util::Expected<Session, std::string> SessionFactory::make_session() {
 }
 
 util::Expected<Session, std::string> SessionFactory::try_make_locked() {
+  // Cluster budget cap: a systematic refusal, not a redraw — once the
+  // allocation is spent, every further draw would overdraw the global space.
+  if (spec_.randomize && spec_.max_unique_keys > 0 &&
+      issued_keys_.size() >= spec_.max_unique_keys) {
+    return util::Unexpected{
+        util::format("keyspace budget exhausted: %llu of %llu allocated keys issued",
+                     static_cast<unsigned long long>(issued_keys_.size()),
+                     static_cast<unsigned long long>(spec_.max_unique_keys))};
+  }
+
   Session session;
   std::vector<core::VariationPtr> variations;
   std::string fingerprint;
+  std::string observable;  // collision-aware ledger key (derived layouts)
   for (const auto& name : spec_.variations) {
     Draw draw = spec_.randomize ? draw_params(name, spec_.n_variants, rng_)
                                 : Draw{};
     auto variation = registry_.make(name, draw.params);
     if (!variation) return util::Unexpected{variation.error()};
-    variations.push_back(std::move(*variation));
 
-    if (!fingerprint.empty()) fingerprint += " + ";
-    fingerprint += name;
+    std::string fragment = name;
     if (!draw.recorded.empty()) {
-      fingerprint += "{";
+      fragment += "{";
       bool first = true;
       for (const auto& [param, value] : draw.recorded) {
-        if (!first) fingerprint += ",";
+        if (!first) fragment += ",";
         first = false;
-        fingerprint += util::format("%s=0x%llx", param.c_str(),
-                                    static_cast<unsigned long long>(value));
+        fragment += util::format("%s=0x%llx", param.c_str(),
+                                 static_cast<unsigned long long>(value));
         session.drawn_params[name + "." + param] = value;
       }
-      fingerprint += "}";
+      fragment += "}";
     }
+    if (!fingerprint.empty()) fingerprint += " + ";
+    fingerprint += fragment;
+
+    // The ledger counts what attackers can OBSERVE: variations whose drawn
+    // parameters are a seed over a smaller derived space substitute the
+    // derived layout here, so two seeds colliding onto one layout are one
+    // key — keys_remaining stays strictly honest.
+    const auto derived = (*variation)->observable_key(spec_.n_variants);
+    if (!observable.empty()) observable += " + ";
+    observable += derived ? name + "{" + *derived + "}" : fragment;
+
+    variations.push_back(std::move(*variation));
   }
   if (fingerprint.empty()) fingerprint = "identical";
+  if (observable.empty()) observable = "identical";
 
-  // Fingerprint uniqueness per factory lifetime: reject the draw BEFORE the
-  // expensive system build when its diversity key was already issued. Only
-  // meaningful under randomize — registry defaults are identical by design.
-  if (spec_.randomize && issued_keys_.contains(fingerprint)) {
-    return util::Unexpected{"duplicate diversity draw: " + fingerprint};
+  // Observable-key uniqueness per factory lifetime: reject the draw BEFORE
+  // the expensive system build when its diversity key was already issued.
+  // Only meaningful under randomize — registry defaults repeat by design.
+  if (spec_.randomize && issued_keys_.contains(observable)) {
+    return util::Unexpected{"duplicate diversity draw: " + observable};
   }
 
   auto suite = core::DiversitySuite::compose(spec_.n_variants, std::move(variations));
@@ -166,11 +205,11 @@ util::Expected<Session, std::string> SessionFactory::try_make_locked() {
 
   session.id = next_id_++;
   session.system = std::move(*system);
-  session.diversity_key = fingerprint;
+  session.diversity_key = observable;
   session.fingerprint = util::format("session-%llu[%s]",
                                      static_cast<unsigned long long>(session.id),
                                      fingerprint.c_str());
-  issued_keys_.insert(std::move(fingerprint));
+  issued_keys_.insert(std::move(observable));
   return session;
 }
 

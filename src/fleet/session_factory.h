@@ -14,6 +14,10 @@
 //   address-partitioning            stride: random multiple of 256 MiB
 //   instruction-tagging             base-tag: uniform in [1, 0xFF-(N-1)] so
 //                                   tag_for(variant) never wraps
+//   port-hopping                    mask: bit 15 set, 15 low bits random, so
+//                                   the per-variant shifted masks stay
+//                                   pairwise distinct and non-zero
+//   endpoint-rotation               endpoint: bit 31 set, 31 low bits random
 //   anything else                   registry defaults (no parameters drawn)
 //
 // Every draw is recorded in the session's fingerprint so forensics can tie a
@@ -49,6 +53,13 @@ struct SessionSpec {
   /// false every session uses the registry defaults — useful for
   /// deterministic benches and for measuring the value of re-diversification.
   bool randomize = true;
+  /// Cluster budgeting: hard cap on the unique diversity keys this factory
+  /// may issue over its lifetime, 0 = uncapped. A ClusterKeyspaceBudget
+  /// allocates slices of a global budget through this; keyspace() reports
+  /// keys_total = min(2^bits, cap) so the fleet's exhaustion posture (low
+  /// watermark, rotation refusal, on_keyspace_low) applies to the allocation
+  /// exactly as it does to the natural space. Ignored when randomize is off.
+  std::uint64_t max_unique_keys = 0;
 };
 
 /// The factory's view of its finite re-expression keyspace: how big the
@@ -86,10 +97,14 @@ struct Session {
   /// — the concrete reexpression identity of this session, for logs and
   /// forensics.
   std::string fingerprint;
-  /// The fingerprint WITHOUT the session id — the pure diversity identity.
-  /// When randomize is on, the factory guarantees this is unique across its
+  /// The ATTACKER-OBSERVABLE diversity identity: per variation, either the
+  /// drawn parameters or — when the variation overrides observable_key() —
+  /// the derived layout those parameters map onto (extended-address-
+  /// partitioning: the page-offset vector, not the 64-bit seed). When
+  /// randomize is on, the factory guarantees this is unique across its
   /// lifetime: no two sessions (in particular, no quarantined session and its
-  /// replacement in a quarantine-heavy burst) ever share a reexpression.
+  /// replacement in a quarantine-heavy burst) ever share an observable
+  /// reexpression, even via seed collisions onto one layout.
   std::string diversity_key;
   /// Raw draws, keyed "variation.param" (e.g. "uid-xor.mask").
   std::map<std::string, std::uint64_t> drawn_params;

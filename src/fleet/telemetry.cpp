@@ -31,6 +31,7 @@ FleetSnapshot FleetTelemetry::snapshot() const {
   snap.sessions_rotated = sessions_rotated_.load(std::memory_order_relaxed);
   snap.rotations_failed = rotations_failed_.load(std::memory_order_relaxed);
   snap.campaign_alerts = campaign_alerts_.load(std::memory_order_relaxed);
+  snap.remote_campaigns = remote_campaigns_.load(std::memory_order_relaxed);
   snap.policy_tightened = policy_tightened_.load(std::memory_order_relaxed);
   snap.policy_decayed = policy_decayed_.load(std::memory_order_relaxed);
   snap.syscall_rounds = syscall_rounds_.load(std::memory_order_relaxed);
@@ -61,7 +62,7 @@ std::string FleetSnapshot::describe() const {
       "%llu stolen, %llu abandoned | "
       "sessions: %llu quarantined, %llu respawned, %llu rotated (%llu rotations failed) | "
       "keyspace: %s | "
-      "%llu campaign alerts | adaptive: %llu tightened, %llu decayed | "
+      "%llu campaign alerts (%llu remote) | adaptive: %llu tightened, %llu decayed | "
       "%llu syscall rounds | latency us: p50 %.0f, p95 %.0f, p99 %.0f (n=%zu)",
       static_cast<unsigned long long>(jobs_submitted),
       static_cast<unsigned long long>(jobs_completed),
@@ -75,6 +76,7 @@ std::string FleetSnapshot::describe() const {
       static_cast<unsigned long long>(sessions_rotated),
       static_cast<unsigned long long>(rotations_failed), keyspace.c_str(),
       static_cast<unsigned long long>(campaign_alerts),
+      static_cast<unsigned long long>(remote_campaigns),
       static_cast<unsigned long long>(policy_tightened),
       static_cast<unsigned long long>(policy_decayed),
       static_cast<unsigned long long>(syscall_rounds), latency_p50_us, latency_p95_us,

@@ -36,6 +36,7 @@ struct FleetSnapshot {
   std::uint64_t sessions_rotated = 0;  // proactive re-diversifications (campaign escalation)
   std::uint64_t rotations_failed = 0;  // rotation kept serving a burned reexpression
   std::uint64_t campaign_alerts = 0;   // fleet-level correlated-attack alerts
+  std::uint64_t remote_campaigns = 0;  // gossip-applied alerts raised on OTHER fleets
   std::uint64_t policy_tightened = 0;  // adaptive steps away from the baseline policy
   std::uint64_t policy_decayed = 0;    // adaptive steps back toward the baseline
   std::uint64_t syscall_rounds = 0;  // rendezvous rounds across all sessions
@@ -76,6 +77,9 @@ class FleetTelemetry {
     rotations_failed_.fetch_add(1, std::memory_order_relaxed);
   }
   void note_campaign() noexcept { campaign_alerts_.fetch_add(1, std::memory_order_relaxed); }
+  void note_remote_campaign() noexcept {
+    remote_campaigns_.fetch_add(1, std::memory_order_relaxed);
+  }
   void note_policy_tightened() noexcept {
     policy_tightened_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -119,6 +123,7 @@ class FleetTelemetry {
   std::atomic<std::uint64_t> sessions_rotated_{0};
   std::atomic<std::uint64_t> rotations_failed_{0};
   std::atomic<std::uint64_t> campaign_alerts_{0};
+  std::atomic<std::uint64_t> remote_campaigns_{0};
   std::atomic<std::uint64_t> policy_tightened_{0};
   std::atomic<std::uint64_t> policy_decayed_{0};
   std::atomic<std::uint64_t> syscall_rounds_{0};

@@ -171,7 +171,10 @@ SysResult<os::fd_t> GuestContext::socket() {
 os::Errno GuestContext::bind(os::fd_t fd, std::uint16_t port) {
   SyscallArgs args;
   args.no = Sys::kBind;
-  args.ints = {static_cast<std::uint64_t>(fd), port};
+  // The transformed program embeds its listen-port constant reexpressed
+  // (R_i), exactly like uid_const(): the monitor's kPort canonicalization
+  // inverts it, so benign binds agree while an injected raw port diverges.
+  args.ints = {static_cast<std::uint64_t>(fd), config_.port_coder->reexpress(port)};
   return raw_syscall(std::move(args)).err;
 }
 os::Errno GuestContext::listen(os::fd_t fd) {

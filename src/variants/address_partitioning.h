@@ -9,8 +9,11 @@
 #ifndef NV_VARIANTS_ADDRESS_PARTITIONING_H
 #define NV_VARIANTS_ADDRESS_PARTITIONING_H
 
+#include <cmath>
+
 #include "core/variation.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace nv::variants {
 
@@ -68,17 +71,30 @@ class ExtendedAddressPartitioning final : public AddressPartitioning {
     return "extended-address-partitioning";
   }
 
-  /// The fleet draws a full 64-bit seed, and that seed IS the diversity key
-  /// the SessionFactory's uniqueness ledger counts — so the draw space is 64
-  /// bits. The OBSERVABLE layout space can be smaller ((max_offset/4096 - 1)
-  /// page offsets per offset-carrying variant; different seeds can collide
-  /// on a layout); a collision-aware ledger is a named ROADMAP follow-on.
-  /// Reporting the seed space here keeps exhaustion accounting aligned with
-  /// what the factory actually enforces: claiming ~2^8 keys while the
-  /// factory can issue 2^64 unique fingerprints would spuriously trip the
-  /// fleet's exhaustion posture and disable rotation against a factory that
-  /// still works.
-  [[nodiscard]] double keyspace_bits(unsigned /*n_variants*/) const override { return 64.0; }
+  /// The fleet draws a full 64-bit seed, but the seed is NOT what an attacker
+  /// probes: the OBSERVABLE layout is the derived page-offset vector, with
+  /// (max_offset/4096 - 1) choices per offset-carrying variant (variant 0 is
+  /// pinned at offset 0). Different seeds can collide on one layout, so the
+  /// honest keyspace — the space SessionFactory's collision-aware ledger
+  /// enforces via observable_key() — is (n-1)·log2(max_offset/4096 - 1) bits.
+  [[nodiscard]] double keyspace_bits(unsigned n_variants) const override {
+    const double layouts_per_variant = static_cast<double>(max_offset_ / 4096 - 1);
+    const unsigned offset_variants = n_variants > 0 ? n_variants - 1 : 0;
+    if (layouts_per_variant < 2.0) return 0.0;  // single possible layout: no entropy
+    return static_cast<double>(offset_variants) * std::log2(layouts_per_variant);
+  }
+
+  /// The derived layout the attacker actually observes: one page offset per
+  /// offset-carrying variant. Seeds that collide onto the same offsets are
+  /// the SAME diversity key — the factory ledger counts this, not the seed.
+  [[nodiscard]] std::optional<std::string> observable_key(unsigned n_variants) const override {
+    std::string key = "offsets=";
+    for (unsigned v = 1; v < n_variants; ++v) {
+      if (v > 1) key += ",";
+      key += util::format("0x%llx", static_cast<unsigned long long>(extra_offset(v)));
+    }
+    return key;
+  }
 
  protected:
   [[nodiscard]] std::uint64_t extra_offset(unsigned variant) const override {

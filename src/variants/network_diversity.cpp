@@ -1,0 +1,47 @@
+#include "variants/network_diversity.h"
+
+#include "util/strings.h"
+
+namespace nv::variants {
+
+std::string PortXorMask::describe() const {
+  return util::format("R(p) = p XOR 0x%04x", static_cast<unsigned>(mask_));
+}
+
+std::uint16_t PortHopping::mask_for(unsigned variant) const noexcept {
+  if (variant == 0) return 0;
+  return static_cast<std::uint16_t>(options_.variant1_mask >> (variant - 1));
+}
+
+core::ReexpressionPtr<std::uint16_t> PortHopping::coder_for(unsigned variant) const {
+  if (variant == 0) return core::identity_port_coder();
+  return std::make_shared<PortXorMask>(mask_for(variant));
+}
+
+void PortHopping::configure_variant(core::VariantConfig& config) const {
+  config.port_coder = coder_for(config.index);
+}
+
+std::optional<core::RoleTransform> PortHopping::role_transform(vkernel::ArgRole role,
+                                                               unsigned variant) const {
+  if (role != vkernel::ArgRole::kPort) return std::nullopt;
+  const std::uint16_t mask = mask_for(variant);
+  if (mask == 0) return std::nullopt;
+  // XOR is self-inverse: R⁻¹_i is the same mask, applied to the low 16 bits.
+  const auto recode = [mask](std::uint64_t value) -> std::uint64_t {
+    return static_cast<std::uint16_t>(value) ^ mask;
+  };
+  return core::RoleTransform{recode, recode};
+}
+
+std::optional<std::string> PortHopping::disjointedness_violation(unsigned vi,
+                                                                 unsigned vj) const {
+  const std::uint16_t mask_i = mask_for(vi);
+  const std::uint16_t mask_j = mask_for(vj);
+  // Same closed form as xor_masks_disjoint: R⁻¹_vi == R⁻¹_vj iff masks agree.
+  if (mask_i != mask_j) return std::nullopt;
+  return util::format("port masks collide for variants %u and %u (mask 0x%04x)", vi, vj,
+                      static_cast<unsigned>(mask_i));
+}
+
+}  // namespace nv::variants

@@ -1,0 +1,114 @@
+// Network-level data diversity (cluster companion to the per-host rows of
+// Table 1). Chen et al.'s dynamic-network-diversity result (PAPERS.md) is
+// the motivation: the paper's per-host entropy argument compounds when the
+// *network surface* each shard presents is itself drawn from a keyed space.
+//
+// Two variations, both first-class registry citizens so the composed cluster
+// entropy is measurable through the existing DiversitySuite path:
+//
+//   port-hopping        R_i(p) = p XOR mask_i over the 16-bit port space.
+//                       The transformed program embeds its listen-port
+//                       constant reexpressed (GuestContext::bind applies the
+//                       VariantConfig::port_coder, mirroring uid_const), and
+//                       the monitor's kPort canonicalization inverts it — an
+//                       attacker-injected absolute port diverges across
+//                       variants and alarms, exactly like a forged UID.
+//
+//   endpoint-rotation   A drawn 32-bit endpoint token naming the network
+//                       address a shard currently answers on. Like stack
+//                       reversal it installs no value-domain reexpression
+//                       (our simulated kernel has no cross-host network); its
+//                       job is honest entropy accounting for the endpoint
+//                       space an off-host attacker must rescan after every
+//                       rotation, surfaced through keyspace_bits().
+#ifndef NV_VARIANTS_NETWORK_DIVERSITY_H
+#define NV_VARIANTS_NETWORK_DIVERSITY_H
+
+#include <cstdint>
+
+#include "core/variation.h"
+
+namespace nv::variants {
+
+/// R(p) = p XOR mask over 16-bit ports. Self-inverse, like XorMask for UIDs.
+class PortXorMask final : public core::Reexpression<std::uint16_t> {
+ public:
+  explicit PortXorMask(std::uint16_t mask) noexcept : mask_(mask) {}
+  [[nodiscard]] std::uint16_t reexpress(std::uint16_t value) const override {
+    return static_cast<std::uint16_t>(value ^ mask_);
+  }
+  [[nodiscard]] std::uint16_t invert(std::uint16_t value) const override {
+    return static_cast<std::uint16_t>(value ^ mask_);
+  }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::uint16_t mask_;
+};
+
+class PortHopping final : public core::Variation {
+ public:
+  struct Options {
+    /// Variant 1's port mask; variant i >= 1 uses mask >> (i-1). Bit 15 set
+    /// keeps every shifted mask non-zero and pairwise distinct (same scheme
+    /// as UidVariation, shrunk to the 16-bit port space).
+    std::uint16_t variant1_mask = 0x8000;
+  };
+
+  PortHopping() : PortHopping(Options{}) {}
+  explicit PortHopping(Options options) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const override { return "port-hopping"; }
+
+  [[nodiscard]] std::uint16_t mask_for(unsigned variant) const noexcept;
+  [[nodiscard]] core::ReexpressionPtr<std::uint16_t> coder_for(unsigned variant) const;
+
+  void configure_variant(core::VariantConfig& config) const override;
+
+  /// Port-carrying slots get XOR'd; the descriptor table routes every
+  /// kPort argument (today: bind) through this.
+  [[nodiscard]] std::optional<core::RoleTransform> role_transform(
+      vkernel::ArgRole role, unsigned variant) const override;
+
+  /// The fleet draws variant-1 masks with bit 15 set and the 15 low bits
+  /// random: 2^15 distinct mask draws regardless of N.
+  [[nodiscard]] double keyspace_bits(unsigned /*n_variants*/) const override { return 15.0; }
+
+  [[nodiscard]] std::optional<std::string> disjointedness_violation(
+      unsigned vi, unsigned vj) const override;
+
+ private:
+  Options options_;
+};
+
+class EndpointRotation final : public core::Variation {
+ public:
+  struct Options {
+    /// The drawn token naming this deployment's current network endpoint
+    /// (address slot in a shuffled space). Bit 31 is pinned by the draw
+    /// policy, so the realized space is the 31 low bits.
+    std::uint32_t endpoint = 0x80000000u;
+  };
+
+  EndpointRotation() : EndpointRotation(Options{}) {}
+  explicit EndpointRotation(Options options) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const override { return "endpoint-rotation"; }
+
+  [[nodiscard]] std::uint32_t endpoint() const noexcept { return options_.endpoint; }
+
+  /// 31 drawn bits (bit 31 pinned): the endpoint space a blind off-host
+  /// scanner must sweep to find where a shard answers.
+  [[nodiscard]] double keyspace_bits(unsigned /*n_variants*/) const override { return 31.0; }
+
+  // No configure_variant / role_transform: like stack reversal, this is a
+  // layout-style variation with no value-domain reexpression to check, so
+  // the default nullopt disjointedness is the honest answer.
+
+ private:
+  Options options_;
+};
+
+}  // namespace nv::variants
+
+#endif  // NV_VARIANTS_NETWORK_DIVERSITY_H

@@ -5,6 +5,7 @@
 
 #include "variants/address_partitioning.h"
 #include "variants/instruction_tagging.h"
+#include "variants/network_diversity.h"
 #include "variants/stack_reversal.h"
 #include "variants/uid_variation.h"
 
@@ -65,6 +66,28 @@ util::Expected<VariationPtr, std::string> make_stack_reversal(const VariationPar
   return VariationPtr{std::make_shared<StackReversal>()};
 }
 
+util::Expected<VariationPtr, std::string> make_port_hopping(const VariationParams& params) {
+  PortHopping::Options options;
+  const auto mask = params.get_u64("mask", options.variant1_mask);
+  if (!mask) return Unexpected{mask.error()};
+  if (*mask == 0 || *mask > 0xFFFFULL) {
+    return Unexpected{std::string("mask must be a non-zero 16-bit port mask")};
+  }
+  options.variant1_mask = static_cast<std::uint16_t>(*mask);
+  return VariationPtr{std::make_shared<PortHopping>(options)};
+}
+
+util::Expected<VariationPtr, std::string> make_endpoint_rotation(const VariationParams& params) {
+  EndpointRotation::Options options;
+  const auto endpoint = params.get_u64("endpoint", options.endpoint);
+  if (!endpoint) return Unexpected{endpoint.error()};
+  if (*endpoint > 0xFFFFFFFFULL) {
+    return Unexpected{std::string("endpoint must fit in 32 bits")};
+  }
+  options.endpoint = static_cast<std::uint32_t>(*endpoint);
+  return VariationPtr{std::make_shared<EndpointRotation>(options)};
+}
+
 }  // namespace
 
 void register_builtin_variations(core::VariationRegistry& registry) {
@@ -82,6 +105,12 @@ void register_builtin_variations(core::VariationRegistry& registry) {
   registry.add("stack-reversal",
                "opposite stack growth directions per variant (Franz [20])",
                make_stack_reversal);
+  registry.add("port-hopping",
+               "per-variant XOR masks over the 16-bit port space (network diversity)",
+               make_port_hopping);
+  registry.add("endpoint-rotation",
+               "drawn endpoint token for shard-level network-address shuffling",
+               make_endpoint_rotation);
 }
 
 const core::VariationRegistry& builtin_registry() {

@@ -7,6 +7,8 @@
 //   instruction-tagging             base-tag (u64, default 0xA0)
 //   uid-xor (alias: uid-variation)  mask (u64, 0x7FFFFFFF), files (str list)
 //   stack-reversal                  —
+//   port-hopping                    mask (u64, default 0x8000; 16-bit)
+//   endpoint-rotation               endpoint (u64, default 0x80000000; 32-bit)
 //
 // Adding a Table-1-style variation is: implement core::Variation (usually
 // just role_transform + disjointedness_violation), then register a factory

@@ -12,16 +12,19 @@
 #include <cmath>
 #include <future>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "core/diversity_suite.h"
 #include "core/nvariant_system.h"
+#include "core/variation_registry.h"
 #include "fleet/fleet.h"
 #include "fleet/jobs.h"
 #include "fleet/ops.h"
 #include "fleet/session_factory.h"
 #include "fleet_test_harness.h"
+#include "variants/address_partitioning.h"
 #include "variants/registry.h"
 
 namespace nv::fleet {
@@ -50,22 +53,77 @@ TEST(KeyspaceBits, BuiltinVariationsReportTheirDrawSpaces) {
   EXPECT_DOUBLE_EQ(make("stack-reversal")->keyspace_bits(2), 0.0);
 }
 
-TEST(KeyspaceBits, ExtendedPartitioningReportsItsSeedDrawSpace) {
-  // The factory draws (and fingerprints) a full 64-bit seed: the ledger must
-  // count what uniqueness actually enforces, or exhaustion would trip
-  // spuriously. The narrower OBSERVABLE layout space is a ROADMAP follow-on.
+TEST(KeyspaceBits, ExtendedPartitioningCountsObservableLayoutsNotSeeds) {
+  // The factory draws a 64-bit seed, but an attacker observes only the
+  // DERIVED per-variant page offsets — (max_offset/4096 - 1) choices per
+  // offset-carrying variant (variant 0 stays at the partition base). The
+  // ledger counts that observable space, so keys_remaining is honest.
   const auto ext = make("extended-address-partitioning");
-  EXPECT_DOUBLE_EQ(ext->keyspace_bits(2), 64.0);
-  EXPECT_DOUBLE_EQ(ext->keyspace_bits(3), 64.0);
+  EXPECT_NEAR(ext->keyspace_bits(2), std::log2(255.0), 1e-12);
+  EXPECT_NEAR(ext->keyspace_bits(3), 2.0 * std::log2(255.0), 1e-12);
 
-  // A spec containing it therefore never exhausts: keys_total saturates.
   SessionSpec spec;
   spec.n_variants = 2;
   spec.variations = {"extended-address-partitioning"};
   SessionFactory factory(spec, 3, variants::builtin_registry());
-  EXPECT_EQ(factory.keyspace().keys_total, std::numeric_limits<std::uint64_t>::max());
-  ASSERT_TRUE(factory.make_session().has_value());
+  EXPECT_EQ(factory.keyspace().keys_total, 255u);
+  auto session = factory.make_session();
+  ASSERT_TRUE(session.has_value());
+  // The diversity key is the derived layout, not the seed.
+  EXPECT_NE(session->diversity_key.find("offsets=0x"), std::string::npos);
   EXPECT_FALSE(factory.keyspace().exhausted());
+}
+
+TEST(KeyspaceAccounting, ExtendedPartitioningLedgerCollapsesSeedCollisions) {
+  // Two seeds that derive the SAME layout are the same key. Shadow the
+  // builtin with a two-layout jitter space (max_offset = 3 pages): fresh
+  // 64-bit seeds keep arriving, but after both layouts are issued the third
+  // session must be refused — distinct fingerprints, duplicate observables.
+  core::VariationRegistry registry;
+  registry.add(
+      "extended-address-partitioning", "two-layout jitter for the ledger test",
+      [](const core::VariationParams& params)
+          -> util::Expected<core::VariationPtr, std::string> {
+        const auto seed = params.get_u64("seed", 1234);
+        if (!seed) return util::Unexpected{seed.error()};
+        return core::VariationPtr{std::make_shared<variants::ExtendedAddressPartitioning>(
+            0x80000000ULL, 3ULL * 4096, *seed)};
+      });
+
+  SessionSpec spec;
+  spec.n_variants = 2;
+  spec.variations = {"extended-address-partitioning"};
+  SessionFactory factory(spec, 0xF00D, registry);
+  ASSERT_EQ(factory.keyspace().keys_total, 2u);
+
+  ASSERT_TRUE(factory.make_session().has_value());
+  ASSERT_TRUE(factory.make_session().has_value());
+  EXPECT_TRUE(factory.keyspace().exhausted());
+  auto third = factory.make_session();
+  ASSERT_FALSE(third.has_value());
+  EXPECT_NE(third.error().find("duplicate diversity draw"), std::string::npos);
+  EXPECT_EQ(factory.unique_keys_issued(), 2u);
+}
+
+TEST(KeyspaceAccounting, BudgetCapRefusesDrawsAtTheAllocationBoundary) {
+  // Cluster budgeting: max_unique_keys caps a 16-key natural space at 3.
+  // The gauge reports the allocation, exhaustion fires at its boundary, and
+  // the refusal is systematic (no redraw can help).
+  SessionSpec spec;
+  spec.n_variants = 2;
+  spec.variations = {"address-partitioning"};
+  spec.max_unique_keys = 3;
+  SessionFactory factory(spec, 0xBEEF, variants::builtin_registry());
+  EXPECT_EQ(factory.keyspace().keys_total, 3u);
+
+  for (unsigned draw = 1; draw <= 3; ++draw) {
+    ASSERT_TRUE(factory.make_session().has_value()) << "draw " << draw;
+  }
+  EXPECT_TRUE(factory.keyspace().exhausted());
+  auto fourth = factory.make_session();
+  ASSERT_FALSE(fourth.has_value());
+  EXPECT_NE(fourth.error().find("keyspace budget exhausted"), std::string::npos);
+  EXPECT_EQ(factory.unique_keys_issued(), 3u);
 }
 
 // --- Composition -------------------------------------------------------------
@@ -238,6 +296,90 @@ TEST(FleetKeyspace, RotationDeadlineSwapsTheSessionUnderATooSlowJob) {
   EXPECT_TRUE(second_outcome.get().ok());
   EXPECT_TRUE(fleet.submit(jobs::uid_churn(3)).get().ok());
   EXPECT_EQ(fleet.live_fingerprints(), after);  // clean jobs don't re-rotate
+}
+
+TEST(FleetKeyspace, IdleFleetEnforcesRotationDeadlineOnClockAdvance) {
+  // Regression: the deadline used to be checked only inside poll_adaptive()
+  // and job completion, so an idle fleet with no operator tick never
+  // enforced it — a pinned stale session outlived its deadline for as long
+  // as nobody happened to poll. notify_time_advanced() now enforces it, so
+  // subscribing the fleet to the ManualClock is enough.
+  ManualClock clock;
+  FleetConfig config;
+  config.spec = uid_spec();
+  config.pool_size = 2;
+  config.queue_capacity = 8;
+  config.seed = 0xDEAD33;
+  config.rotation_deadline = milliseconds(2000);
+  config.work_stealing = false;
+  config.clock = clock.fn();
+  VariantFleet fleet(config);
+  clock.subscribe([&fleet] { fleet.notify_time_advanced(); });
+  const auto before = fleet.live_fingerprints();
+
+  // Pin BOTH lanes mid-job so rotate_fleet() can only flag, then go idle:
+  // no polls, no further submissions.
+  harness::GatedJob first;
+  harness::GatedJob second;
+  auto first_outcome = fleet.submit(first.job());
+  auto second_outcome = fleet.submit(second.job());
+  first.wait_started();
+  second.wait_started();
+  ASSERT_EQ(fleet.rotate_fleet(), 2u);
+  EXPECT_EQ(fleet.live_fingerprints(), before);  // deadline not reached
+
+  // The clock advance ALONE must force-install the replacements.
+  clock.advance(milliseconds(2000));
+  const auto after = fleet.live_fingerprints();
+  EXPECT_NE(after[0], before[0]);
+  EXPECT_NE(after[1], before[1]);
+  EXPECT_EQ(fleet.telemetry().snapshot().sessions_rotated, 2u);
+
+  first.release();
+  second.release();
+  EXPECT_TRUE(first_outcome.get().ok());
+  EXPECT_TRUE(second_outcome.get().ok());
+}
+
+TEST(FleetKeyspace, SubmissionEnforcesRotationDeadlineWithoutAnyPoll) {
+  // The other half of the regression fix: a fleet nobody subscribed to the
+  // clock still must not ADMIT new work past a stale deadline — submit() and
+  // try_submit() enforce it on entry.
+  ManualClock clock;
+  FleetConfig config;
+  config.spec = uid_spec();
+  config.pool_size = 2;
+  config.queue_capacity = 8;
+  config.seed = 0xDEAD44;
+  config.rotation_deadline = milliseconds(2000);
+  config.work_stealing = false;
+  config.clock = clock.fn();
+  VariantFleet fleet(config);
+  const auto before = fleet.live_fingerprints();
+
+  harness::GatedJob first;
+  harness::GatedJob second;
+  auto first_outcome = fleet.submit(first.job());
+  auto second_outcome = fleet.submit(second.job());
+  first.wait_started();
+  second.wait_started();
+  ASSERT_EQ(fleet.rotate_fleet(), 2u);
+  clock.advance(milliseconds(2000));
+  EXPECT_EQ(fleet.live_fingerprints(), before);  // nobody looked yet
+
+  // The next admission — not its completion — performs the force-swap.
+  auto queued = fleet.try_submit(jobs::uid_churn(3));
+  ASSERT_TRUE(queued.has_value());
+  const auto after = fleet.live_fingerprints();
+  EXPECT_NE(after[0], before[0]);
+  EXPECT_NE(after[1], before[1]);
+  EXPECT_EQ(fleet.telemetry().snapshot().sessions_rotated, 2u);
+
+  first.release();
+  second.release();
+  EXPECT_TRUE(first_outcome.get().ok());
+  EXPECT_TRUE(second_outcome.get().ok());
+  EXPECT_TRUE(queued->get().ok());
 }
 
 TEST(FleetKeyspace, DisplacedSessionQuarantineKeepsTheFreshReplacement) {

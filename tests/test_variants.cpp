@@ -1,8 +1,17 @@
-// Unit tests for the variation implementations (Table 1 rows as objects).
+// Unit tests for the variation implementations (Table 1 rows as objects),
+// including the network-diversity companions (port-hopping end to end
+// through the MVEE, endpoint-rotation's entropy accounting).
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "core/nvariant_system.h"
+#include "guest/runners.h"
+#include "test_helpers.h"
 #include "variants/address_partitioning.h"
 #include "variants/instruction_tagging.h"
+#include "variants/network_diversity.h"
+#include "variants/registry.h"
 #include "variants/stack_reversal.h"
 #include "variants/uid_variation.h"
 #include "vfs/filesystem.h"
@@ -174,6 +183,96 @@ TEST(UidVariationUnit, CustomDiversifiedFileList) {
   options.diversified_files = {"/srv/users.db"};
   const UidVariation variation(options);
   EXPECT_EQ(variation.unshared_paths(), (std::vector<std::string>{"/srv/users.db"}));
+}
+
+// --- Network diversity -------------------------------------------------------
+
+TEST(PortHoppingVariation, MasksArePairwiseDistinctAndVariantZeroIsIdentity) {
+  const PortHopping hopping;
+  EXPECT_EQ(hopping.mask_for(0), 0u);
+  EXPECT_EQ(hopping.mask_for(1), 0x8000u);
+  EXPECT_EQ(hopping.mask_for(2), 0x4000u);
+  EXPECT_FALSE(hopping.disjointedness_violation(0, 1).has_value());
+  EXPECT_FALSE(hopping.disjointedness_violation(1, 2).has_value());
+  // The shifted scheme runs out after 16 offset-carrying variants: variants
+  // 17 and 18 would both shift the mask to zero (= variant 0's identity).
+  EXPECT_TRUE(hopping.disjointedness_violation(17, 18).has_value());
+  EXPECT_EQ(hopping.keyspace_bits(2), 15.0);
+}
+
+TEST(PortHoppingVariation, CoderAndRoleTransformInvertEachOther) {
+  const PortHopping hopping;
+  const auto coder = hopping.coder_for(1);
+  EXPECT_EQ(coder->reexpress(8080), 8080u ^ 0x8000u);
+  EXPECT_EQ(coder->invert(coder->reexpress(8080)), 8080u);
+
+  const auto transform = hopping.role_transform(vkernel::ArgRole::kPort, 1);
+  ASSERT_TRUE(transform.has_value());
+  EXPECT_EQ(transform->invert(8080u ^ 0x8000u), 8080u);
+  EXPECT_EQ(transform->reexpress(8080u), 8080u ^ 0x8000u);
+  // Only the low 16 bits are a port; high garbage must not leak through.
+  EXPECT_EQ(transform->invert(0xABCD'0000ULL | (8080u ^ 0x8000u)), 8080u);
+  // Variant 0 and non-port roles are untouched.
+  EXPECT_FALSE(hopping.role_transform(vkernel::ArgRole::kPort, 0).has_value());
+  EXPECT_FALSE(hopping.role_transform(vkernel::ArgRole::kUid, 1).has_value());
+}
+
+TEST(PortHoppingVariation, RegistryRejectsDegenerateMasks) {
+  EXPECT_THROW((void)make_builtin("port-hopping", {{"mask", std::uint64_t{0}}}),
+               std::runtime_error);
+  EXPECT_THROW((void)make_builtin("port-hopping", {{"mask", std::uint64_t{0x10000}}}),
+               std::runtime_error);
+  EXPECT_NO_THROW((void)make_builtin("port-hopping", {{"mask", std::uint64_t{0x9C3A}}}));
+}
+
+TEST(PortHoppingVariation, BenignGuestBindAgreesAcrossVariants) {
+  // The transformed program's listen port goes through VariantConfig::
+  // port_coder (GuestContext::bind applies it, like uid_const for UIDs), so
+  // the monitor's kPort canonicalization sees the same canonical port from
+  // every variant: no alarm, and the socket hub binds the canonical port.
+  const auto system =
+      testing::build_system(std::chrono::milliseconds(500), 2, {"port-hopping"});
+  testing::LambdaGuest guest([](guest::GuestContext& ctx) {
+    auto sock = ctx.socket();
+    ASSERT_TRUE(sock.has_value());
+    ASSERT_EQ(ctx.bind(*sock, 8080), os::Errno::kOk);
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.attack_detected);
+  EXPECT_TRUE(system->hub().is_bound(8080));
+}
+
+TEST(PortHoppingVariation, InjectedRawPortDivergesAndAlarms) {
+  // The attack: memory corruption overwrote the stored (reexpressed) port
+  // constant with the attacker's absolute choice — the SAME raw bits in
+  // every variant, bypassing the coder. Canonicalization then inverts
+  // per-variant masks and the values disagree.
+  const auto system =
+      testing::build_system(std::chrono::milliseconds(500), 2, {"port-hopping"});
+  testing::LambdaGuest guest([](guest::GuestContext& ctx) {
+    auto sock = ctx.socket();
+    ASSERT_TRUE(sock.has_value());
+    vkernel::SyscallArgs args;
+    args.no = vkernel::Sys::kBind;
+    args.ints = {static_cast<std::uint64_t>(*sock), 31337};  // raw injected port
+    (void)ctx.raw_syscall(std::move(args));
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(*system, guest);
+  EXPECT_TRUE(report.attack_detected);
+  ASSERT_TRUE(report.alarm.has_value());
+  EXPECT_EQ(report.alarm->kind, core::AlarmKind::kArgumentMismatch);
+}
+
+TEST(EndpointRotationVariation, ReportsTheEndpointScanSpace) {
+  const EndpointRotation rotation;
+  EXPECT_EQ(rotation.keyspace_bits(2), 31.0);
+  EXPECT_EQ(rotation.endpoint(), 0x80000000u);
+  EXPECT_THROW(
+      (void)make_builtin("endpoint-rotation", {{"endpoint", std::uint64_t{1} << 32}}),
+      std::runtime_error);
 }
 
 }  // namespace

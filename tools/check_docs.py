@@ -5,7 +5,8 @@
    point at a file (or directory) that exists in the repo. External links
    (http/https/mailto) are not fetched.
 2. Telemetry coverage: every field of fleet::FleetSnapshot declared in
-   src/fleet/telemetry.h must appear (as `backtick-quoted` code) in
+   src/fleet/telemetry.h — and of cluster::ClusterSnapshot declared in
+   src/cluster/telemetry.h — must appear (as `backtick-quoted` code) in
    docs/TELEMETRY.md — a counter or gauge without documented semantics is a
    CI failure, per the docs contract.
 
@@ -46,23 +47,32 @@ def check_links(root: pathlib.Path, errors: list) -> int:
     return checked
 
 
+SNAPSHOT_STRUCTS = [
+    (("src", "fleet", "telemetry.h"), "FleetSnapshot"),
+    (("src", "cluster", "telemetry.h"), "ClusterSnapshot"),
+]
+
+
 def check_telemetry_coverage(root: pathlib.Path, errors: list) -> int:
-    header = root / "src" / "fleet" / "telemetry.h"
     glossary = root / "docs" / "TELEMETRY.md"
-    text = header.read_text(encoding="utf-8")
-    match = re.search(r"struct FleetSnapshot \{(.*?)\n\};", text, re.DOTALL)
-    if not match:
-        errors.append(f"{header}: cannot locate struct FleetSnapshot")
-        return 0
-    fields = FIELD_RE.findall(match.group(1))
-    if not fields:
-        errors.append(f"{header}: found no FleetSnapshot fields to check")
     documented = glossary.read_text(encoding="utf-8") if glossary.exists() else ""
-    for field in fields:
-        if f"`{field}`" not in documented:
-            errors.append(
-                f"telemetry.h field '{field}' has no entry in docs/TELEMETRY.md")
-    return len(fields)
+    total = 0
+    for parts, struct in SNAPSHOT_STRUCTS:
+        header = root.joinpath(*parts)
+        text = header.read_text(encoding="utf-8")
+        match = re.search(rf"struct {struct} \{{(.*?)\n\}};", text, re.DOTALL)
+        if not match:
+            errors.append(f"{header}: cannot locate struct {struct}")
+            continue
+        fields = FIELD_RE.findall(match.group(1))
+        if not fields:
+            errors.append(f"{header}: found no {struct} fields to check")
+        for field in fields:
+            if f"`{field}`" not in documented:
+                errors.append(
+                    f"{struct} field '{field}' has no entry in docs/TELEMETRY.md")
+        total += len(fields)
+    return total
 
 
 def main() -> None:

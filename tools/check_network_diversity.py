@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Schema + invariant check for BENCH_network_diversity.json.
+
+CI runs this on the document bench_network_diversity just wrote, so future
+PRs can diff the fleet-of-fleets curves knowing the shape is stable and the
+core claim holds. The written contract lives in docs/BENCH_SCHEMAS.md.
+
+  - schema is "network_diversity/v1" with the documented keys;
+  - the grid is ordered by ascending shard count at FIXED total lanes
+    (shards x lanes_per_shard == config.total_lanes everywhere);
+  - attacker cost rises STRICTLY MONOTONICALLY with the shard count;
+  - the attacker's ledger is internally consistent: probes split exactly
+    into payload + endpoint spend, endpoint spend is discoveries times the
+    per-scan cost 2^(network_bits - 1), and every failed payload probe cost
+    one quarantine;
+  - gossip pre-warns: any multi-shard run that raised a campaign also
+    tightened at least one shard before that shard's first quarantine;
+  - keyspace ledgers and timelines are sane (remaining <= total, timelines
+    non-empty, time-ordered, cumulative columns non-decreasing).
+
+Usage: check_network_diversity.py BENCH_network_diversity.json
+Exit code 0 on success, 1 with a message on any violation.
+"""
+import json
+import sys
+
+CURVE_KEYS = {
+    "shards", "lanes_per_shard", "probed_variation", "payload_bits",
+    "payload_keys", "network_bits", "endpoint_discovery_cost",
+    "endpoint_discoveries", "endpoint_probes", "payload_probes", "probes",
+    "silent_compromises", "compromised_lane_ticks", "mean_compromised_fraction",
+    "attacker_cost", "quarantines", "rotations", "network_rotations",
+    "campaign_alerts", "remote_campaigns", "policy_tightened",
+    "pre_warned_shards", "gossip_published", "gossip_delivered",
+    "keys_total", "keys_remaining", "timeline",
+}
+CONFIG_KEYS = {"total_lanes", "variations", "probed_variation",
+               "network_variations", "probes_per_tick", "tick_ms", "ticks",
+               "defender_rotate_ticks", "global_key_budget", "seed"}
+
+
+def fail(message: str) -> None:
+    print(f"check_network_diversity: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_curve(curve: dict, total_lanes: int, where: str) -> None:
+    missing = CURVE_KEYS - curve.keys()
+    if missing:
+        fail(f"{where}: missing keys {sorted(missing)}")
+    if curve["shards"] < 1:
+        fail(f"{where}: shards < 1")
+    if curve["shards"] * curve["lanes_per_shard"] != total_lanes:
+        fail(f"{where}: shards x lanes_per_shard != total_lanes "
+             f"({curve['shards']} x {curve['lanes_per_shard']} != {total_lanes})")
+    # Payload keyspace must be real entropy units: keys is the realized 2^bits.
+    if curve["payload_keys"] < 2:
+        fail(f"{where}: payload_keys < 2 is not a guessing game")
+    if abs(curve["payload_keys"] - 2 ** curve["payload_bits"]) > 0.5:
+        fail(f"{where}: payload_keys {curve['payload_keys']} "
+             f"!= 2^{curve['payload_bits']}")
+    if not curve["probed_variation"]:
+        fail(f"{where}: empty probed_variation")
+    # The attacker's ledger must balance exactly.
+    if curve["probes"] != curve["payload_probes"] + curve["endpoint_probes"]:
+        fail(f"{where}: probes != payload_probes + endpoint_probes")
+    if curve["endpoint_probes"] != (curve["endpoint_discoveries"]
+                                    * curve["endpoint_discovery_cost"]):
+        fail(f"{where}: endpoint_probes != discoveries x discovery cost")
+    if curve["network_bits"] > 0:
+        expected = 2 ** (curve["network_bits"] - 1)
+        if abs(curve["endpoint_discovery_cost"] - expected) > 0.5:
+            fail(f"{where}: endpoint_discovery_cost "
+                 f"{curve['endpoint_discovery_cost']} != 2^(network_bits-1)")
+        # Every shard was contacted at least once.
+        if curve["endpoint_discoveries"] < curve["shards"]:
+            fail(f"{where}: fewer endpoint discoveries than shards")
+    # Every failed payload probe cost one quarantine (successes ran silent).
+    if curve["quarantines"] != curve["payload_probes"] - curve["silent_compromises"]:
+        fail(f"{where}: quarantines != payload_probes - silent_compromises")
+    if curve["attacker_cost"] < 0:
+        fail(f"{where}: negative attacker cost")
+    if curve["pre_warned_shards"] > max(0, curve["shards"] - 1):
+        fail(f"{where}: pre-warned more shards than have neighbours")
+    if curve["keys_remaining"] > curve["keys_total"]:
+        fail(f"{where}: keys_remaining > keys_total")
+    if not 0.0 <= curve["mean_compromised_fraction"] <= 1.0:
+        fail(f"{where}: mean_compromised_fraction out of [0,1]")
+    if not curve["timeline"]:
+        fail(f"{where}: empty timeline")
+    times = [point["t_ms"] for point in curve["timeline"]]
+    if times != sorted(times):
+        fail(f"{where}: timeline is not time-ordered")
+    for column in ("probes", "endpoint_discoveries", "rotations"):
+        values = [point[column] for point in curve["timeline"]]
+        if values != sorted(values):
+            fail(f"{where}: timeline column {column!r} is not cumulative")
+    for point in curve["timeline"]:
+        if not 0.0 <= point["compromised_fraction"] <= 1.0:
+            fail(f"{where}: compromised_fraction out of [0,1]")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_network_diversity.py BENCH_network_diversity.json")
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    if doc.get("schema") != "network_diversity/v1":
+        fail(f"unexpected schema {doc.get('schema')!r}")
+    config = doc.get("config", {})
+    if not CONFIG_KEYS <= config.keys():
+        fail(f"config missing keys {sorted(CONFIG_KEYS - config.keys())}")
+
+    grid = doc.get("grid", [])
+    if len(grid) < 2:
+        fail("grid needs at least two shard counts to be a curve")
+    for i, curve in enumerate(grid):
+        check_curve(curve, config["total_lanes"], f"grid[{i}]")
+
+    shards = [curve["shards"] for curve in grid]
+    if shards != sorted(shards) or len(set(shards)) != len(shards):
+        fail("grid is not ordered by strictly ascending shard count")
+
+    # THE claim: sharding the same capacity must cost the attacker strictly
+    # more per lane-tick of control.
+    costs = [curve["attacker_cost"] for curve in grid]
+    for prev, cur in zip(grid, grid[1:]):
+        if cur["attacker_cost"] <= prev["attacker_cost"]:
+            fail(f"attacker cost not strictly monotone in shard count: "
+                 f"{prev['shards']} shards cost {prev['attacker_cost']} vs "
+                 f"{cur['shards']} shards cost {cur['attacker_cost']}")
+
+    # Gossip pre-warning: once there is more than one shard and a campaign
+    # was raised, at least one shard must have tightened before its own
+    # first quarantine.
+    for i, curve in enumerate(grid):
+        if (curve["shards"] > 1 and curve["campaign_alerts"] > 0
+                and curve["pre_warned_shards"] == 0):
+            fail(f"grid[{i}]: {curve['shards']} shards raised "
+                 f"{curve['campaign_alerts']} campaigns but pre-warned none")
+
+    print(f"check_network_diversity: OK ({len(grid)} shard counts "
+          f"[{shards[0]} -> {shards[-1]}], "
+          f"cost {costs[0]:.3f} -> {costs[-1]:.3f}, "
+          f"pre-warned {grid[-1]['pre_warned_shards']} of "
+          f"{grid[-1]['shards']} shards at the widest point)")
+
+
+if __name__ == "__main__":
+    main()
