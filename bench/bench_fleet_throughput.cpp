@@ -4,16 +4,23 @@
 // socket-free uid-churn guest, so the numbers measure the MVEE + fleet
 // machinery (rendezvous rounds, dispatch, quarantine/respawn), not simulated
 // network latency.
+// `--trace-ab` runs ONLY the tracing A/B (also printed on every full run):
+// the same workload with no recorder attached, with a recorder attached but
+// disabled, and with default-sampling tracing enabled — the observability
+// layer's "cheap when off, affordable when on" claim, measured.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "fleet/fleet.h"
 #include "fleet/jobs.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -30,12 +37,14 @@ struct BenchResult {
 };
 
 BenchResult run_fleet(unsigned pool_size, unsigned n_variants, unsigned jobs,
-                      unsigned rounds_per_job) {
+                      unsigned rounds_per_job,
+                      std::shared_ptr<obs::TraceRecorder> trace = nullptr) {
   fleet::FleetConfig config;
   config.spec.n_variants = n_variants;
   config.spec.variations = {"uid-xor"};
   config.pool_size = pool_size;
   config.queue_capacity = jobs;
+  config.trace = std::move(trace);
   fleet::VariantFleet fleet(config);
 
   const auto start = std::chrono::steady_clock::now();
@@ -113,9 +122,68 @@ double benign_p95_under_attack(unsigned pool_size, unsigned benign_jobs, unsigne
   return latencies->percentile(95.0);
 }
 
+/// The tracing A/B: identical workload under the three recorder states the
+/// cost model promises are cheap (docs/TRACING.md). States are interleaved
+/// within each repetition (so machine drift hits all three equally) and the
+/// verdict uses each state's BEST run — scheduler noise only ever adds.
+void trace_ab(unsigned pool, unsigned jobs, unsigned rounds) {
+  std::printf("--- tracing A/B: off vs attached-but-disabled vs default sampling ---\n\n");
+  constexpr int kReps = 9;
+  struct State {
+    const char* label;
+    std::shared_ptr<obs::TraceRecorder> (*make)();
+  };
+  const State states[] = {
+      {"no recorder (null pointer)", [] { return std::shared_ptr<obs::TraceRecorder>(); }},
+      {"recorder attached, enabled=false",
+       [] {
+         obs::TraceConfig config;
+         config.enabled = false;
+         return std::make_shared<obs::TraceRecorder>(config);
+       }},
+      {"tracing ON, default sampling",
+       [] { return std::make_shared<obs::TraceRecorder>(); }},
+  };
+
+  double p95[3];
+  double throughput[3];
+  std::fill(std::begin(p95), std::end(p95), 0.0);
+  std::fill(std::begin(throughput), std::end(throughput), 0.0);
+  (void)run_fleet(pool, 2, jobs, rounds);  // warm caches/allocator once
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int i = 0; i < 3; ++i) {
+      // Rotate which state runs first each rep: CPU frequency/thermal state
+      // correlates with position in the triple, and a fixed order would bill
+      // that drift to one state.
+      const int s = (i + rep) % 3;
+      const BenchResult r = run_fleet(pool, 2, jobs, rounds, states[s].make());
+      p95[s] = p95[s] == 0.0 ? r.p95_us : std::min(p95[s], r.p95_us);
+      throughput[s] = std::max(throughput[s], r.jobs_per_sec);
+    }
+  }
+
+  util::TextTable table;
+  table.set_header({"state", "jobs/s", "job p95 us", "p95 vs untraced"});
+  for (std::size_t c = 1; c <= 3; ++c) table.align_right(c);
+  for (int s = 0; s < 3; ++s) {
+    table.add_row({states[s].label, util::format("%.0f", throughput[s]),
+                   util::format("%.0f", p95[s]), util::format("%.2fx", p95[s] / p95[0])});
+  }
+  std::printf("%s\n", table.render().c_str());
+  const double overhead = p95[2] / p95[0] - 1.0;
+  std::printf("reading: a null recorder never enters the record path and enabled=false is\n"
+              "two relaxed loads per event site. Default sampling (1-in-16 rendezvous\n"
+              "rounds, every per-job event) costs %.1f%% on job p95 (target: <= 5%%,\n"
+              "best of %d interleaved runs per state).\n",
+              overhead * 100.0, kReps);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool ab_only =
+      argc > 1 && std::any_of(argv + 1, argv + argc,
+                              [](const char* arg) { return std::strcmp(arg, "--trace-ab") == 0; });
   const unsigned hw = std::max(1U, std::thread::hardware_concurrency());
   // Sweep at least {1, 2} so the scaling table is informative even on a
   // single-core box (where it honestly reports ~1x).
@@ -125,6 +193,11 @@ int main() {
 
   std::printf("=== fleet throughput (uid-churn jobs, %u jobs x %u rounds) ===\n\n", kJobs,
               kRounds);
+
+  if (ab_only) {
+    trace_ab(std::min(max_pool, 4U), kJobs, kRounds);
+    return 0;
+  }
 
   std::printf("--- scaling the worker pool (N=2 variants per session) ---\n\n");
   {
@@ -188,5 +261,8 @@ int main() {
                 "job queued behind a quarantined session eats the full respawn pause.\n",
                 static_cast<long long>(kRespawnCost.count()));
   }
+
+  std::printf("\n");
+  trace_ab(std::min(max_pool, 4U), kJobs, kRounds);
   return 0;
 }

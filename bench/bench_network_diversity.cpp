@@ -7,16 +7,25 @@
 // the schema, the ledger arithmetic, and the monotonicity.
 //
 //   $ ./bench_network_diversity [--quick] [--out BENCH_network_diversity.json]
+//                               [--trace-out TRACE.json]
+//
+// --trace-out threads a TraceRecorder through the LAST grid point (the
+// highest shard count) and writes the whole campaign — session draws, probe
+// jobs, quarantines, alerts, gossip hops, remote tightens, sweeps — as a
+// Chrome/Perfetto-loadable trace. Tracing does not perturb the deterministic
+// bench numbers; CI validates the artifact with tools/check_trace.py.
 //
 // Exit code is non-zero when the core claim fails: attacker cost must rise
 // STRICTLY with the shard count.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "experiments/network_diversity.h"
+#include "obs/exporters.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -55,13 +64,16 @@ void print_grid(const std::vector<experiments::ClusterCurve>& grid) {
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_network_diversity.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--trace-out PATH]\n", argv[0]);
       return 2;
     }
   }
@@ -81,12 +93,35 @@ int main(int argc, char** argv) {
   const std::vector<unsigned> shard_counts =
       quick ? std::vector<unsigned>{1, 2, 4} : std::vector<unsigned>{1, 2, 4, 8};
   std::vector<experiments::ClusterCurve> grid;
+  std::shared_ptr<obs::TraceRecorder> recorder;
   for (const unsigned shards : shard_counts) {
     auto config = base;
     config.shards = shards;
+    if (!trace_path.empty() && shards == shard_counts.back()) {
+      // Trace the most interesting grid point (highest shard count: gossip,
+      // remote tightens, and network rotations all in play). A generous ring
+      // keeps the causal chains complete for check_trace.py's span closure.
+      obs::TraceConfig trace_config;
+      trace_config.ring_capacity = 65'536;
+      recorder = std::make_shared<obs::TraceRecorder>(trace_config);
+      config.trace = recorder;
+    }
     grid.push_back(experiments::run_cluster_experiment(config));
   }
   print_grid(grid);
+
+  if (recorder) {
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+    trace_out << obs::to_chrome_trace(*recorder);
+    trace_out.close();
+    std::printf("wrote %s (%llu events, %llu dropped)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(recorder->recorded()),
+                static_cast<unsigned long long>(recorder->dropped()));
+  }
   std::printf(
       "reading: payload probes buy per-shard guesses (shard draw spaces are\n"
       "independent: a mapped re-expression on shard A says nothing about shard B),\n"

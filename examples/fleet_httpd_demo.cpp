@@ -14,16 +14,30 @@
 // the attack runs, then decays back to the configured baseline once the
 // fleet has been quiet. The run ends with a deadline-bounded graceful drain.
 //
+// The whole story is also TRACED: an obs::TraceRecorder rides along and the
+// demo exports TRACE_fleet_httpd.json (Chrome/Perfetto-loadable) on exit —
+// then PROVES, from the recorded events, that the campaign reads as one
+// causal chain: the quarantined jobs' spans parent the single CampaignAlert,
+// which parents the fleet-wide policy tighten and the escalation rotations.
+// Load the JSON at ui.perfetto.dev to see the arrows; docs/TRACING.md is the
+// glossary.
+//
 //   $ ./examples/fleet_httpd_demo
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <future>
+#include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "fleet/fleet.h"
 #include "fleet/jobs.h"
 #include "fleet/ops.h"
+#include "obs/exporters.h"
+#include "obs/trace.h"
 
 using namespace nv;  // NOLINT
 
@@ -42,7 +56,10 @@ void print_policy(const char* label, const fleet::CampaignPolicy& policy) {
 int main() {
   std::printf("=== variant fleet: concurrent MVEE sessions under attack ===\n\n");
 
+  auto recorder = std::make_shared<obs::TraceRecorder>();
+
   fleet::FleetConfig config;
+  config.trace = recorder;
   config.spec.n_variants = 2;
   config.spec.variations = {"uid-xor"};
   config.pool_size = 4;
@@ -144,13 +161,63 @@ int main() {
   const fleet::DrainReport drain = fleet.shutdown(std::chrono::milliseconds(2000));
   std::printf("\n--- graceful drain ---\n  %s\n", drain.describe().c_str());
   std::printf("\n--- telemetry ---\n  %s\n", fleet.telemetry().snapshot().describe().c_str());
+
+  // The trace must tell the same story as the counters, as ONE causal chain:
+  // each quarantine carries its poisoning job's span, the single alert is
+  // parented to the job that crossed the threshold, and the policy tighten
+  // hangs off the alert. Rotations the escalation caused (lanes rotate
+  // lazily, so the count depends on post-alert traffic) must all point at
+  // the alert too.
+  std::printf("\n--- causal trace (obs::TraceRecorder rode along) ---\n");
+  std::set<std::uint64_t> quarantine_spans;
+  std::uint64_t alert_span = 0;
+  std::uint64_t alert_parent = 0;
+  unsigned alert_events = 0;
+  unsigned tightens_on_alert = 0;
+  unsigned rotations_on_alert = 0;
+  for (const auto& event : recorder->all_events()) {
+    switch (event.kind) {
+      case obs::TraceEventKind::kQuarantine: quarantine_spans.insert(event.span); break;
+      case obs::TraceEventKind::kCampaignAlert:
+        ++alert_events;
+        alert_span = event.span;
+        alert_parent = event.parent;
+        break;
+      case obs::TraceEventKind::kPolicyTightened:
+        tightens_on_alert += event.parent != 0 && event.parent == alert_span ? 1 : 0;
+        break;
+      case obs::TraceEventKind::kRotation:
+        rotations_on_alert += event.parent != 0 && event.parent == alert_span ? 1 : 0;
+        break;
+      default: break;
+    }
+  }
+  const bool chain = alert_events == 1 && quarantine_spans.size() == 3 &&
+                     quarantine_spans.count(alert_parent) == 1 && tightens_on_alert == 1;
+  std::printf("  quarantined job spans: %zu; alert parented to a quarantined job: %s;\n"
+              "  tighten parented to the alert: %s; escalation rotations on the alert: %u\n",
+              quarantine_spans.size(), chain ? "yes" : "NO",
+              tightens_on_alert == 1 ? "yes" : "NO", rotations_on_alert);
+
+  bool traced = false;
+  {
+    std::ofstream out("TRACE_fleet_httpd.json");
+    if (out) {
+      out << obs::to_chrome_trace(*recorder);
+      traced = static_cast<bool>(out);
+    }
+  }
+  std::printf("  wrote TRACE_fleet_httpd.json (%llu events, %llu dropped) — load it at\n"
+              "  ui.perfetto.dev to see the campaign chain as flow arrows\n",
+              static_cast<unsigned long long>(recorder->recorded()),
+              static_cast<unsigned long long>(recorder->dropped()));
   std::printf("\n=> the attacker burned 3 sessions and the fleet called it what it is: ONE\n"
               "   coordinated campaign. The live policy tightened while the campaign ran\n"
               "   and relaxed once it stopped; every replacement AND every survivor is now\n"
               "   diversified differently from anything the campaign observed, and the\n"
               "   fleet drained without abandoning a benign stream.\n");
   return (normal_ok == 9 && detected == 3 && one_campaign && tightened && decayed &&
-          drain.clean)
+          drain.clean && chain && traced)
              ? 0
              : 1;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/strings.h"
 #include "variants/registry.h"
 
 namespace nv::cluster {
@@ -20,11 +21,20 @@ std::uint64_t resolve_base_seed(std::optional<std::uint64_t> requested) {
 
 FleetCluster::FleetCluster(ClusterConfig config)
     : config_(std::move(config)),
+      clock_(fleet::resolve_clock(config_.shard.clock)),
       budget_(config_.global_key_budget, config_.shards == 0 ? 1 : config_.shards),
       gossip_(config_.gossip, config_.shard.clock),
       router_(config_.router) {
   if (config_.shards == 0) throw std::invalid_argument("cluster needs at least one shard");
   const std::uint64_t base_seed = resolve_base_seed(config_.shard.seed);
+  last_sweep_ = clock_();
+
+  trace_ = config_.trace;
+  if (trace_) {
+    router_track_ = trace_->track("cluster.router");
+    gossip_track_ = trace_->track("cluster.gossip");
+    tick_track_ = trace_->track("cluster.tick");
+  }
 
   fleets_.reserve(config_.shards);
   network_factories_.reserve(config_.shards);
@@ -33,10 +43,18 @@ FleetCluster::FleetCluster(ClusterConfig config)
     fleet::FleetConfig shard_config = config_.shard;
     shard_config.seed = base_seed + 2ULL * index;
     shard_config.spec.max_unique_keys = budget_.allocation(index);
+    shard_config.trace = trace_;
+    shard_config.trace_scope = util::format("shard%u", index);
     // Locally-raised alerts gossip out; receivers apply without re-publishing
     // (see VariantFleet::apply_remote_campaign), so the bus cannot loop.
     shard_config.on_campaign = [this, index,
                                 user = config_.shard.on_campaign](const fleet::CampaignAlert& alert) {
+      if (trace_) {
+        // Carries the origin shard's alert span: the publish is a hop on the
+        // alert's causal chain, not a new root.
+        trace_->record(gossip_track_, obs::TraceEventKind::kGossipPublish, 0,
+                       alert.trace_span, index, alert.id);
+      }
       gossip_.publish(index, alert);
       if (user) user(alert);
     };
@@ -69,10 +87,18 @@ FleetCluster::FleetCluster(ClusterConfig config)
   // Subscribe in shard order AFTER every fleet exists: subscriber index ==
   // shard index, and gossip delivery order is ascending shard order.
   for (unsigned index = 0; index < config_.shards; ++index) {
-    gossip_.subscribe([this, index](unsigned /*origin*/, const fleet::CampaignAlert& alert) {
+    gossip_.subscribe([this, index](unsigned origin, const fleet::CampaignAlert& alert) {
+      if (trace_) {
+        trace_->record(gossip_track_, obs::TraceEventKind::kGossipDeliver, 0,
+                       alert.trace_span, origin, index);
+      }
       fleets_[index]->apply_remote_campaign(alert);
     });
   }
+
+  // Router health cache: sentinel epochs force a full first sample.
+  health_cache_.resize(config_.shards);
+  health_epoch_seen_.assign(config_.shards, std::numeric_limits<std::uint64_t>::max());
 }
 
 FleetCluster::~FleetCluster() { shutdown(); }
@@ -89,26 +115,42 @@ void FleetCluster::shutdown() {
 }
 
 std::vector<ShardHealth> FleetCluster::sample_health() const {
-  std::vector<ShardHealth> health;
-  health.reserve(fleets_.size());
-  for (const auto& member : fleets_) {
-    const fleet::KeyspaceAccount account = member->keyspace();
-    ShardHealth shard;
-    shard.accepting = member->accepting();
-    shard.exhausted = account.exhausted();
-    shard.queue_depth = member->queue_depth();
-    shard.keys_remaining = account.keys_remaining;
-    shard.keys_total = account.keys_total;
-    health.push_back(shard);
+  // Per-submission cost is O(shards) ATOMIC READS, not O(shards) mutexed
+  // walks: the slow fields (accepting bit, keyspace ledger — each behind its
+  // fleet's mutexes) are re-sampled only when that shard's health_epoch()
+  // moved; queue_depth, the one field that changes per job, always comes
+  // from the lock-free hint.
+  const std::scoped_lock lock(health_mutex_);
+  for (unsigned index = 0; index < fleets_.size(); ++index) {
+    const std::uint64_t epoch = fleets_[index]->health_epoch();
+    if (health_epoch_seen_[index] != epoch) {
+      health_epoch_seen_[index] = epoch;
+      const fleet::KeyspaceAccount account = fleets_[index]->keyspace();
+      health_cache_[index].accepting = fleets_[index]->accepting();
+      health_cache_[index].exhausted = account.exhausted();
+      health_cache_[index].keys_remaining = account.keys_remaining;
+      health_cache_[index].keys_total = account.keys_total;
+      telemetry_.note_health_resample();
+    }
+    health_cache_[index].queue_depth = fleets_[index]->queue_depth_hint();
   }
-  return health;
+  return health_cache_;
 }
 
 std::future<fleet::JobOutcome> FleetCluster::submit(fleet::FleetJob job) {
-  const auto target = router_.route(sample_health());
+  const auto health = sample_health();
+  const auto target = router_.route(health);
   if (!target.has_value()) {
     telemetry_.note_unroutable();
+    if (trace_) {
+      trace_->record(router_track_, obs::TraceEventKind::kRouteDecision, 0, 0,
+                     fleets_.size(), 0, "unroutable");
+    }
     throw std::runtime_error("cluster has no accepting shard");
+  }
+  if (trace_) {
+    trace_->record(router_track_, obs::TraceEventKind::kRouteDecision, 0, 0, *target,
+                   health[*target].queue_depth);
   }
   auto future = fleets_[*target]->submit(std::move(job));
   telemetry_.note_routed();
@@ -118,13 +160,22 @@ std::future<fleet::JobOutcome> FleetCluster::submit(fleet::FleetJob job) {
 std::optional<std::future<fleet::JobOutcome>> FleetCluster::try_submit(fleet::FleetJob job) {
   // Graceful degradation: walk the ranking so a refusal (full queue, raced a
   // drain) falls through to the next-best shard instead of failing the job.
-  for (const unsigned index : router_.ranked(sample_health())) {
+  const auto health = sample_health();
+  for (const unsigned index : router_.ranked(health)) {
     if (auto future = fleets_[index]->try_submit(job)) {
+      if (trace_) {
+        trace_->record(router_track_, obs::TraceEventKind::kRouteDecision, 0, 0, index,
+                       health[index].queue_depth);
+      }
       telemetry_.note_routed();
       return future;
     }
   }
   telemetry_.note_unroutable();
+  if (trace_) {
+    trace_->record(router_track_, obs::TraceEventKind::kRouteDecision, 0, 0, fleets_.size(),
+                   0, "unroutable");
+  }
   return std::nullopt;
 }
 
@@ -152,12 +203,51 @@ bool FleetCluster::rotate_shard_network(unsigned index) {
   return true;
 }
 
+TickReport FleetCluster::tick() {
+  const std::scoped_lock lock(tick_mutex_);
+  TickReport report;
+  report.tick = ++tick_count_;
+  report.gossip_delivered = gossip_.pump();
+  // Tell every shard the clock moved: wakes deadline-bounded drains and
+  // enforces each fleet's rotation deadline even when no jobs are flowing.
+  for (auto& member : fleets_) report.forced_rotations += member->notify_time_advanced();
+
+  if (config_.sweep_interval > std::chrono::milliseconds::zero()) {
+    const auto now = clock_();
+    if (now - last_sweep_ >= config_.sweep_interval) {
+      last_sweep_ = now;
+      report.swept = true;
+      for (unsigned index = 0; index < fleets_.size(); ++index) {
+        // Sweep only shards under a TIGHTENED posture: re-diversifying a
+        // quiet shard burns finite keyspace for nothing.
+        const auto* adaptive = fleets_[index]->adaptive();
+        if (adaptive == nullptr || !adaptive->tightened()) continue;
+        ShardSweep sweep;
+        sweep.shard = index;
+        const auto before = fleets_[index]->telemetry().snapshot();
+        sweep.rotations_before = before.sessions_rotated + before.rotations_failed;
+        sweep.lanes_flagged = fleets_[index]->rotate_fleet();
+        sweep.network_rotated = rotate_shard_network(index);
+        report.sweeps.push_back(sweep);
+      }
+    }
+  }
+  if (trace_) {
+    trace_->record(tick_track_, obs::TraceEventKind::kClusterTick, 0, 0, report.tick,
+                   report.gossip_delivered,
+                   report.swept ? util::format("swept %zu shards", report.sweeps.size())
+                                : std::string{});
+  }
+  return report;
+}
+
 ClusterSnapshot FleetCluster::snapshot() const {
   ClusterSnapshot snap;
   snap.shards = fleets_.size();
   snap.jobs_routed = telemetry_.jobs_routed();
   snap.jobs_unroutable = telemetry_.jobs_unroutable();
   snap.network_rotations = telemetry_.network_rotations();
+  snap.health_resamples = telemetry_.health_resamples();
   snap.gossip_published = gossip_.published();
   snap.gossip_delivered = gossip_.delivered();
   snap.gossip_pending = gossip_.pending();

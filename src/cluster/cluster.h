@@ -42,6 +42,7 @@
 #include "cluster/router.h"
 #include "cluster/telemetry.h"
 #include "fleet/fleet.h"
+#include "obs/trace.h"
 
 namespace nv::cluster {
 
@@ -64,6 +65,40 @@ struct ClusterConfig {
   std::uint64_t global_key_budget = 0;
   GossipConfig gossip;
   RouterPolicy router;
+  /// Housekeeping sweep period for tick(), measured on the injected clock:
+  /// each due sweep re-diversifies (sessions + network identity) every shard
+  /// whose adaptive posture is currently TIGHTENED. 0 disables sweeping —
+  /// tick() still pumps gossip and enforces rotation deadlines.
+  std::chrono::milliseconds sweep_interval{0};
+  /// Structured tracing (obs/trace.h): each shard's fleet records under
+  /// trace_scope "shard<i>", and the cluster adds "cluster.router" (route
+  /// decisions), "cluster.gossip" (publish/deliver), and "cluster.tick"
+  /// tracks. Null = untraced. Overrides any ClusterConfig::shard.trace.
+  std::shared_ptr<obs::TraceRecorder> trace;
+};
+
+/// One tightened shard's share of a tick() housekeeping sweep. The sweep only
+/// FLAGS session rotations (they resolve on the shard's worker threads);
+/// lanes_flagged + rotations_before let a deterministic driver await
+/// sessions_rotated + rotations_failed reaching rotations_before +
+/// lanes_flagged before reading fingerprints.
+struct ShardSweep {
+  unsigned shard = 0;
+  /// Lanes rotate_fleet() flagged for re-diversification this sweep.
+  std::size_t lanes_flagged = 0;
+  /// The shard's sessions_rotated + rotations_failed when the sweep started.
+  std::uint64_t rotations_before = 0;
+  /// Network identity redrawn (false when static or endpoint space exhausted).
+  bool network_rotated = false;
+};
+
+/// What one FleetCluster::tick() did.
+struct TickReport {
+  std::uint64_t tick = 0;              // ordinal of this tick, 1-based
+  std::size_t gossip_delivered = 0;    // due deliveries pumped this tick
+  std::size_t forced_rotations = 0;    // rotation-deadline swaps across shards
+  bool swept = false;                  // the sweep interval elapsed this tick
+  std::vector<ShardSweep> sweeps;      // tightened shards swept (empty unless swept)
 };
 
 class FleetCluster {
@@ -120,15 +155,46 @@ class FleetCluster {
   [[nodiscard]] GossipBus& gossip() noexcept { return gossip_; }
   [[nodiscard]] const ClusterKeyspaceBudget& budget() const noexcept { return budget_; }
 
+  /// One cluster housekeeping step, meant to run once per driver tick (after
+  /// the injected clock advances): pumps due gossip deliveries, tells every
+  /// shard the clock moved (enforcing rotation deadlines), and — when
+  /// ClusterConfig::sweep_interval has elapsed since the last sweep — flags a
+  /// fleet-wide re-diversification plus a network-identity redraw on every
+  /// shard whose adaptive posture is tightened. Deterministic under
+  /// ManualClock; records kClusterTick (and per-shard rotation events) when
+  /// tracing. Thread-safe, though one driver thread is the intended caller.
+  TickReport tick();
+
  private:
   [[nodiscard]] std::vector<ShardHealth> sample_health() const;
 
   ClusterConfig config_;
+  fleet::ClockFn clock_;
   ClusterKeyspaceBudget budget_;
-  ClusterTelemetry telemetry_;
+  /// mutable: sample_health() is const but counts its cache misses.
+  mutable ClusterTelemetry telemetry_;
   GossipBus gossip_;  // declared before fleets_: handlers reference the fleets
   ShardRouter router_;
   std::vector<std::unique_ptr<fleet::VariantFleet>> fleets_;
+
+  /// Router health cache (satellite of the fleets' health_epoch()): the slow
+  /// per-shard fields (accepting, keyspace ledger) are re-sampled only when a
+  /// shard's epoch moved; queue_depth is refreshed every call from the
+  /// lock-free hint. Guarded by health_mutex_.
+  mutable std::mutex health_mutex_;
+  mutable std::vector<ShardHealth> health_cache_;
+  mutable std::vector<std::uint64_t> health_epoch_seen_;
+
+  /// tick() state (guarded by tick_mutex_).
+  std::mutex tick_mutex_;
+  std::uint64_t tick_count_ = 0;
+  std::chrono::steady_clock::time_point last_sweep_{};
+
+  /// Cluster-level trace tracks (0 when untraced).
+  std::shared_ptr<obs::TraceRecorder> trace_;
+  std::uint32_t router_track_ = 0;
+  std::uint32_t gossip_track_ = 0;
+  std::uint32_t tick_track_ = 0;
 
   /// Per-shard network identity machinery (guarded by network_mutex_: the
   /// factories serialize internally, but identity swap + fingerprint read

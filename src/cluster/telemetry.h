@@ -43,6 +43,7 @@ struct ClusterSnapshot {
   std::uint64_t gossip_pending = 0;
   std::uint64_t remote_campaigns_applied = 0;  // sum of shard remote_campaigns
   std::uint64_t network_rotations = 0;         // shard network identities redrawn
+  std::uint64_t health_resamples = 0;          // slow shard-health reads the router cache missed
 
   // Composed entropy gauges (bits add across independent draws).
   double shard_spec_bits = 0.0;     // one shard's session-spec entropy
@@ -64,6 +65,9 @@ class ClusterTelemetry {
   void note_network_rotation() noexcept {
     network_rotations_.fetch_add(1, std::memory_order_relaxed);
   }
+  void note_health_resample() noexcept {
+    health_resamples_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::uint64_t jobs_routed() const noexcept {
     return jobs_routed_.load(std::memory_order_relaxed);
@@ -74,11 +78,15 @@ class ClusterTelemetry {
   [[nodiscard]] std::uint64_t network_rotations() const noexcept {
     return network_rotations_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t health_resamples() const noexcept {
+    return health_resamples_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> jobs_routed_{0};
   std::atomic<std::uint64_t> jobs_unroutable_{0};
   std::atomic<std::uint64_t> network_rotations_{0};
+  std::atomic<std::uint64_t> health_resamples_{0};
 };
 
 }  // namespace nv::cluster

@@ -78,6 +78,15 @@ NVariantSystem::Builder& NVariantSystem::Builder::unshared(std::string path) {
   return *this;
 }
 
+NVariantSystem::Builder& NVariantSystem::Builder::trace(
+    std::shared_ptr<obs::TraceRecorder> recorder, std::uint32_t track,
+    std::uint64_t parent_span) {
+  trace_ = std::move(recorder);
+  trace_track_ = track;
+  trace_parent_ = parent_span;
+  return *this;
+}
+
 util::Expected<std::unique_ptr<NVariantSystem>, std::string>
 NVariantSystem::Builder::try_build() {
   if (suite_) {
@@ -114,6 +123,7 @@ NVariantSystem::Builder::try_build() {
     system->install_variation(variation);
   }
   for (auto& path : unshared_) system->install_unshared(path);
+  if (trace_) system->install_trace(trace_, trace_track_, trace_parent_);
   system->seal();
   return system;
 }
@@ -175,6 +185,22 @@ double NVariantSystem::keyspace_bits() const {
 void NVariantSystem::install_unshared(std::string path) {
   if (sealed_) throw std::logic_error("sealed system: unshared paths are fixed at build time");
   unshared_.insert(vfs::normalize_path(std::move(path)));
+}
+
+void NVariantSystem::install_trace(std::shared_ptr<obs::TraceRecorder> recorder,
+                                   std::uint32_t track, std::uint64_t parent_span) {
+  if (sealed_) throw std::logic_error("sealed system: tracing is fixed at build time");
+  trace_ = std::move(recorder);
+  trace_track_ = track;
+  trace_parent_ = parent_span;
+  // Resolve the per-class latency histograms once, at build time: lead() is
+  // the syscall hot path and must not touch the recorder's name map.
+  static constexpr std::array<const char*, 6> kClassNames = {
+      "per_variant", "input", "output", "open", "detection", "exit"};
+  for (std::size_t cls = 0; cls < kClassNames.size(); ++cls) {
+    class_histograms_[cls] =
+        trace_->histogram(std::string("lead_us.") + kClassNames[cls]);
+  }
 }
 
 void NVariantSystem::prepare() {
@@ -364,6 +390,26 @@ void NVariantSystem::execute_once(const SyscallArgs& call, bool mirror_fd,
 }
 
 std::vector<SyscallResult> NVariantSystem::lead(const std::vector<SyscallArgs>& raw) {
+  // Sampling gates ALL per-round trace work (bench_fleet_throughput's A/B
+  // holds tracing to <= 5% on job p95): an unsampled round pays exactly one
+  // relaxed fetch_add; a sampled one pays two clock reads, one lock-free
+  // histogram observation, and one record().
+  if (!trace_ || raw.empty() || !trace_->sample_round(trace_track_)) return lead_impl(raw);
+  // Per-syscall-class rendezvous timing, measured on the recorder's injected
+  // clock (0-width under ManualClock — deterministic, not wall-clock noise),
+  // plus the kSyscallRound event parented to the session's draw span.
+  const auto cls = static_cast<std::size_t>(vkernel::sys_class(raw[0].no));
+  const auto start = trace_->now();
+  auto results = lead_impl(raw);
+  const auto elapsed_us =
+      std::chrono::duration<double, std::micro>(trace_->now() - start).count();
+  trace_->observe(class_histograms_[cls], elapsed_us);
+  trace_->record(trace_track_, obs::TraceEventKind::kSyscallRound, 0, trace_parent_,
+                 static_cast<std::uint64_t>(raw[0].no), static_cast<std::uint64_t>(cls));
+  return results;
+}
+
+std::vector<SyscallResult> NVariantSystem::lead_impl(const std::vector<SyscallArgs>& raw) {
   const unsigned n = options_.n_variants;
 
   // Step 1: canonicalize per variant — each variation applies R⁻¹_i to the

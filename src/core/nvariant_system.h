@@ -33,6 +33,7 @@
 #include "core/monitor.h"
 #include "core/rendezvous.h"
 #include "core/variation.h"
+#include "obs/trace.h"
 #include "util/expected.h"
 #include "vfs/filesystem.h"
 #include "vkernel/kernel.h"
@@ -90,6 +91,13 @@ class NVariantSystem {
     Builder& variation(VariationPtr variation);
     /// Mark a path unshared even without a variation requesting it.
     Builder& unshared(std::string path);
+    /// Attach structured tracing: every lead() records its per-syscall-class
+    /// latency into `recorder`'s histograms and emits sampled kSyscallRound
+    /// events on `track`, parented to `parent_span` (the session's draw span
+    /// — so rendezvous activity joins the session's causal chain). Null
+    /// recorder = untraced (the default, zero overhead).
+    Builder& trace(std::shared_ptr<obs::TraceRecorder> recorder, std::uint32_t track = 0,
+                   std::uint64_t parent_span = 0);
 
     /// Validate and construct. Errors are expected failure paths: n < 2,
     /// non-positive timeout, zero memory size, or a disjointedness violation
@@ -104,6 +112,9 @@ class NVariantSystem {
     std::vector<VariationPtr> pending_variations_;
     std::vector<std::string> unshared_;
     bool n_variants_set_ = false;
+    std::shared_ptr<obs::TraceRecorder> trace_;
+    std::uint32_t trace_track_ = 0;
+    std::uint64_t trace_parent_ = 0;
   };
 
   ~NVariantSystem();
@@ -148,12 +159,18 @@ class NVariantSystem {
 
   void install_variation(VariationPtr variation);
   void install_unshared(std::string path);
+  void install_trace(std::shared_ptr<obs::TraceRecorder> recorder, std::uint32_t track,
+                     std::uint64_t parent_span);
   void seal() noexcept { sealed_ = true; }
 
   void prepare();
   [[nodiscard]] vkernel::SyscallResult variant_syscall(unsigned variant,
                                                        vkernel::SyscallArgs args);
   [[nodiscard]] std::vector<vkernel::SyscallResult> lead(
+      const std::vector<vkernel::SyscallArgs>& raw);
+  /// lead() minus the tracing wrapper (the actual canonicalize/compare/
+  /// execute/reexpress pipeline).
+  [[nodiscard]] std::vector<vkernel::SyscallResult> lead_impl(
       const std::vector<vkernel::SyscallArgs>& raw);
   [[nodiscard]] RunReport collect_report();
 
@@ -188,6 +205,13 @@ class NVariantSystem {
   std::vector<std::jthread> threads_;
   bool prepared_ = false;
   bool sealed_ = false;
+
+  /// Structured tracing (Builder::trace): per-syscall-class lead() latency
+  /// histograms + sampled kSyscallRound events. Null = untraced.
+  std::shared_ptr<obs::TraceRecorder> trace_;
+  std::uint32_t trace_track_ = 0;
+  std::uint64_t trace_parent_ = 0;
+  std::array<std::uint32_t, 6> class_histograms_{};  // one per vkernel::SysClass
 };
 
 }  // namespace nv::core

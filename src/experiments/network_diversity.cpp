@@ -85,6 +85,11 @@ ClusterCurve run_cluster_experiment(const ClusterExperimentConfig& config) {
   cc.shard.clock = clock.fn();
   cc.network_variations = config.network_variations;
   cc.global_key_budget = config.global_key_budget;
+  // The cluster's own housekeeping replaces the hand-rolled driver loop:
+  // tick() pumps gossip and, every defender_rotate_ticks ticks' worth of
+  // manual time, sweeps the tightened shards (sessions + network identity).
+  cc.sweep_interval = config.tick * config.defender_rotate_ticks;
+  cc.trace = config.trace;
   cluster::FleetCluster cluster(cc);
 
   // Endpoint-discovery lump: expected scan cost E/2 over the composed
@@ -172,25 +177,17 @@ ClusterCurve run_cluster_experiment(const ClusterExperimentConfig& config) {
     clock.advance(config.tick);
     elapsed_ms += static_cast<std::uint64_t>(config.tick.count());
 
-    // When gossip runs delayed, deliver what came due this tick BEFORE the
-    // defender sweep reads postures (delay 0 delivers synchronously and this
-    // is a no-op).
-    (void)cluster.gossip().pump();
-
-    // Defender sweep: re-diversify every TIGHTENED shard — sessions and
-    // network identity — so held footholds die and the attacker must pay
-    // endpoint discovery again.
-    if (t % config.defender_rotate_ticks == 0) {
-      for (unsigned s = 0; s < config.shards; ++s) {
-        const auto* adaptive = cluster.shard(s).adaptive();
-        if (adaptive == nullptr || !adaptive->tightened()) continue;
-        const auto before = cluster.shard(s).telemetry().snapshot();
-        const std::size_t flagged = cluster.shard(s).rotate_fleet();
-        await_rotations(cluster.shard(s),
-                        before.sessions_rotated + before.rotations_failed + flagged);
-        (void)cluster.rotate_shard_network(s);
-        reconcile(s);
-      }
+    // Cluster housekeeping: pump due gossip, enforce rotation deadlines, and
+    // — when the sweep interval elapsed — re-diversify every TIGHTENED shard
+    // (sessions and network identity) so held footholds die and the attacker
+    // must pay endpoint discovery again. The sweep only FLAGS session
+    // rotations; settle each swept shard before the attacker reads
+    // fingerprints, exactly as the hand-rolled loop did.
+    const cluster::TickReport housekeeping = cluster.tick();
+    for (const auto& sweep : housekeeping.sweeps) {
+      await_rotations(cluster.shard(sweep.shard),
+                      sweep.rotations_before + sweep.lanes_flagged);
+      reconcile(sweep.shard);
     }
 
     // Attacker: probe while any lane anywhere remains uncontrolled.

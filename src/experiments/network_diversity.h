@@ -36,11 +36,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fleet/adaptive.h"
 #include "fleet/ops.h"
+#include "obs/trace.h"
 
 namespace nv::experiments {
 
@@ -89,6 +91,11 @@ struct ClusterExperimentConfig {
   unsigned defender_rotate_ticks = 17;
   /// Keep every k-th tick in the emitted timeline (JSON size bound).
   unsigned timeline_stride = 8;
+  /// Optional structured tracing: threaded into the FleetCluster (and from
+  /// there every shard, factory, and rendezvous path) so a bench run can
+  /// export a Chrome/Perfetto trace of the whole campaign. Null = untraced;
+  /// tracing does not perturb the experiment's deterministic numbers.
+  std::shared_ptr<obs::TraceRecorder> trace;
 };
 
 struct ClusterTimelinePoint {

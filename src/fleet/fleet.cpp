@@ -20,6 +20,15 @@ std::uint64_t resolve_seed(std::optional<std::uint64_t> requested) {
   return (static_cast<std::uint64_t>(entropy()) << 32) | entropy();
 }
 
+/// The factory inherits the fleet's recorder and scope so session draws and
+/// sampled rendezvous rounds land on "<scope>.factory"/"<scope>.core".
+SessionSpec traced_spec(const FleetConfig& config) {
+  SessionSpec spec = config.spec;
+  spec.trace = config.trace;
+  spec.trace_scope = config.trace_scope;
+  return spec;
+}
+
 }  // namespace
 
 unsigned VariantFleet::resolve_pool_size(unsigned requested) {
@@ -32,7 +41,7 @@ VariantFleet::VariantFleet(FleetConfig config)
     : config_(std::move(config)),
       pool_size_(resolve_pool_size(config_.pool_size)),
       clock_(resolve_clock(config_.clock)),
-      factory_(config_.spec, resolve_seed(config_.seed), variants::builtin_registry()),
+      factory_(traced_spec(config_), resolve_seed(config_.seed), variants::builtin_registry()),
       telemetry_(pool_size_),
       correlator_(config_.campaign, clock_) {
   if (config_.adaptive.enabled) {
@@ -40,6 +49,18 @@ VariantFleet::VariantFleet(FleetConfig config)
   }
   if (config_.queue_capacity == 0) {
     throw std::invalid_argument("fleet queue capacity must be positive");
+  }
+  trace_ = config_.trace;
+  if (trace_) {
+    telemetry_.attach_trace(trace_);
+    ops_track_ = trace_->track(config_.trace_scope + ".ops");
+    lane_tracks_.reserve(pool_size_);
+    for (unsigned lane = 0; lane < pool_size_; ++lane) {
+      lane_tracks_.push_back(
+          trace_->track(config_.trace_scope + util::format(".lane%u", lane)));
+    }
+  } else {
+    lane_tracks_.assign(pool_size_, 0);
   }
   sessions_.reserve(pool_size_);
   for (unsigned lane = 0; lane < pool_size_; ++lane) {
@@ -112,8 +133,18 @@ std::future<JobOutcome> VariantFleet::enqueue_locked(FleetJob job) {
     outcome.error = kDeadLaneError;
     telemetry_.note_submitted();
     telemetry_.note_job_error();
+    if (trace_) {
+      trace_->record(ops_track_, obs::TraceEventKind::kJobRejected, 0, 0, outcome.job_id, 0,
+                     kDeadLaneError);
+    }
     pending.promise.set_value(std::move(outcome));
     return future;
+  }
+  if (trace_) {
+    // Admission DEFINES the job's span; start/finish/quarantine parent to it.
+    pending.trace_span = trace_->new_span();
+    trace_->record(ops_track_, obs::TraceEventKind::kJobAdmitted, pending.trace_span, 0,
+                   pending.id, lane);
   }
   lane_queues_[lane].push_back(std::move(pending));
   ++total_queued_;
@@ -144,6 +175,11 @@ std::optional<std::future<JobOutcome>> VariantFleet::try_submit(FleetJob job) {
   std::unique_lock lock(queue_mutex_);
   if (!accepting_ || total_queued_ >= config_.queue_capacity) {
     telemetry_.note_rejected();
+    if (trace_) {
+      trace_->record(ops_track_, obs::TraceEventKind::kJobRejected, 0, 0, 0,
+                     total_queued_.load(std::memory_order_relaxed),
+                     accepting_ ? "at capacity" : "not accepting");
+    }
     return std::nullopt;
   }
   return enqueue_locked(std::move(job));
@@ -160,6 +196,7 @@ DrainReport VariantFleet::drain(std::optional<std::chrono::milliseconds> deadlin
   {
     std::unique_lock lock(queue_mutex_);
     accepting_ = false;
+    health_epoch_.fetch_add(1, std::memory_order_release);  // router-visible flip
     queue_not_empty_.notify_all();
     queue_not_full_.notify_all();
     if (deadline.has_value()) {
@@ -192,8 +229,13 @@ DrainReport VariantFleet::drain(std::optional<std::chrono::milliseconds> deadlin
           JobOutcome outcome;
           outcome.job_id = job.id;
           outcome.error = kAbandonedError;
+          outcome.trace_span = job.trace_span;
           telemetry_.note_abandoned();
           report.abandoned_job_ids.push_back(outcome.job_id);
+          if (trace_) {
+            trace_->record(ops_track_, obs::TraceEventKind::kJobAbandoned, job.trace_span, 0,
+                           job.id);
+          }
           job.promise.set_value(std::move(outcome));
         }
       }
@@ -235,12 +277,13 @@ std::vector<CampaignAlert> VariantFleet::open_campaigns() const {
 
 CampaignPolicy VariantFleet::campaign_policy() const { return correlator_.policy(); }
 
-void VariantFleet::notify_time_advanced() {
+std::size_t VariantFleet::notify_time_advanced() {
   // A truly idle fleet (no jobs, no operator poll) learns the clock moved
   // ONLY here, so the rotation deadline must be enforced before waking the
   // drain — otherwise a pinned lane keeps its stale re-expression forever.
-  (void)enforce_rotation_deadlines();
+  const std::size_t swapped = enforce_rotation_deadlines();
   drain_progress_.notify_all();
+  return swapped;
 }
 
 bool VariantFleet::accepting() const {
@@ -257,6 +300,13 @@ void VariantFleet::apply_remote_campaign(const CampaignAlert& alert) {
   if (auto next = adaptive_->on_alert(alert)) {
     correlator_.set_policy(*next);
     telemetry_.note_policy_tightened();
+    if (trace_) {
+      // Parented to the ORIGIN fleet's alert span: the cross-shard pre-warn
+      // chain (alert on shard A -> tighten on shard B) is provable in the
+      // exported trace, not just counted.
+      trace_->record(ops_track_, obs::TraceEventKind::kRemoteTighten, 0, alert.trace_span,
+                     alert.id, 0, alert.signature.key());
+    }
   }
 }
 
@@ -267,10 +317,20 @@ std::uint64_t VariantFleet::low_watermark() const noexcept {
 KeyspaceAccount VariantFleet::refresh_keyspace_gauge() {
   const KeyspaceAccount account = factory_.keyspace();
   telemetry_.set_keyspace(account.keys_total, account.keys_remaining);
-  keyspace_exhausted_.store(account.exhausted(), std::memory_order_relaxed);
+  const bool was_exhausted =
+      keyspace_exhausted_.exchange(account.exhausted(), std::memory_order_relaxed);
+  health_epoch_.fetch_add(1, std::memory_order_release);  // keyspace is a health input
+  if (trace_ && !was_exhausted && account.exhausted()) {
+    trace_->record(ops_track_, obs::TraceEventKind::kKeyspaceExhausted, 0, 0,
+                   account.keys_issued, account.keys_total);
+  }
   if (account.tracked && account.keys_remaining <= low_watermark() &&
-      !keyspace_low_fired_.exchange(true) && config_.on_keyspace_low) {
-    config_.on_keyspace_low(account);
+      !keyspace_low_fired_.exchange(true)) {
+    if (trace_) {
+      trace_->record(ops_track_, obs::TraceEventKind::kKeyspaceLow, 0, 0,
+                     account.keys_remaining, account.keys_total);
+    }
+    if (config_.on_keyspace_low) config_.on_keyspace_low(account);
   }
   return account;
 }
@@ -300,6 +360,7 @@ std::size_t VariantFleet::rotate_fleet() {
     if (!flags.dead && !flags.exited && !flags.respawning && !flags.rotate) {
       flags.rotate = true;
       flags.rotate_since = now;
+      flags.rotate_parent_span = 0;  // operator-initiated: no causing alert
       ++flagged;
     }
   }
@@ -314,7 +375,7 @@ std::size_t VariantFleet::rotate_fleet() {
 std::size_t VariantFleet::enforce_rotation_deadlines() {
   if (config_.rotation_deadline <= std::chrono::milliseconds::zero()) return 0;
   const auto now = clock_();
-  std::vector<unsigned> overdue;
+  std::vector<std::pair<unsigned, std::uint64_t>> overdue;  // lane, causing span
   {
     const std::scoped_lock lock(queue_mutex_);
     for (unsigned lane = 0; lane < pool_size_; ++lane) {
@@ -324,12 +385,12 @@ std::size_t VariantFleet::enforce_rotation_deadlines() {
         // Latch so the lane's own worker (and concurrent pollers) leave this
         // rotation to us.
         flags.force_rotating = true;
-        overdue.push_back(lane);
+        overdue.emplace_back(lane, flags.rotate_parent_span);
       }
     }
   }
   std::size_t swapped = 0;
-  for (const unsigned lane : overdue) {
+  for (const auto& [lane, parent_span] : overdue) {
     // The session this deadline is about, observed after the latch: if a
     // concurrent quarantine respawn replaces it while the factory below
     // works, the lane already holds a fresh never-exposed draw and this
@@ -343,23 +404,39 @@ std::size_t VariantFleet::enforce_rotation_deadlines() {
     (void)refresh_keyspace_gauge();
     if (!replacement) {
       telemetry_.note_rotation_failed();
-    } else {
-      const std::scoped_lock lock(sessions_mutex_);
-      if (sessions_[lane].id == stale_id) {
-        // The lane may still be driving the old session; park it until its
-        // worker finishes the in-flight job and reaps it (quarantine-style
-        // swap: the stale reexpression leaves service NOW either way).
-        displaced_sessions_[lane].push_back(std::move(sessions_[lane]));
-        sessions_[lane] = std::move(*replacement);
-        telemetry_.note_rotated();
-        ++swapped;
+      if (trace_) {
+        trace_->record(lane_tracks_[lane], obs::TraceEventKind::kRotationFailed, 0,
+                       parent_span, lane, 1, replacement.error());
       }
-      // else: raced a respawn; the surplus replacement is discarded (one
-      // draw lost to the race, the fresh session in the lane is kept).
+    } else {
+      const std::uint64_t replacement_span = replacement->trace_span;
+      const std::uint64_t replacement_id = replacement->id;
+      bool installed = false;
+      {
+        const std::scoped_lock lock(sessions_mutex_);
+        if (sessions_[lane].id == stale_id) {
+          // The lane may still be driving the old session; park it until its
+          // worker finishes the in-flight job and reaps it (quarantine-style
+          // swap: the stale reexpression leaves service NOW either way).
+          displaced_sessions_[lane].push_back(std::move(sessions_[lane]));
+          sessions_[lane] = std::move(*replacement);
+          telemetry_.note_rotated();
+          installed = true;
+          ++swapped;
+        }
+        // else: raced a respawn; the surplus replacement is discarded (one
+        // draw lost to the race, the fresh session in the lane is kept).
+      }
+      if (installed && trace_) {
+        // b=1 marks a FORCED (deadline) rotation vs the lazy b=0 kind.
+        trace_->record(lane_tracks_[lane], obs::TraceEventKind::kRotation, replacement_span,
+                       parent_span, replacement_id, 1);
+      }
     }
     const std::scoped_lock lock(queue_mutex_);
     lane_flags_[lane].rotate = false;  // fulfilled (or given up on, counted)
     lane_flags_[lane].force_rotating = false;
+    lane_flags_[lane].rotate_parent_span = 0;
   }
   return swapped;
 }
@@ -373,6 +450,10 @@ std::size_t VariantFleet::poll_adaptive() {
     if (auto next = adaptive_->poll()) {
       correlator_.set_policy(*next);
       telemetry_.note_policy_decayed();
+      if (trace_) {
+        trace_->record(ops_track_, obs::TraceEventKind::kPolicyDecayed, 0, 0,
+                       next->threshold, next->window.count());
+      }
     }
   }
   // Exhaustion-aware heightened posture: when no unique key remains, leave
@@ -387,6 +468,7 @@ std::size_t VariantFleet::poll_adaptive() {
 void VariantFleet::worker_loop(unsigned lane) {
   for (;;) {
     bool rotate = false;
+    std::uint64_t rotate_parent = 0;
     {
       const std::scoped_lock lock(queue_mutex_);
       // A rotation pending at shutdown is moot: the replacement would never
@@ -397,12 +479,17 @@ void VariantFleet::worker_loop(unsigned lane) {
       rotate = flags.rotate && !flags.force_rotating && accepting_;
       // Consume the flag unless a deadline enforcer owns it (force_rotating):
       // a rotation pending at shutdown is consumed as moot too.
-      if (flags.rotate && !flags.force_rotating) flags.rotate = false;
+      if (flags.rotate && !flags.force_rotating) {
+        flags.rotate = false;
+        rotate_parent = flags.rotate_parent_span;
+        flags.rotate_parent_span = 0;
+      }
     }
-    if (rotate) rotate_lane(lane);  // factory work happens outside the locks
+    if (rotate) rotate_lane(lane, rotate_parent);  // factory work outside the locks
 
     PendingJob job;
     bool stolen = false;
+    unsigned steal_victim = pool_size_;
     {
       std::unique_lock lock(queue_mutex_);
       queue_not_empty_.wait(lock, [this, lane] {
@@ -432,6 +519,7 @@ void VariantFleet::worker_loop(unsigned lane) {
         job = std::move(lane_queues_[victim].front());
         lane_queues_[victim].pop_front();
         stolen = true;
+        steal_victim = victim;
       } else {
         // Nothing for this lane. With stealing, every queue is empty here;
         // without, peers drain their own backlogs.
@@ -445,7 +533,13 @@ void VariantFleet::worker_loop(unsigned lane) {
       queue_not_full_.notify_one();
       if (!accepting_) drain_progress_.notify_all();
     }
-    if (stolen) telemetry_.note_stolen();
+    if (stolen) {
+      telemetry_.note_stolen();
+      if (trace_) {
+        trace_->record(lane_tracks_[lane], obs::TraceEventKind::kJobStolen, job.trace_span, 0,
+                       job.id, steal_victim);
+      }
+    }
     run_job(lane, std::move(job));
     // The job this lane just finished was the last possible user of any
     // session a rotation deadline displaced from under it; reap them now.
@@ -468,15 +562,24 @@ void VariantFleet::worker_loop(unsigned lane) {
 void VariantFleet::run_job(unsigned lane, PendingJob job) {
   JobOutcome outcome;
   outcome.job_id = job.id;
+  outcome.trace_span = job.trace_span;
 
   // The lane's session is always installed and valid here: a dead lane's
   // worker retires before its next run_job, and a failed respawn leaves the
   // (poisoned, never-reused) old session in the slot.
   core::NVariantSystem* system = nullptr;
+  std::uint64_t session_span = 0;
   {
     const std::scoped_lock lock(sessions_mutex_);
     outcome.session_id = sessions_[lane].id;
+    session_span = sessions_[lane].trace_span;
     system = sessions_[lane].system.get();
+  }
+  if (trace_) {
+    // The job's span, parented to the serving session's draw span: the
+    // session draw -> job -> (quarantine -> alert -> ...) chain starts here.
+    trace_->record(lane_tracks_[lane], obs::TraceEventKind::kJobStarted, job.trace_span,
+                   session_span, job.id, outcome.session_id);
   }
 
   // Latency is measured on the INJECTED clock, like every other fleet
@@ -508,6 +611,14 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
     telemetry_.note_alarmed();
   } else {
     telemetry_.note_completed();
+  }
+  if (trace_) {
+    // b: 0 clean, 1 divergence alarm, 2 job error.
+    const std::uint64_t verdict = !outcome.error.empty()            ? 2
+                                  : outcome.report.attack_detected ? 1
+                                                                   : 0;
+    trace_->record(lane_tracks_[lane], obs::TraceEventKind::kJobFinished, job.trace_span, 0,
+                   outcome.report.syscall_rounds, verdict);
   }
   if (outcome.ok()) {
     const std::scoped_lock lock(sessions_mutex_);
@@ -541,12 +652,14 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
 
   QuarantineRecord record;
   bool already_replaced = false;
+  std::uint64_t session_span = 0;  // the quarantined session's draw span
   {
     const std::scoped_lock lock(sessions_mutex_);
     if (sessions_[lane].id == outcome.session_id) {
       record.session_id = sessions_[lane].id;
       record.fingerprint = sessions_[lane].fingerprint;
       record.jobs_served = sessions_[lane].jobs_served;
+      session_span = sessions_[lane].trace_span;
     } else {
       // A rotation deadline already swapped the poisoned session out from
       // under this job: it sits among the lane's displaced sessions and the
@@ -560,6 +673,7 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
         if (displaced.id == outcome.session_id) {
           record.fingerprint = displaced.fingerprint;
           record.jobs_served = displaced.jobs_served;
+          session_span = displaced.trace_span;
         }
       }
       record.replacement_id = sessions_[lane].id;
@@ -574,6 +688,12 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
                                outcome.error.empty() ? "job failed without an alarm"
                                                      : outcome.error};
   }
+  if (trace_) {
+    // The quarantine carries the JOB's span (the incident) and parents to
+    // the burned session's draw span — one chain from draw to quarantine.
+    trace_->record(lane_tracks_[lane], obs::TraceEventKind::kQuarantine, outcome.trace_span,
+                   session_span, record.session_id, record.jobs_served, record.fingerprint);
+  }
 
   if (!already_replaced) {
     auto replacement = factory_.make_session();
@@ -581,14 +701,26 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
     if (replacement) {
       record.replacement_id = replacement->id;
       record.replacement_fingerprint = replacement->fingerprint;
-      const std::scoped_lock lock(sessions_mutex_);
-      sessions_[lane] = std::move(*replacement);
+      const std::uint64_t replacement_span = replacement->trace_span;
+      {
+        const std::scoped_lock lock(sessions_mutex_);
+        sessions_[lane] = std::move(*replacement);
+      }
       telemetry_.note_respawned();
+      if (trace_) {
+        trace_->record(lane_tracks_[lane], obs::TraceEventKind::kRespawn, replacement_span,
+                       outcome.trace_span, record.replacement_id, 0,
+                       record.replacement_fingerprint);
+      }
     } else {
       // Keep the poisoned session out of service rather than serving through
       // a known-compromised reexpression; the lane retires and donates its
       // backlog to the surviving lanes.
       record.replacement_fingerprint = "(respawn failed: " + replacement.error() + ")";
+      if (trace_) {
+        trace_->record(lane_tracks_[lane], obs::TraceEventKind::kLaneRetired, 0,
+                       outcome.trace_span, lane, 0, replacement.error());
+      }
       const std::scoped_lock lock(queue_mutex_);
       lane_flags_[lane].dead = true;
       retire_lane_locked(lane);
@@ -609,22 +741,37 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
   if (adaptive_.has_value()) adaptive_->on_incident();
   if (alert.has_value()) {
     telemetry_.note_campaign();
+    if (trace_) {
+      // A NEW span for the fleet-level alert, parented to the K-th incident
+      // (this job) that crossed the threshold. Stamped on the alert BEFORE
+      // on_campaign so gossip subscribers can parent their remote tighten.
+      alert->trace_span = trace_->new_span();
+      trace_->record(ops_track_, obs::TraceEventKind::kCampaignAlert, alert->trace_span,
+                     outcome.trace_span, alert->id, alert->session_ids.size(),
+                     alert->signature.key());
+    }
     if (adaptive_.has_value()) {
       const std::scoped_lock install_lock(adaptive_install_mutex_);
       if (auto next = adaptive_->on_alert(*alert)) {
         correlator_.set_policy(*next);
         telemetry_.note_policy_tightened();
+        if (trace_) {
+          trace_->record(ops_track_, obs::TraceEventKind::kPolicyTightened, 0,
+                         alert->trace_span, next->threshold, next->window.count());
+        }
       }
     }
     // Rotation escalation reads the LIVE policy: adaptation may have armed
     // rotate_fleet_on_alert for exactly this alert even though the baseline
     // posture leaves it off.
-    if (correlator_.policy().rotate_fleet_on_alert) request_rotation_except(lane);
+    if (correlator_.policy().rotate_fleet_on_alert) {
+      request_rotation_except(lane, alert->trace_span);
+    }
     if (config_.on_campaign) config_.on_campaign(*alert);
   }
 }
 
-void VariantFleet::request_rotation_except(unsigned lane) {
+void VariantFleet::request_rotation_except(unsigned lane, std::uint64_t parent_span) {
   // Campaign escalation outranks the low-keyspace backoff (an active attack
   // is exactly when a burned reexpression must leave service) but yields to
   // exhaustion: flagging an empty factory can only churn rotations_failed.
@@ -641,6 +788,7 @@ void VariantFleet::request_rotation_except(unsigned lane) {
     if (peer != lane && !flags.dead && !flags.exited && !flags.respawning) {
       if (!flags.rotate) flags.rotate_since = now;
       flags.rotate = true;
+      flags.rotate_parent_span = parent_span;
     }
   }
   queue_not_empty_.notify_all();
@@ -648,7 +796,7 @@ void VariantFleet::request_rotation_except(unsigned lane) {
 
 // Runs on the lane's OWN worker between jobs: the lane holds no job, and a
 // dead lane's worker retires before ever reaching here, so the swap is safe.
-void VariantFleet::rotate_lane(unsigned lane) {
+void VariantFleet::rotate_lane(unsigned lane, std::uint64_t parent_span) {
   auto replacement = factory_.make_session();
   (void)refresh_keyspace_gauge();
   if (!replacement) {
@@ -657,13 +805,25 @@ void VariantFleet::rotate_lane(unsigned lane) {
     // a rotation order is an operator hazard: count it so a key-space-
     // exhausted factory shows up in telemetry instead of nowhere.
     telemetry_.note_rotation_failed();
+    if (trace_) {
+      trace_->record(lane_tracks_[lane], obs::TraceEventKind::kRotationFailed, 0, parent_span,
+                     lane, 0, replacement.error());
+    }
     return;
   }
+  const std::uint64_t replacement_span = replacement->trace_span;
+  const std::uint64_t replacement_id = replacement->id;
   {
     const std::scoped_lock lock(sessions_mutex_);
     sessions_[lane] = std::move(*replacement);
   }
   telemetry_.note_rotated();
+  if (trace_) {
+    // b=0: lazy (worker-initiated) rotation; parent is the causing alert's
+    // span when campaign escalation flagged it, 0 for operator sweeps.
+    trace_->record(lane_tracks_[lane], obs::TraceEventKind::kRotation, replacement_span,
+                   parent_span, replacement_id, 0);
+  }
 }
 
 void VariantFleet::retire_lane_locked(unsigned lane) {

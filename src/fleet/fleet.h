@@ -48,6 +48,7 @@
 #include "fleet/ops.h"
 #include "fleet/session_factory.h"
 #include "fleet/telemetry.h"
+#include "obs/trace.h"
 
 namespace nv::fleet {
 
@@ -67,6 +68,10 @@ struct JobOutcome {
   /// kAbandonedError).
   std::string error;
   std::chrono::microseconds latency{0};
+  /// Causality id of this job's trace events (0 = untraced): admission,
+  /// start, finish, and — when the job poisoned its session — the quarantine
+  /// all carry it, so a submitter can find its job in an exported trace.
+  std::uint64_t trace_span = 0;
 
   [[nodiscard]] bool ok() const noexcept {
     return error.empty() && !report.attack_detected;
@@ -141,6 +146,15 @@ struct FleetConfig {
   /// Injectable time source for correlator windows and drain deadlines;
   /// empty = real steady clock. Tests install ManualClock::fn().
   ClockFn clock;
+  /// Structured tracing (obs/trace.h): the fleet records admission, steal,
+  /// quarantine, respawn, rotation, keyspace, and adaptive events into this
+  /// recorder (tracks "<trace_scope>.ops" and "<trace_scope>.lane<i>"), and
+  /// propagates it into the SessionFactory and every built NVariantSystem.
+  /// Null = untraced (the default; the record path is never entered).
+  std::shared_ptr<obs::TraceRecorder> trace;
+  /// Track-name prefix for this fleet's events; a cluster sets "shard<i>" so
+  /// K shards share one recorder without colliding.
+  std::string trace_scope = "fleet";
   /// TEST SEAM: runs on the worker thread immediately after its lane enters
   /// the respawning state (before the replacement session is built), so a
   /// test can hold a lane mid-respawn and prove its queue drains via peers.
@@ -218,8 +232,10 @@ class VariantFleet {
   /// no jobs, no operator poll — would otherwise never force-rotate a pinned
   /// lane past FleetConfig::rotation_deadline). Subscribe it to the clock —
   /// clock.subscribe([&fleet] { fleet.notify_time_advanced(); }) — or call it
-  /// directly after advance(). Harmless no-op otherwise.
-  void notify_time_advanced();
+  /// directly after advance(). Harmless no-op otherwise. Returns how many
+  /// lanes the deadline enforcement force-rotated (usually 0) so a periodic
+  /// caller (FleetCluster::tick) can report sweep work without re-polling.
+  std::size_t notify_time_advanced();
 
   /// True while the fleet admits jobs (drain/shutdown flip it off). The
   /// cluster router's health bit; also useful for operator dashboards.
@@ -256,11 +272,27 @@ class VariantFleet {
   /// Diversity fingerprints of the sessions currently installed in each lane.
   [[nodiscard]] std::vector<std::string> live_fingerprints() const;
 
+  /// Monotone counter bumped whenever the fleet's SLOW health inputs change:
+  /// accepting flips, keyspace gauge refreshes (draws, rotations), lane
+  /// retirement. A router that cached this fleet's health view may keep
+  /// serving it until the epoch moves — queue depth is the one fast-moving
+  /// field, and queue_depth_hint() reads it without the queue mutex.
+  [[nodiscard]] std::uint64_t health_epoch() const noexcept {
+    return health_epoch_.load(std::memory_order_acquire);
+  }
+  /// Lock-free approximation of queue_depth() for routing decisions: reads
+  /// the same counter, but relaxed and without queue_mutex_ — may be one
+  /// enqueue/dequeue stale, which load balancing tolerates by construction.
+  [[nodiscard]] std::size_t queue_depth_hint() const noexcept {
+    return total_queued_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct PendingJob {
     std::uint64_t id = 0;
     FleetJob fn;
     std::promise<JobOutcome> promise;
+    std::uint64_t trace_span = 0;  // allocated at admission (kJobAdmitted)
   };
   /// Lane state, guarded by queue_mutex_. `dead` is only ever set by the
   /// lane's OWN worker (inside respawn), so that worker may read it without
@@ -275,6 +307,10 @@ class VariantFleet {
     bool force_rotating = false;
     /// When `rotate` was set (injected clock), for the rotation deadline.
     std::chrono::steady_clock::time_point rotate_since{};
+    /// Trace span that CAUSED the pending rotation (the campaign alert's
+    /// span, or 0 for operator rotate_fleet): the eventual kRotation event
+    /// parents here, closing the alert -> rotation causal chain.
+    std::uint64_t rotate_parent_span = 0;
   };
 
   void worker_loop(unsigned lane);
@@ -283,9 +319,10 @@ class VariantFleet {
   /// the lane keeps the poisoned session out of service and retires.
   void respawn(unsigned lane, JobOutcome& outcome);
   /// Campaign escalation: flag every other live lane for re-diversification.
-  void request_rotation_except(unsigned lane);
+  /// `parent_span` threads the causing alert's trace span into the flags.
+  void request_rotation_except(unsigned lane, std::uint64_t parent_span = 0);
   /// Swap a freshly-drawn session into an idle lane (rotation escalation).
-  void rotate_lane(unsigned lane);
+  void rotate_lane(unsigned lane, std::uint64_t parent_span);
   /// Mirror the factory account into the telemetry gauges and fire
   /// on_keyspace_low on the first observation at/below the watermark.
   KeyspaceAccount refresh_keyspace_gauge();
@@ -324,10 +361,22 @@ class VariantFleet {
   std::condition_variable drain_progress_;
   std::vector<std::deque<PendingJob>> lane_queues_;  // one per lane
   std::vector<LaneFlags> lane_flags_;
-  std::size_t total_queued_ = 0;
+  /// Written only under queue_mutex_; atomic so queue_depth_hint() can read
+  /// it lock-free from the router hot path.
+  std::atomic<std::size_t> total_queued_{0};
   unsigned next_lane_ = 0;
   bool accepting_ = true;
   std::uint64_t next_job_id_ = 0;
+  /// See health_epoch(): bumped on accepting flips, keyspace refreshes, and
+  /// lane retirement.
+  std::atomic<std::uint64_t> health_epoch_{0};
+
+  /// Tracing (null = untraced). ops_track_ carries fleet-scope events
+  /// (admission, alerts, keyspace); lane_tracks_[i] carries lane i's
+  /// lifecycle (start/finish, steal, quarantine, respawn, rotation).
+  std::shared_ptr<obs::TraceRecorder> trace_;
+  std::uint32_t ops_track_ = 0;
+  std::vector<std::uint32_t> lane_tracks_;
 
   /// One fleet-wide rotation per rotation_backoff while the keyspace is low;
   /// guarded by queue_mutex_.

@@ -103,6 +103,11 @@ struct CampaignAlert {
   std::vector<std::string> fingerprints;
   std::chrono::steady_clock::time_point first_seen{};
   std::chrono::steady_clock::time_point last_seen{};
+  /// Causality id of the raising fleet's kCampaignAlert trace event (0 =
+  /// untraced). Set by VariantFleet on the alert it hands to on_campaign /
+  /// gossip, so a remote shard's kRemoteTighten can point back at the origin
+  /// shard's alert — the cross-shard pre-warn story as a provable chain.
+  std::uint64_t trace_span = 0;
 
   [[nodiscard]] std::string describe() const;
 };

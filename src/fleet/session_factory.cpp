@@ -81,6 +81,10 @@ SessionFactory::SessionFactory(SessionSpec spec, std::uint64_t seed,
     auto variation = registry_.make(name);
     if (variation) keyspace_bits_ += (*variation)->keyspace_bits(spec_.n_variants);
   }
+  if (spec_.trace) {
+    factory_track_ = spec_.trace->track(spec_.trace_scope + ".factory");
+    core_track_ = spec_.trace->track(spec_.trace_scope + ".core");
+  }
 }
 
 KeyspaceAccount SessionFactory::keyspace() const {
@@ -115,26 +119,43 @@ std::uint64_t SessionFactory::unique_keys_issued() const {
 }
 
 util::Expected<Session, std::string> SessionFactory::make_session() {
-  const std::scoped_lock lock(mutex_);
-  // Random draws can collide — into a disjointedness violation (two
-  // variations landing on the same reexpression) or into a diversity key some
-  // EARLIER session already drew (a quarantine-heavy burst must never respawn
-  // the reexpression the attacker just probed). Both are luck, not policy:
-  // re-draw a bounded number of times before giving up. Every other error
-  // (unknown name, parameter rejection, builder validation) is systematic —
-  // redrawing cannot help and would only advance the RNG.
-  std::string last_error;
-  for (int attempt = 0; attempt < 32; ++attempt) {
-    auto session = try_make_locked();
-    if (session) return session;
-    last_error = session.error();
-    if (!spec_.randomize ||
-        (last_error.find("disjointedness") == std::string::npos &&
-         last_error.find("duplicate diversity draw") == std::string::npos)) {
-      return util::Unexpected{std::move(last_error)};
+  auto session = [this]() -> util::Expected<Session, std::string> {
+    const std::scoped_lock lock(mutex_);
+    // Random draws can collide — into a disjointedness violation (two
+    // variations landing on the same reexpression) or into a diversity key some
+    // EARLIER session already drew (a quarantine-heavy burst must never respawn
+    // the reexpression the attacker just probed). Both are luck, not policy:
+    // re-draw a bounded number of times before giving up. Every other error
+    // (unknown name, parameter rejection, builder validation) is systematic —
+    // redrawing cannot help and would only advance the RNG.
+    std::string last_error;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      auto made = try_make_locked();
+      if (made) return made;
+      last_error = made.error();
+      if (!spec_.randomize ||
+          (last_error.find("disjointedness") == std::string::npos &&
+           last_error.find("duplicate diversity draw") == std::string::npos)) {
+        return util::Unexpected{std::move(last_error)};
+      }
+    }
+    return util::Unexpected{"session factory exhausted redraws: " + last_error};
+  }();
+  if (spec_.trace) {
+    if (session) {
+      // The draw event DEFINES the session's span — the root every later
+      // event about this session (jobs, quarantine, rounds) parents to.
+      spec_.trace->record(factory_track_, obs::TraceEventKind::kSessionDraw,
+                          session->trace_span, 0, session->id, 0, session->fingerprint);
+    } else {
+      const bool budget = session.error().find("keyspace budget exhausted") != std::string::npos;
+      spec_.trace->record(factory_track_,
+                          budget ? obs::TraceEventKind::kBudgetRefusal
+                                 : obs::TraceEventKind::kDrawRefused,
+                          0, 0, 0, 0, session.error());
     }
   }
-  return util::Unexpected{"session factory exhausted redraws: " + last_error};
+  return session;
 }
 
 util::Expected<Session, std::string> SessionFactory::try_make_locked() {
@@ -200,6 +221,10 @@ util::Expected<Session, std::string> SessionFactory::try_make_locked() {
   core::NVariantSystem::Builder builder;
   builder.suite(std::move(*suite)).rendezvous_timeout(spec_.rendezvous_timeout);
   for (const auto& path : spec_.unshared) builder.unshared(path);
+  if (spec_.trace) {
+    session.trace_span = spec_.trace->new_span();
+    builder.trace(spec_.trace, core_track_, session.trace_span);
+  }
   auto system = builder.try_build();
   if (!system) return util::Unexpected{system.error()};
 

@@ -37,6 +37,7 @@
 
 #include "core/nvariant_system.h"
 #include "core/variation_registry.h"
+#include "obs/trace.h"
 #include "util/expected.h"
 #include "util/rng.h"
 
@@ -60,6 +61,13 @@ struct SessionSpec {
   /// watermark, rotation refusal, on_keyspace_low) applies to the allocation
   /// exactly as it does to the natural space. Ignored when randomize is off.
   std::uint64_t max_unique_keys = 0;
+  /// Structured tracing (obs/trace.h): every draw records kSessionDraw (and
+  /// refusals kDrawRefused / kBudgetRefusal) on "<trace_scope>.factory", and
+  /// each built system emits sampled rendezvous events on "<trace_scope>.core"
+  /// parented to its session's draw span. Null = untraced (the default).
+  /// VariantFleet propagates its FleetConfig::trace/trace_scope here.
+  std::shared_ptr<obs::TraceRecorder> trace;
+  std::string trace_scope = "fleet";
 };
 
 /// The factory's view of its finite re-expression keyspace: how big the
@@ -110,6 +118,10 @@ struct Session {
   std::map<std::string, std::uint64_t> drawn_params;
   /// Jobs this session has served so far (maintained by the fleet).
   std::uint64_t jobs_served = 0;
+  /// Causality id of this session's kSessionDraw trace event (0 = untraced):
+  /// the ROOT of the session's causal chain — jobs started against it, its
+  /// quarantine, and its sampled rendezvous rounds all parent here.
+  std::uint64_t trace_span = 0;
 };
 
 class SessionFactory {
@@ -144,6 +156,8 @@ class SessionFactory {
   SessionSpec spec_;
   const core::VariationRegistry& registry_;
   double keyspace_bits_ = 0.0;  // composed at construction from the spec
+  std::uint32_t factory_track_ = 0;  // "<scope>.factory" (draws, refusals)
+  std::uint32_t core_track_ = 0;     // "<scope>.core" (sampled rendezvous rounds)
   mutable std::mutex mutex_;
   util::Rng rng_;
   std::uint64_t next_id_ = 0;

@@ -37,6 +37,10 @@ FleetSnapshot FleetTelemetry::snapshot() const {
   snap.syscall_rounds = syscall_rounds_.load(std::memory_order_relaxed);
   snap.keys_total = keys_total_.load(std::memory_order_relaxed);
   snap.keys_remaining = keys_remaining_.load(std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(trace_mutex_);
+    if (trace_) snap.trace_drops = trace_->dropped();
+  }
 
   util::Samples merged;
   for (const auto& lane : lanes_) {

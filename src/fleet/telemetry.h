@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/stats.h"
 
 namespace nv::fleet {
@@ -40,6 +41,7 @@ struct FleetSnapshot {
   std::uint64_t policy_tightened = 0;  // adaptive steps away from the baseline policy
   std::uint64_t policy_decayed = 0;    // adaptive steps back toward the baseline
   std::uint64_t syscall_rounds = 0;  // rendezvous rounds across all sessions
+  std::uint64_t trace_drops = 0;  // trace events lost to ring overflow (obs/trace.h)
 
   // Keyspace gauges (not counters): the SessionFactory's finite unique-
   // reexpression budget. keys_total == 0 means the spec does not randomize —
@@ -100,6 +102,15 @@ class FleetTelemetry {
   /// Record one job's end-to-end latency into `lane`'s collector.
   void record_latency(unsigned lane, double latency_us);
 
+  /// Surface `recorder`'s drop counter as FleetSnapshot::trace_drops (read at
+  /// snapshot time). Null detaches. The fleet wires its FleetConfig::trace
+  /// recorder here so a saturated ring is an operator-visible signal, not a
+  /// silently truncated trace.
+  void attach_trace(std::shared_ptr<const obs::TraceRecorder> recorder) {
+    const std::scoped_lock lock(trace_mutex_);
+    trace_ = std::move(recorder);
+  }
+
   /// Fold every lane's samples (merge()) plus the counters into one view.
   [[nodiscard]] FleetSnapshot snapshot() const;
 
@@ -129,6 +140,8 @@ class FleetTelemetry {
   std::atomic<std::uint64_t> syscall_rounds_{0};
   std::atomic<std::uint64_t> keys_total_{0};
   std::atomic<std::uint64_t> keys_remaining_{0};
+  mutable std::mutex trace_mutex_;
+  std::shared_ptr<const obs::TraceRecorder> trace_;
   std::vector<std::unique_ptr<Lane>> lanes_;
 };
 

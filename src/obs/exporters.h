@@ -1,0 +1,49 @@
+// Exporters: turn a TraceRecorder (and the telemetry snapshots) into the two
+// formats operators actually consume.
+//
+//   to_chrome_trace()   Chrome-trace/Perfetto JSON ("traceEvents"): one tid
+//                       per recorder track (named via thread_name metadata),
+//                       one "X" slice per TraceEvent with the span/parent/
+//                       operand payload in args, plus flow events ("s"/"t")
+//                       so Perfetto draws the causal arrows between a span's
+//                       defining event and everything it caused. Load the
+//                       file at https://ui.perfetto.dev. Validated by
+//                       tools/check_trace.py in CI.
+//   expose_metrics()    Prometheus text exposition: every documented
+//                       FleetSnapshot / ClusterSnapshot field as a counter or
+//                       gauge (per-shard series labeled {shard="i"}), plus
+//                       the recorder's trace-derived histograms (cumulative
+//                       buckets over obs::kHistogramBounds).
+//
+// Formats are documented in docs/TRACING.md.
+#ifndef NV_OBS_EXPORTERS_H
+#define NV_OBS_EXPORTERS_H
+
+#include <string>
+
+#include "cluster/telemetry.h"
+#include "fleet/telemetry.h"
+#include "obs/trace.h"
+
+namespace nv::obs {
+
+/// Serialize the recorder's retained events as Chrome-trace JSON (see file
+/// header). Deterministic for a deterministic recorder: byte-identical
+/// ManualClock runs serialize byte-identically.
+[[nodiscard]] std::string to_chrome_trace(const TraceRecorder& recorder);
+
+/// Prometheus text exposition of one fleet snapshot under `prefix`
+/// (default "nv_fleet"); appends the recorder's histograms when non-null.
+[[nodiscard]] std::string expose_metrics(const fleet::FleetSnapshot& snapshot,
+                                         const TraceRecorder* recorder = nullptr,
+                                         const std::string& prefix = "nv_fleet");
+
+/// Prometheus text exposition of a whole cluster: the cluster aggregates
+/// under "nv_cluster", every shard's fleet snapshot as {shard="i"}-labeled
+/// "nv_fleet" series, and the recorder's histograms when non-null.
+[[nodiscard]] std::string expose_metrics(const cluster::ClusterSnapshot& snapshot,
+                                         const TraceRecorder* recorder = nullptr);
+
+}  // namespace nv::obs
+
+#endif  // NV_OBS_EXPORTERS_H

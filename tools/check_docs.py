@@ -9,6 +9,11 @@
    src/cluster/telemetry.h — must appear (as `backtick-quoted` code) in
    docs/TELEMETRY.md — a counter or gauge without documented semantics is a
    CI failure, per the docs contract.
+3. Trace coverage: every obs::TraceEventKind enumerator declared in
+   src/obs/trace.h must have a `backtick-quoted` entry in docs/TRACING.md
+   under its stable lower_snake name (kSessionDraw -> `session_draw`) — an
+   event kind without documented span/parent/operand semantics is a CI
+   failure, same contract.
 
 Usage: check_docs.py [repo_root]     (default: the tools/ parent)
 Exit code 0 on success, 1 with messages on any violation.
@@ -75,18 +80,50 @@ def check_telemetry_coverage(root: pathlib.Path, errors: list) -> int:
     return total
 
 
+# Enumerators inside the TraceEventKind enum, e.g. "kSessionDraw," — the
+# trailing comment is ignored.
+ENUMERATOR_RE = re.compile(r"^\s*k(\w+)\s*,", re.MULTILINE)
+
+
+def snake_case(camel: str) -> str:
+    """kSessionDraw's payload 'SessionDraw' -> 'session_draw'."""
+    return re.sub(r"(?<!^)([A-Z])", r"_\1", camel).lower()
+
+
+def check_trace_coverage(root: pathlib.Path, errors: list) -> int:
+    header = root / "src" / "obs" / "trace.h"
+    glossary = root / "docs" / "TRACING.md"
+    documented = glossary.read_text(encoding="utf-8") if glossary.exists() else ""
+    text = header.read_text(encoding="utf-8")
+    match = re.search(r"enum class TraceEventKind[^{]*\{(.*?)\n\};", text, re.DOTALL)
+    if not match:
+        errors.append(f"{header}: cannot locate enum TraceEventKind")
+        return 0
+    kinds = ENUMERATOR_RE.findall(match.group(1))
+    if not kinds:
+        errors.append(f"{header}: found no TraceEventKind enumerators to check")
+    for kind in kinds:
+        name = snake_case(kind)
+        if f"`{name}`" not in documented:
+            errors.append(
+                f"TraceEventKind::k{kind} ('{name}') has no entry in docs/TRACING.md")
+    return len(kinds)
+
+
 def main() -> None:
     root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else \
         pathlib.Path(__file__).resolve().parent.parent
     errors: list = []
     links = check_links(root, errors)
     fields = check_telemetry_coverage(root, errors)
+    kinds = check_trace_coverage(root, errors)
     if errors:
         for error in errors:
             print(f"check_docs: FAIL: {error}", file=sys.stderr)
         sys.exit(1)
     print(f"check_docs: OK ({links} relative links, "
-          f"{fields} telemetry fields documented)")
+          f"{fields} telemetry fields documented, "
+          f"{kinds} trace event kinds documented)")
 
 
 if __name__ == "__main__":

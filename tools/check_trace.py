@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace JSON exported by nv::obs::to_chrome_trace().
+
+Checks, in order:
+  1. Schema: a JSON object with a `traceEvents` list and an `otherData`
+     object carrying integer `recorded`/`dropped`; every event has the
+     required keys for its phase, and phases are limited to the set the
+     exporter emits (M, X, s, t).
+  2. Per-track monotone timestamps: within one (pid, tid) pair, slice
+     timestamps never decrease (the recorder stamps each track's events
+     under that track's lock, so a violation means exporter corruption).
+  3. Span-reference closure: every non-zero `args.parent` must name a span
+     some event in the trace DEFINES (carries as `args.span`). Strict when
+     `otherData.dropped` is 0; with drops, broken references are expected
+     (the defining event may have been overwritten) and only warned about.
+
+Usage: check_trace.py TRACE.json [TRACE2.json ...]
+Exit status: 0 all traces pass, 1 any check failed, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+ALLOWED_PHASES = {"M", "X", "s", "t"}
+REQUIRED_SLICE_KEYS = {"name", "ph", "ts", "pid", "tid", "args"}
+REQUIRED_FLOW_KEYS = {"name", "ph", "ts", "pid", "tid", "id"}
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}")
+    return False
+
+
+def check_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        return fail(path, f"unreadable or invalid JSON: {err}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return fail(path, "top level must be an object with a traceEvents list")
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        return fail(path, "missing otherData object")
+    recorded, dropped = other.get("recorded"), other.get("dropped")
+    if not isinstance(recorded, int) or not isinstance(dropped, int):
+        return fail(path, "otherData.recorded/.dropped must be integers")
+
+    events = doc["traceEvents"]
+    last_ts = {}       # (pid, tid) -> last slice timestamp
+    defined = set()    # spans some event carries as args.span
+    referenced = []    # (index, parent) pairs to close over `defined`
+    slices = 0
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            return fail(path, f"event {index} is not an object")
+        phase = event.get("ph")
+        if phase not in ALLOWED_PHASES:
+            return fail(path, f"event {index}: unexpected phase {phase!r}")
+        if phase == "M":
+            if event.get("name") != "thread_name":
+                return fail(path, f"event {index}: metadata must be thread_name")
+            continue
+        required = REQUIRED_SLICE_KEYS if phase == "X" else REQUIRED_FLOW_KEYS
+        missing = required - event.keys()
+        if missing:
+            return fail(path, f"event {index}: missing keys {sorted(missing)}")
+        if phase != "X":
+            continue
+
+        slices += 1
+        key = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            return fail(path, f"event {index}: non-numeric ts")
+        if key in last_ts and ts < last_ts[key]:
+            return fail(
+                path,
+                f"event {index}: ts {ts} < {last_ts[key]} on track {key} "
+                "(per-track timestamps must be monotone)",
+            )
+        last_ts[key] = ts
+
+        args = event["args"]
+        if not isinstance(args, dict):
+            return fail(path, f"event {index}: args is not an object")
+        span, parent = args.get("span", 0), args.get("parent", 0)
+        if span:
+            defined.add(span)
+        if parent:
+            referenced.append((index, parent))
+
+    broken = [(index, parent) for index, parent in referenced if parent not in defined]
+    if broken:
+        detail = ", ".join(f"event {i} -> span {p}" for i, p in broken[:5])
+        if dropped == 0:
+            return fail(
+                path,
+                f"{len(broken)} parent reference(s) to spans no event defines "
+                f"({detail}) with zero drops — the causal chain is broken",
+            )
+        print(
+            f"WARN {path}: {len(broken)} dangling parent reference(s) "
+            f"({detail}) — expected with {dropped} dropped events"
+        )
+
+    print(
+        f"OK   {path}: {slices} slices on {len(last_ts)} tracks, "
+        f"{len(defined)} spans, {len(referenced)} parent links, "
+        f"{recorded} recorded / {dropped} dropped"
+    )
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        ok = check_trace(path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
