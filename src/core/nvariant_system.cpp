@@ -78,6 +78,11 @@ NVariantSystem::Builder& NVariantSystem::Builder::unshared(std::string path) {
   return *this;
 }
 
+NVariantSystem::Builder& NVariantSystem::Builder::pipeline(PipelineMode mode) {
+  options_.pipeline = mode;
+  return *this;
+}
+
 NVariantSystem::Builder& NVariantSystem::Builder::trace(
     std::shared_ptr<obs::TraceRecorder> recorder, std::uint32_t track,
     std::uint64_t parent_span) {
@@ -144,6 +149,10 @@ class NVariantSystem::VariantPort final : public vkernel::SyscallPort {
 
   SyscallResult syscall(const SyscallArgs& args) override {
     return system_.variant_syscall(variant_, args);
+  }
+
+  std::vector<SyscallResult> syscall_batch(const vkernel::SyscallBatch& batch) override {
+    return system_.variant_syscall_batch(variant_, batch);
   }
 
  private:
@@ -239,7 +248,8 @@ void NVariantSystem::launch(const VariantBody& body) {
   shared_fds_.clear();
   rendezvous_ = std::make_unique<SyscallRendezvous>(options_.n_variants,
                                                     options_.rendezvous_timeout);
-  rendezvous_->set_leader([this](const std::vector<SyscallArgs>& raw) { return lead(raw); });
+  rendezvous_->set_batch_leader(
+      [this](const std::vector<vkernel::SyscallBatch>& raw) { return lead_batch(raw); });
 
   for (unsigned v = 0; v < options_.n_variants; ++v) {
     auto proc = std::make_unique<vkernel::Process>(1, "variant-" + std::to_string(v),
@@ -303,6 +313,8 @@ RunReport NVariantSystem::collect_report() {
   report.attack_detected = monitor_.triggered();
   report.alarm = monitor_.first_alarm();
   report.syscall_rounds = rendezvous_ ? rendezvous_->rounds_completed() : 0;
+  report.syscall_batches = rendezvous_ ? rendezvous_->batches_completed() : 0;
+  report.async_completions = rendezvous_ ? rendezvous_->async_completions() : 0;
   report.completed = true;
   for (const auto& proc : procs_) {
     report.completed = report.completed && proc->exited();
@@ -313,7 +325,63 @@ RunReport NVariantSystem::collect_report() {
 }
 
 vkernel::SyscallResult NVariantSystem::variant_syscall(unsigned variant, SyscallArgs args) {
+  if (options_.pipeline == PipelineMode::kPipelined &&
+      vkernel::descriptor(args.no).batch == vkernel::BatchPolicy::kCompletion) {
+    return async_syscall(variant, std::move(args));
+  }
   return rendezvous_->exchange(variant, std::move(args));
+}
+
+std::vector<vkernel::SyscallResult> NVariantSystem::variant_syscall_batch(
+    unsigned variant, const vkernel::SyscallBatch& batch) {
+  std::vector<SyscallResult> out;
+  out.reserve(batch.calls.size());
+  const bool pipelined = options_.pipeline == PipelineMode::kPipelined;
+  std::size_t i = 0;
+  while (i < batch.calls.size()) {
+    const auto& desc = vkernel::descriptor(batch.calls[i].no);
+    if (pipelined && desc.batch == vkernel::BatchPolicy::kCompletion) {
+      out.push_back(async_syscall(variant, batch.calls[i]));
+      ++i;
+      continue;
+    }
+    if (!pipelined || desc.batch != vkernel::BatchPolicy::kCoalesce) {
+      out.push_back(rendezvous_->exchange(variant, batch.calls[i]));
+      ++i;
+      continue;
+    }
+    // Maximal run of same-class coalescible calls -> ONE barrier round.
+    // Splitting on the class boundary keeps the per-class trace timing and
+    // the leader's per-class policies exact.
+    vkernel::SyscallBatch segment;
+    const auto cls = desc.cls;
+    while (i < batch.calls.size()) {
+      const auto& next = vkernel::descriptor(batch.calls[i].no);
+      if (next.batch != vkernel::BatchPolicy::kCoalesce || next.cls != cls) break;
+      segment.calls.push_back(batch.calls[i]);
+      ++i;
+    }
+    auto segment_results = rendezvous_->exchange_batch(variant, std::move(segment));
+    for (auto& result : segment_results) out.push_back(std::move(result));
+  }
+  return out;
+}
+
+vkernel::SyscallResult NVariantSystem::async_syscall(unsigned variant, SyscallArgs args) {
+  // R⁻¹ on the issuing thread; the rendezvous compares this canonical form
+  // against the published slot (first arriver) or publishes it (claimer).
+  for (const auto& variation : variations_) variation->canonicalize_args(variant, args);
+  SyscallResult result = rendezvous_->complete_async(
+      variant, args, [this](const SyscallArgs& call) {
+        monitor_.note_syscall_checked();
+        std::vector<SyscallResult> results(options_.n_variants);
+        execute_once(call, /*mirror_fd=*/false, results);
+        return results[0];
+      });
+  for (const auto& variation : variations_) {
+    variation->reexpress_result(variant, args, result);
+  }
+  return result;
 }
 
 bool NVariantSystem::fd_is_shared(os::fd_t fd) const {
@@ -389,24 +457,46 @@ void NVariantSystem::execute_once(const SyscallArgs& call, bool mirror_fd,
   std::fill(results.begin(), results.end(), once);
 }
 
-std::vector<SyscallResult> NVariantSystem::lead(const std::vector<SyscallArgs>& raw) {
+std::vector<std::vector<SyscallResult>> NVariantSystem::lead_batch(
+    const std::vector<vkernel::SyscallBatch>& raw) {
+  const unsigned n = options_.n_variants;
+  const std::size_t k = raw.empty() ? 0 : raw[0].calls.size();
+  std::vector<std::vector<SyscallResult>> out(n);
+
+  const auto run_positions = [&] {
+    for (std::size_t p = 0; p < k; ++p) {
+      if (rendezvous_->aborted()) break;  // mid-batch abort: stop executing
+      std::vector<SyscallArgs> column;
+      column.reserve(n);
+      for (const auto& batch : raw) column.push_back(batch.calls[p]);
+      auto column_results = lead_impl(column);
+      column_results.resize(n);
+      for (unsigned v = 0; v < n; ++v) out[v].push_back(std::move(column_results[v]));
+    }
+  };
+
   // Sampling gates ALL per-round trace work (bench_fleet_throughput's A/B
   // holds tracing to <= 5% on job p95): an unsampled round pays exactly one
-  // relaxed fetch_add; a sampled one pays two clock reads, one lock-free
-  // histogram observation, and one record().
-  if (!trace_ || raw.empty() || !trace_->sample_round(trace_track_)) return lead_impl(raw);
-  // Per-syscall-class rendezvous timing, measured on the recorder's injected
-  // clock (0-width under ManualClock — deterministic, not wall-clock noise),
-  // plus the kSyscallRound event parented to the session's draw span.
-  const auto cls = static_cast<std::size_t>(vkernel::sys_class(raw[0].no));
+  // relaxed fetch_add. Timing is at BATCH granularity — one histogram
+  // observation and one event per round, however many calls it carried
+  // (kSyscallRound for a single call, kSyscallBatch with b = batch size for
+  // a coalesced run), measured on the recorder's injected clock (0-width
+  // under ManualClock — deterministic, not wall-clock noise).
+  if (!trace_ || k == 0 || !trace_->sample_round(trace_track_)) {
+    run_positions();
+    return out;
+  }
+  const auto cls = static_cast<std::size_t>(vkernel::sys_class(raw[0].calls[0].no));
   const auto start = trace_->now();
-  auto results = lead_impl(raw);
+  run_positions();
   const auto elapsed_us =
       std::chrono::duration<double, std::micro>(trace_->now() - start).count();
   trace_->observe(class_histograms_[cls], elapsed_us);
-  trace_->record(trace_track_, obs::TraceEventKind::kSyscallRound, 0, trace_parent_,
-                 static_cast<std::uint64_t>(raw[0].no), static_cast<std::uint64_t>(cls));
-  return results;
+  trace_->record(trace_track_,
+                 k > 1 ? obs::TraceEventKind::kSyscallBatch : obs::TraceEventKind::kSyscallRound,
+                 0, trace_parent_, static_cast<std::uint64_t>(raw[0].calls[0].no),
+                 k > 1 ? static_cast<std::uint64_t>(k) : static_cast<std::uint64_t>(cls));
+  return out;
 }
 
 std::vector<SyscallResult> NVariantSystem::lead_impl(const std::vector<SyscallArgs>& raw) {

@@ -42,12 +42,20 @@
 
 namespace nv::core {
 
+/// Whether the monitor may relax the per-call barrier per the descriptor
+/// table's BatchPolicy. kLockstep forces a full barrier for EVERY call (the
+/// paper's original §3.1 semantics, and the A/B baseline for
+/// bench_syscall_overhead); kPipelined is the default: completion-class
+/// calls go through the async ring and coalescible batches share one round.
+enum class PipelineMode : std::uint8_t { kLockstep, kPipelined };
+
 struct NVariantOptions {
   unsigned n_variants = 2;
   std::chrono::milliseconds rendezvous_timeout{2000};
   /// Default base for variant data segments when no variation overrides it.
   std::uint64_t default_memory_base = 0x10000000;
   std::uint64_t default_memory_size = 1 << 20;
+  PipelineMode pipeline = PipelineMode::kPipelined;
 };
 
 /// Outcome of a complete N-variant run.
@@ -56,7 +64,13 @@ struct RunReport {
   bool attack_detected = false;  // the monitor raised at least one alarm
   std::optional<Alarm> alarm;
   std::vector<int> exit_codes;
+  /// Barrier rounds (a coalesced batch counts once — this is the number of
+  /// times all variants synchronized, not the number of calls).
   std::uint64_t syscall_rounds = 0;
+  /// Barrier rounds that carried more than one call.
+  std::uint64_t syscall_batches = 0;
+  /// Calls that completed through the async completion ring (no barrier).
+  std::uint64_t async_completions = 0;
 };
 
 /// Per-variant guest entry point: the function each variant thread runs.
@@ -91,6 +105,9 @@ class NVariantSystem {
     Builder& variation(VariationPtr variation);
     /// Mark a path unshared even without a variation requesting it.
     Builder& unshared(std::string path);
+    /// Barrier relaxation mode (default kPipelined; kLockstep restores the
+    /// per-call barrier everywhere — the bench baseline).
+    Builder& pipeline(PipelineMode mode);
     /// Attach structured tracing: every lead() records its per-syscall-class
     /// latency into `recorder`'s histograms and emits sampled kSyscallRound
     /// events on `track`, parented to `parent_span` (the session's draw span
@@ -166,10 +183,21 @@ class NVariantSystem {
   void prepare();
   [[nodiscard]] vkernel::SyscallResult variant_syscall(unsigned variant,
                                                        vkernel::SyscallArgs args);
-  [[nodiscard]] std::vector<vkernel::SyscallResult> lead(
-      const std::vector<vkernel::SyscallArgs>& raw);
-  /// lead() minus the tracing wrapper (the actual canonicalize/compare/
-  /// execute/reexpress pipeline).
+  /// Guest-issued batch: completion-class calls peel off to the async ring,
+  /// maximal same-class kCoalesce runs share one barrier round, everything
+  /// else falls back to a per-call exchange.
+  [[nodiscard]] std::vector<vkernel::SyscallResult> variant_syscall_batch(
+      unsigned variant, const vkernel::SyscallBatch& batch);
+  /// Completion-ring path: canonicalize here (caller thread), then publish/
+  /// consume through the rendezvous without a barrier.
+  [[nodiscard]] vkernel::SyscallResult async_syscall(unsigned variant,
+                                                     vkernel::SyscallArgs args);
+  /// Batch leader (rendezvous BatchLeaderFn): tracing at batch granularity
+  /// around one lead_impl() per position.
+  [[nodiscard]] std::vector<std::vector<vkernel::SyscallResult>> lead_batch(
+      const std::vector<vkernel::SyscallBatch>& raw);
+  /// The actual canonicalize/compare/execute/reexpress pipeline for one
+  /// batch position (one SyscallArgs per variant).
   [[nodiscard]] std::vector<vkernel::SyscallResult> lead_impl(
       const std::vector<vkernel::SyscallArgs>& raw);
   [[nodiscard]] RunReport collect_report();

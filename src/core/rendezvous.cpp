@@ -1,28 +1,67 @@
 #include "core/rendezvous.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/strings.h"
 
 namespace nv::core {
 
 SyscallRendezvous::SyscallRendezvous(unsigned n_variants,
                                      std::chrono::milliseconds arrival_timeout)
-    : n_(n_variants), arrival_timeout_(arrival_timeout), slots_(n_variants), results_(n_variants) {
+    : n_(n_variants),
+      arrival_timeout_(arrival_timeout),
+      slots_(n_variants),
+      results_(n_variants),
+      slot_generation_(n_variants, 0),
+      async_cursor_(new std::atomic<std::uint64_t>[n_variants]()) {
   if (n_variants == 0) throw std::invalid_argument("rendezvous requires at least one variant");
 }
 
 vkernel::SyscallResult SyscallRendezvous::exchange(unsigned variant, vkernel::SyscallArgs args) {
+  vkernel::SyscallBatch batch;
+  batch.calls.push_back(std::move(args));
+  auto results = exchange_batch(variant, std::move(batch));
+  return std::move(results.at(0));
+}
+
+std::vector<vkernel::SyscallResult> SyscallRendezvous::exchange_batch(
+    unsigned variant, vkernel::SyscallBatch batch) {
   std::unique_lock lock(mutex_);
   if (aborted_) throw DivergenceAbort{abort_alarm_};
   if (variant >= n_) throw std::invalid_argument("bad variant index");
+  if (batch.calls.empty()) throw std::invalid_argument("empty syscall batch");
   if (slots_[variant].has_value()) throw std::logic_error("variant re-entered rendezvous");
 
-  slots_[variant] = std::move(args);
+  slots_[variant] = std::move(batch);
   ++arrived_;
-  const std::uint64_t my_generation = generation_;
+  const std::uint64_t my_generation = slot_generation_[variant];
 
   if (arrived_ == n_) {
-    // Leader path: snapshot arguments, run the real work unlocked.
-    std::vector<vkernel::SyscallArgs> snapshot;
+    // Leader path: the last arriver validates the round, runs the real work
+    // unlocked, and publishes per-variant result vectors.
+    //
+    // A batch-size mismatch means the variants' call streams have already
+    // diverged (identical guest code forms identical batches): abort before
+    // executing anything.
+    const std::size_t k = slots_[0]->calls.size();
+    for (unsigned v = 1; v < n_; ++v) {
+      if (slots_[v]->calls.size() != k) {
+        abort_locked(lock,
+                     Alarm{AlarmKind::kSyscallMismatch, Alarm::kAllVariants,
+                           util::format("batch sizes diverge: variant 0 issued %zu calls but "
+                                        "variant %u issued %zu",
+                                        k, v, slots_[v]->calls.size())});
+        throw DivergenceAbort{abort_alarm_};
+      }
+    }
+    // With every variant parked at this barrier, all completion-class
+    // streams must have drained to the same position — a variant that
+    // skipped (or invented) async calls is a divergence even though the
+    // async path never blocked on it.
+    if (!verify_async_prefix(lock)) throw DivergenceAbort{abort_alarm_};
+
+    std::vector<vkernel::SyscallBatch> snapshot;
     snapshot.reserve(n_);
     for (auto& slot : slots_) {
       snapshot.push_back(std::move(*slot));
@@ -30,9 +69,24 @@ vkernel::SyscallResult SyscallRendezvous::exchange(unsigned variant, vkernel::Sy
     }
     executing_ = true;
     lock.unlock();
-    std::vector<vkernel::SyscallResult> results;
-    if (leader_) results = leader_(snapshot);
+    std::vector<std::vector<vkernel::SyscallResult>> results;
+    if (batch_leader_) {
+      results = batch_leader_(snapshot);
+    } else if (leader_) {
+      // Per-call adapter: one LeaderFn round per batch position. An abort at
+      // any position stops the batch — the remaining calls never execute.
+      results.assign(n_, std::vector<vkernel::SyscallResult>(k));
+      for (std::size_t p = 0; p < k && !aborted(); ++p) {
+        std::vector<vkernel::SyscallArgs> column;
+        column.reserve(n_);
+        for (const auto& b : snapshot) column.push_back(b.calls[p]);
+        auto column_results = leader_(column);
+        column_results.resize(n_);
+        for (unsigned v = 0; v < n_; ++v) results[v][p] = std::move(column_results[v]);
+      }
+    }
     results.resize(n_);
+    for (auto& per_variant : results) per_variant.resize(k);
     lock.lock();
     executing_ = false;
     if (aborted_) {
@@ -41,54 +95,180 @@ vkernel::SyscallResult SyscallRendezvous::exchange(unsigned variant, vkernel::Sy
     }
     results_ = std::move(results);
     arrived_ = 0;
-    ++generation_;
-    ++rounds_;
-    vkernel::SyscallResult mine = results_[variant];
+    for (auto& generation : slot_generation_) ++generation;
+    rounds_.fetch_add(1, std::memory_order_relaxed);
+    calls_.fetch_add(k, std::memory_order_relaxed);
+    if (k > 1) batch_rounds_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<vkernel::SyscallResult> mine = results_[variant];
     cv_.notify_all();
     return mine;
   }
 
-  // Follower path: wait for the leader to publish this generation's results.
-  // While the leader is executing (possibly blocked in a legitimate blocking
+  // Follower path: wait for the leader to publish this variant's slot. While
+  // the leader is executing (possibly blocked in a legitimate blocking
   // syscall like accept), wait indefinitely; the arrival timeout only applies
   // while we are waiting for peers to *arrive*, which bounds divergence where
-  // a compromised variant stops making syscalls.
+  // a compromised variant stops making syscalls. On expiry the timeout
+  // converts into a proper abort for ALL waiters — current and late arrivers
+  // alike observe aborted_ and unwind, nobody is left parked on a stale
+  // generation.
   const auto deadline = std::chrono::steady_clock::now() + arrival_timeout_;
-  while (generation_ == my_generation && !aborted_) {
-    if (executing_ || arrived_ == 0) {
+  while (slot_generation_[variant] == my_generation && !aborted_) {
+    if (executing_) {
       cv_.wait(lock);
       continue;
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout && generation_ == my_generation &&
-        !aborted_ && !executing_ && arrived_ != 0) {
-      // Peers never arrived: unilateral divergence.
-      aborted_ = true;
-      abort_alarm_ = Alarm{AlarmKind::kRendezvousTimeout, variant,
-                           "peer variant stopped making system calls"};
-      cv_.notify_all();
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        slot_generation_[variant] == my_generation && !aborted_ && !executing_) {
+      abort_locked(lock, Alarm{AlarmKind::kRendezvousTimeout, variant,
+                               "peer variant stopped making system calls"});
       throw DivergenceAbort{abort_alarm_};
     }
   }
   if (aborted_) throw DivergenceAbort{abort_alarm_};
-  return results_[variant];
+  return std::move(results_[variant]);
+}
+
+vkernel::SyscallResult SyscallRendezvous::complete_async(unsigned variant,
+                                                         const vkernel::SyscallArgs& canonical,
+                                                         const AsyncExecuteFn& execute) {
+  if (variant >= n_) throw std::invalid_argument("bad variant index");
+  const std::uint64_t position = async_cursor_[variant].load(std::memory_order_relaxed);
+
+  if (async_published_.load(std::memory_order_acquire) <= position) {
+    // Slow path: nothing published at our position yet — claim it (we are
+    // the first variant here) or wait for the claimer to publish.
+    std::unique_lock lock(async_mutex_);
+    for (;;) {
+      if (aborted_flag_.load(std::memory_order_acquire)) {
+        lock.unlock();
+        throw_aborted();
+      }
+      if (async_published_.load(std::memory_order_acquire) > position) break;
+      if (async_claimed_ == position) {
+        if (position >= min_async_cursor() + kAsyncRingCapacity) {
+          // Ring full: the slowest variant is a whole ring behind. Wait for
+          // it to consume, bounded by the arrival timeout — a variant that
+          // stopped draining completion slots has stopped making syscalls.
+          async_claim_stalled_.store(true, std::memory_order_release);
+          const auto status = async_cv_.wait_for(lock, arrival_timeout_);
+          async_claim_stalled_.store(false, std::memory_order_release);
+          if (aborted_flag_.load(std::memory_order_acquire)) {
+            lock.unlock();
+            throw_aborted();
+          }
+          if (status == std::cv_status::timeout &&
+              position >= min_async_cursor() + kAsyncRingCapacity) {
+            lock.unlock();
+            abort(Alarm{AlarmKind::kRendezvousTimeout, variant,
+                        "peer variant stopped draining completion slots"});
+            throw_aborted();
+          }
+          continue;
+        }
+        async_claimed_ = position + 1;
+        lock.unlock();
+        vkernel::SyscallResult result;
+        try {
+          result = execute(canonical);
+        } catch (...) {
+          abort(Alarm{AlarmKind::kGuestError, variant,
+                      "completion-slot execution failed"});
+          throw;
+        }
+        AsyncSlot& slot = async_ring_[position % kAsyncRingCapacity];
+        slot.args = canonical;
+        slot.result = result;
+        async_published_.store(position + 1, std::memory_order_release);
+        {
+          // Empty critical section: a consumer that checked published_ and
+          // is about to wait must not miss this notify.
+          const std::lock_guard relock(async_mutex_);
+        }
+        async_cv_.notify_all();
+        async_cursor_[variant].store(position + 1, std::memory_order_release);
+        return result;
+      }
+      // Another variant claimed this position and is executing; it publishes
+      // promptly (completion-class calls never block) or the system aborts.
+      async_cv_.wait(lock);
+    }
+  }
+
+  // Fast path: the slot is published — consume without any lock. The ring-
+  // full guard guarantees an unconsumed slot is never overwritten.
+  const AsyncSlot& slot = async_ring_[position % kAsyncRingCapacity];
+  if (slot.args != canonical) {
+    const bool different_call = slot.args.no != canonical.no;
+    Alarm alarm{different_call ? AlarmKind::kSyscallMismatch : AlarmKind::kArgumentMismatch,
+                variant,
+                util::format("completion stream diverged at position %llu: variant %u issued "
+                             "%s but the published call is %s",
+                             static_cast<unsigned long long>(position), variant,
+                             canonical.describe().c_str(), slot.args.describe().c_str())};
+    abort(alarm);
+    throw DivergenceAbort{std::move(alarm)};
+  }
+  vkernel::SyscallResult result = slot.result;
+  async_cursor_[variant].store(position + 1, std::memory_order_release);
+  if (async_claim_stalled_.load(std::memory_order_acquire)) {
+    {
+      const std::lock_guard lock(async_mutex_);
+    }
+    async_cv_.notify_all();
+  }
+  return result;
 }
 
 void SyscallRendezvous::abort(Alarm alarm) {
-  const std::scoped_lock lock(mutex_);
+  std::unique_lock lock(mutex_);
+  abort_locked(lock, std::move(alarm));
+}
+
+void SyscallRendezvous::abort_locked(std::unique_lock<std::mutex>& lock, Alarm alarm) {
+  (void)lock;
   if (aborted_) return;
-  aborted_ = true;
   abort_alarm_ = std::move(alarm);
+  aborted_ = true;
+  aborted_flag_.store(true, std::memory_order_release);
   cv_.notify_all();
+  {
+    // mutex_ -> async_mutex_ is the one permitted nesting order (the async
+    // slow path always drops async_mutex_ before touching mutex_).
+    const std::lock_guard async_lock(async_mutex_);
+  }
+  async_cv_.notify_all();
 }
 
-bool SyscallRendezvous::aborted() const {
+void SyscallRendezvous::throw_aborted() {
   const std::scoped_lock lock(mutex_);
-  return aborted_;
+  throw DivergenceAbort{abort_alarm_};
 }
 
-std::uint64_t SyscallRendezvous::rounds_completed() const noexcept {
-  const std::scoped_lock lock(mutex_);
-  return rounds_;
+std::uint64_t SyscallRendezvous::min_async_cursor() const noexcept {
+  std::uint64_t lowest = async_cursor_[0].load(std::memory_order_acquire);
+  for (unsigned v = 1; v < n_; ++v) {
+    lowest = std::min(lowest, async_cursor_[v].load(std::memory_order_acquire));
+  }
+  return lowest;
+}
+
+bool SyscallRendezvous::verify_async_prefix(std::unique_lock<std::mutex>& lock) {
+  const std::uint64_t reference = async_cursor_[0].load(std::memory_order_acquire);
+  for (unsigned v = 1; v < n_; ++v) {
+    const std::uint64_t cursor = async_cursor_[v].load(std::memory_order_acquire);
+    if (cursor != reference) {
+      abort_locked(
+          lock,
+          Alarm{AlarmKind::kSyscallMismatch, Alarm::kAllVariants,
+                util::format("completion-class syscall streams diverged before the barrier "
+                             "(variant 0 consumed %llu, variant %u consumed %llu)",
+                             static_cast<unsigned long long>(reference), v,
+                             static_cast<unsigned long long>(cursor))});
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace nv::core

@@ -1,17 +1,40 @@
-// Lockstep syscall rendezvous (§3.1: "once one variant makes a system call,
-// it will not proceed until all other variants make the same system call").
+// Pipelined syscall rendezvous (§3.1 with a relaxed barrier).
 //
-// Each variant thread calls exchange() with its pending syscall. The last
-// arriver becomes the leader, runs the MVEE's leader function (compare,
-// execute, build per-variant results) WITHOUT holding the lock (the real
-// syscall may legitimately block, e.g. accept), then publishes results.
-// abort() wakes everyone with a DivergenceAbort.
+// The paper's rule — "once one variant makes a system call, it will not
+// proceed until all other variants make the same system call" — is preserved
+// for every divergence-relevant call, but the PER-CALL barrier is not the
+// only way to enforce it. This rendezvous offers three exchange shapes,
+// selected by the descriptor table's BatchPolicy:
+//
+//   exchange()        one call, full barrier (the classic lockstep round).
+//   exchange_batch()  several calls, ONE barrier: every variant arrives with
+//                     a SyscallBatch; sizes are cross-checked; the leader
+//                     (last arriver) runs the batch leader once per position
+//                     and publishes per-variant result vectors. K coalesced
+//                     calls cost one barrier instead of K.
+//   complete_async()  completion-slot path for non-divergence-relevant calls
+//                     (read-only, argument-free input class): the FIRST
+//                     variant to reach stream position i claims the slot,
+//                     executes, and publishes; the others consume lock-free
+//                     (acquire-load on the published count) and compare their
+//                     canonical args against the published ones. Nobody waits
+//                     for anybody unless the ring is empty at their cursor.
+//
+// Divergence detection is delayed-but-guaranteed on the async path: an
+// argument mismatch is caught at consume time; a variant that silently skips
+// async calls is caught at the next barrier (the leader cross-checks all
+// async cursors before executing) or by the arrival timeout.
+//
+// All counters are atomics readable without the round lock; abort() wakes
+// every waiter on both the barrier and the completion ring.
 #ifndef NV_CORE_RENDEZVOUS_H
 #define NV_CORE_RENDEZVOUS_H
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -21,8 +44,8 @@
 
 namespace nv::core {
 
-/// Thrown out of exchange() when the system is aborted by an alarm. Variant
-/// runner threads catch it and unwind.
+/// Thrown out of exchange()/complete_async() when the system is aborted by an
+/// alarm. Variant runner threads catch it and unwind.
 struct DivergenceAbort {
   Alarm alarm;
 };
@@ -35,36 +58,129 @@ class SyscallRendezvous {
   using LeaderFn =
       std::function<std::vector<vkernel::SyscallResult>(const std::vector<vkernel::SyscallArgs>&)>;
 
+  /// Batch form: one SyscallBatch per variant (sizes already verified equal);
+  /// returns one result vector per variant, positionally matching the batch.
+  /// Same locking contract as LeaderFn. Should stop early (returning what it
+  /// has) if it aborts mid-batch.
+  using BatchLeaderFn = std::function<std::vector<std::vector<vkernel::SyscallResult>>(
+      const std::vector<vkernel::SyscallBatch>&)>;
+
+  /// Executes one already-canonical call for the completion-slot path; runs
+  /// on the claiming variant's thread with no rendezvous lock held.
+  using AsyncExecuteFn = std::function<vkernel::SyscallResult(const vkernel::SyscallArgs&)>;
+
   SyscallRendezvous(unsigned n_variants, std::chrono::milliseconds arrival_timeout);
 
+  /// Per-call leader. When only this is set, exchange_batch() adapts it: one
+  /// LeaderFn invocation per batch position.
   void set_leader(LeaderFn leader) { leader_ = std::move(leader); }
+  /// Batch-aware leader; preferred over the per-call adapter when set.
+  void set_batch_leader(BatchLeaderFn leader) { batch_leader_ = std::move(leader); }
 
   /// Block until all variants arrive; leader executes; everyone gets their
   /// per-variant result. Throws DivergenceAbort if the system aborted.
   [[nodiscard]] vkernel::SyscallResult exchange(unsigned variant, vkernel::SyscallArgs args);
 
+  /// One barrier for a whole batch. Every variant must arrive with the SAME
+  /// number of calls (identical guest code produces identical batches); a
+  /// size mismatch is a divergence and aborts the system. Throws
+  /// DivergenceAbort if the system aborted (before, during, or because of
+  /// this batch) — per-position partial results are never returned.
+  [[nodiscard]] std::vector<vkernel::SyscallResult> exchange_batch(unsigned variant,
+                                                                   vkernel::SyscallBatch batch);
+
+  /// Completion-slot exchange for a non-divergence-relevant call. `canonical`
+  /// must already be canonicalized (R⁻¹ applied). The first variant at this
+  /// stream position executes via `execute` and publishes {args, result};
+  /// later variants verify their canonical args match the published ones and
+  /// consume without blocking. Aborts (and throws) on mismatch.
+  [[nodiscard]] vkernel::SyscallResult complete_async(unsigned variant,
+                                                      const vkernel::SyscallArgs& canonical,
+                                                      const AsyncExecuteFn& execute);
+
   /// Wake all waiters; all current and future exchanges throw DivergenceAbort.
   void abort(Alarm alarm);
-  [[nodiscard]] bool aborted() const;
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_flag_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] unsigned variants() const noexcept { return n_; }
-  [[nodiscard]] std::uint64_t rounds_completed() const noexcept;
+  /// Barrier rounds completed (a batch counts as ONE round). Lock-free.
+  [[nodiscard]] std::uint64_t rounds_completed() const noexcept {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+  /// Barrier rounds that carried more than one call.
+  [[nodiscard]] std::uint64_t batches_completed() const noexcept {
+    return batch_rounds_.load(std::memory_order_relaxed);
+  }
+  /// Calls that went through a barrier round (sum of batch sizes).
+  [[nodiscard]] std::uint64_t calls_exchanged() const noexcept {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  /// Completion slots published on the async ring (one per async call).
+  [[nodiscard]] std::uint64_t async_completions() const noexcept {
+    return async_published_.load(std::memory_order_relaxed);
+  }
+
+  /// Completion-ring capacity: the furthest a variant may run ahead of the
+  /// slowest variant on async calls before the claim path blocks.
+  static constexpr std::size_t kAsyncRingCapacity = 1024;
 
  private:
+  struct AsyncSlot {
+    vkernel::SyscallArgs args;
+    vkernel::SyscallResult result;
+  };
+
+  void abort_locked(std::unique_lock<std::mutex>& lock, Alarm alarm);
+  [[noreturn]] void throw_aborted();
+  [[nodiscard]] std::uint64_t min_async_cursor() const noexcept;
+  /// Leader-side cross-check before a barrier round executes: with every
+  /// variant parked at the barrier, all async streams must have drained to
+  /// the same position. Returns false (after aborting) on divergence.
+  [[nodiscard]] bool verify_async_prefix(std::unique_lock<std::mutex>& lock);
+
   const unsigned n_;
   const std::chrono::milliseconds arrival_timeout_;
   LeaderFn leader_;
+  BatchLeaderFn batch_leader_;
 
+  // ---- Barrier state (mutex_/cv_): arrivals, leader election, publish -----
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::vector<std::optional<vkernel::SyscallArgs>> slots_;
-  std::vector<vkernel::SyscallResult> results_;
+  std::vector<std::optional<vkernel::SyscallBatch>> slots_;
+  std::vector<std::vector<vkernel::SyscallResult>> results_;
+  /// Per-variant publish generation: bumped for a variant when its results_
+  /// entry for the current round is ready. Replaces the old single
+  /// generation_ counter so a variant's wait condition only touches its own
+  /// slot.
+  std::vector<std::uint64_t> slot_generation_;
   unsigned arrived_ = 0;
-  bool executing_ = false;        // leader is running the real syscall
-  std::uint64_t generation_ = 0;  // bumped when results are published
-  std::uint64_t rounds_ = 0;
-  bool aborted_ = false;
+  bool executing_ = false;  // leader is running the real syscall(s)
+  bool aborted_ = false;    // guarded by mutex_; mirrored in aborted_flag_
   Alarm abort_alarm_;
+
+  // ---- Completion ring (async path) ---------------------------------------
+  std::vector<AsyncSlot> async_ring_{kAsyncRingCapacity};
+  /// Slots fully published; consumers acquire-load this and then read the
+  /// ring without any lock (the ring-full guard keeps unconsumed slots from
+  /// being overwritten).
+  std::atomic<std::uint64_t> async_published_{0};
+  /// Next per-variant stream position. Each entry is written only by its own
+  /// variant's thread; the barrier leader and the ring-full guard read them.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> async_cursor_;
+  std::mutex async_mutex_;
+  std::condition_variable async_cv_;
+  std::uint64_t async_claimed_ = 0;  // guarded by async_mutex_
+  /// True while a claimer is parked on a full ring; fast-path consumers check
+  /// it (one relaxed load) and only then pay for a notify.
+  std::atomic<bool> async_claim_stalled_{false};
+
+  // ---- Lock-free counters --------------------------------------------------
+  std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<std::uint64_t> batch_rounds_{0};
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<bool> aborted_flag_{false};
 };
 
 }  // namespace nv::core

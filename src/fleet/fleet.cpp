@@ -605,6 +605,8 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
 
   telemetry_.record_latency(lane, static_cast<double>(latency.count()));
   telemetry_.add_syscall_rounds(outcome.report.syscall_rounds);
+  telemetry_.add_syscall_batches(outcome.report.syscall_batches);
+  telemetry_.add_async_completions(outcome.report.async_completions);
   if (!outcome.error.empty()) {
     telemetry_.note_job_error();
   } else if (outcome.report.attack_detected) {
@@ -749,6 +751,11 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
       trace_->record(ops_track_, obs::TraceEventKind::kCampaignAlert, alert->trace_span,
                      outcome.trace_span, alert->id, alert->session_ids.size(),
                      alert->signature.key());
+      // Forensic escalation: drop the syscall-round sampling stride on the
+      // LIVE recorder so every round around the active campaign is captured.
+      if (config_.trace_campaign_round_sample != 0) {
+        trace_->set_syscall_round_sample(config_.trace_campaign_round_sample);
+      }
     }
     if (adaptive_.has_value()) {
       const std::scoped_lock install_lock(adaptive_install_mutex_);

@@ -79,6 +79,8 @@ void expose_fleet(std::string& out, std::set<std::string>& typed,
   c("policy_tightened", snap.policy_tightened);
   c("policy_decayed", snap.policy_decayed);
   c("syscall_rounds", snap.syscall_rounds);
+  c("syscall_batches", snap.syscall_batches);
+  c("async_completions", snap.async_completions);
   c("trace_drops", snap.trace_drops);
   g("keys_total", static_cast<double>(snap.keys_total));
   g("keys_remaining", static_cast<double>(snap.keys_remaining));
@@ -120,7 +122,26 @@ void expose_histograms(std::string& out, std::set<std::string>& typed,
   }
 }
 
+/// Build a `{name="value"}` label set with the value escaped.
+std::string label_set(const char* name, std::string_view value) {
+  return std::string("{") + name + "=\"" + prometheus_label_escape(value) + "\"}";
+}
+
 }  // namespace
+
+std::string prometheus_label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
 
 std::string to_chrome_trace(const TraceRecorder& recorder) {
   std::string out;
@@ -181,10 +202,12 @@ std::string to_chrome_trace(const TraceRecorder& recorder) {
 }
 
 std::string expose_metrics(const fleet::FleetSnapshot& snapshot,
-                           const TraceRecorder* recorder, const std::string& prefix) {
+                           const TraceRecorder* recorder, const std::string& prefix,
+                           const std::string& instance) {
   std::string out;
   std::set<std::string> typed;
-  expose_fleet(out, typed, snapshot, prefix, "");
+  const std::string labels = instance.empty() ? std::string() : label_set("instance", instance);
+  expose_fleet(out, typed, snapshot, prefix, labels);
   if (recorder != nullptr) expose_histograms(out, typed, *recorder);
   return out;
 }
@@ -219,7 +242,7 @@ std::string expose_metrics(const cluster::ClusterSnapshot& snapshot,
 
   for (const auto& view : snapshot.shard_views) {
     expose_fleet(out, typed, view.fleet, "nv_fleet",
-                 util::format("{shard=\"%u\"}", view.shard));
+                 label_set("shard", util::format("%u", view.shard)));
   }
   if (recorder != nullptr) expose_histograms(out, typed, *recorder);
   return out;

@@ -20,6 +20,7 @@
 #define NV_OBS_EXPORTERS_H
 
 #include <string>
+#include <string_view>
 
 #include "cluster/telemetry.h"
 #include "fleet/telemetry.h"
@@ -32,11 +33,21 @@ namespace nv::obs {
 /// ManualClock runs serialize byte-identically.
 [[nodiscard]] std::string to_chrome_trace(const TraceRecorder& recorder);
 
+/// Escape a Prometheus label VALUE per the text exposition format: backslash,
+/// double-quote, and newline must be written as \\, \", and \n inside the
+/// quoted label value. Every label value the exporters emit goes through
+/// this — an operator-supplied instance name containing a quote must not be
+/// able to break the series syntax (or smuggle in extra labels).
+[[nodiscard]] std::string prometheus_label_escape(std::string_view value);
+
 /// Prometheus text exposition of one fleet snapshot under `prefix`
 /// (default "nv_fleet"); appends the recorder's histograms when non-null.
+/// A non-empty `instance` stamps every series with {instance="..."} (the
+/// value is escaped via prometheus_label_escape).
 [[nodiscard]] std::string expose_metrics(const fleet::FleetSnapshot& snapshot,
                                          const TraceRecorder* recorder = nullptr,
-                                         const std::string& prefix = "nv_fleet");
+                                         const std::string& prefix = "nv_fleet",
+                                         const std::string& instance = "");
 
 /// Prometheus text exposition of a whole cluster: the cluster aggregates
 /// under "nv_cluster", every shard's fleet snapshot as {shard="i"}-labeled

@@ -40,12 +40,17 @@ std::string_view to_string(TraceEventKind kind) noexcept {
     case TraceEventKind::kGossipPublish: return "gossip_publish";
     case TraceEventKind::kGossipDeliver: return "gossip_deliver";
     case TraceEventKind::kClusterTick: return "cluster_tick";
+    case TraceEventKind::kSyscallBatch: return "syscall_batch";
   }
   return "unknown";
 }
 
 TraceRecorder::TraceRecorder(TraceConfig config, ClockFn clock)
-    : config_(config), clock_(resolve(std::move(clock))), epoch_(clock_()) {
+    : config_(config),
+      kind_mask_(config.kind_mask),
+      round_sample_(config.syscall_round_sample),
+      clock_(resolve(std::move(clock))),
+      epoch_(clock_()) {
   // Track 0 ("trace") always exists: the overflow alias for out-of-range ids
   // and the home for recorder-level events.
   (void)track("trace");
@@ -75,7 +80,7 @@ std::uint32_t TraceRecorder::track(const std::string& name) {
 void TraceRecorder::record(std::uint32_t track, TraceEventKind kind, std::uint64_t span,
                            std::uint64_t parent, std::uint64_t a, std::uint64_t b,
                            std::string detail) {
-  if (!config_.kind_enabled(kind)) return;
+  if (!enabled(kind)) return;
   Track* sink = track_at(track);
   if (sink == nullptr) return;
 
@@ -108,8 +113,8 @@ void TraceRecorder::record(std::uint32_t track, TraceEventKind kind, std::uint64
 }
 
 bool TraceRecorder::sample_round(std::uint32_t track) noexcept {
-  if (!config_.kind_enabled(TraceEventKind::kSyscallRound)) return false;
-  const std::uint32_t stride = config_.syscall_round_sample;
+  if (!enabled(TraceEventKind::kSyscallRound)) return false;
+  const std::uint32_t stride = round_sample_.load(std::memory_order_relaxed);
   if (stride == 0) return false;
   Track* sink = track_at(track);
   if (sink == nullptr) return false;

@@ -83,16 +83,20 @@ enum class TraceEventKind : std::uint8_t {
   kGossipPublish,      // locally-raised alert entered the bus
   kGossipDeliver,      // bus handed the alert to a subscriber shard
   kClusterTick,        // FleetCluster::tick() housekeeping pass
+  kSyscallBatch,       // sampled multi-call rendezvous round (b = batch size)
 };
 
 inline constexpr std::size_t kTraceEventKindCount =
-    static_cast<std::size_t>(TraceEventKind::kClusterTick) + 1;
+    static_cast<std::size_t>(TraceEventKind::kSyscallBatch) + 1;
 
 /// Stable lower_snake name ("job_admitted") for exporters and logs.
 [[nodiscard]] std::string_view to_string(TraceEventKind kind) noexcept;
 
-/// Sampling and capacity knobs. Immutable once handed to a TraceRecorder, so
-/// the hot-path enabled() check is two plain loads, no locks or atomics.
+/// Sampling and capacity knobs. `enabled` and `ring_capacity` are immutable
+/// once handed to a TraceRecorder; `kind_mask` and `syscall_round_sample`
+/// are INITIAL values — the recorder mirrors them into atomics that can be
+/// re-armed on a live fleet (set_kind_mask() / set_syscall_round_sample(),
+/// e.g. dropping the round stride to 1 when a campaign alert fires).
 struct TraceConfig {
   /// Master switch. False turns every record() into an immediate return —
   /// the cheapest compiled-in path (bench_fleet_throughput A/Bs this).
@@ -183,8 +187,29 @@ class TraceRecorder {
   }
 
   /// Cheap pre-check for call sites that would otherwise build payloads.
+  /// Reads the LIVE (re-armable) kind mask.
   [[nodiscard]] bool enabled(TraceEventKind kind) const noexcept {
-    return config_.kind_enabled(kind);
+    return config_.enabled &&
+           (kind_mask_.load(std::memory_order_relaxed) & TraceConfig::kind_bit(kind)) != 0;
+  }
+
+  // ---- Runtime re-arming (atomic stores; safe on a live recorder) --------
+  /// Replace the per-kind enable mask. Takes effect on the next record().
+  void set_kind_mask(std::uint64_t mask) noexcept {
+    kind_mask_.store(mask, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t kind_mask() const noexcept {
+    return kind_mask_.load(std::memory_order_relaxed);
+  }
+  /// Replace the kSyscallRound/kSyscallBatch sampling stride (1 = keep every
+  /// round, 0 = drop all). The fleet drops this to 1 on a campaign alert so
+  /// the attacked shard's traces go fine-grained exactly when the
+  /// investigation needs them.
+  void set_syscall_round_sample(std::uint32_t stride) noexcept {
+    round_sample_.store(stride, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint32_t syscall_round_sample() const noexcept {
+    return round_sample_.load(std::memory_order_relaxed);
   }
 
   /// Append one event to `track` (timestamped now, on the injected clock).
@@ -251,6 +276,11 @@ class TraceRecorder {
   [[nodiscard]] Track* track_at(std::uint32_t id) const noexcept;
 
   TraceConfig config_;
+  /// Live twins of config_.kind_mask / config_.syscall_round_sample (the
+  /// config keeps the construction-time values; these are what the hot path
+  /// reads and what re-arming stores into).
+  std::atomic<std::uint64_t> kind_mask_;
+  std::atomic<std::uint32_t> round_sample_;
   ClockFn clock_;
   std::chrono::steady_clock::time_point epoch_;
 

@@ -61,6 +61,30 @@ enum class MismatchKind : std::uint8_t {
   kCondition,  // cond_chk disagreement
 };
 
+/// How the pipelined rendezvous may relax the per-call lockstep barrier for
+/// this syscall. Divergence detection is never skipped — the policies only
+/// change WHEN the cross-variant comparison happens.
+enum class BatchPolicy : std::uint8_t {
+  /// Full per-call barrier. Shared-state mutations whose ordering against
+  /// other variants' calls matters (open's fd-slot allocation, socket setup,
+  /// exit, poll_event's queue consumption) and path-routed calls that may
+  /// resolve per variant.
+  kBarrier,
+  /// May ride in a multi-call batch: consecutive same-class kCoalesce calls
+  /// from one variant are compared and executed as ONE leader round. Each
+  /// batch position still gets the full canonicalize/compare/execute/
+  /// reexpress treatment.
+  kCoalesce,
+  /// Non-divergence-relevant: a read-only input-class kOnce call whose
+  /// canonical form carries no arguments to diverge on. Completes through a
+  /// lock-free completion slot — the first variant to arrive executes and
+  /// publishes; later variants compare their canonical args against the
+  /// published prefix and consume the result without blocking anyone.
+  /// Divergence (a variant issuing a DIFFERENT call at the same stream
+  /// position) is still detected, at consume time or at the next barrier.
+  kCompletion,
+};
+
 inline constexpr std::size_t kFixedIntRoles = 4;
 
 struct SyscallDescriptor {
@@ -78,6 +102,8 @@ struct SyscallDescriptor {
   /// reexpresses it per variant in the R_i step).
   ArgRole result_role = ArgRole::kNone;
   MismatchKind mismatch = MismatchKind::kArgument;
+  /// Barrier relaxation class for the pipelined rendezvous (see BatchPolicy).
+  BatchPolicy batch = BatchPolicy::kBarrier;
   /// kFdRouted only: how to execute when the call carries no fd slot at all
   /// (malformed guest call). kOnce replicates a single EBADF; kPerVariant
   /// lets every variant's kernel report its own.
@@ -95,6 +121,8 @@ struct SyscallDescriptor {
 [[nodiscard]] const std::array<SyscallDescriptor, kSysCount>& descriptor_table() noexcept;
 
 [[nodiscard]] std::string_view arg_role_name(ArgRole role) noexcept;
+
+[[nodiscard]] std::string_view batch_policy_name(BatchPolicy policy) noexcept;
 
 }  // namespace nv::vkernel
 

@@ -42,7 +42,27 @@ TEST(NVariantSystem, SyscallRoundsAreCounted) {
   });
   const auto report = guest::run_nvariant(system, guest);
   EXPECT_TRUE(report.completed);
-  EXPECT_EQ(report.syscall_rounds, 6u);  // 5 getpid + exit
+  // Under the default pipelined mode getpid is a completion-class call: the
+  // 5 getpids drain through the async ring and only exit is a barrier round.
+  EXPECT_EQ(report.syscall_rounds, 1u);
+  EXPECT_EQ(report.async_completions, 5u);
+  EXPECT_EQ(report.syscall_batches, 0u);
+}
+
+TEST(NVariantSystem, LockstepModeCountsEveryCallAsARound) {
+  const auto system_owner = core::NVariantSystem::Builder()
+                                .rendezvous_timeout(std::chrono::milliseconds(2000))
+                                .pipeline(core::PipelineMode::kLockstep)
+                                .build();
+  auto& system = *system_owner;
+  LambdaGuest guest([](guest::GuestContext& ctx) {
+    for (int i = 0; i < 5; ++i) (void)ctx.getpid();
+    ctx.exit(0);
+  });
+  const auto report = guest::run_nvariant(system, guest);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.syscall_rounds, 6u);  // 5 getpid + exit, one barrier each
+  EXPECT_EQ(report.async_completions, 0u);
 }
 
 TEST(NVariantSystem, SharedFileReadIsReplicatedIdentically) {

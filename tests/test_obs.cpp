@@ -150,6 +150,73 @@ TEST(TraceRecorderTest, SyscallRoundsSampleAtThePerTrackStride) {
   EXPECT_FALSE(off.sample_round(off.track("lane")));
 }
 
+TEST(TraceRecorderTest, KindMaskAndRoundSampleRearmAtRuntime) {
+  // PR 7 follow-on: the mask and the sampling stride are LIVE knobs, not
+  // construction-time constants — a fleet drops the stride to 1 when a
+  // campaign alert fires so the rounds around an active attack are all kept.
+  ManualClock clock;
+  TraceConfig config;
+  config.syscall_round_sample = 4;
+  TraceRecorder recorder(config, clock.fn());
+  const auto track = recorder.track("lane0");
+  for (int i = 0; i < 4; ++i) {
+    if (recorder.sample_round(track)) recorder.record(track, TraceEventKind::kSyscallRound);
+    clock.advance(milliseconds(1));
+  }
+  ASSERT_EQ(recorder.events(track).size(), 1u);  // stride 4 kept round 0 only
+
+  recorder.set_syscall_round_sample(1);  // the campaign-alert escalation
+  EXPECT_EQ(recorder.syscall_round_sample(), 1u);
+  for (int i = 0; i < 4; ++i) {
+    if (recorder.sample_round(track)) recorder.record(track, TraceEventKind::kSyscallRound);
+    clock.advance(milliseconds(1));
+  }
+  EXPECT_EQ(recorder.events(track).size(), 5u);  // every subsequent round kept
+
+  // The kind mask re-arms the same way: masking the kind out mid-run stops
+  // recording without touching the recorder's master switch.
+  recorder.set_kind_mask(TraceConfig::kind_bit(TraceEventKind::kQuarantine));
+  EXPECT_FALSE(recorder.enabled(TraceEventKind::kSyscallRound));
+  EXPECT_FALSE(recorder.sample_round(track));
+  recorder.record(track, TraceEventKind::kSyscallRound);
+  EXPECT_EQ(recorder.events(track).size(), 5u);
+  recorder.set_kind_mask(~std::uint64_t{0});
+  EXPECT_TRUE(recorder.enabled(TraceEventKind::kSyscallRound));
+  EXPECT_TRUE(recorder.sample_round(track));
+}
+
+TEST(ObsExportersTest, PrometheusLabelValuesAreEscaped) {
+  // Exposition format: backslash, double-quote, and newline in a label VALUE
+  // must be escaped — an operator-supplied instance name must not be able to
+  // break the series syntax.
+  EXPECT_EQ(prometheus_label_escape(R"(plain_value-1)"), "plain_value-1");
+  EXPECT_EQ(prometheus_label_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_label_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_label_escape("a\nb"), "a\\nb");
+
+  fleet::FleetSnapshot snap;
+  snap.jobs_submitted = 2;
+  const std::string text =
+      expose_metrics(snap, nullptr, "nv_fleet", "host\"1\\z\nq");
+  EXPECT_NE(text.find("nv_fleet_jobs_submitted{instance=\"host\\\"1\\\\z\\nq\"} 2"),
+            std::string::npos);
+  // No raw quote or newline may survive inside the label value.
+  EXPECT_EQ(text.find("host\"1"), std::string::npos);
+  EXPECT_EQ(text.find("\nq\"}"), std::string::npos);
+}
+
+TEST(ObsExportersTest, PipelineCountersAppearInFleetExposition) {
+  fleet::FleetSnapshot snap;
+  snap.syscall_rounds = 9;
+  snap.syscall_batches = 4;
+  snap.async_completions = 120;
+  const std::string text = expose_metrics(snap);
+  EXPECT_NE(text.find("nv_fleet_syscall_rounds 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE nv_fleet_syscall_batches counter"), std::string::npos);
+  EXPECT_NE(text.find("nv_fleet_syscall_batches 4"), std::string::npos);
+  EXPECT_NE(text.find("nv_fleet_async_completions 120"), std::string::npos);
+}
+
 TEST(TraceRecorderTest, OutOfRangeTrackAliasesTheOverflowTrack) {
   TraceRecorder recorder;
   recorder.record(999, TraceEventKind::kJobAdmitted, 0, 0, 42);

@@ -116,6 +116,184 @@ TEST(Rendezvous, TimeoutAbortsEveryWaiterWhenOnePeerStalls) {
   EXPECT_TRUE(rdv.aborted());
 }
 
+TEST(Rendezvous, LateArriverAfterTimeoutAbortUnwindsImmediately) {
+  // Regression: the arrival-timeout expiry must become a PROPER abort, not a
+  // private unwind. Two of three variants stall out waiting for the third;
+  // when the third finally shows up (long after the timeout already aborted
+  // the round) it must throw immediately — not park on a stale generation.
+  SyscallRendezvous rdv(3, std::chrono::milliseconds(50));
+  rdv.set_leader([](const std::vector<SyscallArgs>&) { return std::vector<SyscallResult>(3); });
+  std::atomic<int> aborts{0};
+  auto waiter = [&](unsigned v) {
+    try {
+      (void)rdv.exchange(v, call(Sys::kGetpid));
+    } catch (const DivergenceAbort& abort) {
+      EXPECT_EQ(abort.alarm.kind, AlarmKind::kRendezvousTimeout);
+      ++aborts;
+    }
+  };
+  std::thread t0(waiter, 0);
+  std::thread t1(waiter, 1);
+  t0.join();
+  t1.join();
+  ASSERT_EQ(aborts.load(), 2);
+  // The late arriver: the round it missed is dead and the system is aborted —
+  // its exchange must return (by throwing) well before another timeout.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)rdv.exchange(2, call(Sys::kGetpid)), DivergenceAbort);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(40));
+}
+
+TEST(Rendezvous, BatchExchangeRunsOneBarrierForManyCalls) {
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(1000));
+  rdv.set_leader([](const std::vector<SyscallArgs>& all) {
+    std::vector<SyscallResult> results(2);
+    results[0].value = all[0].ints[0] + 100;
+    results[1].value = all[1].ints[0] + 100;
+    return results;
+  });
+  auto worker = [&](unsigned v) {
+    vkernel::SyscallBatch batch;
+    for (std::uint64_t i = 0; i < 4; ++i) batch.calls.push_back(call(Sys::kGettime, i));
+    const auto results = rdv.exchange_batch(v, std::move(batch));
+    ASSERT_EQ(results.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(results[i].value, i + 100);
+  };
+  std::thread t0(worker, 0);
+  std::thread t1(worker, 1);
+  t0.join();
+  t1.join();
+  EXPECT_EQ(rdv.rounds_completed(), 1u);   // ONE barrier for the whole batch
+  EXPECT_EQ(rdv.batches_completed(), 1u);  // and it counted as a batch round
+  EXPECT_EQ(rdv.calls_exchanged(), 4u);
+}
+
+TEST(Rendezvous, BatchSizeDivergenceAborts) {
+  // Identical guest code produces identical batch shapes; a size mismatch
+  // means the variants took different paths — a divergence, not a protocol
+  // quirk to paper over.
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(1000));
+  rdv.set_leader([](const std::vector<SyscallArgs>&) { return std::vector<SyscallResult>(2); });
+  std::atomic<int> aborts{0};
+  auto worker = [&](unsigned v, std::size_t size) {
+    vkernel::SyscallBatch batch;
+    for (std::size_t i = 0; i < size; ++i) batch.calls.push_back(call(Sys::kGettime, i));
+    try {
+      (void)rdv.exchange_batch(v, std::move(batch));
+    } catch (const DivergenceAbort& abort) {
+      EXPECT_EQ(abort.alarm.kind, AlarmKind::kSyscallMismatch);
+      ++aborts;
+    }
+  };
+  std::thread t0(worker, 0u, 2u);
+  std::thread t1(worker, 1u, 3u);
+  t0.join();
+  t1.join();
+  EXPECT_EQ(aborts.load(), 2);
+  EXPECT_TRUE(rdv.aborted());
+  EXPECT_EQ(rdv.rounds_completed(), 0u);
+}
+
+TEST(Rendezvous, SingleVariantBatchAndAsyncRunWithoutPeers) {
+  // N=1 degenerate path: no peers means every arrival is the leader and
+  // every async claim is uncontested — both shapes must still work.
+  SyscallRendezvous rdv(1, std::chrono::milliseconds(1000));
+  rdv.set_leader([](const std::vector<SyscallArgs>& all) {
+    std::vector<SyscallResult> results(1);
+    results[0].value = all[0].ints[0] * 2;
+    return results;
+  });
+  vkernel::SyscallBatch batch;
+  batch.calls = {call(Sys::kGettime, 3), call(Sys::kGettime, 4)};
+  const auto results = rdv.exchange_batch(0, std::move(batch));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].value, 6u);
+  EXPECT_EQ(results[1].value, 8u);
+  const auto r = rdv.complete_async(0, call(Sys::kGetpid, 9), [](const SyscallArgs& args) {
+    SyscallResult result;
+    result.value = args.ints[0] + 1;
+    return result;
+  });
+  EXPECT_EQ(r.value, 10u);
+  EXPECT_EQ(rdv.rounds_completed(), 1u);
+  EXPECT_EQ(rdv.async_completions(), 1u);
+}
+
+TEST(Rendezvous, AsyncCompletionsProceedWithoutBarrierRounds) {
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(5000));
+  constexpr std::uint64_t kCalls = 200;
+  auto worker = [&](unsigned v) {
+    for (std::uint64_t i = 0; i < kCalls; ++i) {
+      const auto r = rdv.complete_async(v, call(Sys::kGetpid, i), [](const SyscallArgs& args) {
+        SyscallResult result;
+        result.value = args.ints[0] * 3;
+        return result;
+      });
+      ASSERT_EQ(r.value, i * 3);  // both variants see the published result
+    }
+  };
+  std::thread t0(worker, 0);
+  std::thread t1(worker, 1);
+  t0.join();
+  t1.join();
+  EXPECT_EQ(rdv.async_completions(), kCalls);  // each slot executed ONCE
+  EXPECT_EQ(rdv.rounds_completed(), 0u);       // and no barrier was paid
+  EXPECT_FALSE(rdv.aborted());
+}
+
+TEST(Rendezvous, AsyncStreamDivergenceAborts) {
+  // The delayed-but-guaranteed check: whichever variant consumes a published
+  // slot compares its canonical call against the claimer's — a different
+  // syscall at the same stream position is a divergence.
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(1000));
+  std::atomic<int> aborts{0};
+  auto worker = [&](unsigned v, Sys no) {
+    try {
+      (void)rdv.complete_async(v, call(no, 0), [](const SyscallArgs&) {
+        return SyscallResult{};
+      });
+    } catch (const DivergenceAbort& abort) {
+      EXPECT_EQ(abort.alarm.kind, AlarmKind::kSyscallMismatch);
+      ++aborts;
+    }
+  };
+  std::thread t0(worker, 0u, Sys::kGetpid);
+  std::thread t1(worker, 1u, Sys::kGettime);
+  t0.join();
+  t1.join();
+  EXPECT_GE(aborts.load(), 1);  // the claimer may have finished cleanly
+  EXPECT_TRUE(rdv.aborted());
+}
+
+TEST(Rendezvous, BarrierCrossChecksAsyncStreamPrefix) {
+  // A variant that silently SKIPS an async call diverges without ever
+  // publishing mismatched args; the next barrier catches it — the leader
+  // verifies every variant drained its async stream to the same position.
+  SyscallRendezvous rdv(2, std::chrono::milliseconds(1000));
+  rdv.set_leader([](const std::vector<SyscallArgs>&) { return std::vector<SyscallResult>(2); });
+  std::atomic<int> aborts{0};
+  auto worker = [&](unsigned v) {
+    try {
+      if (v == 0) {  // variant 0 issues the async call; variant 1 skips it
+        (void)rdv.complete_async(0, call(Sys::kGetpid, 0), [](const SyscallArgs&) {
+          return SyscallResult{};
+        });
+      }
+      (void)rdv.exchange(v, call(Sys::kExit, 0));
+    } catch (const DivergenceAbort& abort) {
+      EXPECT_EQ(abort.alarm.kind, AlarmKind::kSyscallMismatch);
+      ++aborts;
+    }
+  };
+  std::thread t0(worker, 0);
+  std::thread t1(worker, 1);
+  t0.join();
+  t1.join();
+  EXPECT_EQ(aborts.load(), 2);
+  EXPECT_TRUE(rdv.aborted());
+  EXPECT_EQ(rdv.rounds_completed(), 0u);  // the poisoned round never ran
+}
+
 TEST(Rendezvous, AbortWhileLeaderMidExecuteWakesEveryone) {
   // The leader runs the real syscall with the lock released (it may block in
   // accept indefinitely). An abort() during that window must unwind both the

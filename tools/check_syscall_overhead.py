@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Schema + invariant check for BENCH_syscall_overhead.json.
+
+CI runs this on the document bench_syscall_overhead just wrote, so future
+PRs can diff pipeline throughput knowing the shape is stable and the core
+claim holds. The written contract for this document lives in
+docs/BENCH_SCHEMAS.md.
+
+  - schema is "syscall_overhead/v1" with the documented keys;
+  - each scenario's speedup equals baseline.us / fast.us (arithmetic is
+    internally consistent, within rounding);
+  - the fast side synchronized STRICTLY FEWER barrier rounds than the
+    per-call baseline (the mechanism, not just the outcome);
+  - every read_only scenario meets claims.readonly_speedup_min (the 3x
+    acceptance claim the bench also enforces in-process).
+
+Usage: check_syscall_overhead.py BENCH_syscall_overhead.json
+Exit code 0 on success, 1 with a message on any violation.
+"""
+import json
+import sys
+
+SCENARIO_KEYS = {"name", "read_only", "calls", "baseline", "fast", "speedup"}
+SIDE_KEYS = {"mode", "us", "calls_per_sec", "rounds", "batches", "async_completions"}
+CONFIG_KEYS = {"variants", "calls", "batch_size", "repetitions"}
+
+
+def fail(message: str) -> None:
+    print(f"check_syscall_overhead: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_side(side: dict, where: str, calls: int) -> None:
+    missing = SIDE_KEYS - side.keys()
+    if missing:
+        fail(f"{where}: missing keys {sorted(missing)}")
+    if side["us"] <= 0:
+        fail(f"{where}: non-positive wall time {side['us']}")
+    if side["rounds"] <= 0:
+        fail(f"{where}: no barrier rounds recorded")
+    expected_rate = calls * 1e6 / side["us"]
+    if abs(side["calls_per_sec"] - expected_rate) > max(1.0, expected_rate * 0.01):
+        fail(f"{where}: calls_per_sec {side['calls_per_sec']} inconsistent with "
+             f"{calls} calls in {side['us']} us")
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_syscall_overhead.py BENCH_syscall_overhead.json")
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    if doc.get("schema") != "syscall_overhead/v1":
+        fail(f"unexpected schema {doc.get('schema')!r}")
+    config = doc.get("config", {})
+    if not CONFIG_KEYS <= config.keys():
+        fail(f"config missing keys {sorted(CONFIG_KEYS - config.keys())}")
+    claims = doc.get("claims", {})
+    speedup_min = claims.get("readonly_speedup_min")
+    if not isinstance(speedup_min, (int, float)) or speedup_min < 1.0:
+        fail(f"claims.readonly_speedup_min missing or nonsensical: {speedup_min!r}")
+
+    scenarios = doc.get("scenarios", [])
+    if len(scenarios) < 2:
+        fail("need at least two scenarios (completion + batching)")
+    readonly = 0
+    for i, scenario in enumerate(scenarios):
+        where = f"scenarios[{i}]"
+        missing = SCENARIO_KEYS - scenario.keys()
+        if missing:
+            fail(f"{where}: missing keys {sorted(missing)}")
+        where = f"scenarios[{i}] ({scenario['name']})"
+        calls = scenario["calls"]
+        if calls <= 0:
+            fail(f"{where}: no calls measured")
+        check_side(scenario["baseline"], f"{where}.baseline", calls)
+        check_side(scenario["fast"], f"{where}.fast", calls)
+        expected = scenario["baseline"]["us"] / scenario["fast"]["us"]
+        if abs(scenario["speedup"] - expected) > max(0.01, expected * 0.01):
+            fail(f"{where}: speedup {scenario['speedup']} != "
+                 f"baseline.us/fast.us = {expected:.3f}")
+        # The mechanism: the fast side must have synchronized fewer barriers.
+        if scenario["fast"]["rounds"] >= scenario["baseline"]["rounds"]:
+            fail(f"{where}: fast rounds {scenario['fast']['rounds']} >= "
+                 f"baseline rounds {scenario['baseline']['rounds']}")
+        if scenario["read_only"]:
+            readonly += 1
+            if scenario["speedup"] < speedup_min:
+                fail(f"{where}: read-only speedup {scenario['speedup']:.2f}x "
+                     f"below the {speedup_min}x claim")
+    if readonly == 0:
+        fail("no read_only scenario carries the acceptance claim")
+
+    summary = ", ".join(f"{s['name']} {s['speedup']:.2f}x" for s in scenarios)
+    print(f"check_syscall_overhead: OK ({len(scenarios)} scenarios, {summary}, "
+          f"read-only claim >= {speedup_min}x)")
+
+
+if __name__ == "__main__":
+    main()
