@@ -21,6 +21,7 @@
 #include "fleet/fleet.h"
 #include "fleet/jobs.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -88,7 +89,7 @@ double benign_p95_under_attack(unsigned pool_size, unsigned benign_jobs, unsigne
   // measurement is submit -> finish regardless of the order we harvest
   // futures in.
   auto latencies = std::make_shared<util::Samples>();
-  auto latencies_mutex = std::make_shared<std::mutex>();
+  auto latencies_mutex = std::make_shared<util::Mutex>();
   auto timed_churn = [&latencies, &latencies_mutex] {
     const auto submitted = std::chrono::steady_clock::now();
     fleet::FleetJob inner = fleet::jobs::uid_churn(100);
@@ -98,7 +99,7 @@ double benign_p95_under_attack(unsigned pool_size, unsigned benign_jobs, unsigne
       const double end_to_end_us =
           std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - submitted)
               .count();
-      const std::scoped_lock lock(*latencies_mutex);
+      const util::MutexLock lock(*latencies_mutex);
       latencies->add(end_to_end_us);
       return report;
     };

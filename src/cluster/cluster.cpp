@@ -105,7 +105,7 @@ FleetCluster::~FleetCluster() { shutdown(); }
 
 void FleetCluster::shutdown() {
   {
-    const std::scoped_lock lock(shutdown_mutex_);
+    const util::MutexLock lock(shutdown_mutex_);
     if (shut_down_) return;
     shut_down_ = true;
   }
@@ -120,7 +120,7 @@ std::vector<ShardHealth> FleetCluster::sample_health() const {
   // fleet's mutexes) are re-sampled only when that shard's health_epoch()
   // moved; queue_depth, the one field that changes per job, always comes
   // from the lock-free hint.
-  const std::scoped_lock lock(health_mutex_);
+  const util::MutexLock lock(health_mutex_);
   for (unsigned index = 0; index < fleets_.size(); ++index) {
     const std::uint64_t epoch = fleets_[index]->health_epoch();
     if (health_epoch_seen_[index] != epoch) {
@@ -189,12 +189,12 @@ fleet::DrainReport FleetCluster::drain_shard(unsigned index,
 }
 
 std::string FleetCluster::network_fingerprint(unsigned index) const {
-  const std::scoped_lock lock(network_mutex_);
+  const util::MutexLock lock(network_mutex_);
   return network_identities_.at(index);
 }
 
 bool FleetCluster::rotate_shard_network(unsigned index) {
-  const std::scoped_lock lock(network_mutex_);
+  const util::MutexLock lock(network_mutex_);
   if (config_.network_variations.empty()) return false;  // static network: nothing to rotate
   auto identity = network_factories_.at(index)->make_session();
   if (!identity) return false;  // endpoint space exhausted for this shard
@@ -204,7 +204,7 @@ bool FleetCluster::rotate_shard_network(unsigned index) {
 }
 
 TickReport FleetCluster::tick() {
-  const std::scoped_lock lock(tick_mutex_);
+  const util::MutexLock lock(tick_mutex_);
   TickReport report;
   report.tick = ++tick_count_;
   report.gossip_delivered = gossip_.pump();

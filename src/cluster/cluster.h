@@ -32,7 +32,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,6 +42,8 @@
 #include "cluster/telemetry.h"
 #include "fleet/fleet.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nv::cluster {
 
@@ -181,14 +182,14 @@ class FleetCluster {
   /// per-shard fields (accepting, keyspace ledger) are re-sampled only when a
   /// shard's epoch moved; queue_depth is refreshed every call from the
   /// lock-free hint. Guarded by health_mutex_.
-  mutable std::mutex health_mutex_;
-  mutable std::vector<ShardHealth> health_cache_;
-  mutable std::vector<std::uint64_t> health_epoch_seen_;
+  mutable util::Mutex health_mutex_;
+  mutable std::vector<ShardHealth> health_cache_ NV_GUARDED_BY(health_mutex_);
+  mutable std::vector<std::uint64_t> health_epoch_seen_ NV_GUARDED_BY(health_mutex_);
 
-  /// tick() state (guarded by tick_mutex_).
-  std::mutex tick_mutex_;
-  std::uint64_t tick_count_ = 0;
-  std::chrono::steady_clock::time_point last_sweep_{};
+  /// tick() state.
+  util::Mutex tick_mutex_;
+  std::uint64_t tick_count_ NV_GUARDED_BY(tick_mutex_) = 0;
+  std::chrono::steady_clock::time_point last_sweep_ NV_GUARDED_BY(tick_mutex_){};
 
   /// Cluster-level trace tracks (0 when untraced).
   std::shared_ptr<obs::TraceRecorder> trace_;
@@ -199,13 +200,14 @@ class FleetCluster {
   /// Per-shard network identity machinery (guarded by network_mutex_: the
   /// factories serialize internally, but identity swap + fingerprint read
   /// must be atomic).
-  mutable std::mutex network_mutex_;
-  std::vector<std::unique_ptr<fleet::SessionFactory>> network_factories_;
-  std::vector<std::string> network_identities_;
-  double network_bits_ = 0.0;  // one shard's network entropy (composed spec)
+  mutable util::Mutex network_mutex_;
+  std::vector<std::unique_ptr<fleet::SessionFactory>> network_factories_
+      NV_GUARDED_BY(network_mutex_);
+  std::vector<std::string> network_identities_ NV_GUARDED_BY(network_mutex_);
+  double network_bits_ = 0.0;  // one shard's network entropy; set once at construction
 
-  bool shut_down_ = false;
-  std::mutex shutdown_mutex_;
+  util::Mutex shutdown_mutex_;
+  bool shut_down_ NV_GUARDED_BY(shutdown_mutex_) = false;
 };
 
 }  // namespace nv::cluster

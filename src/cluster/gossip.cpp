@@ -6,7 +6,7 @@ GossipBus::GossipBus(GossipConfig config, fleet::ClockFn clock)
     : config_(config), clock_(fleet::resolve_clock(std::move(clock))) {}
 
 unsigned GossipBus::subscribe(Handler handler) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   handlers_.push_back(std::move(handler));
   return static_cast<unsigned>(handlers_.size() - 1);
 }
@@ -15,7 +15,7 @@ void GossipBus::publish(unsigned origin, const fleet::CampaignAlert& alert) {
   QueuedAlert queued{origin, alert, {}};
   std::vector<Handler> handlers;
   {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     ++published_;
     if (config_.propagation_delay > std::chrono::milliseconds::zero()) {
       queued.deliver_at = clock_() + config_.propagation_delay;
@@ -25,7 +25,7 @@ void GossipBus::publish(unsigned origin, const fleet::CampaignAlert& alert) {
     handlers = handlers_;  // copy so handlers run outside the bus mutex
   }
   const std::size_t count = fan_out(queued, handlers);
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   delivered_ += count;
 }
 
@@ -33,7 +33,7 @@ std::size_t GossipBus::pump() {
   std::vector<QueuedAlert> due;
   std::vector<Handler> handlers;
   {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto now = clock_();
     // The queue is in publish order and delays are uniform, so due messages
     // form a prefix — delivery order is exactly publish order.
@@ -46,7 +46,7 @@ std::size_t GossipBus::pump() {
   }
   std::size_t count = 0;
   for (const auto& queued : due) count += fan_out(queued, handlers);
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   delivered_ += count;
   return count;
 }
@@ -62,17 +62,17 @@ std::size_t GossipBus::fan_out(const QueuedAlert& queued, const std::vector<Hand
 }
 
 std::uint64_t GossipBus::published() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return published_;
 }
 
 std::uint64_t GossipBus::delivered() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return delivered_;
 }
 
 std::uint64_t GossipBus::pending() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return queue_.size();
 }
 

@@ -22,10 +22,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "fleet/ops.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nv::cluster {
 
@@ -71,15 +72,16 @@ class GossipBus {
 
   /// Deliver one alert to every subscriber except origin; called without
   /// holding mutex_ (handlers take shard locks of their own).
-  std::size_t fan_out(const QueuedAlert& queued, const std::vector<Handler>& handlers);
+  std::size_t fan_out(const QueuedAlert& queued, const std::vector<Handler>& handlers)
+      NV_EXCLUDES(mutex_);
 
   GossipConfig config_;
   fleet::ClockFn clock_;
-  mutable std::mutex mutex_;
-  std::vector<Handler> handlers_;
-  std::deque<QueuedAlert> queue_;
-  std::uint64_t published_ = 0;
-  std::uint64_t delivered_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<Handler> handlers_ NV_GUARDED_BY(mutex_);
+  std::deque<QueuedAlert> queue_ NV_GUARDED_BY(mutex_);
+  std::uint64_t published_ NV_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delivered_ NV_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace nv::cluster

@@ -18,7 +18,7 @@ double ShardRouter::score(const ShardHealth& shard) const {
 }
 
 std::optional<unsigned> ShardRouter::route(const std::vector<ShardHealth>& shards) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::optional<unsigned> best;
   double best_score = 0.0;
   const unsigned n = static_cast<unsigned>(shards.size());

@@ -18,9 +18,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nv::cluster {
 
@@ -67,8 +69,9 @@ class ShardRouter {
   [[nodiscard]] double score(const ShardHealth& shard) const;
 
   RouterPolicy policy_;
-  mutable std::mutex mutex_;
-  unsigned cursor_ = 0;  // rotates on every route() for the tie-break
+  mutable util::Mutex mutex_;
+  // Rotates on every route() for the tie-break.
+  unsigned cursor_ NV_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace nv::cluster

@@ -2,13 +2,15 @@
 
 #include <atomic>
 
+#include "util/mutex.h"
+
 namespace nv::core {
 
 void Monitor::raise(Alarm alarm) {
   AlarmCallback callback;
   Alarm copy = alarm;
   {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     alarms_.push_back(std::move(alarm));
     callback = callback_;
   }
@@ -16,28 +18,28 @@ void Monitor::raise(Alarm alarm) {
 }
 
 bool Monitor::triggered() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return !alarms_.empty();
 }
 
 std::optional<Alarm> Monitor::first_alarm() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (alarms_.empty()) return std::nullopt;
   return alarms_.front();
 }
 
 std::vector<Alarm> Monitor::alarms() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return alarms_;
 }
 
 void Monitor::set_alarm_callback(AlarmCallback callback) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   callback_ = std::move(callback);
 }
 
 void Monitor::reset() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   alarms_.clear();
   syscalls_checked_.store(0, std::memory_order_relaxed);
   detection_checks_.store(0, std::memory_order_relaxed);

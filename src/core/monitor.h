@@ -7,11 +7,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/alarm.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nv::core {
 
@@ -42,9 +43,9 @@ class Monitor {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Alarm> alarms_;
-  AlarmCallback callback_;
+  mutable util::Mutex mutex_;
+  std::vector<Alarm> alarms_ NV_GUARDED_BY(mutex_);
+  AlarmCallback callback_ NV_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> syscalls_checked_{0};
   std::atomic<std::uint64_t> detection_checks_{0};
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/mutex.h"
 #include "util/strings.h"
 
 namespace nv::core {
@@ -27,7 +28,7 @@ vkernel::SyscallResult SyscallRendezvous::exchange(unsigned variant, vkernel::Sy
 
 std::vector<vkernel::SyscallResult> SyscallRendezvous::exchange_batch(
     unsigned variant, vkernel::SyscallBatch batch) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (aborted_) throw DivergenceAbort{abort_alarm_};
   if (variant >= n_) throw std::invalid_argument("bad variant index");
   if (batch.calls.empty()) throw std::invalid_argument("empty syscall batch");
@@ -47,8 +48,7 @@ std::vector<vkernel::SyscallResult> SyscallRendezvous::exchange_batch(
     const std::size_t k = slots_[0]->calls.size();
     for (unsigned v = 1; v < n_; ++v) {
       if (slots_[v]->calls.size() != k) {
-        abort_locked(lock,
-                     Alarm{AlarmKind::kSyscallMismatch, Alarm::kAllVariants,
+        abort_locked(Alarm{AlarmKind::kSyscallMismatch, Alarm::kAllVariants,
                            util::format("batch sizes diverge: variant 0 issued %zu calls but "
                                         "variant %u issued %zu",
                                         k, v, slots_[v]->calls.size())});
@@ -59,7 +59,7 @@ std::vector<vkernel::SyscallResult> SyscallRendezvous::exchange_batch(
     // streams must have drained to the same position — a variant that
     // skipped (or invented) async calls is a divergence even though the
     // async path never blocked on it.
-    if (!verify_async_prefix(lock)) throw DivergenceAbort{abort_alarm_};
+    if (!verify_async_prefix()) throw DivergenceAbort{abort_alarm_};
 
     std::vector<vkernel::SyscallBatch> snapshot;
     snapshot.reserve(n_);
@@ -115,13 +115,13 @@ std::vector<vkernel::SyscallResult> SyscallRendezvous::exchange_batch(
   const auto deadline = std::chrono::steady_clock::now() + arrival_timeout_;
   while (slot_generation_[variant] == my_generation && !aborted_) {
     if (executing_) {
-      cv_.wait(lock);
+      cv_.wait(lock.native());
       continue;
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+    if (cv_.wait_until(lock.native(), deadline) == std::cv_status::timeout &&
         slot_generation_[variant] == my_generation && !aborted_ && !executing_) {
-      abort_locked(lock, Alarm{AlarmKind::kRendezvousTimeout, variant,
-                               "peer variant stopped making system calls"});
+      abort_locked(Alarm{AlarmKind::kRendezvousTimeout, variant,
+                         "peer variant stopped making system calls"});
       throw DivergenceAbort{abort_alarm_};
     }
   }
@@ -138,7 +138,7 @@ vkernel::SyscallResult SyscallRendezvous::complete_async(unsigned variant,
   if (async_published_.load(std::memory_order_acquire) <= position) {
     // Slow path: nothing published at our position yet — claim it (we are
     // the first variant here) or wait for the claimer to publish.
-    std::unique_lock lock(async_mutex_);
+    util::MutexLock lock(async_mutex_);
     for (;;) {
       if (aborted_flag_.load(std::memory_order_acquire)) {
         lock.unlock();
@@ -151,7 +151,7 @@ vkernel::SyscallResult SyscallRendezvous::complete_async(unsigned variant,
           // it to consume, bounded by the arrival timeout — a variant that
           // stopped draining completion slots has stopped making syscalls.
           async_claim_stalled_.store(true, std::memory_order_release);
-          const auto status = async_cv_.wait_for(lock, arrival_timeout_);
+          const auto status = async_cv_.wait_for(lock.native(), arrival_timeout_);
           async_claim_stalled_.store(false, std::memory_order_release);
           if (aborted_flag_.load(std::memory_order_acquire)) {
             lock.unlock();
@@ -183,7 +183,7 @@ vkernel::SyscallResult SyscallRendezvous::complete_async(unsigned variant,
         {
           // Empty critical section: a consumer that checked published_ and
           // is about to wait must not miss this notify.
-          const std::lock_guard relock(async_mutex_);
+          const util::MutexLock relock(async_mutex_);
         }
         async_cv_.notify_all();
         async_cursor_[variant].store(position + 1, std::memory_order_release);
@@ -191,7 +191,7 @@ vkernel::SyscallResult SyscallRendezvous::complete_async(unsigned variant,
       }
       // Another variant claimed this position and is executing; it publishes
       // promptly (completion-class calls never block) or the system aborts.
-      async_cv_.wait(lock);
+      async_cv_.wait(lock.native());
     }
   }
 
@@ -213,7 +213,7 @@ vkernel::SyscallResult SyscallRendezvous::complete_async(unsigned variant,
   async_cursor_[variant].store(position + 1, std::memory_order_release);
   if (async_claim_stalled_.load(std::memory_order_acquire)) {
     {
-      const std::lock_guard lock(async_mutex_);
+      const util::MutexLock relock(async_mutex_);
     }
     async_cv_.notify_all();
   }
@@ -221,12 +221,11 @@ vkernel::SyscallResult SyscallRendezvous::complete_async(unsigned variant,
 }
 
 void SyscallRendezvous::abort(Alarm alarm) {
-  std::unique_lock lock(mutex_);
-  abort_locked(lock, std::move(alarm));
+  const util::MutexLock lock(mutex_);
+  abort_locked(std::move(alarm));
 }
 
-void SyscallRendezvous::abort_locked(std::unique_lock<std::mutex>& lock, Alarm alarm) {
-  (void)lock;
+void SyscallRendezvous::abort_locked(Alarm alarm) {
   if (aborted_) return;
   abort_alarm_ = std::move(alarm);
   aborted_ = true;
@@ -235,13 +234,13 @@ void SyscallRendezvous::abort_locked(std::unique_lock<std::mutex>& lock, Alarm a
   {
     // mutex_ -> async_mutex_ is the one permitted nesting order (the async
     // slow path always drops async_mutex_ before touching mutex_).
-    const std::lock_guard async_lock(async_mutex_);
+    const util::MutexLock async_lock(async_mutex_);
   }
   async_cv_.notify_all();
 }
 
 void SyscallRendezvous::throw_aborted() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   throw DivergenceAbort{abort_alarm_};
 }
 
@@ -253,13 +252,12 @@ std::uint64_t SyscallRendezvous::min_async_cursor() const noexcept {
   return lowest;
 }
 
-bool SyscallRendezvous::verify_async_prefix(std::unique_lock<std::mutex>& lock) {
+bool SyscallRendezvous::verify_async_prefix() {
   const std::uint64_t reference = async_cursor_[0].load(std::memory_order_acquire);
   for (unsigned v = 1; v < n_; ++v) {
     const std::uint64_t cursor = async_cursor_[v].load(std::memory_order_acquire);
     if (cursor != reference) {
       abort_locked(
-          lock,
           Alarm{AlarmKind::kSyscallMismatch, Alarm::kAllVariants,
                 util::format("completion-class syscall streams diverged before the barrier "
                              "(variant 0 consumed %llu, variant %u consumed %llu)",

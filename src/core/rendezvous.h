@@ -35,11 +35,12 @@
 #include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/alarm.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "vkernel/syscalls.h"
 
 namespace nv::core {
@@ -132,13 +133,13 @@ class SyscallRendezvous {
     vkernel::SyscallResult result;
   };
 
-  void abort_locked(std::unique_lock<std::mutex>& lock, Alarm alarm);
-  [[noreturn]] void throw_aborted();
+  void abort_locked(Alarm alarm) NV_REQUIRES(mutex_);
+  [[noreturn]] void throw_aborted() NV_EXCLUDES(mutex_);
   [[nodiscard]] std::uint64_t min_async_cursor() const noexcept;
   /// Leader-side cross-check before a barrier round executes: with every
   /// variant parked at the barrier, all async streams must have drained to
   /// the same position. Returns false (after aborting) on divergence.
-  [[nodiscard]] bool verify_async_prefix(std::unique_lock<std::mutex>& lock);
+  [[nodiscard]] bool verify_async_prefix() NV_REQUIRES(mutex_);
 
   const unsigned n_;
   const std::chrono::milliseconds arrival_timeout_;
@@ -146,19 +147,21 @@ class SyscallRendezvous {
   BatchLeaderFn batch_leader_;
 
   // ---- Barrier state (mutex_/cv_): arrivals, leader election, publish -----
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::condition_variable cv_;
-  std::vector<std::optional<vkernel::SyscallBatch>> slots_;
-  std::vector<std::vector<vkernel::SyscallResult>> results_;
+  std::vector<std::optional<vkernel::SyscallBatch>> slots_ NV_GUARDED_BY(mutex_);
+  std::vector<std::vector<vkernel::SyscallResult>> results_ NV_GUARDED_BY(mutex_);
   /// Per-variant publish generation: bumped for a variant when its results_
   /// entry for the current round is ready. Replaces the old single
   /// generation_ counter so a variant's wait condition only touches its own
   /// slot.
-  std::vector<std::uint64_t> slot_generation_;
-  unsigned arrived_ = 0;
-  bool executing_ = false;  // leader is running the real syscall(s)
-  bool aborted_ = false;    // guarded by mutex_; mirrored in aborted_flag_
-  Alarm abort_alarm_;
+  std::vector<std::uint64_t> slot_generation_ NV_GUARDED_BY(mutex_);
+  unsigned arrived_ NV_GUARDED_BY(mutex_) = 0;
+  // Leader is running the real syscall(s).
+  bool executing_ NV_GUARDED_BY(mutex_) = false;
+  // Mirrored in aborted_flag_ for lock-free readers.
+  bool aborted_ NV_GUARDED_BY(mutex_) = false;
+  Alarm abort_alarm_ NV_GUARDED_BY(mutex_);
 
   // ---- Completion ring (async path) ---------------------------------------
   std::vector<AsyncSlot> async_ring_{kAsyncRingCapacity};
@@ -169,9 +172,9 @@ class SyscallRendezvous {
   /// Next per-variant stream position. Each entry is written only by its own
   /// variant's thread; the barrier leader and the ring-full guard read them.
   std::unique_ptr<std::atomic<std::uint64_t>[]> async_cursor_;
-  std::mutex async_mutex_;
+  util::Mutex async_mutex_;
   std::condition_variable async_cv_;
-  std::uint64_t async_claimed_ = 0;  // guarded by async_mutex_
+  std::uint64_t async_claimed_ NV_GUARDED_BY(async_mutex_) = 0;
   /// True while a claimer is parked on a full ring; fast-path consumers check
   /// it (one relaxed load) and only then pay for a notify.
   std::atomic<bool> async_claim_stalled_{false};

@@ -1,5 +1,7 @@
 #include "fleet/adaptive.h"
 
+#include "util/mutex.h"
+
 #include <algorithm>
 #include <utility>
 
@@ -23,7 +25,7 @@ AdaptivePolicyController::AdaptivePolicyController(AdaptivePolicyConfig config,
 
 std::optional<CampaignPolicy> AdaptivePolicyController::on_alert(const CampaignAlert&) {
   const auto now = clock_();
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   // Even a no-op tighten (already maximally tight) restarts the quiet timer:
   // the attacker is demonstrably still here, so decay must wait.
   quiet_since_ = now;
@@ -46,7 +48,7 @@ std::optional<CampaignPolicy> AdaptivePolicyController::on_alert(const CampaignA
 
 void AdaptivePolicyController::on_incident() {
   const auto now = clock_();
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   quiet_since_ = now;
 }
 
@@ -78,7 +80,7 @@ bool AdaptivePolicyController::decay_step_locked() {
 
 std::optional<CampaignPolicy> AdaptivePolicyController::poll() {
   const auto now = clock_();
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (at_baseline_locked()) return std::nullopt;
   if (now - quiet_since_ < config_.quiet_period) return std::nullopt;
   if (!decay_step_locked()) return std::nullopt;
@@ -93,7 +95,7 @@ std::optional<CampaignPolicy> AdaptivePolicyController::poll() {
 
 bool AdaptivePolicyController::rotation_due() {
   const auto now = clock_();
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (config_.tightened_rotation_interval <= std::chrono::milliseconds::zero()) return false;
   if (at_baseline_locked()) return false;
   if (now - last_rotation_ < config_.tightened_rotation_interval) return false;
@@ -102,27 +104,27 @@ bool AdaptivePolicyController::rotation_due() {
 }
 
 CampaignPolicy AdaptivePolicyController::current() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return current_;
 }
 
 bool AdaptivePolicyController::tightened() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return !at_baseline_locked();
 }
 
 std::uint64_t AdaptivePolicyController::times_tightened() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return tightened_count_;
 }
 
 std::uint64_t AdaptivePolicyController::times_decayed() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return decayed_count_;
 }
 
 std::string AdaptivePolicyController::describe() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return util::format(
       "adaptive policy: threshold %u (baseline %u), window %lld ms (baseline %lld), "
       "rotation %s; tightened %llux, decayed %llux",

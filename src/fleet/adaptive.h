@@ -21,11 +21,12 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "fleet/ops.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nv::fleet {
 
@@ -105,22 +106,22 @@ class AdaptivePolicyController {
   [[nodiscard]] std::string describe() const;
 
  private:
-  [[nodiscard]] bool at_baseline_locked() const;
+  [[nodiscard]] bool at_baseline_locked() const NV_REQUIRES(mutex_);
   /// One decay step toward baseline; true when anything moved.
-  bool decay_step_locked();
+  bool decay_step_locked() NV_REQUIRES(mutex_);
 
   AdaptivePolicyConfig config_;
   CampaignPolicy baseline_;
   ClockFn clock_;
 
-  mutable std::mutex mutex_;
-  CampaignPolicy current_;
+  mutable util::Mutex mutex_;
+  CampaignPolicy current_ NV_GUARDED_BY(mutex_);
   /// Start of the current quiet stretch: the last alert or decay step.
-  std::chrono::steady_clock::time_point quiet_since_{};
+  std::chrono::steady_clock::time_point quiet_since_ NV_GUARDED_BY(mutex_){};
   /// Last heightened-posture rotation (or the tighten that started it).
-  std::chrono::steady_clock::time_point last_rotation_{};
-  std::uint64_t tightened_count_ = 0;
-  std::uint64_t decayed_count_ = 0;
+  std::chrono::steady_clock::time_point last_rotation_ NV_GUARDED_BY(mutex_){};
+  std::uint64_t tightened_count_ NV_GUARDED_BY(mutex_) = 0;
+  std::uint64_t decayed_count_ NV_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace nv::fleet

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/mutex.h"
 #include "util/strings.h"
 #include "variants/registry.h"
 
@@ -87,7 +88,7 @@ VariantFleet::VariantFleet(FleetConfig config)
     // in queue_not_empty_.wait and would never see the jthread stop request,
     // deadlocking the unwind's join. Tell them to exit first.
     {
-      const std::scoped_lock lock(queue_mutex_);
+      const util::MutexLock lock(queue_mutex_);
       accepting_ = false;
     }
     queue_not_empty_.notify_all();
@@ -147,7 +148,7 @@ std::future<JobOutcome> VariantFleet::enqueue_locked(FleetJob job) {
                    pending.id, lane);
   }
   lane_queues_[lane].push_back(std::move(pending));
-  ++total_queued_;
+  total_queued_.fetch_add(1, std::memory_order_relaxed);
   telemetry_.note_submitted();
   // notify_all, not notify_one: with per-lane queues a notify_one could wake
   // a worker whose own queue is empty and (stealing off) cannot take the job.
@@ -161,9 +162,11 @@ std::future<JobOutcome> VariantFleet::submit(FleetJob job) {
   if (config_.rotation_deadline > std::chrono::milliseconds::zero()) {
     (void)enforce_rotation_deadlines();
   }
-  std::unique_lock lock(queue_mutex_);
-  queue_not_full_.wait(lock,
-                       [this] { return total_queued_ < config_.queue_capacity || !accepting_; });
+  util::MutexLock lock(queue_mutex_);
+  while (accepting_ &&
+         total_queued_.load(std::memory_order_relaxed) >= config_.queue_capacity) {
+    queue_not_full_.wait(lock.native());
+  }
   if (!accepting_) throw std::runtime_error("fleet is shut down");
   return enqueue_locked(std::move(job));
 }
@@ -172,8 +175,8 @@ std::optional<std::future<JobOutcome>> VariantFleet::try_submit(FleetJob job) {
   if (config_.rotation_deadline > std::chrono::milliseconds::zero()) {
     (void)enforce_rotation_deadlines();
   }
-  std::unique_lock lock(queue_mutex_);
-  if (!accepting_ || total_queued_ >= config_.queue_capacity) {
+  util::MutexLock lock(queue_mutex_);
+  if (!accepting_ || total_queued_.load(std::memory_order_relaxed) >= config_.queue_capacity) {
     telemetry_.note_rejected();
     if (trace_) {
       trace_->record(ops_track_, obs::TraceEventKind::kJobRejected, 0, 0, 0,
@@ -194,7 +197,7 @@ DrainReport VariantFleet::shutdown(std::chrono::milliseconds deadline) {
 DrainReport VariantFleet::drain(std::optional<std::chrono::milliseconds> deadline) {
   DrainReport report;
   {
-    std::unique_lock lock(queue_mutex_);
+    util::MutexLock lock(queue_mutex_);
     accepting_ = false;
     health_epoch_.fetch_add(1, std::memory_order_release);  // router-visible flip
     queue_not_empty_.notify_all();
@@ -206,8 +209,8 @@ DrainReport VariantFleet::drain(std::optional<std::chrono::milliseconds> deadlin
       const auto deadline_at = clock_() + *deadline;
       if (!config_.clock) {
         // Real steady clock: a timed wait fires exactly at the deadline.
-        while (total_queued_ > 0 && clock_() < deadline_at) {
-          drain_progress_.wait_until(lock, deadline_at);
+        while (total_queued_.load(std::memory_order_relaxed) > 0 && clock_() < deadline_at) {
+          drain_progress_.wait_until(lock.native(), deadline_at);
         }
       } else {
         // Injected clock: a real-time wait_until means nothing — the clock
@@ -215,8 +218,8 @@ DrainReport VariantFleet::drain(std::optional<std::chrono::milliseconds> deadlin
         // and on notify_time_advanced() (wire it up via
         // ManualClock::subscribe); the coarse slice below is only a safety
         // net for injected clocks nobody subscribed.
-        while (total_queued_ > 0 && clock_() < deadline_at) {
-          drain_progress_.wait_for(lock, std::chrono::milliseconds(50));
+        while (total_queued_.load(std::memory_order_relaxed) > 0 && clock_() < deadline_at) {
+          drain_progress_.wait_for(lock.native(), std::chrono::milliseconds(50));
         }
       }
       // Past the deadline: abandon everything still queued. In-flight jobs
@@ -225,7 +228,7 @@ DrainReport VariantFleet::drain(std::optional<std::chrono::milliseconds> deadlin
         while (!queue.empty()) {
           PendingJob job = std::move(queue.front());
           queue.pop_front();
-          --total_queued_;
+          total_queued_.fetch_sub(1, std::memory_order_relaxed);
           JobOutcome outcome;
           outcome.job_id = job.id;
           outcome.error = kAbandonedError;
@@ -250,12 +253,12 @@ DrainReport VariantFleet::drain(std::optional<std::chrono::milliseconds> deadlin
 }
 
 std::size_t VariantFleet::queue_depth() const {
-  const std::scoped_lock lock(queue_mutex_);
-  return total_queued_;
+  const util::MutexLock lock(queue_mutex_);
+  return total_queued_.load(std::memory_order_relaxed);
 }
 
 std::vector<std::string> VariantFleet::live_fingerprints() const {
-  const std::scoped_lock lock(sessions_mutex_);
+  const util::MutexLock lock(sessions_mutex_);
   std::vector<std::string> fingerprints;
   fingerprints.reserve(sessions_.size());
   for (const auto& session : sessions_) fingerprints.push_back(session.fingerprint);
@@ -263,7 +266,7 @@ std::vector<std::string> VariantFleet::live_fingerprints() const {
 }
 
 std::vector<QuarantineRecord> VariantFleet::quarantine_log() const {
-  const std::scoped_lock lock(quarantine_mutex_);
+  const util::MutexLock lock(quarantine_mutex_);
   return quarantine_log_;
 }
 
@@ -287,7 +290,7 @@ std::size_t VariantFleet::notify_time_advanced() {
 }
 
 bool VariantFleet::accepting() const {
-  const std::scoped_lock lock(queue_mutex_);
+  const util::MutexLock lock(queue_mutex_);
   return accepting_;
 }
 
@@ -296,7 +299,7 @@ void VariantFleet::apply_remote_campaign(const CampaignAlert& alert) {
   if (!adaptive_.has_value()) return;
   // Same install discipline as a local alert (respawn): the decision and its
   // installation into the correlator must be one atomic step.
-  const std::scoped_lock install_lock(adaptive_install_mutex_);
+  const util::MutexLock install_lock(adaptive_install_mutex_);
   if (auto next = adaptive_->on_alert(alert)) {
     correlator_.set_policy(*next);
     telemetry_.note_policy_tightened();
@@ -325,7 +328,7 @@ KeyspaceAccount VariantFleet::refresh_keyspace_gauge() {
                    account.keys_issued, account.keys_total);
   }
   if (account.tracked && account.keys_remaining <= low_watermark() &&
-      !keyspace_low_fired_.exchange(true)) {
+      !keyspace_low_fired_.exchange(true, std::memory_order_relaxed)) {
     if (trace_) {
       trace_->record(ops_track_, obs::TraceEventKind::kKeyspaceLow, 0, 0,
                      account.keys_remaining, account.keys_total);
@@ -344,7 +347,7 @@ std::size_t VariantFleet::rotate_fleet() {
     return 0;
   }
   const auto now = clock_();
-  const std::scoped_lock lock(queue_mutex_);
+  const util::MutexLock lock(queue_mutex_);
   const bool low = account.tracked && account.keys_remaining <= low_watermark();
   // Low water: still rotate (a burned reexpression in service is worse than
   // a shorter runway), but no faster than one fleet sweep per backoff
@@ -377,7 +380,7 @@ std::size_t VariantFleet::enforce_rotation_deadlines() {
   const auto now = clock_();
   std::vector<std::pair<unsigned, std::uint64_t>> overdue;  // lane, causing span
   {
-    const std::scoped_lock lock(queue_mutex_);
+    const util::MutexLock lock(queue_mutex_);
     for (unsigned lane = 0; lane < pool_size_; ++lane) {
       LaneFlags& flags = lane_flags_[lane];
       if (flags.rotate && !flags.force_rotating && !flags.dead && !flags.exited &&
@@ -397,7 +400,7 @@ std::size_t VariantFleet::enforce_rotation_deadlines() {
     // swap must abort rather than displace it.
     std::uint64_t stale_id = 0;
     {
-      const std::scoped_lock lock(sessions_mutex_);
+      const util::MutexLock lock(sessions_mutex_);
       stale_id = sessions_[lane].id;
     }
     auto replacement = factory_.make_session();
@@ -413,7 +416,7 @@ std::size_t VariantFleet::enforce_rotation_deadlines() {
       const std::uint64_t replacement_id = replacement->id;
       bool installed = false;
       {
-        const std::scoped_lock lock(sessions_mutex_);
+        const util::MutexLock lock(sessions_mutex_);
         if (sessions_[lane].id == stale_id) {
           // The lane may still be driving the old session; park it until its
           // worker finishes the in-flight job and reaps it (quarantine-style
@@ -433,7 +436,7 @@ std::size_t VariantFleet::enforce_rotation_deadlines() {
                        parent_span, replacement_id, 1);
       }
     }
-    const std::scoped_lock lock(queue_mutex_);
+    const util::MutexLock lock(queue_mutex_);
     lane_flags_[lane].rotate = false;  // fulfilled (or given up on, counted)
     lane_flags_[lane].force_rotating = false;
     lane_flags_[lane].rotate_parent_span = 0;
@@ -446,7 +449,7 @@ std::size_t VariantFleet::poll_adaptive() {
   if (!adaptive_.has_value()) return moved;
   {
     // Decay first: a posture that just relaxed to baseline owes no rotation.
-    const std::scoped_lock install_lock(adaptive_install_mutex_);
+    const util::MutexLock install_lock(adaptive_install_mutex_);
     if (auto next = adaptive_->poll()) {
       correlator_.set_policy(*next);
       telemetry_.note_policy_decayed();
@@ -470,7 +473,7 @@ void VariantFleet::worker_loop(unsigned lane) {
     bool rotate = false;
     std::uint64_t rotate_parent = 0;
     {
-      const std::scoped_lock lock(queue_mutex_);
+      const util::MutexLock lock(queue_mutex_);
       // A rotation pending at shutdown is moot: the replacement would never
       // serve a job, and building it would burn a draw from the finite
       // unique-key space. A lane mid-force-rotation (deadline enforcement)
@@ -491,20 +494,23 @@ void VariantFleet::worker_loop(unsigned lane) {
     bool stolen = false;
     unsigned steal_victim = pool_size_;
     {
-      std::unique_lock lock(queue_mutex_);
-      queue_not_empty_.wait(lock, [this, lane] {
-        if (lane_flags_[lane].rotate && !lane_flags_[lane].force_rotating) return true;
-        if (!lane_queues_[lane].empty()) return true;
-        if (config_.work_stealing && total_queued_ > 0) return true;
-        return !accepting_;
-      });
+      util::MutexLock lock(queue_mutex_);
+      // Explicit wait loop (not a wait-with-predicate lambda): the analysis
+      // must see the guarded reads happen with queue_mutex_ held.
+      for (;;) {
+        if (lane_flags_[lane].rotate && !lane_flags_[lane].force_rotating) break;
+        if (!lane_queues_[lane].empty()) break;
+        if (config_.work_stealing && total_queued_.load(std::memory_order_relaxed) > 0) break;
+        if (!accepting_) break;
+        queue_not_empty_.wait(lock.native());
+      }
       if (lane_flags_[lane].rotate && !lane_flags_[lane].force_rotating) {
         continue;  // rotate at the loop top
       }
       if (!lane_queues_[lane].empty()) {
         job = std::move(lane_queues_[lane].front());
         lane_queues_[lane].pop_front();
-      } else if (config_.work_stealing && total_queued_ > 0) {
+      } else if (config_.work_stealing && total_queued_.load(std::memory_order_relaxed) > 0) {
         // Steal the oldest job from the most-backlogged peer — in particular
         // from a lane stuck mid-respawn, whose own worker cannot pop.
         unsigned victim = pool_size_;
@@ -529,7 +535,7 @@ void VariantFleet::worker_loop(unsigned lane) {
         }
         continue;  // spurious wakeup
       }
-      --total_queued_;
+      total_queued_.fetch_sub(1, std::memory_order_relaxed);
       queue_not_full_.notify_one();
       if (!accepting_) drain_progress_.notify_all();
     }
@@ -544,13 +550,13 @@ void VariantFleet::worker_loop(unsigned lane) {
     // The job this lane just finished was the last possible user of any
     // session a rotation deadline displaced from under it; reap them now.
     {
-      const std::scoped_lock lock(sessions_mutex_);
+      const util::MutexLock lock(sessions_mutex_);
       displaced_sessions_[lane].clear();
     }
     // A lane whose respawn failed must retire instead of racing healthy
     // lanes for queued jobs and insta-failing them.
     {
-      const std::scoped_lock lock(queue_mutex_);
+      const util::MutexLock lock(queue_mutex_);
       if (lane_flags_[lane].dead) {
         lane_flags_[lane].exited = true;
         return;
@@ -570,7 +576,7 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
   core::NVariantSystem* system = nullptr;
   std::uint64_t session_span = 0;
   {
-    const std::scoped_lock lock(sessions_mutex_);
+    const util::MutexLock lock(sessions_mutex_);
     outcome.session_id = sessions_[lane].id;
     session_span = sessions_[lane].trace_span;
     system = sessions_[lane].system.get();
@@ -623,7 +629,7 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
                    outcome.report.syscall_rounds, verdict);
   }
   if (outcome.ok()) {
-    const std::scoped_lock lock(sessions_mutex_);
+    const util::MutexLock lock(sessions_mutex_);
     // Credit the session that actually served the job — a rotation deadline
     // may have swapped a fresh session into the lane mid-job.
     if (sessions_[lane].id == outcome.session_id) ++sessions_[lane].jobs_served;
@@ -631,14 +637,14 @@ void VariantFleet::run_job(unsigned lane, PendingJob job) {
     // Flag the lane respawning FIRST so admission routes around it and
     // peers know its backlog is up for stealing while the factory works.
     {
-      const std::scoped_lock lock(queue_mutex_);
+      const util::MutexLock lock(queue_mutex_);
       lane_flags_[lane].respawning = true;
       queue_not_empty_.notify_all();
     }
     if (config_.respawn_hook) config_.respawn_hook(lane);
     respawn(lane, outcome);
     {
-      const std::scoped_lock lock(queue_mutex_);
+      const util::MutexLock lock(queue_mutex_);
       lane_flags_[lane].respawning = false;
     }
   }
@@ -656,7 +662,7 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
   bool already_replaced = false;
   std::uint64_t session_span = 0;  // the quarantined session's draw span
   {
-    const std::scoped_lock lock(sessions_mutex_);
+    const util::MutexLock lock(sessions_mutex_);
     if (sessions_[lane].id == outcome.session_id) {
       record.session_id = sessions_[lane].id;
       record.fingerprint = sessions_[lane].fingerprint;
@@ -705,7 +711,7 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
       record.replacement_fingerprint = replacement->fingerprint;
       const std::uint64_t replacement_span = replacement->trace_span;
       {
-        const std::scoped_lock lock(sessions_mutex_);
+        const util::MutexLock lock(sessions_mutex_);
         sessions_[lane] = std::move(*replacement);
       }
       telemetry_.note_respawned();
@@ -723,7 +729,7 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
         trace_->record(lane_tracks_[lane], obs::TraceEventKind::kLaneRetired, 0,
                        outcome.trace_span, lane, 0, replacement.error());
       }
-      const std::scoped_lock lock(queue_mutex_);
+      const util::MutexLock lock(queue_mutex_);
       lane_flags_[lane].dead = true;
       retire_lane_locked(lane);
     }
@@ -735,7 +741,7 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
   // copied, on the recovering worker's thread.
   auto alert = correlator_.observe(record.alarm, record.session_id, record.fingerprint);
   {
-    const std::scoped_lock lock(quarantine_mutex_);
+    const util::MutexLock lock(quarantine_mutex_);
     quarantine_log_.push_back(std::move(record));
   }
   // Every quarantine is attacker activity: an ongoing campaign whose later
@@ -758,7 +764,7 @@ void VariantFleet::respawn(unsigned lane, JobOutcome& outcome) {
       }
     }
     if (adaptive_.has_value()) {
-      const std::scoped_lock install_lock(adaptive_install_mutex_);
+      const util::MutexLock install_lock(adaptive_install_mutex_);
       if (auto next = adaptive_->on_alert(*alert)) {
         correlator_.set_policy(*next);
         telemetry_.note_policy_tightened();
@@ -784,7 +790,7 @@ void VariantFleet::request_rotation_except(unsigned lane, std::uint64_t parent_s
   // exhaustion: flagging an empty factory can only churn rotations_failed.
   if (refresh_keyspace_gauge().exhausted()) return;
   const auto now = clock_();
-  const std::scoped_lock lock(queue_mutex_);
+  const util::MutexLock lock(queue_mutex_);
   for (unsigned peer = 0; peer < pool_size_; ++peer) {
     // The quarantining lane just respawned fresh; every other live lane
     // rotates before its next job (a lane mid-job rotates right after it).
@@ -821,7 +827,7 @@ void VariantFleet::rotate_lane(unsigned lane, std::uint64_t parent_span) {
   const std::uint64_t replacement_span = replacement->trace_span;
   const std::uint64_t replacement_id = replacement->id;
   {
-    const std::scoped_lock lock(sessions_mutex_);
+    const util::MutexLock lock(sessions_mutex_);
     sessions_[lane] = std::move(*replacement);
   }
   telemetry_.note_rotated();
@@ -842,7 +848,7 @@ void VariantFleet::retire_lane_locked(unsigned lane) {
     if (target != pool_size_) {
       lane_queues_[target].push_back(std::move(job));
     } else {
-      --total_queued_;
+      total_queued_.fetch_sub(1, std::memory_order_relaxed);
       JobOutcome outcome;
       outcome.job_id = job.id;
       outcome.error = kDeadLaneError;

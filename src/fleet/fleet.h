@@ -49,6 +49,8 @@
 #include "fleet/session_factory.h"
 #include "fleet/telemetry.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nv::fleet {
 
@@ -300,9 +302,8 @@ class VariantFleet {
     std::promise<JobOutcome> promise;
     std::uint64_t trace_span = 0;  // allocated at admission (kJobAdmitted)
   };
-  /// Lane state, guarded by queue_mutex_. `dead` is only ever set by the
-  /// lane's OWN worker (inside respawn), so that worker may read it without
-  /// the lock; everyone else takes queue_mutex_.
+  /// Lane state; every field is accessed under queue_mutex_ (the flags vector
+  /// itself is NV_GUARDED_BY below).
   struct LaneFlags {
     bool dead = false;        // respawn failed; lane retired
     bool exited = false;      // worker thread returned; queue will never drain
@@ -340,11 +341,11 @@ class VariantFleet {
   std::size_t enforce_rotation_deadlines();
   /// Move a retiring lane's queued jobs to lanes that can still run them
   /// (or fail them when none can).
-  void retire_lane_locked(unsigned lane);
+  void retire_lane_locked(unsigned lane) NV_REQUIRES(queue_mutex_);
   /// Round-robin over serviceable lanes (worker alive, not dead, preferring
   /// non-respawning). pool_size_ when no lane can take work.
-  [[nodiscard]] unsigned pick_lane_locked();
-  [[nodiscard]] std::future<JobOutcome> enqueue_locked(FleetJob job);
+  [[nodiscard]] unsigned pick_lane_locked() NV_REQUIRES(queue_mutex_);
+  [[nodiscard]] std::future<JobOutcome> enqueue_locked(FleetJob job) NV_REQUIRES(queue_mutex_);
   DrainReport drain(std::optional<std::chrono::milliseconds> deadline);
 
   [[nodiscard]] static unsigned resolve_pool_size(unsigned requested);
@@ -359,20 +360,22 @@ class VariantFleet {
   /// Serializes {controller decision -> correlator set_policy()} so two
   /// workers cannot install steps out of order (a stale tighter policy would
   /// otherwise stick while the controller believes it is at baseline).
-  std::mutex adaptive_install_mutex_;
+  /// Ordering-only: it guards no fields of its own (nvlint NV-MUTEX-GUARD
+  /// allowlisted), the guarded state lives inside controller + correlator.
+  util::Mutex adaptive_install_mutex_;
 
-  mutable std::mutex queue_mutex_;
+  mutable util::Mutex queue_mutex_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;
   std::condition_variable drain_progress_;
-  std::vector<std::deque<PendingJob>> lane_queues_;  // one per lane
-  std::vector<LaneFlags> lane_flags_;
+  std::vector<std::deque<PendingJob>> lane_queues_ NV_GUARDED_BY(queue_mutex_);  // one per lane
+  std::vector<LaneFlags> lane_flags_ NV_GUARDED_BY(queue_mutex_);
   /// Written only under queue_mutex_; atomic so queue_depth_hint() can read
   /// it lock-free from the router hot path.
   std::atomic<std::size_t> total_queued_{0};
-  unsigned next_lane_ = 0;
-  bool accepting_ = true;
-  std::uint64_t next_job_id_ = 0;
+  unsigned next_lane_ NV_GUARDED_BY(queue_mutex_) = 0;
+  bool accepting_ NV_GUARDED_BY(queue_mutex_) = true;
+  std::uint64_t next_job_id_ NV_GUARDED_BY(queue_mutex_) = 0;
   /// See health_epoch(): bumped on accepting flips, keyspace refreshes, and
   /// lane retirement.
   std::atomic<std::uint64_t> health_epoch_{0};
@@ -384,9 +387,8 @@ class VariantFleet {
   std::uint32_t ops_track_ = 0;
   std::vector<std::uint32_t> lane_tracks_;
 
-  /// One fleet-wide rotation per rotation_backoff while the keyspace is low;
-  /// guarded by queue_mutex_.
-  std::chrono::steady_clock::time_point last_backoff_rotation_{};
+  /// One fleet-wide rotation per rotation_backoff while the keyspace is low.
+  std::chrono::steady_clock::time_point last_backoff_rotation_ NV_GUARDED_BY(queue_mutex_){};
   /// on_keyspace_low fires at most once per fleet lifetime (the account only
   /// ever drains).
   std::atomic<bool> keyspace_low_fired_{false};
@@ -395,16 +397,15 @@ class VariantFleet {
   /// hot path must not take the factory mutex just to read one bit.
   std::atomic<bool> keyspace_exhausted_{false};
 
-  mutable std::mutex sessions_mutex_;
-  std::vector<Session> sessions_;  // one per lane
+  mutable util::Mutex sessions_mutex_;
+  std::vector<Session> sessions_ NV_GUARDED_BY(sessions_mutex_);  // one per lane
   /// Sessions a rotation deadline displaced while a job was still driving
-  /// them (per lane, guarded by sessions_mutex_): the job holds a raw pointer
-  /// into the old system, so it must stay alive until the lane's worker
-  /// finishes the job and reaps them.
-  std::vector<std::vector<Session>> displaced_sessions_;
+  /// them (per lane): the job holds a raw pointer into the old system, so it
+  /// must stay alive until the lane's worker finishes the job and reaps them.
+  std::vector<std::vector<Session>> displaced_sessions_ NV_GUARDED_BY(sessions_mutex_);
 
-  mutable std::mutex quarantine_mutex_;
-  std::vector<QuarantineRecord> quarantine_log_;
+  mutable util::Mutex quarantine_mutex_;
+  std::vector<QuarantineRecord> quarantine_log_ NV_GUARDED_BY(quarantine_mutex_);
 
   std::vector<std::jthread> workers_;
 };

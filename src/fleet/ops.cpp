@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/mutex.h"
 #include "util/strings.h"
 
 namespace nv::fleet {
@@ -12,7 +13,7 @@ ClockFn resolve_clock(ClockFn clock) {
 }
 
 CampaignCorrelator::CampaignCorrelator(CampaignPolicy policy, ClockFn clock)
-    : policy_(policy), clock_(resolve_clock(std::move(clock))) {}
+    : clock_(resolve_clock(std::move(clock))), policy_(policy) {}
 
 std::optional<CampaignAlert> CampaignCorrelator::observe(const core::Alarm& alarm,
                                                          std::uint64_t session_id,
@@ -20,7 +21,7 @@ std::optional<CampaignAlert> CampaignCorrelator::observe(const core::Alarm& alar
   const auto now = clock_();
   const core::AlarmSignature signature = core::signature_of(alarm);
 
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   ++incidents_;
   prune_locked(now);
 
@@ -70,14 +71,14 @@ void CampaignCorrelator::prune_locked(std::chrono::steady_clock::time_point now)
 
 std::vector<CampaignAlert> CampaignCorrelator::alerts() const {
   const auto now = clock_();
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   prune_locked(now);
   return alerts_;
 }
 
 std::vector<CampaignAlert> CampaignCorrelator::open_campaigns() const {
   const auto now = clock_();
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   prune_locked(now);
   std::vector<CampaignAlert> open;
   for (const auto& [key, track] : tracks_) {
@@ -87,17 +88,17 @@ std::vector<CampaignAlert> CampaignCorrelator::open_campaigns() const {
 }
 
 std::uint64_t CampaignCorrelator::incidents_observed() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return incidents_;
 }
 
 CampaignPolicy CampaignCorrelator::policy() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return policy_;
 }
 
 void CampaignCorrelator::set_policy(CampaignPolicy policy) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   policy_ = policy;
 }
 

@@ -22,12 +22,13 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/alarm.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nv::fleet {
 
@@ -43,14 +44,14 @@ using ClockFn = std::function<std::chrono::steady_clock::time_point()>;
 class ManualClock {
  public:
   [[nodiscard]] std::chrono::steady_clock::time_point now() const {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return now_;
   }
 
   void advance(std::chrono::milliseconds delta) {
     std::vector<std::function<void()>> wakers;
     {
-      const std::scoped_lock lock(mutex_);
+      const util::MutexLock lock(mutex_);
       now_ += delta;
       wakers = wakers_;  // invoke outside the lock: a waker may read now()
     }
@@ -64,7 +65,7 @@ class ManualClock {
   /// event instead of something to poll for. The subscriber must outlive the
   /// clock or the clock must stop advancing first.
   void subscribe(std::function<void()> waker) {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     wakers_.push_back(std::move(waker));
   }
 
@@ -74,9 +75,10 @@ class ManualClock {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::chrono::steady_clock::time_point now_{};  // epoch; only deltas matter
-  std::vector<std::function<void()>> wakers_;
+  mutable util::Mutex mutex_;
+  // Epoch; only deltas matter.
+  std::chrono::steady_clock::time_point now_ NV_GUARDED_BY(mutex_){};
+  std::vector<std::function<void()>> wakers_ NV_GUARDED_BY(mutex_);
 };
 
 /// When does a set of quarantines become a campaign, and what does the fleet
@@ -156,14 +158,16 @@ class CampaignCorrelator {
   /// Slide every track's window to `now`; erase emptied tracks (their
   /// campaigns close). Called under mutex_ from observe() and the read APIs —
   /// tracks_ is mutable so const readers can expire idle campaigns too.
-  void prune_locked(std::chrono::steady_clock::time_point now) const;
+  void prune_locked(std::chrono::steady_clock::time_point now) const NV_REQUIRES(mutex_);
 
-  CampaignPolicy policy_;
   ClockFn clock_;
-  mutable std::mutex mutex_;
-  mutable std::map<std::string, Track> tracks_;  // AlarmSignature::key() -> live window
-  std::vector<CampaignAlert> alerts_;
-  std::uint64_t incidents_ = 0;
+  mutable util::Mutex mutex_;
+  CampaignPolicy policy_ NV_GUARDED_BY(mutex_);
+  // AlarmSignature::key() -> live window; mutable so const readers can expire
+  // idle campaigns via prune_locked().
+  mutable std::map<std::string, Track> tracks_ NV_GUARDED_BY(mutex_);
+  std::vector<CampaignAlert> alerts_ NV_GUARDED_BY(mutex_);
+  std::uint64_t incidents_ NV_GUARDED_BY(mutex_) = 0;
 };
 
 /// Outcome of VariantFleet::shutdown(deadline).

@@ -109,18 +109,18 @@ KeyspaceAccount SessionFactory::keyspace() const {
 }
 
 std::uint64_t SessionFactory::sessions_created() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return next_id_;
 }
 
 std::uint64_t SessionFactory::unique_keys_issued() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return issued_keys_.size();
 }
 
 util::Expected<Session, std::string> SessionFactory::make_session() {
   auto session = [this]() -> util::Expected<Session, std::string> {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     // Random draws can collide — into a disjointedness violation (two
     // variations landing on the same reexpression) or into a diversity key some
     // EARLIER session already drew (a quarantine-heavy burst must never respawn

@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -39,7 +38,9 @@
 #include "core/variation_registry.h"
 #include "obs/trace.h"
 #include "util/expected.h"
+#include "util/mutex.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace nv::fleet {
 
@@ -151,17 +152,17 @@ class SessionFactory {
   [[nodiscard]] KeyspaceAccount keyspace() const;
 
  private:
-  [[nodiscard]] util::Expected<Session, std::string> try_make_locked();
+  [[nodiscard]] util::Expected<Session, std::string> try_make_locked() NV_REQUIRES(mutex_);
 
   SessionSpec spec_;
   const core::VariationRegistry& registry_;
   double keyspace_bits_ = 0.0;  // composed at construction from the spec
   std::uint32_t factory_track_ = 0;  // "<scope>.factory" (draws, refusals)
   std::uint32_t core_track_ = 0;     // "<scope>.core" (sampled rendezvous rounds)
-  mutable std::mutex mutex_;
-  util::Rng rng_;
-  std::uint64_t next_id_ = 0;
-  std::set<std::string> issued_keys_;
+  mutable util::Mutex mutex_;
+  util::Rng rng_ NV_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ NV_GUARDED_BY(mutex_) = 0;
+  std::set<std::string> issued_keys_ NV_GUARDED_BY(mutex_);
 };
 
 }  // namespace nv::fleet

@@ -13,7 +13,7 @@ FleetTelemetry::FleetTelemetry(unsigned lanes) {
 
 void FleetTelemetry::record_latency(unsigned lane, double latency_us) {
   Lane& target = *lanes_[lane % lanes_.size()];
-  const std::scoped_lock lock(target.mutex);
+  const util::MutexLock lock(target.mutex);
   target.latencies_us.add(latency_us);
 }
 
@@ -40,13 +40,13 @@ FleetSnapshot FleetTelemetry::snapshot() const {
   snap.keys_total = keys_total_.load(std::memory_order_relaxed);
   snap.keys_remaining = keys_remaining_.load(std::memory_order_relaxed);
   {
-    const std::scoped_lock lock(trace_mutex_);
+    const util::MutexLock lock(trace_mutex_);
     if (trace_) snap.trace_drops = trace_->dropped();
   }
 
   util::Samples merged;
   for (const auto& lane : lanes_) {
-    const std::scoped_lock lock(lane->mutex);
+    const util::MutexLock lock(lane->mutex);
     merged.merge(lane->latencies_us);
   }
   snap.latency_count = merged.count();

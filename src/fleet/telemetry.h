@@ -14,12 +14,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/mutex.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 
 namespace nv::fleet {
 
@@ -115,7 +116,7 @@ class FleetTelemetry {
   /// recorder here so a saturated ring is an operator-visible signal, not a
   /// silently truncated trace.
   void attach_trace(std::shared_ptr<const obs::TraceRecorder> recorder) {
-    const std::scoped_lock lock(trace_mutex_);
+    const util::MutexLock lock(trace_mutex_);
     trace_ = std::move(recorder);
   }
 
@@ -126,8 +127,8 @@ class FleetTelemetry {
 
  private:
   struct Lane {
-    mutable std::mutex mutex;
-    util::Samples latencies_us;
+    mutable util::Mutex mutex;
+    util::Samples latencies_us NV_GUARDED_BY(mutex);
   };
 
   std::atomic<std::uint64_t> jobs_submitted_{0};
@@ -150,8 +151,8 @@ class FleetTelemetry {
   std::atomic<std::uint64_t> async_completions_{0};
   std::atomic<std::uint64_t> keys_total_{0};
   std::atomic<std::uint64_t> keys_remaining_{0};
-  mutable std::mutex trace_mutex_;
-  std::shared_ptr<const obs::TraceRecorder> trace_;
+  mutable util::Mutex trace_mutex_;
+  std::shared_ptr<const obs::TraceRecorder> trace_ NV_GUARDED_BY(trace_mutex_);
   std::vector<std::unique_ptr<Lane>> lanes_;
 };
 

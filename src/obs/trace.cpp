@@ -63,8 +63,15 @@ TraceRecorder::Track* TraceRecorder::track_at(std::uint32_t id) const noexcept {
   return tracks_[id].get();
 }
 
+TraceRecorder::Histogram* TraceRecorder::histogram_at(std::uint32_t id) const noexcept {
+  const std::uint32_t count = histogram_count_.load(std::memory_order_acquire);
+  if (count == 0) return nullptr;
+  if (id >= count) id = 0;  // alias misroutes onto slot 0
+  return histograms_[id].get();
+}
+
 std::uint32_t TraceRecorder::track(const std::string& name) {
-  const std::scoped_lock lock(tracks_mutex_);
+  const util::MutexLock lock(tracks_mutex_);
   const std::uint32_t count = track_count_.load(std::memory_order_relaxed);
   for (std::uint32_t id = 0; id < count; ++id) {
     if (tracks_[id]->name == name) return id;
@@ -93,7 +100,7 @@ void TraceRecorder::record(std::uint32_t track, TraceEventKind kind, std::uint64
   event.b = b;
   event.detail = std::move(detail);
   {
-    const std::scoped_lock lock(sink->mutex);
+    const util::MutexLock lock(sink->mutex);
     // Clock read under the track lock: timestamps are monotone PER TRACK by
     // construction, which is exactly what the exporters and check_trace.py
     // assert.
@@ -122,7 +129,7 @@ bool TraceRecorder::sample_round(std::uint32_t track) noexcept {
 }
 
 std::uint32_t TraceRecorder::histogram(const std::string& name) {
-  const std::scoped_lock lock(histograms_mutex_);
+  const util::MutexLock lock(histograms_mutex_);
   const std::uint32_t count = histogram_count_.load(std::memory_order_relaxed);
   for (std::uint32_t id = 0; id < count; ++id) {
     if (histograms_[id]->name == name) return id;
@@ -137,10 +144,9 @@ std::uint32_t TraceRecorder::histogram(const std::string& name) {
 
 void TraceRecorder::observe(std::uint32_t histogram, double value) noexcept {
   if (!config_.enabled) return;
-  const std::uint32_t count = histogram_count_.load(std::memory_order_acquire);
-  if (count == 0) return;
-  if (histogram >= count) histogram = 0;
-  Histogram& hist = *histograms_[histogram];
+  Histogram* slot = histogram_at(histogram);
+  if (slot == nullptr) return;
+  Histogram& hist = *slot;
   hist.count.fetch_add(1, std::memory_order_relaxed);
   // Fixed-point nanosecond sum: one fetch_add instead of a CAS loop on a
   // floating sum. Values are microseconds, so the uint64 holds ~584 years.
@@ -157,15 +163,16 @@ std::vector<std::string> TraceRecorder::track_names() const {
   const std::uint32_t count = track_count_.load(std::memory_order_acquire);
   std::vector<std::string> names;
   names.reserve(count);
-  for (std::uint32_t id = 0; id < count; ++id) names.push_back(tracks_[id]->name);
+  // track_at() never aliases here: every id is < count.
+  for (std::uint32_t id = 0; id < count; ++id) names.push_back(track_at(id)->name);
   return names;
 }
 
 std::vector<TraceEvent> TraceRecorder::events(std::uint32_t track) const {
   const std::uint32_t count = track_count_.load(std::memory_order_acquire);
   if (track >= count) return {};
-  const Track& sink = *tracks_[track];
-  const std::scoped_lock lock(sink.mutex);
+  const Track& sink = *track_at(track);  // in-range: no aliasing
+  const util::MutexLock lock(sink.mutex);
   std::vector<TraceEvent> out;
   out.reserve(sink.ring.size());
   // Oldest retained first: from head to the end, then the wrapped prefix.
@@ -191,7 +198,7 @@ std::vector<HistogramSnapshot> TraceRecorder::histograms() const {
   std::vector<HistogramSnapshot> out;
   out.reserve(count);
   for (std::uint32_t id = 0; id < count; ++id) {
-    const Histogram& hist = *histograms_[id];
+    const Histogram& hist = *histogram_at(id);  // in-range: no aliasing
     HistogramSnapshot snap;
     snap.name = hist.name;
     snap.count = hist.count.load(std::memory_order_relaxed);

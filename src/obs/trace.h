@@ -42,10 +42,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nv::obs {
 
@@ -259,21 +261,33 @@ class TraceRecorder {
 
  private:
   struct Track {
-    std::string name;
-    mutable std::mutex mutex;
-    std::vector<TraceEvent> ring;  // grows to ring_capacity, then wraps
-    std::size_t head = 0;          // next overwrite slot once wrapped
+    std::string name;  // immutable after the slot is published
+    mutable util::Mutex mutex;
+    std::vector<TraceEvent> ring NV_GUARDED_BY(mutex);  // grows to ring_capacity, then wraps
+    std::size_t head NV_GUARDED_BY(mutex) = 0;          // next overwrite slot once wrapped
     std::atomic<std::uint64_t> sample_counter{0};  // kSyscallRound stride
   };
   struct Histogram {
-    std::string name;
+    std::string name;  // immutable after the slot is published
     std::atomic<std::uint64_t> count{0};
     std::atomic<std::uint64_t> sum_nanos{0};  // fixed-point sum (ns) so the
                                               // add stays a single fetch_add
     std::array<std::atomic<std::uint64_t>, kHistogramBounds.size() + 1> buckets{};
   };
 
-  [[nodiscard]] Track* track_at(std::uint32_t id) const noexcept;
+  /// Lock-free slot lookup. The two slot arrays are formally guarded by their
+  /// creation mutexes, but the READ side deliberately takes no lock: track()/
+  /// histogram() publish a slot by storing count+1 with release order AFTER
+  /// the unique_ptr is in place, so an acquire load of the count makes every
+  /// slot below it visible and immutable-forever (slots are never reassigned
+  /// or freed before the recorder dies). These two accessors are the ONLY
+  /// unlocked readers; everything else goes through them, keeping the escape
+  /// hatch at two auditable functions (see docs/STATIC_ANALYSIS.md).
+  [[nodiscard]] Track* track_at(std::uint32_t id) const noexcept NV_NO_THREAD_SAFETY_ANALYSIS;
+  /// Same contract as track_at(); returns nullptr before any histogram
+  /// exists, aliases out-of-range ids onto slot 0.
+  [[nodiscard]] Histogram* histogram_at(std::uint32_t id) const noexcept
+      NV_NO_THREAD_SAFETY_ANALYSIS;
 
   TraceConfig config_;
   /// Live twins of config_.kind_mask / config_.syscall_round_sample (the
@@ -285,12 +299,13 @@ class TraceRecorder {
   std::chrono::steady_clock::time_point epoch_;
 
   /// Fixed slot arrays + release/acquire counts: record()/observe() index
-  /// without any global lock; creation (rare) serializes on the mutexes.
-  mutable std::mutex tracks_mutex_;
-  std::array<std::unique_ptr<Track>, kMaxTracks> tracks_;
+  /// without any global lock (via track_at()/histogram_at() above); creation
+  /// (rare) serializes on the mutexes.
+  mutable util::Mutex tracks_mutex_;
+  std::array<std::unique_ptr<Track>, kMaxTracks> tracks_ NV_GUARDED_BY(tracks_mutex_);
   std::atomic<std::uint32_t> track_count_{0};
-  mutable std::mutex histograms_mutex_;
-  std::array<std::unique_ptr<Histogram>, kMaxHistograms> histograms_;
+  mutable util::Mutex histograms_mutex_;
+  std::array<std::unique_ptr<Histogram>, kMaxHistograms> histograms_ NV_GUARDED_BY(histograms_mutex_);
   std::atomic<std::uint32_t> histogram_count_{0};
 
   std::atomic<std::uint64_t> next_span_{1};

@@ -41,7 +41,7 @@ void MiniCGuest::run(guest::GuestContext& ctx) {
 
   if (iopts.log_fd >= 0) (void)ctx.close(iopts.log_fd);
   {
-    const std::scoped_lock lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stats_[ctx.variant()] = stats;
     results_[ctx.variant()] = result;
   }
@@ -51,13 +51,13 @@ void MiniCGuest::run(guest::GuestContext& ctx) {
 }
 
 InterpResult MiniCGuest::result_for(unsigned variant) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = results_.find(variant);
   return it == results_.end() ? InterpResult{} : it->second;
 }
 
 TransformStats MiniCGuest::stats_for(unsigned variant) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = stats_.find(variant);
   return it == stats_.end() ? TransformStats{} : it->second;
 }

@@ -7,10 +7,11 @@
 #define NV_TRANSFORM_MINIC_GUEST_H
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "guest/guest_program.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "transform/interp.h"
 #include "transform/transform_pass.h"
 
@@ -43,9 +44,9 @@ class MiniCGuest final : public guest::GuestProgram {
  private:
   std::string source_;
   Options options_;
-  mutable std::mutex mutex_;
-  std::map<unsigned, InterpResult> results_;
-  std::map<unsigned, TransformStats> stats_;
+  mutable util::Mutex mutex_;
+  std::map<unsigned, InterpResult> results_ NV_GUARDED_BY(mutex_);
+  std::map<unsigned, TransformStats> stats_ NV_GUARDED_BY(mutex_);
 };
 
 }  // namespace nv::transform

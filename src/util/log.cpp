@@ -30,25 +30,26 @@ Logger& Logger::null_logger() {
 }
 
 void Logger::log(LogLevel level, std::string_view message) {
-  if (!sink_ || level < threshold_) return;
-  const std::scoped_lock lock(mutex_);
+  if (level < threshold_.load(std::memory_order_relaxed)) return;
+  const MutexLock lock(mutex_);
+  if (!sink_) return;
   sink_(level, message);
 }
 
 Logger::Sink CaptureSink::sink() {
   return [this](LogLevel level, std::string_view message) {
-    const std::scoped_lock lock(mutex_);
+    const MutexLock lock(mutex_);
     lines_.emplace_back(std::string(to_string(level)) + " " + std::string(message));
   };
 }
 
 std::vector<std::string> CaptureSink::lines() const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   return lines_;
 }
 
 bool CaptureSink::contains(std::string_view needle) const {
-  const std::scoped_lock lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const auto& line : lines_) {
     if (line.find(needle) != std::string::npos) return true;
   }

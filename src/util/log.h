@@ -3,11 +3,14 @@
 #ifndef NV_UTIL_LOG_H
 #define NV_UTIL_LOG_H
 
+#include <atomic>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace nv::util {
 
@@ -30,8 +33,15 @@ class Logger {
   /// Shared silent logger for components that were not given one.
   [[nodiscard]] static Logger& null_logger();
 
-  void set_threshold(LogLevel threshold) noexcept { threshold_ = threshold; }
-  [[nodiscard]] LogLevel threshold() const noexcept { return threshold_; }
+  // The threshold is read on every log() call from worker threads while ops
+  // code may retune it live: atomic, not mutex-guarded (the filter check must
+  // stay cheap and lock-free on the fast path).
+  void set_threshold(LogLevel threshold) noexcept {
+    threshold_.store(threshold, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel threshold() const noexcept {
+    return threshold_.load(std::memory_order_relaxed);
+  }
 
   void log(LogLevel level, std::string_view message);
   void trace(std::string_view m) { log(LogLevel::kTrace, m); }
@@ -41,9 +51,10 @@ class Logger {
   void error(std::string_view m) { log(LogLevel::kError, m); }
 
  private:
-  Sink sink_;
-  LogLevel threshold_ = LogLevel::kInfo;
-  std::mutex mutex_;
+  Mutex mutex_;
+  // The mutex serializes sink invocations (sinks need not be reentrant).
+  Sink sink_ NV_GUARDED_BY(mutex_);
+  std::atomic<LogLevel> threshold_{LogLevel::kInfo};
 };
 
 /// Sink that captures lines into a vector (used by tests).
@@ -54,8 +65,8 @@ class CaptureSink {
   [[nodiscard]] bool contains(std::string_view needle) const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::string> lines_;
+  mutable Mutex mutex_;
+  std::vector<std::string> lines_ NV_GUARDED_BY(mutex_);
 };
 
 }  // namespace nv::util

@@ -1,0 +1,63 @@
+// Capability-annotated mutex wrappers.
+//
+// libstdc++'s std::mutex / std::unique_lock carry no thread-safety attributes,
+// so Clang's analysis cannot see acquisitions made through them. nv::util::Mutex
+// wraps std::mutex as an annotated capability and MutexLock is the annotated
+// scoped lock; condition variables wait on MutexLock::native(), which exposes
+// the underlying std::unique_lock<std::mutex> (the analysis treats the wait as
+// lock-neutral, matching the caller-visible contract: the lock is held again
+// when wait() returns).
+#ifndef NV_UTIL_MUTEX_H
+#define NV_UTIL_MUTEX_H
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace nv::util {
+
+/// std::mutex as a Clang thread-safety capability.
+class NV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NV_ACQUIRE() { native_.lock(); }
+  void unlock() NV_RELEASE() { native_.unlock(); }
+  [[nodiscard]] bool try_lock() NV_TRY_ACQUIRE(true) { return native_.try_lock(); }
+
+  /// Underlying std::mutex, for std::unique_lock / condition_variable plumbing.
+  [[nodiscard]] std::mutex& native() noexcept { return native_; }
+
+ private:
+  std::mutex native_;
+};
+
+/// Scoped lock over Mutex. Supports the condition-variable dance via native()
+/// and explicit mid-scope unlock()/lock() (the destructor releases only if
+/// still held, which the analysis models for scoped capabilities).
+class NV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) NV_ACQUIRE(mutex) : lock_(mutex.native()) {}
+  ~MutexLock() NV_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() NV_RELEASE() { lock_.unlock(); }
+  void lock() NV_ACQUIRE() { lock_.lock(); }
+  [[nodiscard]] bool owns_lock() const noexcept { return lock_.owns_lock(); }
+
+  /// The underlying unique_lock, for condition_variable::wait family. Waiting
+  /// releases and re-acquires internally; from the caller's point of view the
+  /// capability is held both before and after, so no annotation change.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace nv::util
+
+#endif  // NV_UTIL_MUTEX_H

@@ -1,0 +1,60 @@
+// Clang Thread Safety Analysis attribute macros (no-ops on other compilers).
+//
+// The diversity monitor's security argument depends on its own freedom from
+// data races: a racy rendezvous can miss a divergence. These macros let the
+// compiler prove lock discipline at build time (`clang++ -Wthread-safety
+// -Werror`, see docs/STATIC_ANALYSIS.md) instead of relying on TSan catching
+// the interleaving at runtime.
+//
+// Conventions (enforced by tools/nvlint.py rule NV-MUTEX-GUARD):
+//  - every mutex-protected field is declared with NV_GUARDED_BY(mutex_);
+//  - private helpers called with the lock held take NV_REQUIRES(mutex_);
+//  - lock-free state uses std::atomic with explicit std::memory_order
+//    (rule NV-MEMORY-ORDER) and carries no capability annotation;
+//  - NV_NO_THREAD_SAFETY_ANALYSIS is an audited escape hatch: every use must
+//    carry a comment stating the external-synchronization contract.
+#ifndef NV_UTIL_THREAD_ANNOTATIONS_H
+#define NV_UTIL_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#define NV_THREAD_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define NV_THREAD_ATTRIBUTE__(x)  // no-op on GCC/MSVC
+#endif
+
+/// Marks a type as a lockable capability (e.g. a mutex wrapper).
+#define NV_CAPABILITY(x) NV_THREAD_ATTRIBUTE__(capability(x))
+
+/// Marks a RAII type whose constructor acquires and destructor releases.
+#define NV_SCOPED_CAPABILITY NV_THREAD_ATTRIBUTE__(scoped_lockable)
+
+/// Field is protected by the given mutex; access requires holding it.
+#define NV_GUARDED_BY(x) NV_THREAD_ATTRIBUTE__(guarded_by(x))
+
+/// Pointed-to data is protected by the given mutex.
+#define NV_PT_GUARDED_BY(x) NV_THREAD_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Function must be called with the given capability held (and keeps it held).
+#define NV_REQUIRES(...) NV_THREAD_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the given capability (deadlock guard).
+#define NV_EXCLUDES(...) NV_THREAD_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (and does not release it before return).
+#define NV_ACQUIRE(...) NV_THREAD_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define NV_RELEASE(...) NV_THREAD_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability if (and only if) it returns `true`.
+#define NV_TRY_ACQUIRE(...) NV_THREAD_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (for native handles).
+#define NV_RETURN_CAPABILITY(x) NV_THREAD_ATTRIBUTE__(lock_returned(x))
+
+/// Documented escape hatch: disables the analysis for one function. Every use
+/// MUST carry a comment stating the external-synchronization contract, and is
+/// audited in docs/STATIC_ANALYSIS.md.
+#define NV_NO_THREAD_SAFETY_ANALYSIS NV_THREAD_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // NV_UTIL_THREAD_ANNOTATIONS_H

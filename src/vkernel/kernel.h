@@ -12,10 +12,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "vfs/filesystem.h"
 #include "vkernel/process.h"
 #include "vkernel/sockets.h"
@@ -45,11 +46,11 @@ class KernelContext {
   /// the poll_event syscall, which the MVEE executes once and replicates —
   /// every variant sees the event at the same execution point.
   void push_event(std::string event) {
-    const std::scoped_lock lock(events_mutex_);
+    const util::MutexLock lock(events_mutex_);
     events_.push_back(std::move(event));
   }
   [[nodiscard]] std::optional<std::string> pop_event() {
-    const std::scoped_lock lock(events_mutex_);
+    const util::MutexLock lock(events_mutex_);
     if (events_.empty()) return std::nullopt;
     std::string event = std::move(events_.front());
     events_.pop_front();
@@ -61,8 +62,8 @@ class KernelContext {
   SocketHub& hub_;
   std::atomic<std::uint64_t> clock_{0};
   std::atomic<std::uint64_t> syscall_count_{0};
-  std::mutex events_mutex_;
-  std::deque<std::string> events_;
+  util::Mutex events_mutex_;
+  std::deque<std::string> events_ NV_GUARDED_BY(events_mutex_);
 };
 
 /// Execute one syscall against one process. Blocking calls (accept, read on

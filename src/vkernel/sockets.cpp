@@ -16,11 +16,13 @@ NetResult<std::string> Connection::recv(std::size_t max_bytes) {
     pending_.erase(0, take);
     return out;
   }
-  std::unique_lock lock(stream_->mutex);
+  util::MutexLock lock(stream_->mutex);
   Stream::Side& side = is_server_ ? stream_->server : stream_->client;
-  stream_->cv.wait(lock, [&] {
-    return !side.buffer.empty() || side.peer_closed || stream_->interrupted;
-  });
+  // Explicit wait loop (not a predicate lambda) so the guarded reads are
+  // visibly under the lock for the thread-safety analysis.
+  while (side.buffer.empty() && !side.peer_closed && !stream_->interrupted) {
+    stream_->cv.wait(lock.native());
+  }
   if (stream_->interrupted && side.buffer.empty()) return net_fail(os::Errno::kEINTR);
   if (side.buffer.empty()) return std::string{};  // EOF
   const std::size_t take = std::min(max_bytes, side.buffer.size());
@@ -31,7 +33,7 @@ NetResult<std::string> Connection::recv(std::size_t max_bytes) {
 
 NetResult<std::size_t> Connection::send(std::string_view bytes) {
   if (!stream_) return net_fail(os::Errno::kEBADF);
-  const std::scoped_lock lock(stream_->mutex);
+  const util::MutexLock lock(stream_->mutex);
   // Writing into the buffer the *peer* reads from. my_side.peer_closed is
   // set when the peer closed its end — sending to a departed peer is EPIPE.
   Stream::Side& peer_side = is_server_ ? stream_->client : stream_->server;
@@ -62,7 +64,7 @@ NetResult<std::string> Connection::recv_until(std::string_view delimiter, std::s
 
 void Connection::close() {
   if (!stream_) return;
-  const std::scoped_lock lock(stream_->mutex);
+  const util::MutexLock lock(stream_->mutex);
   // Closing my end means the *peer* sees peer_closed on their read side, and
   // my own read side also reports peer_closed for symmetric teardown.
   Stream::Side& peer_side = is_server_ ? stream_->client : stream_->server;
@@ -72,7 +74,7 @@ void Connection::close() {
 }
 
 os::Errno SocketHub::bind(std::uint16_t port) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (shutdown_) return os::Errno::kEINTR;
   if (listeners_.contains(port)) return os::Errno::kEADDRINUSE;
   listeners_.emplace(port, Listener{});
@@ -80,21 +82,21 @@ os::Errno SocketHub::bind(std::uint16_t port) {
 }
 
 bool SocketHub::is_bound(std::uint16_t port) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return listeners_.contains(port);
 }
 
 void SocketHub::unbind(std::uint16_t port) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   listeners_.erase(port);
   cv_.notify_all();
 }
 
 NetResult<Connection> SocketHub::accept(std::uint16_t port) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = listeners_.find(port);
   if (it == listeners_.end()) return net_fail(os::Errno::kEINVAL);
-  cv_.wait(lock, [&] { return !it->second.pending.empty() || shutdown_; });
+  while (it->second.pending.empty() && !shutdown_) cv_.wait(lock.native());
   if (it->second.pending.empty()) return net_fail(os::Errno::kEINTR);
   StreamPtr stream = it->second.pending.front();
   it->second.pending.pop_front();
@@ -102,13 +104,13 @@ NetResult<Connection> SocketHub::accept(std::uint16_t port) {
 }
 
 std::size_t SocketHub::backlog(std::uint16_t port) const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = listeners_.find(port);
   return it == listeners_.end() ? 0 : it->second.pending.size();
 }
 
 NetResult<Connection> SocketHub::connect(std::uint16_t port) {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (shutdown_) return net_fail(os::Errno::kEINTR);
   const auto it = listeners_.find(port);
   if (it == listeners_.end()) return net_fail(os::Errno::kECONNREFUSED);
@@ -120,23 +122,23 @@ NetResult<Connection> SocketHub::connect(std::uint16_t port) {
 }
 
 void SocketHub::shutdown() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   shutdown_ = true;
   cv_.notify_all();
   for (const auto& stream : streams_) {
-    const std::scoped_lock stream_lock(stream->mutex);
+    const util::MutexLock stream_lock(stream->mutex);
     stream->interrupted = true;
     stream->cv.notify_all();
   }
 }
 
 bool SocketHub::is_shutdown() const {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return shutdown_;
 }
 
 void SocketHub::reset() {
-  const std::scoped_lock lock(mutex_);
+  const util::MutexLock lock(mutex_);
   shutdown_ = false;
   listeners_.clear();
   streams_.clear();

@@ -11,11 +11,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "util/expected.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "vkernel/types.h"
 
 namespace nv::vkernel {
@@ -32,11 +33,11 @@ class Stream {
     bool peer_closed = false;
   };
 
-  std::mutex mutex;
+  util::Mutex mutex;
   std::condition_variable cv;
-  Side server;  // data flowing client -> server
-  Side client;  // data flowing server -> client
-  bool interrupted = false;
+  Side server NV_GUARDED_BY(mutex);  // data flowing client -> server
+  Side client NV_GUARDED_BY(mutex);  // data flowing server -> client
+  bool interrupted NV_GUARDED_BY(mutex) = false;
 };
 
 using StreamPtr = std::shared_ptr<Stream>;
@@ -89,11 +90,12 @@ class SocketHub {
     std::deque<StreamPtr> pending;
   };
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::condition_variable cv_;
-  std::map<std::uint16_t, Listener> listeners_;
-  bool shutdown_ = false;
-  std::vector<StreamPtr> streams_;  // every stream ever created (for interrupt)
+  std::map<std::uint16_t, Listener> listeners_ NV_GUARDED_BY(mutex_);
+  bool shutdown_ NV_GUARDED_BY(mutex_) = false;
+  // Every stream ever created (for interrupt).
+  std::vector<StreamPtr> streams_ NV_GUARDED_BY(mutex_);
 };
 
 }  // namespace nv::vkernel

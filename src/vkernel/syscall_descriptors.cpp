@@ -38,6 +38,7 @@ constexpr SyscallDescriptor row(Sys no, std::string_view name, SysClass cls, Exe
   return d;
 }
 
+constexpr BatchPolicy kBarrier = BatchPolicy::kBarrier;
 constexpr BatchPolicy kCoalesce = BatchPolicy::kCoalesce;
 constexpr BatchPolicy kCompletion = BatchPolicy::kCompletion;
 constexpr MismatchKind kArgMismatch = MismatchKind::kArgument;
@@ -55,7 +56,7 @@ constexpr MismatchKind kArgMismatch = MismatchKind::kArgument;
 constexpr std::array<SyscallDescriptor, kSysCount> kTable = {{
     // Files
     row(Sys::kOpen,      "open",      SysClass::kOpen,       ExecPolicy::kOpen,
-        ints(R::kFlags, R::kMode), R::kPath, R::kFd),
+        ints(R::kFlags, R::kMode), R::kPath, R::kFd, kArgMismatch, kBarrier),
     row(Sys::kClose,     "close",     SysClass::kPerVariant, ExecPolicy::kPerVariant,
         ints(R::kFd), R::kNone, R::kNone, kArgMismatch, kCoalesce),
     row(Sys::kRead,      "read",      SysClass::kInput,      ExecPolicy::kFdRouted,
@@ -66,7 +67,7 @@ constexpr std::array<SyscallDescriptor, kSysCount> kTable = {{
         ints(R::kFd, R::kOffset), R::kNone, R::kNone, kArgMismatch, kCoalesce,
         ExecPolicy::kPerVariant),
     row(Sys::kStat,      "stat",      SysClass::kInput,      ExecPolicy::kPathRouted,
-        ints(), R::kPath),
+        ints(), R::kPath, R::kNone, kArgMismatch, kBarrier),
     row(Sys::kUnlink,    "unlink",    SysClass::kPerVariant, ExecPolicy::kOnce,
         ints(), R::kPath, R::kNone, kArgMismatch, kCoalesce),
     row(Sys::kMkdir,     "mkdir",     SysClass::kPerVariant, ExecPolicy::kOnce,
@@ -97,21 +98,22 @@ constexpr std::array<SyscallDescriptor, kSysCount> kTable = {{
     // Network: socket objects must stay identical across variants, so setup
     // executes once; accept's new connection fd is mirrored into every table.
     row(Sys::kSocket,    "socket",    SysClass::kPerVariant, ExecPolicy::kOnceMirrorFd,
-        ints(), R::kNone, R::kFd),
+        ints(), R::kNone, R::kFd, kArgMismatch, kBarrier),
     row(Sys::kBind,      "bind",      SysClass::kPerVariant, ExecPolicy::kOnce,
-        ints(R::kFd, R::kPort)),
+        ints(R::kFd, R::kPort), R::kNone, R::kNone, kArgMismatch, kBarrier),
     row(Sys::kListen,    "listen",    SysClass::kPerVariant, ExecPolicy::kOnce,
-        ints(R::kFd)),
+        ints(R::kFd), R::kNone, R::kNone, kArgMismatch, kBarrier),
     row(Sys::kAccept,    "accept",    SysClass::kInput,      ExecPolicy::kOnceMirrorFd,
-        ints(R::kFd), R::kNone, R::kFd),
+        ints(R::kFd), R::kNone, R::kFd, kArgMismatch, kBarrier),
     // Misc
     row(Sys::kGetpid,    "getpid",    SysClass::kInput,      ExecPolicy::kOnce,
         ints(), R::kNone, R::kNone, kArgMismatch, kCompletion),
     row(Sys::kGettime,   "gettime",   SysClass::kInput,      ExecPolicy::kOnce,
         ints(), R::kNone, R::kNone, kArgMismatch, kCompletion),
     row(Sys::kExit,      "exit",      SysClass::kExit,       ExecPolicy::kExit,
-        ints(R::kExitCode)),
-    row(Sys::kPollEvent, "poll_event", SysClass::kInput,     ExecPolicy::kOnce),
+        ints(R::kExitCode), R::kNone, R::kNone, kArgMismatch, kBarrier),
+    row(Sys::kPollEvent, "poll_event", SysClass::kInput,     ExecPolicy::kOnce,
+        ints(), R::kNone, R::kNone, kArgMismatch, kBarrier),
     // Detection syscalls introduced by the paper (Table 2)
     row(Sys::kUidValue,  "uid_value", SysClass::kDetection,  ExecPolicy::kDetection,
         ints(R::kUid), R::kNone, R::kUid, MismatchKind::kUidCheck, kCoalesce),

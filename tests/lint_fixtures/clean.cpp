@@ -1,0 +1,26 @@
+// nvlint fixture: a file every rule passes — explicit memory orders, a
+// consumed (annotated) mutex, no raw clock or entropy. The fixture runner
+// asserts nvlint reports NOTHING here.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+class CleanFixture {
+ public:
+  void push(int v) {
+    const nv::util::MutexLock lock(mutex_);
+    values_.push_back(v);
+    pushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t pushes() const noexcept {
+    return pushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable nv::util::Mutex mutex_;
+  std::vector<int> values_ NV_GUARDED_BY(mutex_);
+  std::atomic<std::uint64_t> pushes_{0};
+};

@@ -1,0 +1,11 @@
+// nvlint fixture: NV-MEMORY-ORDER violations — a defaulted-seq_cst load and
+// an implicit ++ RMW on an atomic. Scanned only by the fixture runner.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> fixture_counter{0};
+
+std::uint64_t implicit_memory_order_fixture() {
+  ++fixture_counter;               // VIOLATION: implicit seq_cst RMW
+  return fixture_counter.load();   // VIOLATION: load without memory_order
+}

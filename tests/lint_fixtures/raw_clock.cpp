@@ -1,0 +1,8 @@
+// nvlint fixture: exactly one NV-RAW-CLOCK violation (a raw steady_clock
+// read instead of an injected ClockFn). Scanned only by the fixture runner.
+#include <chrono>
+
+long long raw_clock_fixture() {
+  const auto t = std::chrono::steady_clock::now();  // VIOLATION: NV-RAW-CLOCK
+  return t.time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// nvlint fixture: exactly one NV-RAW-RANDOM violation (std::random_device
+// outside the sanctioned seed plumbing). Scanned only by the fixture runner.
+#include <random>
+
+unsigned raw_random_fixture() {
+  std::random_device entropy;  // VIOLATION: NV-RAW-RANDOM
+  return entropy();
+}

@@ -1,0 +1,25 @@
+// nvlint fixture mini-tree descriptor table (never compiled): kAlpha has an
+// explicit batch token, kBeta relies on the default, kGamma has no row.
+#include "vkernel/syscalls.h"
+
+namespace fixture {
+
+struct Descriptor {
+  Sys no{};
+  const char* name = "";
+  int batch = 0;
+};
+
+constexpr int kBarrier = 0;
+
+constexpr Descriptor row(Sys no, const char* name, int batch = kBarrier) {
+  return Descriptor{no, name, batch};
+}
+
+constexpr Descriptor kTable[] = {
+    row(Sys::kAlpha, "alpha", kBarrier),
+    row(Sys::kBeta, "beta"),  // VIOLATION: NV-SYS-BATCH (default BatchPolicy)
+    // VIOLATION: NV-SYS-BATCH — Sys::kGamma has no row at all.
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// nvlint fixture mini-tree: a Sys enum whose descriptor table (see the
+// sibling syscall_descriptors.cpp) covers kAlpha explicitly, leaves kBeta on
+// the row() default, and omits kGamma entirely — the runner asserts
+// NV-SYS-BATCH flags kBeta AND kGamma but not kAlpha.
+#ifndef NV_TESTS_LINT_FIXTURES_SYS_TREE_SYSCALLS_H
+#define NV_TESTS_LINT_FIXTURES_SYS_TREE_SYSCALLS_H
+
+#include <cstdint>
+
+namespace fixture {
+
+enum class Sys : std::uint8_t {
+  kAlpha,
+  kBeta,
+  kGamma,
+};
+
+}  // namespace fixture
+
+#endif  // NV_TESTS_LINT_FIXTURES_SYS_TREE_SYSCALLS_H

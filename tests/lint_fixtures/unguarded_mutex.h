@@ -1,0 +1,21 @@
+// nvlint fixture: exactly one NV-MUTEX-GUARD violation — a mutex member no
+// annotation consumes. Scanned only by the fixture runner.
+#ifndef NV_TESTS_LINT_FIXTURES_UNGUARDED_MUTEX_H
+#define NV_TESTS_LINT_FIXTURES_UNGUARDED_MUTEX_H
+
+#include <mutex>
+#include <vector>
+
+class UnguardedMutexFixture {
+ public:
+  void push(int v) {
+    const std::scoped_lock lock(mutex_);
+    values_.push_back(v);
+  }
+
+ private:
+  std::mutex mutex_;  // VIOLATION: no NV_GUARDED_BY names this mutex
+  std::vector<int> values_;
+};
+
+#endif  // NV_TESTS_LINT_FIXTURES_UNGUARDED_MUTEX_H

@@ -243,7 +243,7 @@ TEST(FleetCampaign, SameSignatureQuarantinesRaiseOneFleetAlert) {
   config.campaign = policy_of(3, std::chrono::milliseconds(1000));
   config.clock = clock.fn();
   std::atomic<unsigned> hook_fired{0};
-  config.on_campaign = [&hook_fired](const CampaignAlert&) { hook_fired.fetch_add(1); };
+  config.on_campaign = [&hook_fired](const CampaignAlert&) { hook_fired.fetch_add(1, std::memory_order_relaxed); };
   VariantFleet fleet(config);
 
   // Three quarantines sharing one signature = ONE campaign, not 3 incidents.
@@ -256,7 +256,7 @@ TEST(FleetCampaign, SameSignatureQuarantinesRaiseOneFleetAlert) {
   EXPECT_EQ(alerts[0].session_ids.size(), 3u);
   EXPECT_EQ(alerts[0].signature.kind, core::AlarmKind::kGuestError);
   EXPECT_EQ(alerts[0].signature.shape, "coordinated probe");
-  EXPECT_EQ(hook_fired.load(), 1u);
+  EXPECT_EQ(hook_fired.load(std::memory_order_relaxed), 1u);
 
   const FleetSnapshot snap = fleet.telemetry().snapshot();
   EXPECT_EQ(snap.campaign_alerts, 1u);
@@ -436,7 +436,7 @@ TEST(FleetRotation, ExhaustedKeySpaceStopsRotationAndFiresTheHookOnce) {
   // stops being requested at all — rotations_failed must NOT grow without
   // bound against an empty factory — the keys_remaining gauge reads 0, and
   // the on_keyspace_low operator hook has fired exactly once.
-  int hook_fired = 0;
+  int low_hook_calls = 0;
   KeyspaceAccount hook_account;
   ManualClock clock;
   FleetConfig config;
@@ -447,7 +447,7 @@ TEST(FleetRotation, ExhaustedKeySpaceStopsRotationAndFiresTheHookOnce) {
   config.seed = 2026;
   config.keyspace_low_watermark = 1;  // fire on the last key, not earlier
   config.on_keyspace_low = [&](const KeyspaceAccount& account) {
-    ++hook_fired;
+    ++low_hook_calls;
     hook_account = account;
   };
   config.clock = clock.fn();
@@ -476,7 +476,7 @@ TEST(FleetRotation, ExhaustedKeySpaceStopsRotationAndFiresTheHookOnce) {
   EXPECT_EQ(snap.keys_remaining, 0u);
   EXPECT_NE(snap.describe().find("0 of 16 keys remaining"), std::string::npos)
       << snap.describe();
-  EXPECT_EQ(hook_fired, 1);  // exactly once, despite 5 refused rotations
+  EXPECT_EQ(low_hook_calls, 1);  // exactly once, despite 5 refused rotations
   EXPECT_LE(hook_account.keys_remaining, 1u);  // fired at the watermark crossing
   EXPECT_EQ(fleet.live_fingerprints(), before);  // old sessions stayed in service
   EXPECT_TRUE(fleet.submit(jobs::uid_churn(3)).get().ok());

@@ -105,14 +105,14 @@ TEST(Rendezvous, TimeoutAbortsEveryWaiterWhenOnePeerStalls) {
       FAIL() << "variant " << v << " expected a timeout abort";
     } catch (const DivergenceAbort& abort) {
       EXPECT_EQ(abort.alarm.kind, AlarmKind::kRendezvousTimeout);
-      ++aborts;
+      aborts.fetch_add(1, std::memory_order_relaxed);
     }
   };
   std::thread t0(worker, 0);
   std::thread t1(worker, 1);
   t0.join();
   t1.join();
-  EXPECT_EQ(aborts.load(), 2);
+  EXPECT_EQ(aborts.load(std::memory_order_relaxed), 2);
   EXPECT_TRUE(rdv.aborted());
 }
 
@@ -129,14 +129,14 @@ TEST(Rendezvous, LateArriverAfterTimeoutAbortUnwindsImmediately) {
       (void)rdv.exchange(v, call(Sys::kGetpid));
     } catch (const DivergenceAbort& abort) {
       EXPECT_EQ(abort.alarm.kind, AlarmKind::kRendezvousTimeout);
-      ++aborts;
+      aborts.fetch_add(1, std::memory_order_relaxed);
     }
   };
   std::thread t0(waiter, 0);
   std::thread t1(waiter, 1);
   t0.join();
   t1.join();
-  ASSERT_EQ(aborts.load(), 2);
+  ASSERT_EQ(aborts.load(std::memory_order_relaxed), 2);
   // The late arriver: the round it missed is dead and the system is aborted —
   // its exchange must return (by throwing) well before another timeout.
   const auto start = std::chrono::steady_clock::now();
@@ -182,14 +182,14 @@ TEST(Rendezvous, BatchSizeDivergenceAborts) {
       (void)rdv.exchange_batch(v, std::move(batch));
     } catch (const DivergenceAbort& abort) {
       EXPECT_EQ(abort.alarm.kind, AlarmKind::kSyscallMismatch);
-      ++aborts;
+      aborts.fetch_add(1, std::memory_order_relaxed);
     }
   };
   std::thread t0(worker, 0u, 2u);
   std::thread t1(worker, 1u, 3u);
   t0.join();
   t1.join();
-  EXPECT_EQ(aborts.load(), 2);
+  EXPECT_EQ(aborts.load(std::memory_order_relaxed), 2);
   EXPECT_TRUE(rdv.aborted());
   EXPECT_EQ(rdv.rounds_completed(), 0u);
 }
@@ -254,14 +254,14 @@ TEST(Rendezvous, AsyncStreamDivergenceAborts) {
       });
     } catch (const DivergenceAbort& abort) {
       EXPECT_EQ(abort.alarm.kind, AlarmKind::kSyscallMismatch);
-      ++aborts;
+      aborts.fetch_add(1, std::memory_order_relaxed);
     }
   };
   std::thread t0(worker, 0u, Sys::kGetpid);
   std::thread t1(worker, 1u, Sys::kGettime);
   t0.join();
   t1.join();
-  EXPECT_GE(aborts.load(), 1);  // the claimer may have finished cleanly
+  EXPECT_GE(aborts.load(std::memory_order_relaxed), 1);  // the claimer may have finished cleanly
   EXPECT_TRUE(rdv.aborted());
 }
 
@@ -282,14 +282,14 @@ TEST(Rendezvous, BarrierCrossChecksAsyncStreamPrefix) {
       (void)rdv.exchange(v, call(Sys::kExit, 0));
     } catch (const DivergenceAbort& abort) {
       EXPECT_EQ(abort.alarm.kind, AlarmKind::kSyscallMismatch);
-      ++aborts;
+      aborts.fetch_add(1, std::memory_order_relaxed);
     }
   };
   std::thread t0(worker, 0);
   std::thread t1(worker, 1);
   t0.join();
   t1.join();
-  EXPECT_EQ(aborts.load(), 2);
+  EXPECT_EQ(aborts.load(std::memory_order_relaxed), 2);
   EXPECT_TRUE(rdv.aborted());
   EXPECT_EQ(rdv.rounds_completed(), 0u);  // the poisoned round never ran
 }
@@ -315,7 +315,7 @@ TEST(Rendezvous, AbortWhileLeaderMidExecuteWakesEveryone) {
       FAIL() << "variant " << v << " expected DivergenceAbort";
     } catch (const DivergenceAbort& abort) {
       EXPECT_EQ(abort.alarm.kind, AlarmKind::kMemoryFault);
-      ++aborts;
+      aborts.fetch_add(1, std::memory_order_relaxed);
     }
   };
   std::thread t0(worker, 0);
@@ -328,7 +328,7 @@ TEST(Rendezvous, AbortWhileLeaderMidExecuteWakesEveryone) {
   release_leader.set_value();
   t0.join();
   t1.join();
-  EXPECT_EQ(aborts.load(), 2);
+  EXPECT_EQ(aborts.load(std::memory_order_relaxed), 2);
 
   // Exchange-after-abort: the barrier stays poisoned; later arrivals unwind
   // immediately instead of waiting for peers that will never come.

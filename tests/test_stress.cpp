@@ -149,13 +149,13 @@ TEST(Stress, ConcurrentClientsAgainstSequentialServer) {
     clients.emplace_back([&] {
       for (int i = 0; i < 10; ++i) {
         const auto response = httpd::http_get(system.hub(), 8080, "/");
-        if (response.status == 200) successes.fetch_add(1);
+        if (response.status == 200) successes.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
   for (auto& thread : clients) thread.join();
   const auto report = system.stop();
-  EXPECT_EQ(successes.load(), 30);
+  EXPECT_EQ(successes.load(std::memory_order_relaxed), 30);
   EXPECT_FALSE(report.attack_detected);
 }
 

@@ -124,7 +124,7 @@ TEST(SyscallPipeline, DivergenceMidBatchAbortsTheWholeBatch) {
     } catch (const core::DivergenceAbort&) {
       // The batch diverged at position 1; position 0's result must NOT leak
       // back to the guest — the whole batch throws.
-      ++batch_aborts;
+      batch_aborts.fetch_add(1, std::memory_order_relaxed);
       throw;
     }
     ctx.exit(0);
@@ -134,7 +134,7 @@ TEST(SyscallPipeline, DivergenceMidBatchAbortsTheWholeBatch) {
   EXPECT_TRUE(report.attack_detected);
   ASSERT_TRUE(report.alarm.has_value());
   EXPECT_EQ(report.alarm->kind, core::AlarmKind::kArgumentMismatch);
-  EXPECT_EQ(batch_aborts.load(), 2);
+  EXPECT_EQ(batch_aborts.load(std::memory_order_relaxed), 2);
 }
 
 TEST(SyscallPipeline, PipelinedAndLockstepProduceIdenticalGuestResults) {

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/expected.h"
+#include "util/log.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -222,6 +226,46 @@ TEST(TextTable, RendersAlignedColumns) {
   const std::string out = t.render();
   EXPECT_NE(out.find("| name  | value |"), std::string::npos);
   EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+}
+
+TEST(Logger, ThresholdFiltersAndSinkReceivesFormattedLevel) {
+  CaptureSink capture;
+  Logger logger(capture.sink(), LogLevel::kWarn);
+  logger.info("dropped");
+  logger.warn("kept");
+  logger.error("also kept");
+  EXPECT_FALSE(capture.contains("dropped"));
+  EXPECT_TRUE(capture.contains("WARN kept"));
+  EXPECT_TRUE(capture.contains("ERROR also kept"));
+}
+
+// Regression: threshold_ used to be a plain LogLevel written by
+// set_threshold() while log() read it with no lock — a data race the thread
+// sanitizer flags. Hammer log() from several threads while the main thread
+// retunes the threshold; TSan (this suite runs in the CI thread-sanitizer
+// job) fails the test if the filter read races the retune again.
+TEST(Logger, ConcurrentThresholdRetuneIsRaceFree) {
+  CaptureSink capture;
+  Logger logger(capture.sink(), LogLevel::kInfo);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&logger, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        logger.info("tick");
+      }
+    });
+  }
+  for (int flip = 0; flip < 500; ++flip) {
+    logger.set_threshold(flip % 2 == 0 ? LogLevel::kError : LogLevel::kTrace);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& writer : writers) writer.join();
+  EXPECT_EQ(logger.threshold(), LogLevel::kTrace);
+  for (const auto& line : capture.lines()) {
+    EXPECT_EQ(line, "INFO tick");
+  }
 }
 
 }  // namespace

@@ -14,6 +14,10 @@
    under its stable lower_snake name (kSessionDraw -> `session_draw`) — an
    event kind without documented span/parent/operand semantics is a CI
    failure, same contract.
+4. Lint-rule coverage: every rule id tools/nvlint.py enforces (its RULE_IDS
+   tuple) must have a `backtick-quoted` glossary entry in
+   docs/STATIC_ANALYSIS.md — a lint failure whose rule has no documented
+   rationale is not actionable.
 
 Usage: check_docs.py [repo_root]     (default: the tools/ parent)
 Exit code 0 on success, 1 with messages on any violation.
@@ -110,6 +114,27 @@ def check_trace_coverage(root: pathlib.Path, errors: list) -> int:
     return len(kinds)
 
 
+NVLINT_RULE_RE = re.compile(r'RULE_IDS\s*=\s*\(([^)]*)\)', re.DOTALL)
+
+
+def check_nvlint_rule_coverage(root: pathlib.Path, errors: list) -> int:
+    linter = root / "tools" / "nvlint.py"
+    glossary = root / "docs" / "STATIC_ANALYSIS.md"
+    documented = glossary.read_text(encoding="utf-8") if glossary.exists() else ""
+    match = NVLINT_RULE_RE.search(linter.read_text(encoding="utf-8"))
+    if not match:
+        errors.append(f"{linter}: cannot locate the RULE_IDS tuple")
+        return 0
+    rules = re.findall(r'"(NV-[A-Z-]+)"', match.group(1))
+    if not rules:
+        errors.append(f"{linter}: found no rule ids to check")
+    for rule in rules:
+        if f"`{rule}`" not in documented:
+            errors.append(
+                f"nvlint rule '{rule}' has no glossary entry in docs/STATIC_ANALYSIS.md")
+    return len(rules)
+
+
 def main() -> None:
     root = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else \
         pathlib.Path(__file__).resolve().parent.parent
@@ -117,13 +142,15 @@ def main() -> None:
     links = check_links(root, errors)
     fields = check_telemetry_coverage(root, errors)
     kinds = check_trace_coverage(root, errors)
+    rules = check_nvlint_rule_coverage(root, errors)
     if errors:
         for error in errors:
             print(f"check_docs: FAIL: {error}", file=sys.stderr)
         sys.exit(1)
     print(f"check_docs: OK ({links} relative links, "
           f"{fields} telemetry fields documented, "
-          f"{kinds} trace event kinds documented)")
+          f"{kinds} trace event kinds documented, "
+          f"{rules} nvlint rules documented)")
 
 
 if __name__ == "__main__":
