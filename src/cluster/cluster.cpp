@@ -133,6 +133,9 @@ std::vector<ShardHealth> FleetCluster::sample_health() const {
       telemetry_.note_health_resample();
     }
     health_cache_[index].queue_depth = fleets_[index]->queue_depth_hint();
+    // Like queue depth, shedding moves per-job: always refresh from the
+    // lock-free hint rather than waiting for an epoch bump.
+    health_cache_[index].jobs_shed = fleets_[index]->jobs_shed_hint();
   }
   return health_cache_;
 }

@@ -6,13 +6,20 @@ namespace nv::cluster {
 
 ShardRouter::ShardRouter(RouterPolicy policy) : policy_(policy) {}
 
-double ShardRouter::score(const ShardHealth& shard) const {
+double ShardRouter::score_locked(const ShardHealth& shard, unsigned index) const {
   const double fraction =
       shard.keys_total == 0
           ? 1.0  // untracked: never repelled on diversity grounds
           : static_cast<double>(shard.keys_remaining) / static_cast<double>(shard.keys_total);
   double value = static_cast<double>(shard.queue_depth) * policy_.queue_weight -
                  fraction * policy_.keyspace_weight;
+  // Sheds since this shard was last scored. The counter is cumulative and
+  // monotone, so the delta is well-defined; a shard never seen before is
+  // charged its full history once, then tracked incrementally.
+  const std::uint64_t seen = index < sheds_seen_.size() ? sheds_seen_[index] : 0;
+  if (shard.jobs_shed > seen) {
+    value += static_cast<double>(shard.jobs_shed - seen) * policy_.shed_weight;
+  }
   if (shard.exhausted) value += policy_.exhausted_penalty;
   return value;
 }
@@ -27,24 +34,39 @@ std::optional<unsigned> ShardRouter::route(const std::vector<ShardHealth>& shard
   for (unsigned step = 0; step < n; ++step) {
     const unsigned index = (cursor_ + step) % n;
     if (!shards[index].accepting) continue;
-    const double value = score(shards[index]);
+    const double value = score_locked(shards[index], index);
     if (!best.has_value() || value < best_score) {
       best = index;
       best_score = value;
     }
   }
   if (best.has_value()) cursor_ = (*best + 1) % n;
+  // Consume the shed signal AFTER scoring the whole field: every shard's
+  // penalty this round was its growth since the previous route(), and a
+  // shard that stops shedding scores clean next time.
+  if (sheds_seen_.size() < shards.size()) sheds_seen_.resize(shards.size(), 0);
+  for (unsigned index = 0; index < n; ++index) {
+    sheds_seen_[index] = std::max(sheds_seen_[index], shards[index].jobs_shed);
+  }
   return best;
 }
 
 std::vector<unsigned> ShardRouter::ranked(const std::vector<ShardHealth>& shards) const {
   std::vector<unsigned> order;
-  for (unsigned index = 0; index < shards.size(); ++index) {
-    if (shards[index].accepting) order.push_back(index);
+  std::vector<double> scores(shards.size(), 0.0);
+  {
+    // Scores are computed under the lock (they read sheds_seen_); the sort
+    // below runs on the copied-out values so the comparator stays
+    // annotation-free for the thread-safety analysis.
+    const util::MutexLock lock(mutex_);
+    for (unsigned index = 0; index < shards.size(); ++index) {
+      if (!shards[index].accepting) continue;
+      order.push_back(index);
+      scores[index] = score_locked(shards[index], index);
+    }
   }
-  std::stable_sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-    return score(shards[a]) < score(shards[b]);
-  });
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](unsigned a, unsigned b) { return scores[a] < scores[b]; });
   return order;
 }
 

@@ -6,7 +6,15 @@
 //
 //   score = queue_depth * queue_weight
 //         - keyspace_fraction * keyspace_weight      (fraction remaining)
+//         + recent_sheds * shed_weight               (sheds since last sample)
 //         + exhausted_penalty (if the shard's keyspace is exhausted)
+//
+// recent_sheds is the growth of the shard's cumulative jobs_shed counter
+// since the router last scored it: a shard actively refusing work at the
+// door is overloaded in a way queue depth understates (its queue is pinned
+// at capacity — the overflow never shows up there). The penalty decays to
+// zero one route() after the shedding stops, so a recovered shard is
+// forgiven instead of repelled forever.
 //
 // Lowest score wins; ties break round-robin so equal shards share work
 // deterministically. Non-accepting shards (draining / shut down) are
@@ -35,6 +43,10 @@ struct ShardHealth {
   /// 0 when the shard's keyspace is untracked (keyspace_fraction reads 1:
   /// an untracked shard never repels work on diversity grounds).
   std::uint64_t keys_total = 0;
+  /// CUMULATIVE admission refusals (VariantFleet::jobs_shed_hint). The
+  /// router scores on the delta since it last sampled this shard, not the
+  /// lifetime total.
+  std::uint64_t jobs_shed = 0;
 };
 
 struct RouterPolicy {
@@ -48,6 +60,10 @@ struct RouterPolicy {
   /// non-exhausted shard wins, small enough to stay finite (exhausted shards
   /// remain a last resort, not unroutable).
   double exhausted_penalty = 1e6;
+  /// Cost (in queued-job units) per job the shard shed since the router last
+  /// sampled it: shedding is stronger evidence of overload than one queued
+  /// job, so it defaults above queue_weight. 0 restores shed-blind routing.
+  double shed_weight = 2.0;
 };
 
 class ShardRouter {
@@ -66,12 +82,17 @@ class ShardRouter {
   [[nodiscard]] const RouterPolicy& policy() const noexcept { return policy_; }
 
  private:
-  [[nodiscard]] double score(const ShardHealth& shard) const;
+  [[nodiscard]] double score_locked(const ShardHealth& shard, unsigned index) const
+      NV_REQUIRES(mutex_);
 
   RouterPolicy policy_;
   mutable util::Mutex mutex_;
   // Rotates on every route() for the tie-break.
   unsigned cursor_ NV_GUARDED_BY(mutex_) = 0;
+  /// Per-shard cumulative jobs_shed as of the last route() that scored it;
+  /// the shed penalty is the growth since then. ranked() reads it without
+  /// advancing it (a const preview must not eat the next route's signal).
+  mutable std::vector<std::uint64_t> sheds_seen_ NV_GUARDED_BY(mutex_);
 };
 
 }  // namespace nv::cluster

@@ -147,12 +147,32 @@ std::future<JobOutcome> VariantFleet::enqueue_locked(FleetJob job) {
     trace_->record(ops_track_, obs::TraceEventKind::kJobAdmitted, pending.trace_span, 0,
                    pending.id, lane);
   }
+  if (config_.admission == AdmissionPolicy::kDeadlineDrop &&
+      config_.queue_deadline > std::chrono::milliseconds::zero()) {
+    pending.admitted_at = clock_();
+  }
   lane_queues_[lane].push_back(std::move(pending));
-  total_queued_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t depth = total_queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+  telemetry_.note_queue_depth(depth);
   telemetry_.note_submitted();
   // notify_all, not notify_one: with per-lane queues a notify_one could wake
   // a worker whose own queue is empty and (stealing off) cannot take the job.
   queue_not_empty_.notify_all();
+  return future;
+}
+
+std::future<JobOutcome> VariantFleet::shed_locked() {
+  JobOutcome outcome;
+  outcome.job_id = next_job_id_++;
+  outcome.error = kShedError;
+  telemetry_.note_shed();
+  if (trace_) {
+    trace_->record(ops_track_, obs::TraceEventKind::kJobShed, 0, 0, outcome.job_id,
+                   total_queued_.load(std::memory_order_relaxed));
+  }
+  std::promise<JobOutcome> promise;
+  auto future = promise.get_future();
+  promise.set_value(std::move(outcome));
   return future;
 }
 
@@ -163,9 +183,25 @@ std::future<JobOutcome> VariantFleet::submit(FleetJob job) {
     (void)enforce_rotation_deadlines();
   }
   util::MutexLock lock(queue_mutex_);
-  while (accepting_ &&
-         total_queued_.load(std::memory_order_relaxed) >= config_.queue_capacity) {
-    queue_not_full_.wait(lock.native());
+  if (config_.admission == AdmissionPolicy::kBlock) {
+    if (accepting_ &&
+        total_queued_.load(std::memory_order_relaxed) >= config_.queue_capacity) {
+      // Clock reads under queue_mutex_ are the established order (drain()
+      // does the same); ManualClock::advance never calls back under its lock.
+      const auto blocked_from = clock_();
+      while (accepting_ &&
+             total_queued_.load(std::memory_order_relaxed) >= config_.queue_capacity) {
+        queue_not_full_.wait(lock.native());
+      }
+      const auto blocked =
+          std::chrono::duration_cast<std::chrono::microseconds>(clock_() - blocked_from);
+      if (blocked.count() > 0) {
+        telemetry_.add_admission_blocked(static_cast<std::uint64_t>(blocked.count()));
+      }
+    }
+  } else if (accepting_ &&
+             total_queued_.load(std::memory_order_relaxed) >= config_.queue_capacity) {
+    return shed_locked();
   }
   if (!accepting_) throw std::runtime_error("fleet is shut down");
   return enqueue_locked(std::move(job));
@@ -255,6 +291,26 @@ DrainReport VariantFleet::drain(std::optional<std::chrono::milliseconds> deadlin
 std::size_t VariantFleet::queue_depth() const {
   const util::MutexLock lock(queue_mutex_);
   return total_queued_.load(std::memory_order_relaxed);
+}
+
+VariantFleet::IdleSnapshot VariantFleet::idle_snapshot() const {
+  const util::MutexLock lock(queue_mutex_);
+  IdleSnapshot snapshot;
+  for (unsigned lane = 0; lane < pool_size_; ++lane) {
+    const LaneFlags& flags = lane_flags_[lane];
+    if (flags.waiting) {
+      ++snapshot.idle_workers;
+      if (!lane_queues_[lane].empty()) snapshot.idle_backlog = true;
+    }
+    if (flags.respawning || flags.force_rotating) ++snapshot.lanes_in_flux;
+  }
+  // Under global-FIFO pops (or stealing) ANY backlog is poppable by an idle
+  // worker, not just its own lane's.
+  if ((config_.fifo_pop || config_.work_stealing) && snapshot.idle_workers > 0 &&
+      total_queued_.load(std::memory_order_relaxed) > 0) {
+    snapshot.idle_backlog = true;
+  }
+  return snapshot;
 }
 
 std::vector<std::string> VariantFleet::live_fingerprints() const {
@@ -500,14 +556,42 @@ void VariantFleet::worker_loop(unsigned lane) {
       for (;;) {
         if (lane_flags_[lane].rotate && !lane_flags_[lane].force_rotating) break;
         if (!lane_queues_[lane].empty()) break;
-        if (config_.work_stealing && total_queued_.load(std::memory_order_relaxed) > 0) break;
+        if ((config_.work_stealing || config_.fifo_pop) &&
+            total_queued_.load(std::memory_order_relaxed) > 0) {
+          break;
+        }
         if (!accepting_) break;
+        // The waiting flag is what idle_snapshot() reports: set strictly
+        // inside the lock around the wait, so an observer holding
+        // queue_mutex_ sees either "blocked in the condvar" or "will
+        // re-examine the queues before sleeping" — never a stale idle.
+        lane_flags_[lane].waiting = true;
         queue_not_empty_.wait(lock.native());
+        lane_flags_[lane].waiting = false;
       }
       if (lane_flags_[lane].rotate && !lane_flags_[lane].force_rotating) {
         continue;  // rotate at the loop top
       }
-      if (!lane_queues_[lane].empty()) {
+      if (config_.fifo_pop && total_queued_.load(std::memory_order_relaxed) > 0) {
+        // Global-FIFO discipline: take the oldest queued job anywhere, own
+        // lane included. Lowest id wins — ids are minted in admission order.
+        unsigned victim = pool_size_;
+        std::uint64_t oldest = 0;
+        for (unsigned peer = 0; peer < pool_size_; ++peer) {
+          if (!lane_queues_[peer].empty() &&
+              (victim == pool_size_ || lane_queues_[peer].front().id < oldest)) {
+            oldest = lane_queues_[peer].front().id;
+            victim = peer;
+          }
+        }
+        if (victim == pool_size_) continue;  // raced: the backlog was drained
+        job = std::move(lane_queues_[victim].front());
+        lane_queues_[victim].pop_front();
+        if (victim != lane) {
+          stolen = true;
+          steal_victim = victim;
+        }
+      } else if (!lane_queues_[lane].empty()) {
         job = std::move(lane_queues_[lane].front());
         lane_queues_[lane].pop_front();
       } else if (config_.work_stealing && total_queued_.load(std::memory_order_relaxed) > 0) {
@@ -546,6 +630,18 @@ void VariantFleet::worker_loop(unsigned lane) {
                        job.id, steal_victim);
       }
     }
+    // In-queue freshness contract: a job that waited past queue_deadline is
+    // dropped HERE, at pop time — lazily, so an idle queue costs nothing —
+    // and never touches a session. The submitter already stopped waiting.
+    if (config_.admission == AdmissionPolicy::kDeadlineDrop &&
+        config_.queue_deadline > std::chrono::milliseconds::zero()) {
+      const auto waited =
+          std::chrono::duration_cast<std::chrono::microseconds>(clock_() - job.admitted_at);
+      if (waited > config_.queue_deadline) {
+        drop_expired_job(lane, std::move(job), waited);
+        continue;
+      }
+    }
     run_job(lane, std::move(job));
     // The job this lane just finished was the last possible user of any
     // session a rotation deadline displaced from under it; reap them now.
@@ -563,6 +659,21 @@ void VariantFleet::worker_loop(unsigned lane) {
       }
     }
   }
+}
+
+void VariantFleet::drop_expired_job(unsigned lane, PendingJob job,
+                                    std::chrono::microseconds waited) {
+  JobOutcome outcome;
+  outcome.job_id = job.id;
+  outcome.trace_span = job.trace_span;
+  outcome.error = kDeadlineDropError;
+  outcome.latency = waited;
+  telemetry_.note_deadline_dropped();
+  if (trace_) {
+    trace_->record(lane_tracks_[lane], obs::TraceEventKind::kJobDeadlineDropped,
+                   job.trace_span, 0, job.id, static_cast<std::uint64_t>(waited.count()));
+  }
+  job.promise.set_value(std::move(outcome));
 }
 
 void VariantFleet::run_job(unsigned lane, PendingJob job) {

@@ -91,14 +91,43 @@ struct QuarantineRecord {
   std::uint64_t jobs_served = 0;        // CLEAN jobs served before the fatal one
 };
 
+/// What submit() does when the fleet already holds queue_capacity jobs.
+/// try_submit() is unaffected: it is the caller-side refusal path and always
+/// returns nullopt at capacity (counted jobs_rejected).
+enum class AdmissionPolicy {
+  /// Classic closed-loop backpressure: submit() blocks until a worker frees
+  /// a slot. The time spent blocked accumulates (injected clock) into the
+  /// admission_blocked_us counter. Open workloads deadlock the submitting
+  /// thread here — that is the point of the other two policies.
+  kBlock,
+  /// 503-style load shedding: submit() returns an already-resolved future
+  /// whose outcome carries kShedError, counted as jobs_shed. The submitter
+  /// gets an immediate, explicit refusal instead of unbounded queueing delay.
+  kShed,
+  /// kShed at the door, plus a freshness contract inside: an admitted job
+  /// still queued after queue_deadline (injected clock) is dropped at pop
+  /// time — its future resolves with kDeadlineDropError, counted as
+  /// jobs_deadline_dropped. Models clients that time out and hang up: work
+  /// past its deadline only burns a diversified session for a reply nobody
+  /// is waiting for.
+  kDeadlineDrop,
+};
+
 struct FleetConfig {
   SessionSpec spec;
   /// Concurrent sessions == worker lanes. 0 = hardware_concurrency, clamped
   /// to [2, 8] so a 1-core CI box still exercises concurrency.
   unsigned pool_size = 0;
-  /// Bounded admission budget across all lane queues; submit() blocks when
-  /// the fleet holds this many queued jobs (backpressure).
+  /// Bounded admission budget across all lane queues; what happens when it
+  /// is reached is the admission policy's call (block / shed / deadline-drop).
   std::size_t queue_capacity = 64;
+  /// Full-queue behavior for submit(); see AdmissionPolicy. The default keeps
+  /// the original blocking-backpressure semantics.
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// kDeadlineDrop only: maximum time a job may sit queued (injected clock)
+  /// before the popping worker drops it unserved. 0 disables the in-queue
+  /// deadline (kDeadlineDrop then degenerates to kShed).
+  std::chrono::milliseconds queue_deadline{0};
   /// Seed for the per-session diversity draws. Unset (the default) draws a
   /// fresh seed from std::random_device — a fixed default would make every
   /// deployment's "random" reexpressions predictable to anyone running the
@@ -108,6 +137,15 @@ struct FleetConfig {
   /// reverts to strict lane affinity — useful for measuring what stealing
   /// buys (bench_fleet_throughput does exactly that).
   bool work_stealing = true;
+  /// Pop in global-FIFO order: a freed worker takes the OLDEST queued job
+  /// across every lane (lowest job id), not its own queue's front. The pool
+  /// then behaves as one shared M/G/k queue, and because every interleaving
+  /// of concurrent pops removes the same jobs at the same instants, the pop
+  /// schedule is a function of job ids and deadlines alone — independent of
+  /// real-time worker wake order. src/load's deterministic harness needs
+  /// exactly this; stealing's deepest-victim scan races concurrent pops.
+  /// Takes precedence over work_stealing.
+  bool fifo_pop = false;
   /// Campaign correlation policy: K, the sliding window, and whether an
   /// alert rotates the surviving sessions to fresh reexpressions. With
   /// adaptation enabled this is the BASELINE the live policy tightens away
@@ -173,6 +211,12 @@ class VariantFleet {
  public:
   /// JobOutcome::error of a job a drain deadline dropped before execution.
   static constexpr const char* kAbandonedError = "abandoned at fleet shutdown deadline";
+  /// JobOutcome::error of a job refused at the door (AdmissionPolicy::kShed /
+  /// kDeadlineDrop at capacity) — the fleet's 503.
+  static constexpr const char* kShedError = "shed at admission: fleet at capacity";
+  /// JobOutcome::error of an admitted job that outlived queue_deadline in the
+  /// queue and was dropped unserved (AdmissionPolicy::kDeadlineDrop).
+  static constexpr const char* kDeadlineDropError = "dropped: queue deadline exceeded";
 
   /// Spawns the worker pool and stamps out the initial sessions; throws
   /// std::invalid_argument when the spec cannot produce a valid session.
@@ -183,8 +227,10 @@ class VariantFleet {
   VariantFleet(const VariantFleet&) = delete;
   VariantFleet& operator=(const VariantFleet&) = delete;
 
-  /// Enqueue a job; BLOCKS while the fleet is at capacity (backpressure).
-  /// Throws std::runtime_error after shutdown.
+  /// Enqueue a job. At capacity the admission policy decides: kBlock waits
+  /// for a slot (backpressure, time counted in admission_blocked_us), kShed /
+  /// kDeadlineDrop return an immediately-resolved kShedError outcome
+  /// (counted jobs_shed). Throws std::runtime_error after shutdown.
   [[nodiscard]] std::future<JobOutcome> submit(FleetJob job);
 
   /// Non-blocking admission: nullopt when the fleet is at capacity or
@@ -277,6 +323,18 @@ class VariantFleet {
   [[nodiscard]] unsigned pool_size() const noexcept { return pool_size_; }
   /// Total jobs queued across every lane (excludes in-flight jobs).
   [[nodiscard]] std::size_t queue_depth() const;
+  /// One consistent observation of worker-side progress, for drivers that
+  /// single-step the fleet on an injected clock (src/load). The fleet is
+  /// externally at rest when every worker is accounted for (idle_workers
+  /// plus the driver's own count of in-flight job bodies equals pool_size),
+  /// no idle worker has poppable backlog, and no lane is mid-swap — all
+  /// remaining progress then needs the clock to move.
+  struct IdleSnapshot {
+    std::size_t idle_workers = 0;   ///< workers blocked on the queue condvar
+    bool idle_backlog = false;      ///< an idle worker's own queue is nonempty
+    std::size_t lanes_in_flux = 0;  ///< respawn / forced rotation in progress
+  };
+  [[nodiscard]] IdleSnapshot idle_snapshot() const;
   /// Diversity fingerprints of the sessions currently installed in each lane.
   [[nodiscard]] std::vector<std::string> live_fingerprints() const;
 
@@ -294,6 +352,12 @@ class VariantFleet {
   [[nodiscard]] std::size_t queue_depth_hint() const noexcept {
     return total_queued_.load(std::memory_order_relaxed);
   }
+  /// Lock-free cumulative shed count for routing decisions: a shard that is
+  /// actively shedding is overloaded in a way queue depth alone understates
+  /// (its queue is pinned at capacity; the overflow is invisible there).
+  [[nodiscard]] std::uint64_t jobs_shed_hint() const noexcept {
+    return telemetry_.jobs_shed_count();
+  }
 
  private:
   struct PendingJob {
@@ -301,6 +365,9 @@ class VariantFleet {
     FleetJob fn;
     std::promise<JobOutcome> promise;
     std::uint64_t trace_span = 0;  // allocated at admission (kJobAdmitted)
+    /// Admission time on the injected clock; only stamped when a queue
+    /// deadline is armed (kDeadlineDrop with queue_deadline > 0).
+    std::chrono::steady_clock::time_point admitted_at{};
   };
   /// Lane state; every field is accessed under queue_mutex_ (the flags vector
   /// itself is NV_GUARDED_BY below).
@@ -308,6 +375,7 @@ class VariantFleet {
     bool dead = false;        // respawn failed; lane retired
     bool exited = false;      // worker thread returned; queue will never drain
     bool respawning = false;  // lane is mid-respawn; don't route new jobs here
+    bool waiting = false;     // worker is blocked on the queue condvar
     bool rotate = false;      // campaign escalation: re-diversify before next job
     /// Deadline enforcement is force-rotating this lane right now; its own
     /// worker must not race it with a lazy rotation.
@@ -346,6 +414,11 @@ class VariantFleet {
   /// non-respawning). pool_size_ when no lane can take work.
   [[nodiscard]] unsigned pick_lane_locked() NV_REQUIRES(queue_mutex_);
   [[nodiscard]] std::future<JobOutcome> enqueue_locked(FleetJob job) NV_REQUIRES(queue_mutex_);
+  /// 503 path: mint an already-resolved kShedError future (counted + traced).
+  [[nodiscard]] std::future<JobOutcome> shed_locked() NV_REQUIRES(queue_mutex_);
+  /// kDeadlineDrop: resolve an expired queued job as kDeadlineDropError.
+  /// `waited` is how long it sat in the queue (injected clock).
+  void drop_expired_job(unsigned lane, PendingJob job, std::chrono::microseconds waited);
   DrainReport drain(std::optional<std::chrono::milliseconds> deadline);
 
   [[nodiscard]] static unsigned resolve_pool_size(unsigned requested);

@@ -26,6 +26,10 @@ FleetSnapshot FleetTelemetry::snapshot() const {
   snap.job_errors = job_errors_.load(std::memory_order_relaxed);
   snap.jobs_stolen = jobs_stolen_.load(std::memory_order_relaxed);
   snap.jobs_abandoned = jobs_abandoned_.load(std::memory_order_relaxed);
+  snap.jobs_shed = jobs_shed_.load(std::memory_order_relaxed);
+  snap.jobs_deadline_dropped = jobs_deadline_dropped_.load(std::memory_order_relaxed);
+  snap.admission_blocked_us = admission_blocked_us_.load(std::memory_order_relaxed);
+  snap.queue_high_watermark = queue_high_watermark_.load(std::memory_order_relaxed);
   snap.sessions_quarantined = sessions_quarantined_.load(std::memory_order_relaxed);
   snap.sessions_respawned = sessions_respawned_.load(std::memory_order_relaxed);
   snap.sessions_rotated = sessions_rotated_.load(std::memory_order_relaxed);
@@ -66,6 +70,7 @@ std::string FleetSnapshot::describe() const {
   return util::format(
       "jobs: %llu submitted, %llu completed, %llu alarmed, %llu errored, %llu rejected, "
       "%llu stolen, %llu abandoned | "
+      "admission: %llu shed, %llu deadline-dropped, %llu us blocked, watermark %llu | "
       "sessions: %llu quarantined, %llu respawned, %llu rotated (%llu rotations failed) | "
       "keyspace: %s | "
       "%llu campaign alerts (%llu remote) | adaptive: %llu tightened, %llu decayed | "
@@ -78,6 +83,10 @@ std::string FleetSnapshot::describe() const {
       static_cast<unsigned long long>(jobs_rejected),
       static_cast<unsigned long long>(jobs_stolen),
       static_cast<unsigned long long>(jobs_abandoned),
+      static_cast<unsigned long long>(jobs_shed),
+      static_cast<unsigned long long>(jobs_deadline_dropped),
+      static_cast<unsigned long long>(admission_blocked_us),
+      static_cast<unsigned long long>(queue_high_watermark),
       static_cast<unsigned long long>(sessions_quarantined),
       static_cast<unsigned long long>(sessions_respawned),
       static_cast<unsigned long long>(sessions_rotated),

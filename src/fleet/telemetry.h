@@ -33,6 +33,9 @@ struct FleetSnapshot {
   std::uint64_t job_errors = 0;      // the job callable itself threw
   std::uint64_t jobs_stolen = 0;     // jobs an idle lane took from a peer's queue
   std::uint64_t jobs_abandoned = 0;  // queued jobs dropped by a drain deadline
+  std::uint64_t jobs_shed = 0;       // 503-style admission refusals (kShed/kDeadlineDrop)
+  std::uint64_t jobs_deadline_dropped = 0;  // admitted but expired in queue (kDeadlineDrop)
+  std::uint64_t admission_blocked_us = 0;   // cumulative time submit() blocked (kBlock)
   std::uint64_t sessions_quarantined = 0;
   std::uint64_t sessions_respawned = 0;
   std::uint64_t sessions_rotated = 0;  // proactive re-diversifications (campaign escalation)
@@ -45,6 +48,11 @@ struct FleetSnapshot {
   std::uint64_t syscall_batches = 0;  // barrier rounds that carried >1 coalesced call
   std::uint64_t async_completions = 0;  // calls completed via the async ring (no barrier)
   std::uint64_t trace_drops = 0;  // trace events lost to ring overflow (obs/trace.h)
+
+  // Backpressure gauge: the deepest total queue depth any submission ever
+  // observed. Against queue_capacity this reads as headroom; pinned at the
+  // capacity it means the admission policy (not the workload) set the ceiling.
+  std::uint64_t queue_high_watermark = 0;
 
   // Keyspace gauges (not counters): the SessionFactory's finite unique-
   // reexpression budget. keys_total == 0 means the spec does not randomize —
@@ -77,6 +85,24 @@ class FleetTelemetry {
   void note_respawned() noexcept { sessions_respawned_.fetch_add(1, std::memory_order_relaxed); }
   void note_stolen() noexcept { jobs_stolen_.fetch_add(1, std::memory_order_relaxed); }
   void note_abandoned() noexcept { jobs_abandoned_.fetch_add(1, std::memory_order_relaxed); }
+  void note_shed() noexcept { jobs_shed_.fetch_add(1, std::memory_order_relaxed); }
+  void note_deadline_dropped() noexcept {
+    jobs_deadline_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void add_admission_blocked(std::uint64_t blocked_us) noexcept {
+    admission_blocked_us_.fetch_add(blocked_us, std::memory_order_relaxed);
+  }
+  /// Gauge: raise the high watermark to `depth` if it is a new maximum.
+  void note_queue_depth(std::uint64_t depth) noexcept {
+    std::uint64_t seen = queue_high_watermark_.load(std::memory_order_relaxed);
+    while (seen < depth && !queue_high_watermark_.compare_exchange_weak(
+                               seen, depth, std::memory_order_relaxed,
+                               std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t jobs_shed_count() const noexcept {
+    return jobs_shed_.load(std::memory_order_relaxed);
+  }
   void note_rotated() noexcept { sessions_rotated_.fetch_add(1, std::memory_order_relaxed); }
   void note_rotation_failed() noexcept {
     rotations_failed_.fetch_add(1, std::memory_order_relaxed);
@@ -138,6 +164,10 @@ class FleetTelemetry {
   std::atomic<std::uint64_t> job_errors_{0};
   std::atomic<std::uint64_t> jobs_stolen_{0};
   std::atomic<std::uint64_t> jobs_abandoned_{0};
+  std::atomic<std::uint64_t> jobs_shed_{0};
+  std::atomic<std::uint64_t> jobs_deadline_dropped_{0};
+  std::atomic<std::uint64_t> admission_blocked_us_{0};
+  std::atomic<std::uint64_t> queue_high_watermark_{0};
   std::atomic<std::uint64_t> sessions_quarantined_{0};
   std::atomic<std::uint64_t> sessions_respawned_{0};
   std::atomic<std::uint64_t> sessions_rotated_{0};

@@ -1,0 +1,147 @@
+// LoadHarness: drive a REAL VariantFleet with the deterministic workload
+// stream from load/workload.h, entirely on the injected clock.
+//
+// This is the production instrument the ROADMAP's "million-user closed-loop
+// load harness" item names — the successor of src/perf/webbench's analytic
+// model, measuring the actual fleet (real worker lanes, real MVEE sessions
+// running real uid-churn guests, real quarantine/respawn/campaign machinery)
+// instead of a cost model:
+//
+//   open loop    arrivals fire on schedule whether or not earlier requests
+//                finished — the workload shape that exposes saturation and
+//                makes admission control load-bearing (a blocking queue under
+//                an open workload has unbounded latency; shedding bounds it).
+//   closed loop  a finite client population; each client submits, waits for
+//                its completion, thinks (exponential), and submits again —
+//                latency self-limits, throughput plateaus at saturation.
+//
+// Virtual service time: each request carries a service demand from the
+// workload's heavy-tailed mix. The job occupies its worker lane until the
+// ManualClock reaches service completion (a condition-variable gate woken by
+// clock advances), after doing a small amount of REAL MVEE work (uid-churn
+// through the diversified session) so the measured fleet is the real one.
+// The driver advances the clock in fixed quanta and, between advances,
+// yields until the fleet is quiescent (no runnable work, no due service
+// completions) — runs are sleep-free and independent of host speed.
+//
+// Admission-policy semantics in the harness:
+//   kShed / kDeadlineDrop  submit() at capacity resolves kShedError — the
+//                          fleet's own 503 path, counted in jobs_shed.
+//   kBlock                 the harness never blocks its driver thread (that
+//                          would freeze the clock); arrivals that find the
+//                          fleet full wait in the harness's unbounded accept
+//                          backlog and are submitted when capacity frees —
+//                          the same unbounded-waiting semantics, measured as
+//                          latency instead of deadlock.
+#ifndef NV_LOAD_HARNESS_H
+#define NV_LOAD_HARNESS_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "load/workload.h"
+
+namespace nv::load {
+
+enum class LoadMode {
+  kOpenLoop,
+  kClosedLoop,
+};
+
+struct LoadHarnessConfig {
+  WorkloadConfig workload;
+  LoadMode mode = LoadMode::kOpenLoop;
+
+  /// Fleet shape. The spec defaults to the cheap uid-xor pair every bench
+  /// uses; widen it to measure heavier diversity suites under load.
+  unsigned pool_size = 4;
+  std::size_t queue_capacity = 16;
+  fleet::AdmissionPolicy admission = fleet::AdmissionPolicy::kShed;
+  std::chrono::milliseconds queue_deadline{0};
+  std::uint64_t fleet_seed = 0xF1EE7;
+  fleet::CampaignPolicy campaign;
+  bool adaptive = false;
+
+  /// Closed loop only: concurrent clients and mean exponential think time.
+  /// Requires queue_capacity >= clients (a closed loop sized to refuse its
+  /// own clients would block the driver; run_load throws on that config).
+  unsigned clients = 8;
+  std::chrono::milliseconds think_time{100};
+
+  /// Virtual-time step between quiescence points. Latencies are quantized to
+  /// this granularity; smaller is finer and slower.
+  std::chrono::milliseconds quantum{5};
+  /// Real MVEE work per request: uid-churn rounds through the session.
+  unsigned uid_churn_rounds = 1;
+  /// REAL-time watchdog for the whole run — a harness bug (or a wedged
+  /// fleet) fails loudly instead of hanging CI. Generous: virtual time is
+  /// decoupled from real time and a healthy run finishes far inside it.
+  std::chrono::seconds real_time_budget{120};
+};
+
+/// One load point, measured on the real fleet.
+struct LoadReport {
+  // Admission accounting. offered == admitted + shed by construction
+  // (kBlock: everything is eventually admitted; shed == 0).
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_dropped = 0;
+  std::uint64_t completed = 0;  // benign requests served cleanly
+  std::uint64_t errors = 0;     // attack probes land here (they throw)
+  std::uint64_t alarmed = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t campaign_alerts = 0;
+
+  double duration_s = 0.0;       // virtual span of the run (arrivals + drain)
+  double offered_per_sec = 0.0;  // offered / duration_s
+  double goodput_per_sec = 0.0;  // benign completions / duration_s
+  double shed_fraction = 0.0;    // shed / offered
+
+  // End-to-end latency of benign completions (virtual ms, measured from the
+  // SCHEDULED arrival — queueing, backlog waiting, and service included).
+  std::size_t latency_count = 0;
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+
+  std::uint64_t queue_high_watermark = 0;
+  std::uint64_t admission_blocked_us = 0;
+
+  /// Full fleet counter view at the end of the run.
+  fleet::FleetSnapshot snapshot;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// JobOutcome::error / quarantine signature of the workload's attack probes
+/// (one fixed signature, so a campaign correlates into ONE alert).
+inline constexpr const char* kAttackProbeError = "load-harness diversity probe";
+
+/// Run one load point. Deterministic virtual time; throws std::runtime_error
+/// if the real-time watchdog expires (a wedged run, never a slow host with a
+/// sane budget) and std::invalid_argument on contradictory configs.
+[[nodiscard]] LoadReport run_load(const LoadHarnessConfig& config);
+
+/// One point of a latency-vs-offered-load sweep.
+struct LoadCurvePoint {
+  double rho = 0.0;  // offered load at the fleet (workload::offered_rho)
+  LoadReport report;
+};
+
+/// Index of the first point past the saturation knee: benign p99 above
+/// `latency_factor` times the first (lightest) point's p99, or any
+/// shedding at all. Returns curve.size() when no knee is visible. The curve
+/// must be sorted by rho ascending.
+[[nodiscard]] std::size_t knee_index(const std::vector<LoadCurvePoint>& curve,
+                                     double latency_factor = 3.0,
+                                     double shed_threshold = 0.005);
+
+}  // namespace nv::load
+
+#endif  // NV_LOAD_HARNESS_H

@@ -1,0 +1,139 @@
+#include "load/workload.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace nv::load {
+
+namespace {
+
+/// Mean of a bounded Pareto on [lo, hi] with tail index alpha (alpha != 1).
+double bounded_pareto_mean(double lo, double hi, double alpha) {
+  const double ratio = std::pow(lo / hi, alpha);
+  return (std::pow(lo, alpha) / (1.0 - ratio)) * (alpha / (alpha - 1.0)) *
+         (std::pow(lo, 1.0 - alpha) - std::pow(hi, 1.0 - alpha));
+}
+
+/// Inverse-CDF draw from the same bounded Pareto.
+double bounded_pareto_draw(util::Rng& rng, double lo, double hi, double alpha) {
+  const double ratio = std::pow(lo / hi, alpha);
+  const double u = rng.uniform();
+  return lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+}
+
+}  // namespace
+
+const char* to_string(RequestClass klass) noexcept {
+  switch (klass) {
+    case RequestClass::kHttpSmall: return "http_small";
+    case RequestClass::kHttpHeavy: return "http_heavy";
+    case RequestClass::kFtpTransfer: return "ftp_transfer";
+    case RequestClass::kAttack: return "attack";
+  }
+  return "unknown";
+}
+
+double WorkloadConfig::mean_service_ms() const {
+  const double total = http_small_weight + http_heavy_weight + ftp_weight;
+  if (total <= 0.0) throw std::invalid_argument("workload mix weights must sum > 0");
+  const double small_ms = sim::to_ms(http_small_service);
+  const double heavy_ms = bounded_pareto_mean(sim::to_ms(heavy_service_min),
+                                              sim::to_ms(heavy_service_cap), heavy_alpha);
+  const double ftp_ms = bounded_pareto_mean(sim::to_ms(ftp_service_min),
+                                            sim::to_ms(ftp_service_cap), ftp_alpha);
+  const double benign = (http_small_weight * small_ms + http_heavy_weight * heavy_ms +
+                         ftp_weight * ftp_ms) /
+                        total;
+  return attacker_fraction * sim::to_ms(attack_service) +
+         (1.0 - attacker_fraction) * benign;
+}
+
+double offered_rho(const WorkloadConfig& config, unsigned pool_size) {
+  if (pool_size == 0) throw std::invalid_argument("offered_rho needs a non-empty pool");
+  const double service_s = config.mean_service_ms() / 1000.0;
+  return config.offered_per_sec * service_s / static_cast<double>(pool_size);
+}
+
+double rate_for_rho(const WorkloadConfig& config, double rho, unsigned pool_size) {
+  const double service_s = config.mean_service_ms() / 1000.0;
+  if (service_s <= 0.0) throw std::invalid_argument("workload mean service must be positive");
+  return rho * static_cast<double>(pool_size) / service_s;
+}
+
+Arrival draw_request(const WorkloadConfig& config, util::Rng& rng) {
+  const double weight_total =
+      config.http_small_weight + config.http_heavy_weight + config.ftp_weight;
+  if (weight_total <= 0.0) throw std::invalid_argument("workload mix weights must sum > 0");
+
+  Arrival arrival;
+  if (config.attacker_fraction > 0.0 && rng.chance(config.attacker_fraction)) {
+    arrival.klass = RequestClass::kAttack;
+    arrival.service = config.attack_service;
+  } else {
+    const double pick = rng.uniform() * weight_total;
+    if (pick < config.http_small_weight) {
+      arrival.klass = RequestClass::kHttpSmall;
+      arrival.service = config.http_small_service;
+    } else if (pick < config.http_small_weight + config.http_heavy_weight) {
+      arrival.klass = RequestClass::kHttpHeavy;
+      arrival.service = sim::from_ms(
+          bounded_pareto_draw(rng, sim::to_ms(config.heavy_service_min),
+                              sim::to_ms(config.heavy_service_cap), config.heavy_alpha));
+    } else {
+      arrival.klass = RequestClass::kFtpTransfer;
+      arrival.service = sim::from_ms(
+          bounded_pareto_draw(rng, sim::to_ms(config.ftp_service_min),
+                              sim::to_ms(config.ftp_service_cap), config.ftp_alpha));
+    }
+  }
+  // Sub-millisecond service would vanish under the harness's millisecond
+  // clock quanta; clamp so every admitted request occupies its lane for at
+  // least one advance.
+  if (arrival.service < sim::kMillisecond) arrival.service = sim::kMillisecond;
+  return arrival;
+}
+
+std::vector<Arrival> generate(const WorkloadConfig& config) {
+  if (config.offered_per_sec <= 0.0) {
+    throw std::invalid_argument("workload offered_per_sec must be positive");
+  }
+  if (config.client_lanes == 0) {
+    throw std::invalid_argument("workload needs at least one client lane");
+  }
+
+  util::Rng rng(config.seed);
+  std::vector<Arrival> schedule;
+  const double mean_gap_ms = 1000.0 / config.offered_per_sec;
+  double t_ms = 0.0;
+  for (;;) {
+    t_ms += rng.exponential(mean_gap_ms);
+    const sim::SimTime at = sim::from_ms(t_ms);
+    if (at >= config.duration) break;
+    // Draw order is part of the reproducibility contract: gap, client, then
+    // the request body — changing it silently reshuffles every seed.
+    const std::uint64_t client = rng.below(config.client_lanes);
+    Arrival arrival = draw_request(config, rng);
+    arrival.at = at;
+    arrival.client = client;
+    schedule.push_back(arrival);
+  }
+  return schedule;
+}
+
+std::string serialize(const std::vector<Arrival>& schedule) {
+  std::string out;
+  out.reserve(schedule.size() * 48);
+  for (const Arrival& arrival : schedule) {
+    out += util::format("t=%llu class=%s service=%llu client=%llu\n",
+                        static_cast<unsigned long long>(arrival.at),
+                        to_string(arrival.klass),
+                        static_cast<unsigned long long>(arrival.service),
+                        static_cast<unsigned long long>(arrival.client));
+  }
+  return out;
+}
+
+}  // namespace nv::load

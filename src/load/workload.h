@@ -1,0 +1,118 @@
+// Deterministic open-workload generator: the arrival side of the load
+// harness (load/harness.h drives the schedule into a real VariantFleet).
+//
+// This is the promotion of src/perf/webbench's ANALYTIC workload into one a
+// real fleet can serve: Poisson arrivals from a seeded util::Rng stream on
+// src/sim's integer-nanosecond time base, a heavy-tailed httpd/ftpd request
+// mix (bounded-Pareto service demands — web traffic's "many small pages, a
+// few huge transfers" shape), and an attacker-fraction dial that swaps a
+// random subset of arrivals for attack probes (fixed signature, so the
+// CampaignCorrelator can fold them into one campaign).
+//
+// Millions-of-users scaling: a Poisson process at aggregate rate λ is
+// statistically identical to the superposition of `client_population`
+// per-user processes at rate λ/population (thinning/superposition), so the
+// stream stands in for an arbitrarily large population; `client_lanes` is
+// the scaled-down lane count arrivals are attributed to (closed-loop mode
+// gives each lane its own think-time stream).
+//
+// Everything is drawn from one explicitly-seeded generator in arrival
+// order: the same config produces a byte-identical schedule
+// (serialize(generate(cfg))), which is the reproducibility contract
+// tests/test_load_harness.cpp pins.
+#ifndef NV_LOAD_WORKLOAD_H
+#define NV_LOAD_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace nv::load {
+
+/// Request classes of the heavy-tailed mix. kAttack is not part of the mix
+/// weights — the attacker-fraction dial replaces benign arrivals in place.
+enum class RequestClass : std::uint8_t {
+  kHttpSmall = 0,   // cached page / small static asset
+  kHttpHeavy = 1,   // dynamic page / large asset (bounded-Pareto tail)
+  kFtpTransfer = 2, // bulk transfer (the heaviest tail)
+  kAttack = 3,      // diversity probe: detected + quarantined by the fleet
+};
+
+[[nodiscard]] const char* to_string(RequestClass klass) noexcept;
+
+/// One scheduled request. Times are sim::SimTime (integer ns) offsets from
+/// the run start, converted onto the harness's ManualClock at submit time.
+struct Arrival {
+  sim::SimTime at = 0;       // arrival offset from run start
+  sim::SimTime service = 0;  // virtual service demand once a lane picks it up
+  RequestClass klass = RequestClass::kHttpSmall;
+  std::uint64_t client = 0;  // originating (scaled) client lane
+};
+
+struct WorkloadConfig {
+  std::uint64_t seed = 0x10ad;
+  /// Aggregate Poisson arrival rate (requests per second of virtual time).
+  double offered_per_sec = 50.0;
+  /// Arrival horizon: requests are generated while t < duration.
+  sim::SimTime duration = 5 * sim::kSecond;
+  /// Fraction of arrivals replaced by attack probes (0 = all benign).
+  double attacker_fraction = 0.0;
+  /// The user population this stream stands in for (documentation + scaling
+  /// reports; the aggregate-rate Poisson stream is exact for any population).
+  std::uint64_t client_population = 1'000'000;
+  /// Scaled client lanes arrivals are attributed to.
+  unsigned client_lanes = 64;
+
+  /// Heavy-tailed mix weights (normalized internally; must sum > 0).
+  double http_small_weight = 0.70;
+  double http_heavy_weight = 0.25;
+  double ftp_weight = 0.05;
+
+  /// Service demands. Small requests are near-constant; heavy/ftp are
+  /// bounded Pareto [min, cap] with tail index alpha.
+  sim::SimTime http_small_service = 4 * sim::kMillisecond;
+  sim::SimTime heavy_service_min = 10 * sim::kMillisecond;
+  sim::SimTime heavy_service_cap = 400 * sim::kMillisecond;
+  double heavy_alpha = 1.3;
+  sim::SimTime ftp_service_min = 40 * sim::kMillisecond;
+  sim::SimTime ftp_service_cap = 1500 * sim::kMillisecond;
+  double ftp_alpha = 1.1;
+  /// Attack probes are cheap for the attacker — the cost is the fleet's
+  /// quarantine + respawn, not the probe itself.
+  sim::SimTime attack_service = 2 * sim::kMillisecond;
+
+  /// Analytic mean service demand E[S] of the mix (ms), attacker fraction
+  /// included — the denominator of the offered-load computation below.
+  [[nodiscard]] double mean_service_ms() const;
+};
+
+/// Offered load rho = lambda * E[S] / pool: arrivals per second times mean
+/// service seconds, normalized by the serving lanes. rho < 1 is a stable
+/// queue; past 1 only admission control keeps latency finite.
+[[nodiscard]] double offered_rho(const WorkloadConfig& config, unsigned pool_size);
+
+/// The arrival rate that realizes a target rho at `pool_size` lanes.
+[[nodiscard]] double rate_for_rho(const WorkloadConfig& config, double rho,
+                                  unsigned pool_size);
+
+/// Draw one request's class and service demand (arrival time and client are
+/// left at zero) — the per-arrival core of generate(), exposed so the closed
+/// loop can draw i.i.d. requests from each client's own Rng stream. Applies
+/// the attacker-fraction dial, the mix weights, and the millisecond clamp.
+[[nodiscard]] Arrival draw_request(const WorkloadConfig& config, util::Rng& rng);
+
+/// Generate the full schedule (sorted by arrival time by construction).
+/// Deterministic: one seeded stream, drawn in arrival order.
+[[nodiscard]] std::vector<Arrival> generate(const WorkloadConfig& config);
+
+/// Canonical text form of a schedule, for reproducibility hashes and the
+/// byte-identical test: one "t=<ns> class=<name> service=<ns> client=<id>"
+/// line per arrival.
+[[nodiscard]] std::string serialize(const std::vector<Arrival>& schedule);
+
+}  // namespace nv::load
+
+#endif  // NV_LOAD_WORKLOAD_H

@@ -70,6 +70,10 @@ void expose_fleet(std::string& out, std::set<std::string>& typed,
   c("job_errors", snap.job_errors);
   c("jobs_stolen", snap.jobs_stolen);
   c("jobs_abandoned", snap.jobs_abandoned);
+  c("jobs_shed", snap.jobs_shed);
+  c("jobs_deadline_dropped", snap.jobs_deadline_dropped);
+  c("admission_blocked_us", snap.admission_blocked_us);
+  g("queue_high_watermark", static_cast<double>(snap.queue_high_watermark));
   c("sessions_quarantined", snap.sessions_quarantined);
   c("sessions_respawned", snap.sessions_respawned);
   c("sessions_rotated", snap.sessions_rotated);

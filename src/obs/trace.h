@@ -86,10 +86,12 @@ enum class TraceEventKind : std::uint8_t {
   kGossipDeliver,      // bus handed the alert to a subscriber shard
   kClusterTick,        // FleetCluster::tick() housekeeping pass
   kSyscallBatch,       // sampled multi-call rendezvous round (b = batch size)
+  kJobShed,            // submit refused at capacity (503-style, AdmissionPolicy)
+  kJobDeadlineDropped, // admitted job expired in queue; dropped unserved at pop
 };
 
 inline constexpr std::size_t kTraceEventKindCount =
-    static_cast<std::size_t>(TraceEventKind::kSyscallBatch) + 1;
+    static_cast<std::size_t>(TraceEventKind::kJobDeadlineDropped) + 1;
 
 /// Stable lower_snake name ("job_admitted") for exporters and logs.
 [[nodiscard]] std::string_view to_string(TraceEventKind kind) noexcept;

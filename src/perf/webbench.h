@@ -1,6 +1,11 @@
 // WebBench-style closed-loop load generator over the DES (§4's experimental
 // setup: 1 client engine for the unsaturated runs; 3 machines x 5 engines =
 // 15 for the saturated runs).
+//
+// This is the ANALYTIC side: requests cost what the cost model says they
+// cost. src/load/harness.h is its real-fleet successor — the same
+// closed-loop shape (and an open-loop one) driving an actual VariantFleet
+// on the injected clock.
 #ifndef NV_PERF_WEBBENCH_H
 #define NV_PERF_WEBBENCH_H
 

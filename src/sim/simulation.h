@@ -3,6 +3,10 @@
 // Time is in integer nanoseconds. Events scheduled for the same instant fire
 // in scheduling order (a monotonically increasing sequence number breaks
 // ties), which keeps runs deterministic.
+//
+// The SimTime base (and its unit constants below) doubles as the time
+// vocabulary of src/load's workload generator, whose schedules are served
+// by a REAL fleet rather than this event loop.
 #ifndef NV_SIM_SIMULATION_H
 #define NV_SIM_SIMULATION_H
 

@@ -49,7 +49,7 @@ std::string attack_site_arg(std::uint32_t buffer_size) {
 }
 
 void wait_for_bind(vkernel::SocketHub& hub) {
-  while (!hub.is_bound(kPort)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(testing::wait_for_bind(hub, kPort));
 }
 
 // --- plain (unprotected) ----------------------------------------------------

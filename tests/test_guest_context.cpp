@@ -125,7 +125,7 @@ TEST_F(GuestFixture, NetworkEcho) {
   });
   PlainRunResult run_result;
   std::thread server([&] { run_result = run_plain(ctx, guest); });
-  while (!hub.is_bound(7777)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(testing::wait_for_bind(hub, 7777));
   auto conn = hub.connect(7777);
   ASSERT_TRUE(conn.has_value());
   ASSERT_TRUE(conn->send("ping").has_value());

@@ -3,11 +3,13 @@
 #define NV_TESTS_TEST_HELPERS_H
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <initializer_list>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "core/nvariant_system.h"
 #include "guest/guest_program.h"
@@ -41,6 +43,20 @@ inline std::unique_ptr<core::NVariantSystem> build_system(
   }
   for (const auto& path : unshared) builder.unshared(path);
   return builder.build();
+}
+
+/// Yield-spin (never sleep) until a server guest binds `port`. Sleeping 1 ms
+/// per poll serializes badly under sanitizers; yielding keeps the wait as
+/// short as the scheduler allows. The timeout only bounds a FAILING test.
+template <typename Hub>
+[[nodiscard]] inline bool wait_for_bind(Hub& hub, std::uint16_t port,
+                                        std::chrono::seconds timeout = std::chrono::seconds(30)) {
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  while (!hub.is_bound(port)) {
+    if (std::chrono::steady_clock::now() >= give_up) return false;
+    std::this_thread::yield();
+  }
+  return true;
 }
 
 }  // namespace nv::testing

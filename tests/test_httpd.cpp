@@ -39,7 +39,7 @@ ServerConfig test_config(guest::UidOpsMode mode, std::uint32_t max_requests) {
 }
 
 void wait_for_bind(vkernel::SocketHub& hub) {
-  while (!hub.is_bound(kPort)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(testing::wait_for_bind(hub, kPort));
 }
 
 // --- single-process baseline (no redundancy, no monitor) -------------------

@@ -329,7 +329,7 @@ TEST(NVariantSystem, ServerModeStopsCleanly) {
   });
   guest::launch_nvariant(system, guest);
   // Give the server a moment to reach accept, then shut down.
-  while (!system.hub().is_bound(9090)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(testing::wait_for_bind(system.hub(), 9090));
   auto conn = system.hub().connect(9090);
   if (conn) conn->close();
   std::this_thread::sleep_for(std::chrono::milliseconds(20));

@@ -118,7 +118,7 @@ TEST(Stress, HttpdSoakFiftyRequests) {
   httpd::install_default_site(system.fs(), config);
   httpd::MiniHttpd server;
   guest::launch_nvariant(system, server);
-  while (!system.hub().is_bound(8080)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(testing::wait_for_bind(system.hub(), 8080));
 
   const char* paths[] = {"/", "/page1.html", "/page2.html", "/whoami", "/secret/key.txt",
                          "/missing.html"};
@@ -141,7 +141,7 @@ TEST(Stress, ConcurrentClientsAgainstSequentialServer) {
   httpd::install_default_site(system.fs(), config);
   httpd::MiniHttpd server;
   guest::launch_nvariant(system, server);
-  while (!system.hub().is_bound(8080)) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(testing::wait_for_bind(system.hub(), 8080));
 
   std::atomic<int> successes{0};
   std::vector<std::thread> clients;

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Schema + invariant check for BENCH_load_curves.json.
+
+CI runs this on the document bench_load_curves just wrote, so future PRs can
+diff fleet load behaviour knowing the shape is stable and the claims hold.
+The written contract for this document lives in docs/BENCH_SCHEMAS.md.
+
+  - schema is "load_curves/v1" with the documented keys;
+  - the curve is sorted by rho and each point's arithmetic is internally
+    consistent (offered == admitted + shed, shed_fraction == shed/offered,
+    goodput_per_sec == completed/duration_s, within rounding);
+  - benign p99 is non-decreasing in offered load (within claims.p99_tolerance
+    slack for quantization) and saturates: the heaviest point's p99 exceeds
+    the lightest's;
+  - shed fraction is monotone non-decreasing along the curve, zero before the
+    knee never following non-zero;
+  - knee_index matches a recomputation from claims.shed_threshold /
+    claims.latency_knee_factor and lands strictly inside the curve;
+  - the campaign pair detected the attack (campaign_alerts >=
+    claims.campaign_alerts_min, quarantines at least that many) and benign
+    goodput held: goodput_ratio >= claims.goodput_floor and equals
+    attacked.goodput / baseline.goodput.
+
+Usage: check_load_curves.py BENCH_load_curves.json
+Exit code 0 on success, 1 with a message on any violation.
+"""
+import json
+import sys
+
+POINT_KEYS = {
+    "rho", "offered", "offered_per_sec", "admitted", "shed", "shed_fraction",
+    "deadline_dropped", "completed", "errors", "goodput_per_sec",
+    "latency_count", "latency_p50_ms", "latency_p95_ms", "latency_p99_ms",
+    "queue_high_watermark", "quarantined", "campaign_alerts", "duration_s",
+}
+CONFIG_KEYS = {
+    "pool_size", "queue_capacity", "admission", "quantum_ms", "horizon_ms",
+    "seed", "mean_service_ms", "attacker_fraction",
+}
+CLAIM_KEYS = {
+    "p99_tolerance", "shed_threshold", "latency_knee_factor", "goodput_floor",
+    "campaign_alerts_min",
+}
+
+
+def fail(message: str) -> None:
+    print(f"check_load_curves: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_point(point: dict, where: str) -> None:
+    missing = POINT_KEYS - point.keys()
+    if missing:
+        fail(f"{where}: missing keys {sorted(missing)}")
+    if point["offered"] <= 0:
+        fail(f"{where}: no offered load recorded")
+    if point["offered"] != point["admitted"] + point["shed"]:
+        fail(f"{where}: offered {point['offered']} != admitted "
+             f"{point['admitted']} + shed {point['shed']}")
+    expected_fraction = point["shed"] / point["offered"]
+    if abs(point["shed_fraction"] - expected_fraction) > 1e-4:
+        fail(f"{where}: shed_fraction {point['shed_fraction']} != "
+             f"shed/offered = {expected_fraction:.6f}")
+    if point["duration_s"] <= 0:
+        fail(f"{where}: non-positive duration {point['duration_s']}")
+    expected_goodput = point["completed"] / point["duration_s"]
+    if abs(point["goodput_per_sec"] - expected_goodput) > max(0.1, expected_goodput * 0.01):
+        fail(f"{where}: goodput_per_sec {point['goodput_per_sec']} inconsistent "
+             f"with {point['completed']} completions in {point['duration_s']} s")
+    if point["latency_count"] != point["completed"]:
+        fail(f"{where}: latency_count {point['latency_count']} != completed "
+             f"{point['completed']} (benign completions are the latency population)")
+    if point["completed"] > 0 and not (
+            0 < point["latency_p50_ms"] <= point["latency_p95_ms"] <= point["latency_p99_ms"]):
+        fail(f"{where}: latency percentiles not ordered: "
+             f"p50 {point['latency_p50_ms']} p95 {point['latency_p95_ms']} "
+             f"p99 {point['latency_p99_ms']}")
+
+
+def recompute_knee(curve: list, latency_factor: float, shed_threshold: float) -> int:
+    base = curve[0]["latency_p99_ms"]
+    for i, point in enumerate(curve):
+        if point["shed_fraction"] > shed_threshold:
+            return i
+        if base > 0 and point["latency_p99_ms"] > base * latency_factor:
+            return i
+    return len(curve)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_load_curves.py BENCH_load_curves.json")
+    with open(sys.argv[1], encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    if doc.get("schema") != "load_curves/v1":
+        fail(f"unexpected schema {doc.get('schema')!r}")
+    config = doc.get("config", {})
+    if not CONFIG_KEYS <= config.keys():
+        fail(f"config missing keys {sorted(CONFIG_KEYS - config.keys())}")
+    claims = doc.get("claims", {})
+    if not CLAIM_KEYS <= claims.keys():
+        fail(f"claims missing keys {sorted(CLAIM_KEYS - claims.keys())}")
+    if not 0 < claims["p99_tolerance"] <= 1.0:
+        fail(f"claims.p99_tolerance nonsensical: {claims['p99_tolerance']!r}")
+    if not 0 < claims["goodput_floor"] <= 1.0:
+        fail(f"claims.goodput_floor nonsensical: {claims['goodput_floor']!r}")
+
+    curve = doc.get("curve", [])
+    if len(curve) < 3:
+        fail("need at least three curve points to locate a knee")
+    for i, point in enumerate(curve):
+        check_point(point, f"curve[{i}]")
+    rhos = [point["rho"] for point in curve]
+    if rhos != sorted(rhos) or len(set(rhos)) != len(rhos):
+        fail(f"curve not sorted by strictly increasing rho: {rhos}")
+
+    # Latency rises with load (quantization slack via p99_tolerance) and the
+    # heaviest point is strictly worse than the lightest: the knee is real.
+    tolerance = claims["p99_tolerance"]
+    for prev, point in zip(curve, curve[1:]):
+        if point["latency_p99_ms"] < prev["latency_p99_ms"] * tolerance:
+            fail(f"p99 fell with load: {prev['latency_p99_ms']} ms at rho "
+                 f"{prev['rho']} -> {point['latency_p99_ms']} ms at rho {point['rho']}")
+    if curve[-1]["latency_p99_ms"] <= curve[0]["latency_p99_ms"]:
+        fail("heaviest point's p99 does not exceed the lightest's")
+
+    # Shedding is monotone along the curve and present at the heaviest point.
+    for prev, point in zip(curve, curve[1:]):
+        if point["shed_fraction"] < prev["shed_fraction"] - 1e-9:
+            fail(f"shed fraction fell with load: {prev['shed_fraction']:.4f} at "
+                 f"rho {prev['rho']} -> {point['shed_fraction']:.4f} at rho {point['rho']}")
+    if curve[-1]["shed_fraction"] <= claims["shed_threshold"]:
+        fail(f"heaviest point sheds {curve[-1]['shed_fraction']:.4f} <= "
+             f"threshold {claims['shed_threshold']} — the sweep never saturated")
+
+    knee = doc.get("knee_index")
+    expected_knee = recompute_knee(curve, claims["latency_knee_factor"],
+                                   claims["shed_threshold"])
+    if knee != expected_knee:
+        fail(f"knee_index {knee} != recomputed {expected_knee}")
+    if not 0 < knee < len(curve):
+        fail(f"knee_index {knee} not strictly inside the curve "
+             f"(the sweep must span both sides of saturation)")
+
+    campaign = doc.get("campaign", {})
+    for side in ("baseline", "attacked"):
+        if side not in campaign:
+            fail(f"campaign missing {side!r}")
+        check_point(campaign[side], f"campaign.{side}")
+    baseline, attacked = campaign["baseline"], campaign["attacked"]
+    if baseline["campaign_alerts"] != 0:
+        fail(f"baseline raised {baseline['campaign_alerts']} campaign alerts")
+    if attacked["campaign_alerts"] < claims["campaign_alerts_min"]:
+        fail(f"attacked run raised {attacked['campaign_alerts']} campaign alerts "
+             f"(claim: >= {claims['campaign_alerts_min']})")
+    if attacked["quarantined"] < claims["campaign_alerts_min"]:
+        fail(f"attacked run quarantined {attacked['quarantined']} sessions — "
+             f"an alert without quarantines is incoherent")
+    expected_ratio = (attacked["goodput_per_sec"] / baseline["goodput_per_sec"]
+                      if baseline["goodput_per_sec"] > 0 else 0.0)
+    ratio = campaign.get("goodput_ratio")
+    if not isinstance(ratio, (int, float)) or abs(ratio - expected_ratio) > 0.01:
+        fail(f"goodput_ratio {ratio!r} != attacked/baseline = {expected_ratio:.4f}")
+    if ratio < claims["goodput_floor"]:
+        fail(f"benign goodput under campaign {ratio:.3f} below the "
+             f"{claims['goodput_floor']} floor")
+
+    print(f"check_load_curves: OK ({len(curve)} points, knee at rho "
+          f"{curve[knee]['rho']}, heaviest sheds "
+          f"{curve[-1]['shed_fraction'] * 100:.1f}%, campaign goodput "
+          f"{ratio * 100:.1f}% >= {claims['goodput_floor'] * 100:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()
